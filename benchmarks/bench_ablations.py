@@ -1,0 +1,46 @@
+"""Ablations: the design alternatives §VI-E and §VI-I discuss but defer."""
+
+from repro.experiments import ablations
+
+
+def test_ablation_bvh_variants(once):
+    rows = once(ablations.bvh_variants)
+    print("\n" + ablations.render())
+    by_key = {(r["dataset"], r["variant"]): r for r in rows}
+    for dataset in ablations.BVH_DATASETS:
+        paper = by_key[(dataset, "lbvh-bvh2 (paper)")]
+        bvh4 = by_key[(dataset, "lbvh-bvh4")]
+        # §VI-E: a BVH4 feeds the four-wide box-test hardware with fewer,
+        # wider node visits — fewer L1 accesses from the unit.
+        assert bvh4["l1_accesses"] < paper["l1_accesses"], dataset
+        # And fewer thread-beats overall (shallower tree).
+        assert bvh4["hsu_thread_beats"] <= paper["hsu_thread_beats"] * 1.05
+
+
+def test_ablation_rt_fetch_paths(once):
+    rows = once(ablations.rt_fetch_paths)
+    by_key = {(r["app"], r["fetch_path"]): r for r in rows}
+    for app in ("bvhnn", "ggnn"):
+        shared = by_key[(app, "shared L1 (paper)")]
+        bypass = by_key[(app, "bypass L1")]
+        private = by_key[(app, "private 32KB")]
+        # Bypassing the L1 forfeits its reuse: never faster than a private
+        # cache of the same position in the hierarchy.
+        assert private["hsu_cycles"] <= bypass["hsu_cycles"] * 1.02, app
+        # All three complete the same work.
+        assert shared["hsu_cycles"] > 0
+
+
+def test_ablation_build_quality(once):
+    quality = once(ablations.build_quality)
+    # §VI-E: the SAH build yields a better tree than the fast LBVH.
+    assert quality["sah"]["sah_cost"] < quality["lbvh"]["sah_cost"]
+    assert (
+        quality["sah"]["box_tests_per_query"]
+        < quality["lbvh"]["box_tests_per_query"] * 1.02
+    )
+    # Leaf culling is structure-independent here (same leaf radius), so
+    # distance-test counts stay in the same band.
+    assert quality["sah"]["dist_tests_per_query"] <= (
+        quality["lbvh"]["dist_tests_per_query"] * 1.5
+    )

@@ -1,0 +1,17 @@
+"""Fig. 7: share of baseline execution HSU operations could absorb."""
+
+from repro.experiments import fig07_hsu_fraction
+
+
+def test_fig07_hsu_fraction(once):
+    rows = once(fig07_hsu_fraction.compute)
+    print("\n" + fig07_hsu_fraction.render())
+    by_app = {}
+    for row in rows:
+        by_app.setdefault(row["app"], []).append(row["hsu_able_fraction"])
+    # Every fraction is a valid proportion.
+    assert all(0.0 < f < 1.0 for fs in by_app.values() for f in fs)
+    # Shape: the B+ tree has "the smallest proportion of the algorithm that
+    # can be offloaded" (§VI-C) of all applications tested.
+    mean = {app: sum(fs) / len(fs) for app, fs in by_app.items()}
+    assert mean["btree"] == min(mean.values())

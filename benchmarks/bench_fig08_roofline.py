@@ -1,0 +1,25 @@
+"""Fig. 8: roofline analysis of the HSU."""
+
+from repro.experiments import fig08_roofline
+
+
+def test_fig08_roofline(once):
+    rows = once(fig08_roofline.compute)
+    print("\n" + fig08_roofline.render())
+    # "None of the applications evaluated achieve full utilization" (§VI-B).
+    assert all(row["ops_per_cycle"] < 1.0 for row in rows)
+    # Every application shows data reuse between instructions: operational
+    # intensity above the per-instruction minimum (§VI-B: "an operational
+    # intensity greater than 4 for a euclidean application or 8 for angular
+    # is indicative of data reuse"; our per-beat minimum is 2 / 4).
+    assert all(row["ops_per_l2_line"] > 1.0 for row in rows)
+    # BVH-NN sits lowest on the intensity axis among the ANN families and
+    # well under its roof — the "could improve but ultimately memory
+    # limited" corner of the plot (§VI-B).
+    min_oi = {
+        app: min(r["ops_per_l2_line"] for r in rows if r["app"] == app)
+        for app in ("ggnn", "flann", "bvhnn")
+    }
+    assert min_oi["bvhnn"] == min(min_oi.values())
+    bvhnn = [r for r in rows if r["app"] == "bvhnn"]
+    assert all(r["utilization"] < 0.75 for r in bvhnn)

@@ -1,0 +1,29 @@
+"""Fig. 9: summary HSU speedup over the non-RT baseline."""
+
+from repro.experiments import fig09_speedup
+
+
+def test_fig09_speedup(once):
+    results = once(fig09_speedup.compute)
+    print("\n" + fig09_speedup.render())
+    per_family = results["per_family"]
+    # Every workload family improves on average.
+    for family, summary in per_family.items():
+        assert summary["mean_improvement_pct"] > 0.0, family
+    # BVH-NN benefits the most (§VI-C: "The BVH-NN implementation benefited
+    # the most from the HSU").
+    means = {f: s["mean_improvement_pct"] for f, s in per_family.items()}
+    assert means["bvhnn"] == max(means.values())
+    # DEEP1B sits below the GGNN mean — the biggest dataset "quickly became
+    # bottle-necked on the memory system" (§VI-D).  (Known fidelity gap: in
+    # our model the 784/960-dim Euclidean sets land at parity and occupy the
+    # very bottom; see EXPERIMENTS.md.)
+    ggnn = {
+        r["dataset"]: r["speedup"]
+        for r in results["per_dataset"]
+        if r["app"] == "ggnn"
+    }
+    assert ggnn["D1B"] < sum(ggnn.values()) / len(ggnn)
+    # The angular and moderate-dimension datasets all gain.
+    for dataset in ("LFM", "NYT", "GLV", "S1M", "S10K"):
+        assert ggnn[dataset] > 1.0, dataset

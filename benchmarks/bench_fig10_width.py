@@ -1,0 +1,23 @@
+"""Fig. 10: datapath width sensitivity (GGNN)."""
+
+from repro.experiments import fig10_width
+
+
+def test_fig10_width(once):
+    rows = once(fig10_width.compute)
+    print("\n" + fig10_width.render())
+    by_dataset = {}
+    for row in rows:
+        by_dataset.setdefault(row["dataset"], {})[row["euclid_width"]] = row[
+            "speedup"
+        ]
+    # "In general a larger width corresponds to a lower latency for distance
+    # computations which improves overall performance" (§VI-H): on average
+    # across datasets, 32 lanes beat 8.
+    mean8 = sum(w[8] for w in by_dataset.values()) / len(by_dataset)
+    mean32 = sum(w[32] for w in by_dataset.values()) / len(by_dataset)
+    assert mean32 > mean8
+    # Diminishing returns: the 16->32 step gains less than the 8->16 step.
+    gain_8_16 = sum(w[16] - w[8] for w in by_dataset.values())
+    gain_16_32 = sum(w[32] - w[16] for w in by_dataset.values())
+    assert gain_16_32 < gain_8_16

@@ -1,0 +1,33 @@
+"""Fig. 11: warp buffer size sensitivity (GGNN, BVH-NN, FLANN panels)."""
+
+from repro.experiments import fig11_warp_buffer
+
+
+def test_fig11_warp_buffer(once):
+    rows = once(fig11_warp_buffer.compute)
+    print("\n" + fig11_warp_buffer.render())
+    by_key = {}
+    for row in rows:
+        by_key.setdefault((row["app"], row["dataset"]), {})[
+            row["warp_buffer"]
+        ] = row["speedup"]
+    for (app, dataset), sweeps in by_key.items():
+        # "A single entry warp buffer is much too restrictive" (§VI-I):
+        # one entry always loses to eight — and typically to the baseline
+        # itself (speedup < 1), because it forfeits all memory-level
+        # parallelism.
+        assert sweeps[1] < sweeps[8], (app, dataset)
+        assert sweeps[1] < 1.0, (app, dataset)
+    # Speedup grows steeply to eight entries, then flattens: the marginal
+    # gain of 8 -> 16 is far below the gain of 1 -> 8 (the paper picks 8 as
+    # the sweet spot "for the least power and area cost").
+    mean = {
+        size: sum(sweeps[size] for sweeps in by_key.values()) / len(by_key)
+        for size in (1, 4, 8, 16)
+    }
+    assert mean[1] < mean[4] < mean[8]
+    assert (mean[16] - mean[8]) < (mean[8] - mean[1]) * 0.5
+    # GGNN plateaus by eight entries (its fetches already saturate).
+    ggnn_keys = [k for k in by_key if k[0] == "ggnn"]
+    for key in ggnn_keys:
+        assert by_key[key][16] <= by_key[key][8] * 1.05, key

@@ -1,0 +1,22 @@
+"""Fig. 13: L1 data cache miss rates."""
+
+from repro.experiments import fig13_miss_rate
+
+
+def test_fig13_miss_rate(once):
+    rows = once(fig13_miss_rate.compute)
+    print("\n" + fig13_miss_rate.render())
+    ggnn_high_dim = [
+        r for r in rows
+        if r["app"] == "ggnn" and r["dataset"] in ("D1B", "GLV", "NYT", "GST")
+    ]
+    three_d = [r for r in rows if r["app"] in ("flann", "bvhnn")]
+    # "The high dimension applications in GGNN exhibit high L1D and L2 cache
+    # miss rates, whereas the lower dimension applications make better use
+    # of the caches" (§VI-J).
+    mean_high = sum(r["baseline_l1_miss_rate"] for r in ggnn_high_dim) / len(
+        ggnn_high_dim
+    )
+    mean_3d = sum(r["baseline_l1_miss_rate"] for r in three_d) / len(three_d)
+    assert mean_high > mean_3d
+    assert all(0.0 <= r["hsu_l1_miss_rate"] <= 1.0 for r in rows)

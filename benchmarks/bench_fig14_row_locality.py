@@ -1,0 +1,20 @@
+"""Fig. 14: mean DRAM row access locality under FR-FCFS."""
+
+from repro.experiments import fig14_row_locality
+
+
+def test_fig14_row_locality(once):
+    rows = once(fig14_row_locality.compute)
+    print("\n" + fig14_row_locality.render())
+    measured = [
+        r for r in rows
+        if r["baseline_row_locality"] > 0 and r["hsu_row_locality"] > 0
+    ]
+    assert measured, "no DRAM traffic measured"
+    # Row locality is at least one access per activation by definition.
+    assert all(r["baseline_row_locality"] >= 1.0 for r in measured)
+    # "This does not result in a large material difference" (§VI-J): the
+    # two designs' mean locality stays within 2x of each other.
+    for r in measured:
+        ratio = r["hsu_row_locality"] / r["baseline_row_locality"]
+        assert 0.5 <= ratio <= 2.0, r

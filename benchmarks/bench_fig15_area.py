@@ -1,0 +1,17 @@
+"""Fig. 15: HSU datapath area normalized to the baseline RT datapath."""
+
+from repro.experiments import fig15_area
+
+
+def test_fig15_area(once):
+    report = once(fig15_area.compute)
+    print("\n" + fig15_area.render())
+    normalized = report["hsu_normalized"]
+    # Paper: total area increase of 37%.
+    assert abs(normalized["total"] - fig15_area.PAPER_TOTAL_RATIO) < 0.05
+    # "No additional functional units other than adders" (§IV-C).
+    assert normalized["multipliers"] == 1.0
+    assert normalized["comparators"] == 1.0
+    assert normalized["adders"] > 1.0
+    # The increase is register-dominated (per-mode stage registers).
+    assert normalized["registers"] > normalized["adders"]

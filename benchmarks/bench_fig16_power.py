@@ -1,0 +1,21 @@
+"""Fig. 16: dynamic power of each operating mode."""
+
+from repro.experiments import fig16_power
+
+
+def test_fig16_power(once):
+    report = once(fig16_power.compute)
+    print("\n" + fig16_power.render())
+    base = report["baseline_mw"]
+    hsu = report["hsu_mw"]
+    # HSU support raises the two baseline modes by roughly the paper's
+    # 10 / 8 mW (mode muxing overhead).
+    assert 5.0 <= hsu["ray_box"] - base["ray_box"] <= 15.0
+    assert 5.0 <= hsu["ray_tri"] - base["ray_tri"] <= 15.0
+    # Euclid lands within a few mW of the baseline ray-box mode (§VI-K:
+    # "only 5 mW more than the baseline ray-box mode power cost").
+    assert abs(hsu["euclid"] - base["ray_box"]) <= 10.0
+    # Angular is the cheaper of the two distance modes; key-compare is the
+    # cheapest overall (comparators only).
+    assert hsu["angular"] < hsu["euclid"]
+    assert hsu["key_compare"] == min(hsu.values())

@@ -1,0 +1,14 @@
+"""Table I: the HSU instruction set (definition check + render)."""
+
+from repro.core.isa import Opcode
+from repro.experiments import table1_isa
+
+
+def test_table1_isa(once):
+    rows = once(table1_isa.compute)
+    print("\n" + table1_isa.render())
+    assert len(rows) == len(Opcode) == 4
+    names = {row["instruction"] for row in rows}
+    assert names == {
+        "RAY_INTERSECT", "POINT_EUCLID", "POINT_ANGULAR", "KEY_COMPARE",
+    }

@@ -1,0 +1,14 @@
+"""Table II: the sixteen evaluation datasets."""
+
+from repro.experiments import table2_datasets
+
+
+def test_table2_datasets(once):
+    rows = once(table2_datasets.compute)
+    print("\n" + table2_datasets.render())
+    assert len(rows) == 16
+    by_abbr = {row["abbr"]: row for row in rows}
+    # Spot-check paper dimensions and metrics.
+    assert by_abbr["D1B"]["dimensions"] == 96 and by_abbr["D1B"]["dist"] == "A"
+    assert by_abbr["GST"]["dimensions"] == 960 and by_abbr["GST"]["dist"] == "E"
+    assert by_abbr["B+1M"]["dimensions"] == 1

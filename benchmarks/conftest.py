@@ -1,0 +1,23 @@
+"""Shared benchmark configuration.
+
+Each benchmark regenerates one paper table or figure.  Heavy paired
+simulations are cached per process (``repro.experiments.common``), so the
+full suite shares one trace-collection campaign across figures, exactly
+like the paper's methodology.  Benchmarks run pedantically (one round) —
+the quantity of interest is the regenerated figure, not the harness's
+timing of it.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a figure computation exactly once under the benchmark harness."""
+
+    def runner(func, *args, **kwargs):
+        return benchmark.pedantic(
+            func, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+
+    return runner

@@ -1,0 +1,27 @@
+"""RTIndeX re-implementation: triangle-encoded keys vs native point keys.
+
+Reproduces the §VI-G experiment: a GPU database index that stores 32-bit
+keys in a BVH.  On the baseline RT unit a key must masquerade as a 288-bit
+triangle primitive; the HSU stores keys natively and tests them with a
+1-dimensional POINT_EUCLID — a 9:1 leaf-memory reduction.
+
+Run:  python examples/rtindex_comparison.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments.rtindex_comparison import compute, render
+
+
+def main() -> None:
+    print(render())
+    result = compute()
+    saved = 1.0 - result["point_cycles"] / result["triangle_cycles"]
+    print(f"\nNative point keys save {saved:.1%} of lookup cycles here "
+          f"(paper: 26.8% = 1/1.366).")
+    print("Both variants ran on the same HSU hardware — only the data "
+          "representation changed.")
+
+
+if __name__ == "__main__":
+    main()

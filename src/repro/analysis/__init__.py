@@ -1,0 +1,13 @@
+"""Analysis utilities: roofline model, speedup aggregation, ASCII tables."""
+
+from repro.analysis.roofline import RooflinePoint, roofline_point
+from repro.analysis.speedup import geometric_mean, mean_improvement_percent
+from repro.analysis.tables import format_table
+
+__all__ = [
+    "RooflinePoint",
+    "format_table",
+    "geometric_mean",
+    "mean_improvement_percent",
+    "roofline_point",
+]

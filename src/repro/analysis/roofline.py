@@ -1,0 +1,60 @@
+"""Roofline model of the HSU (Fig. 8).
+
+Performance is "the number of instructions completed by the unit each cycle"
+(max 1 intersection op per cycle per HSU); operational intensity is
+"intersection operations completed per cache line accessed from the L2",
+with a memory bound of one line per cycle.  A Euclidean beat consumes 64
+bytes and an angular beat 32, so operational intensity above 2 (Euclid) or
+4 (angular) per 128-byte line indicates data reuse between instructions
+(§VI-B discusses the same thresholds for their line size).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpusim.stats import SimStats
+
+#: The unit retires at most one op per cycle (§VI-B).
+COMPUTE_BOUND_OPS_PER_CYCLE = 1.0
+#: The memory bound: one cache line per cycle.
+MEMORY_BOUND_LINES_PER_CYCLE = 1.0
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One application's position on the Fig. 8 roofline."""
+
+    label: str
+    ops_per_cycle: float
+    ops_per_l2_line: float
+
+    @property
+    def attainable(self) -> float:
+        """Roofline ceiling at this operational intensity."""
+        return min(
+            COMPUTE_BOUND_OPS_PER_CYCLE,
+            MEMORY_BOUND_LINES_PER_CYCLE * self.ops_per_l2_line,
+        )
+
+    @property
+    def utilization(self) -> float:
+        """Achieved fraction of the attainable performance."""
+        ceiling = self.attainable
+        return self.ops_per_cycle / ceiling if ceiling > 0 else 0.0
+
+    @property
+    def memory_bound(self) -> bool:
+        """True when the intensity puts the app under the slanted roof."""
+        return self.ops_per_l2_line < COMPUTE_BOUND_OPS_PER_CYCLE / max(
+            MEMORY_BOUND_LINES_PER_CYCLE, 1e-12
+        )
+
+
+def roofline_point(label: str, stats: SimStats) -> RooflinePoint:
+    """Place one HSU simulation on the roofline."""
+    return RooflinePoint(
+        label=label,
+        ops_per_cycle=stats.hsu_ops_per_cycle(),
+        ops_per_l2_line=stats.hsu_ops_per_l2_line(),
+    )

@@ -1,0 +1,25 @@
+"""Speedup aggregation helpers."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean (the conventional speedup aggregate)."""
+    values = list(values)
+    if not values:
+        raise ValueError("geometric_mean of an empty sequence")
+    if any(v <= 0.0 for v in values):
+        raise ValueError("geometric_mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def mean_improvement_percent(speedups: Iterable[float]) -> float:
+    """Arithmetic-mean improvement in percent, as the paper reports
+    ("improved 24.8%" means a mean speedup of 1.248)."""
+    speedups = list(speedups)
+    if not speedups:
+        raise ValueError("mean of an empty sequence")
+    return (sum(speedups) / len(speedups) - 1.0) * 100.0

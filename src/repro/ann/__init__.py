@@ -1,0 +1,6 @@
+"""ANN evaluation toolkit: brute-force ground truth and recall metrics."""
+
+from repro.ann.ground_truth import brute_force_knn
+from repro.ann.recall import recall_at_k
+
+__all__ = ["brute_force_knn", "recall_at_k"]

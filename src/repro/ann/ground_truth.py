@@ -1,0 +1,29 @@
+"""Exact nearest-neighbor ground truth by brute force (vectorized)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.graph.hnsw import METRIC_ANGULAR, METRIC_EUCLID, batch_distances
+
+
+def brute_force_knn(
+    points: np.ndarray, queries: np.ndarray, k: int, metric: str = METRIC_EUCLID
+) -> np.ndarray:
+    """Exact K nearest neighbor ids for each query, shape (Q, k).
+
+    ``metric`` is ``"euclid"`` (squared L2) or ``"angular"`` (1 - cosine) —
+    the same metrics the HSU instructions serve.
+    """
+    if metric not in (METRIC_EUCLID, METRIC_ANGULAR):
+        raise DatasetError(f"unknown metric {metric!r}")
+    points = np.asarray(points, dtype=np.float32)
+    queries = np.atleast_2d(np.asarray(queries, dtype=np.float32))
+    if k < 1 or k > points.shape[0]:
+        raise DatasetError(f"k={k} outside [1, {points.shape[0]}]")
+    out = np.empty((queries.shape[0], k), dtype=np.int64)
+    for row, query in enumerate(queries):
+        dists = batch_distances(query, points, metric)
+        out[row] = np.argsort(dists, kind="stable")[:k]
+    return out

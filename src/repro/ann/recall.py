@@ -1,0 +1,35 @@
+"""Recall@k — the accuracy metric of approximate nearest-neighbor search."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import DatasetError
+
+
+def recall_at_k(
+    found: Sequence[Sequence[int]], truth: np.ndarray, k: int | None = None
+) -> float:
+    """Mean fraction of true K nearest neighbors recovered per query.
+
+    ``found[q]`` is the id list a search returned for query ``q``; ``truth``
+    is the (Q, K) exact-neighbor matrix from :func:`brute_force_knn`.
+    """
+    truth = np.asarray(truth)
+    if truth.ndim != 2:
+        raise DatasetError(f"truth must be (Q, K), got shape {truth.shape}")
+    if len(found) != truth.shape[0]:
+        raise DatasetError(
+            f"{len(found)} result lists for {truth.shape[0]} queries"
+        )
+    k = k if k is not None else truth.shape[1]
+    if not 1 <= k <= truth.shape[1]:
+        raise DatasetError(f"k={k} outside [1, {truth.shape[1]}]")
+    total = 0.0
+    for row, ids in enumerate(found):
+        expected = set(int(i) for i in truth[row, :k])
+        got = set(int(i) for i in list(ids)[:k])
+        total += len(expected & got) / k
+    return total / truth.shape[0]

@@ -1,0 +1,11 @@
+"""B-tree substrate — the Rodinia b+tree workload's index (§V-A).
+
+A bulk-loaded B-tree with up to 255 separator values per internal node
+(branch factor 256, matching the Rodinia benchmark).  Internal-node
+traversal is the ``KEY_COMPARE`` use case: compare the query key against a
+block of sorted separators and descend to the selected child.
+"""
+
+from repro.btree.btree import BTree, BTreeStats, bulk_load
+
+__all__ = ["BTree", "BTreeStats", "bulk_load"]

@@ -1,0 +1,238 @@
+"""A bulk-loaded B-tree key-value index.
+
+Matches the Rodinia b+tree evaluated in §V-A: "a maximum of 255 separation
+values per internal node, so the tree has a maximum branch factor of 256".
+Keys live in sorted leaves; internal nodes hold separator arrays.  Lookups
+record the event stream the trace compiler lowers into ``KEY_COMPARE``
+instructions (HSU) or scalar compare loops (baseline): one internal node of
+``s`` separators costs ``ceil(s / 36)`` KEY_COMPARE instructions, since the
+comparator bank is 36 wide (§IV-E).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.isa import KEY_COMPARE_WIDTH
+from repro.core.ops import key_compare, key_compare_child_index
+from repro.errors import BuildError
+
+#: Rodinia's branch factor.
+MAX_BRANCH = 256
+MAX_SEPARATORS = MAX_BRANCH - 1
+
+#: Event kinds consumed by the trace compiler.
+EVENT_KEY_COMPARE = "key_compare"
+EVENT_LEAF_SCAN = "leaf_scan"
+
+
+@dataclass
+class BTreeNode:
+    """One B-tree node.
+
+    Internal nodes: ``separators`` (sorted) and ``children`` with
+    ``len(children) == len(separators) + 1``.  Leaves: sorted ``keys`` and
+    parallel ``values``.
+    """
+
+    separators: np.ndarray | None = None
+    children: list[int] = field(default_factory=list)
+    keys: np.ndarray | None = None
+    values: np.ndarray | None = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.keys is not None
+
+
+@dataclass
+class BTreeStats:
+    """Counters and optional event log for one lookup."""
+
+    nodes_visited: int = 0
+    key_compares: int = 0
+    record_events: bool = False
+    #: (kind, node_id, num_separators_or_keys)
+    events: list[tuple[str, int, int]] = field(default_factory=list)
+
+    def compare(self, node_id: int, num_separators: int) -> None:
+        self.nodes_visited += 1
+        self.key_compares += num_separators
+        if self.record_events:
+            self.events.append((EVENT_KEY_COMPARE, node_id, num_separators))
+
+    def leaf(self, node_id: int, num_keys: int) -> None:
+        self.nodes_visited += 1
+        if self.record_events:
+            self.events.append((EVENT_LEAF_SCAN, node_id, num_keys))
+
+
+@dataclass
+class BTree:
+    """Bulk-loaded B-tree over float keys (Rodinia uses integer keys; floats
+    subsume them and match what the 36-wide comparator bank compares)."""
+
+    nodes: list[BTreeNode]
+    root: int
+    branch: int
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    def height(self) -> int:
+        height = 1
+        node = self.nodes[self.root]
+        while not node.is_leaf:
+            node = self.nodes[node.children[0]]
+            height += 1
+        return height
+
+    def lookup(
+        self, key: float, stats: BTreeStats | None = None
+    ) -> float | None:
+        """Value stored under ``key``, or None.
+
+        Each internal node is traversed with the hardware KEY_COMPARE
+        semantics: ``ceil(separators / 36)`` bit-vector compares, popcount
+        selects the child.
+        """
+        stats = stats if stats is not None else BTreeStats()
+        node_id = self.root
+        node = self.nodes[node_id]
+        while not node.is_leaf:
+            seps = node.separators
+            assert seps is not None
+            stats.compare(node_id, len(seps))
+            child = 0
+            for lo in range(0, len(seps), KEY_COMPARE_WIDTH):
+                block = seps[lo : lo + KEY_COMPARE_WIDTH]
+                bits = key_compare(key, block)
+                child += key_compare_child_index(bits, len(block))
+            node_id = node.children[child]
+            node = self.nodes[node_id]
+        assert node.keys is not None and node.values is not None
+        stats.leaf(node_id, len(node.keys))
+        position = int(np.searchsorted(node.keys, key))
+        if position < len(node.keys) and node.keys[position] == key:
+            return float(node.values[position])
+        return None
+
+    def range_scan(
+        self, lo: float, hi: float, stats: BTreeStats | None = None
+    ) -> list[tuple[float, float]]:
+        """All (key, value) pairs with lo <= key <= hi, ascending."""
+        if lo > hi:
+            return []
+        stats = stats if stats is not None else BTreeStats()
+        results: list[tuple[float, float]] = []
+        stack = [self.root]
+        while stack:
+            node_id = stack.pop()
+            node = self.nodes[node_id]
+            if node.is_leaf:
+                assert node.keys is not None and node.values is not None
+                stats.leaf(node_id, len(node.keys))
+                start = int(np.searchsorted(node.keys, lo, side="left"))
+                stop = int(np.searchsorted(node.keys, hi, side="right"))
+                for i in range(start, stop):
+                    results.append((float(node.keys[i]), float(node.values[i])))
+                continue
+            seps = node.separators
+            assert seps is not None
+            stats.compare(node_id, len(seps))
+            first = int(np.searchsorted(seps, lo, side="right"))
+            last = int(np.searchsorted(seps, hi, side="right"))
+            # Push in reverse so children pop in ascending key order.
+            for child in range(last, first - 1, -1):
+                stack.append(node.children[child])
+        results.sort()
+        return results
+
+    def validate(self) -> None:
+        """Check ordering and fan-out invariants."""
+        def check(node_id: int, lo: float, hi: float) -> None:
+            node = self.nodes[node_id]
+            if node.is_leaf:
+                keys = node.keys
+                assert keys is not None
+                if len(keys) and (
+                    np.any(np.diff(keys) < 0)
+                    or keys[0] < lo
+                    or keys[-1] > hi
+                ):
+                    raise BuildError(f"leaf {node_id} keys out of range/order")
+                return
+            seps = node.separators
+            assert seps is not None
+            if len(node.children) != len(seps) + 1:
+                raise BuildError(f"node {node_id} fan-out mismatch")
+            if len(seps) > self.branch - 1:
+                raise BuildError(f"node {node_id} exceeds branch factor")
+            if np.any(np.diff(seps) < 0):
+                raise BuildError(f"node {node_id} separators unsorted")
+            bounds = [lo, *[float(s) for s in seps], hi]
+            for i, child in enumerate(node.children):
+                check(child, bounds[i], bounds[i + 1])
+
+        check(self.root, -math.inf, math.inf)
+
+
+def bulk_load(
+    keys: np.ndarray,
+    values: np.ndarray | None = None,
+    branch: int = MAX_BRANCH,
+    leaf_size: int | None = None,
+) -> BTree:
+    """Bulk-load a B-tree from (unsorted, unique) keys.
+
+    ``branch`` caps children per internal node (Rodinia: 256).  ``leaf_size``
+    defaults to ``branch`` keys per leaf.
+    """
+    if not 2 <= branch <= MAX_BRANCH:
+        raise BuildError(f"branch must be in [2, {MAX_BRANCH}], got {branch}")
+    keys = np.asarray(keys, dtype=np.float64)
+    if keys.ndim != 1 or keys.size == 0:
+        raise BuildError("keys must be a non-empty 1-D array")
+    if np.unique(keys).size != keys.size:
+        raise BuildError("keys must be unique")
+    if values is None:
+        values = keys.copy()
+    values = np.asarray(values, dtype=np.float64)
+    if values.shape != keys.shape:
+        raise BuildError("values must match keys in shape")
+    leaf_size = leaf_size if leaf_size is not None else branch
+
+    order = np.argsort(keys)
+    keys = keys[order]
+    values = values[order]
+
+    nodes: list[BTreeNode] = []
+
+    # Level 0: leaves.
+    level: list[int] = []
+    level_min_keys: list[float] = []
+    for lo in range(0, keys.size, leaf_size):
+        hi = min(lo + leaf_size, keys.size)
+        nodes.append(BTreeNode(keys=keys[lo:hi].copy(), values=values[lo:hi].copy()))
+        level.append(len(nodes) - 1)
+        level_min_keys.append(float(keys[lo]))
+
+    # Stack internal levels until one root remains.
+    while len(level) > 1:
+        next_level: list[int] = []
+        next_min_keys: list[float] = []
+        for lo in range(0, len(level), branch):
+            hi = min(lo + branch, len(level))
+            children = level[lo:hi]
+            seps = np.array(level_min_keys[lo + 1 : hi], dtype=np.float64)
+            nodes.append(BTreeNode(separators=seps, children=children))
+            next_level.append(len(nodes) - 1)
+            next_min_keys.append(level_min_keys[lo])
+        level = next_level
+        level_min_keys = next_min_keys
+
+    return BTree(nodes=nodes, root=level[0], branch=branch)

@@ -1,0 +1,36 @@
+"""Bounding volume hierarchies — the RT unit's native acceleration structure.
+
+Implements the BVH substrate BVH-NN (§V-A) is built on:
+
+* :mod:`~repro.bvh.lbvh` — the Morton-code radix-tree build of Karras 2012
+  ("known for its fast construction time but not for its quality", §VI-E),
+* :mod:`~repro.bvh.collapse` — BVH2→BVH4 collapsing, since the hardware
+  tests up to four child boxes per ``RAY_INTERSECT``,
+* :mod:`~repro.bvh.traversal` — instrumented stack-based traversal (point
+  queries, radius search, ray casting),
+* :mod:`~repro.bvh.quality` — SAH cost metrics used to compare build quality.
+"""
+
+from repro.bvh.collapse import collapse_to_bvh4
+from repro.bvh.lbvh import build_lbvh, build_lbvh_for_points
+from repro.bvh.node import Bvh, BvhNode
+from repro.bvh.quality import sah_cost
+from repro.bvh.traversal import (
+    TraversalStats,
+    point_query,
+    radius_search,
+    ray_cast,
+)
+
+__all__ = [
+    "Bvh",
+    "BvhNode",
+    "TraversalStats",
+    "build_lbvh",
+    "build_lbvh_for_points",
+    "collapse_to_bvh4",
+    "point_query",
+    "radius_search",
+    "ray_cast",
+    "sah_cost",
+]

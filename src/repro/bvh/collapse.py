@@ -1,0 +1,90 @@
+"""Collapse a binary BVH into a BVH4.
+
+The hardware tests up to four child boxes per ``RAY_INTERSECT``; §VI-E notes
+BVH-NN's binary tree left the box-test hardware half idle and "a BVH4 tree
+would likely have better performance".  The standard collapse pulls each
+internal node's grandchildren up until the node has up to four children.
+"""
+
+from __future__ import annotations
+
+from repro.bvh.node import Bvh, BvhNode
+from repro.errors import BuildError
+
+
+def collapse_to_bvh4(bvh: Bvh) -> Bvh:
+    """Return a new BVH with arity 4 covering the same primitives.
+
+    Strategy: breadth-first from the root, repeatedly replace the child with
+    the largest surface area by its own children while the child list stays
+    within four entries.  Absorbed internal nodes are dropped; leaves are
+    kept verbatim, so primitive ranges and the sorted permutation carry over.
+    """
+    if bvh.arity != 2:
+        raise BuildError(f"expected a binary BVH, got arity {bvh.arity}")
+
+    new_nodes: list[BvhNode] = []
+    # Map old node index -> new node index (leaves only need the mapping).
+    stack: list[tuple[int, int]] = []  # (old_index, new_parent)
+
+    def clone(old_index: int, new_parent: int) -> int:
+        old = bvh.nodes[old_index]
+        new_nodes.append(
+            BvhNode(
+                aabb=old.aabb,
+                first_prim=old.first_prim,
+                prim_count=old.prim_count,
+                parent=new_parent,
+            )
+        )
+        return len(new_nodes) - 1
+
+    def gather_children(old_index: int) -> list[int]:
+        """Old-tree child set after pulling grandchildren up to four."""
+        node = bvh.nodes[old_index]
+        children = list(node.children)
+        while len(children) < 4:
+            # Expand the internal child with the largest surface area.
+            best = -1
+            best_area = -1.0
+            for position, child_index in enumerate(children):
+                child = bvh.nodes[child_index]
+                if child.is_leaf:
+                    continue
+                area = child.aabb.surface_area()
+                if area > best_area:
+                    best_area = area
+                    best = position
+            if best < 0:
+                break
+            expanded = bvh.nodes[children[best]]
+            if len(children) - 1 + len(expanded.children) > 4:
+                break
+            children = (
+                children[:best] + list(expanded.children) + children[best + 1 :]
+            )
+        return children
+
+    new_root = clone(bvh.root, -1)
+    work = [(bvh.root, new_root)]
+    while work:
+        old_index, new_index = work.pop()
+        old = bvh.nodes[old_index]
+        if old.is_leaf:
+            continue
+        child_list = []
+        for old_child in gather_children(old_index):
+            new_child = clone(old_child, new_index)
+            child_list.append(new_child)
+            work.append((old_child, new_child))
+        new_nodes[new_index].children = child_list
+        new_nodes[new_index].prim_count = 0
+
+    collapsed = Bvh(
+        nodes=new_nodes,
+        prim_indices=bvh.prim_indices.copy(),
+        prim_boxes=list(bvh.prim_boxes),
+        arity=4,
+        root=new_root,
+    )
+    return collapsed

@@ -1,0 +1,163 @@
+"""LBVH construction: Morton sort + radix-tree split (Karras 2012).
+
+BVH-NN "sorts the points based on their Morton codes and a BVH is
+constructed using the algorithm described in [Karras 2012]" (§V-A).  We build
+the identical tree topology with a top-down highest-differing-bit split over
+the sorted code array (the recursive formulation of the same radix tree),
+then compute node boxes bottom-up from the leaf boxes.
+
+Duplicate Morton codes are disambiguated by falling back to splitting the
+range in half, as Karras suggests (conceptually appending the index bits).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.bvh.node import Bvh, BvhNode
+from repro.errors import BuildError
+from repro.geometry.aabb import Aabb
+from repro.geometry.morton import morton_encode_points
+
+#: Bits in a 30-bit Morton code.
+_CODE_BITS = 30
+
+
+def _find_split(codes: np.ndarray, first: int, last: int) -> int:
+    """Index of the last element of the left child range in ``[first, last]``.
+
+    Splits at the highest bit where the range's codes first differ; degrades
+    to the midpoint when all codes in the range are equal.
+    """
+    first_code = int(codes[first])
+    last_code = int(codes[last])
+    if first_code == last_code:
+        return (first + last) >> 1
+    # Length of the common prefix between the extreme codes.
+    common_prefix = _CODE_BITS - int(first_code ^ last_code).bit_length()
+    # Binary-search the highest index sharing that prefix with first_code.
+    split = first
+    step = last - first
+    while step > 1:
+        step = (step + 1) >> 1
+        candidate = split + step
+        if candidate < last:
+            candidate_code = int(codes[candidate])
+            prefix = _CODE_BITS - int(first_code ^ candidate_code).bit_length()
+            if prefix > common_prefix:
+                split = candidate
+    return split
+
+
+def build_lbvh(
+    prim_boxes: Sequence[Aabb],
+    leaf_size: int = 1,
+    arity: int = 2,
+) -> Bvh:
+    """Build a binary LBVH over primitive bounding boxes.
+
+    ``leaf_size`` bounds primitives per leaf (BVH-NN uses 1: "Each leaf node
+    contains exactly one point", §VI-C).  ``arity`` must be 2 here; use
+    :func:`repro.bvh.collapse.collapse_to_bvh4` for BVH4.
+    """
+    if arity != 2:
+        raise BuildError("build_lbvh builds binary trees; collapse for BVH4")
+    if leaf_size < 1:
+        raise BuildError(f"leaf_size must be >= 1, got {leaf_size}")
+    count = len(prim_boxes)
+    if count == 0:
+        raise BuildError("cannot build a BVH over zero primitives")
+
+    centroids = np.array(
+        [[box.centroid().x, box.centroid().y, box.centroid().z] for box in prim_boxes],
+        dtype=np.float64,
+    )
+    codes = morton_encode_points(centroids)
+    order = np.argsort(codes, kind="stable").astype(np.int64)
+    sorted_codes = codes[order]
+
+    nodes: list[BvhNode] = []
+
+    def new_leaf(first: int, last: int) -> int:
+        box = Aabb.empty()
+        for sorted_pos in range(first, last + 1):
+            box = box.union(prim_boxes[int(order[sorted_pos])])
+        nodes.append(
+            BvhNode(aabb=box, first_prim=first, prim_count=last - first + 1)
+        )
+        return len(nodes) - 1
+
+    def new_internal() -> int:
+        nodes.append(BvhNode(aabb=Aabb.empty()))
+        return len(nodes) - 1
+
+    # Iterative top-down build with an explicit stack of (first, last, slot).
+    # slot = (parent_index, child_position) or None for the root.
+    root = -1
+    stack: list[tuple[int, int, tuple[int, int] | None]] = [
+        (0, count - 1, None)
+    ]
+    while stack:
+        first, last, slot = stack.pop()
+        if last - first + 1 <= leaf_size:
+            index = new_leaf(first, last)
+        else:
+            index = new_internal()
+            split = _find_split(sorted_codes, first, last)
+            stack.append((first, split, (index, 0)))
+            stack.append((split + 1, last, (index, 1)))
+            nodes[index].children = [-1, -1]
+        if slot is None:
+            root = index
+        else:
+            parent, position = slot
+            nodes[parent].children[position] = index
+            nodes[index].parent = parent
+
+    bvh = Bvh(
+        nodes=nodes,
+        prim_indices=order,
+        prim_boxes=list(prim_boxes),
+        arity=2,
+        root=root,
+    )
+    _refit_boxes(bvh)
+    return bvh
+
+
+def _refit_boxes(bvh: Bvh) -> None:
+    """Compute internal-node boxes bottom-up (post-order over the tree)."""
+    post_order: list[int] = []
+    stack = [bvh.root]
+    while stack:
+        index = stack.pop()
+        post_order.append(index)
+        stack.extend(bvh.nodes[index].children)
+    for index in reversed(post_order):
+        node = bvh.nodes[index]
+        if node.is_leaf:
+            continue
+        box = Aabb.empty()
+        for child in node.children:
+            box = box.union(bvh.nodes[child].aabb)
+        node.aabb = box
+
+
+def build_lbvh_for_points(
+    points: np.ndarray, search_radius: float, leaf_size: int = 1
+) -> Bvh:
+    """The BVH-NN acceleration structure (§V-A).
+
+    Each point becomes a leaf box of width ``2 * search_radius`` centered on
+    it, so a query point landing inside a leaf box is within ``search_radius``
+    of the point on every axis (the RTNN formulation).
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2 or points.shape[1] != 3:
+        raise BuildError(f"expected (N,3) points, got {points.shape}")
+    if search_radius <= 0.0:
+        raise BuildError("search_radius must be positive")
+    boxes = [Aabb.around_point(point, search_radius) for point in points]
+    return build_lbvh(boxes, leaf_size=leaf_size)

@@ -1,0 +1,150 @@
+"""BVH node and tree containers.
+
+Nodes live in a flat array; children are node indices.  A leaf holds a range
+``[first_prim, first_prim + prim_count)`` into the tree's ``prim_indices``
+permutation.  The same container serves BVH2 (``arity == 2``) and the BVH4
+trees the hardware's four-wide box test prefers (``arity == 4``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import BuildError
+from repro.geometry.aabb import Aabb
+
+
+@dataclass
+class BvhNode:
+    """One BVH node.
+
+    ``children`` is empty for leaves.  ``parent`` is -1 for the root.
+    """
+
+    aabb: Aabb
+    children: list[int] = field(default_factory=list)
+    first_prim: int = 0
+    prim_count: int = 0
+    parent: int = -1
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+
+@dataclass
+class Bvh:
+    """A flat-array bounding volume hierarchy.
+
+    ``prim_boxes`` are the per-primitive bounding boxes in *original*
+    primitive order; ``prim_indices`` is the Morton-sorted permutation leaf
+    ranges index into.
+    """
+
+    nodes: list[BvhNode]
+    prim_indices: np.ndarray
+    prim_boxes: list[Aabb]
+    arity: int = 2
+    root: int = 0
+
+    @property
+    def num_prims(self) -> int:
+        return len(self.prim_boxes)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    def node(self, index: int) -> BvhNode:
+        return self.nodes[index]
+
+    def leaf_prims(self, node: BvhNode) -> np.ndarray:
+        """Original primitive ids stored in a leaf."""
+        if not node.is_leaf:
+            raise BuildError("leaf_prims called on an internal node")
+        return self.prim_indices[
+            node.first_prim : node.first_prim + node.prim_count
+        ]
+
+    def iter_leaves(self) -> Iterator[tuple[int, BvhNode]]:
+        for index, node in enumerate(self.nodes):
+            if node.is_leaf and self._reachable(index):
+                yield index, node
+
+    def _reachable(self, index: int) -> bool:
+        # All nodes in a freshly built tree are reachable; collapse() marks
+        # absorbed nodes by orphaning them (parent == -2).
+        return self.nodes[index].parent != -2
+
+    def depth(self) -> int:
+        """Maximum root-to-leaf depth (root at depth 1)."""
+        max_depth = 0
+        stack = [(self.root, 1)]
+        while stack:
+            index, depth = stack.pop()
+            node = self.nodes[index]
+            if node.is_leaf:
+                max_depth = max(max_depth, depth)
+            else:
+                for child in node.children:
+                    stack.append((child, depth + 1))
+        return max_depth
+
+    def validate(self) -> None:
+        """Check structural invariants; raises :class:`BuildError` on failure.
+
+        Invariants: every primitive appears in exactly one leaf; every child
+        box is contained (within float tolerance) by its parent box; arity
+        respected; parent pointers consistent.
+        """
+        seen = np.zeros(self.num_prims, dtype=bool)
+        stack = [self.root]
+        visited_nodes = 0
+        while stack:
+            index = stack.pop()
+            node = self.nodes[index]
+            visited_nodes += 1
+            if node.is_leaf:
+                if node.prim_count <= 0:
+                    raise BuildError(f"leaf {index} holds no primitives")
+                for prim in self.leaf_prims(node):
+                    if seen[prim]:
+                        raise BuildError(f"primitive {prim} in multiple leaves")
+                    seen[prim] = True
+            else:
+                if len(node.children) > self.arity:
+                    raise BuildError(
+                        f"node {index} has {len(node.children)} children, "
+                        f"arity is {self.arity}"
+                    )
+                for child_index in node.children:
+                    child = self.nodes[child_index]
+                    if child.parent not in (index, -2):
+                        raise BuildError(
+                            f"child {child_index} parent pointer inconsistent"
+                        )
+                    if not _contains(node.aabb, child.aabb):
+                        raise BuildError(
+                            f"child {child_index} box escapes parent {index}"
+                        )
+                    stack.append(child_index)
+        if not seen.all():
+            missing = int(np.count_nonzero(~seen))
+            raise BuildError(f"{missing} primitives unreachable from the root")
+
+
+_EPS = 1e-6
+
+
+def _contains(outer: Aabb, inner: Aabb) -> bool:
+    return (
+        outer.lo.x <= inner.lo.x + _EPS
+        and outer.lo.y <= inner.lo.y + _EPS
+        and outer.lo.z <= inner.lo.z + _EPS
+        and outer.hi.x >= inner.hi.x - _EPS
+        and outer.hi.y >= inner.hi.y - _EPS
+        and outer.hi.z >= inner.hi.z - _EPS
+    )

@@ -1,0 +1,70 @@
+"""BVH quality metrics.
+
+The surface area heuristic (SAH) estimates expected traversal cost: a random
+ray hits a node with probability proportional to its surface area, so
+
+``cost = c_t * sum_internal SA(n)/SA(root) + c_i * sum_leaf SA(n)/SA(root) * prims(n)``
+
+§VI-E uses this vocabulary ("A more optimized BVH that uses surface area
+heuristic to determine partitioning would further improve performance"); we
+expose the metric so benchmarks can report build quality alongside speed.
+"""
+
+from __future__ import annotations
+
+from repro.bvh.node import Bvh
+
+#: Conventional traversal/intersection cost constants.
+TRAVERSAL_COST = 1.0
+INTERSECTION_COST = 1.0
+
+
+def sah_cost(
+    bvh: Bvh,
+    traversal_cost: float = TRAVERSAL_COST,
+    intersection_cost: float = INTERSECTION_COST,
+) -> float:
+    """Expected SAH traversal cost of ``bvh`` (lower is better)."""
+    root_area = bvh.nodes[bvh.root].aabb.surface_area()
+    if root_area == 0.0:
+        # A degenerate (point-like) hierarchy: every traversal reaches every
+        # leaf; charge one intersection per primitive.
+        return intersection_cost * bvh.num_prims
+    cost = 0.0
+    stack = [bvh.root]
+    while stack:
+        index = stack.pop()
+        node = bvh.nodes[index]
+        weight = node.aabb.surface_area() / root_area
+        if node.is_leaf:
+            cost += intersection_cost * weight * node.prim_count
+        else:
+            cost += traversal_cost * weight
+            stack.extend(node.children)
+    return cost
+
+
+def leaf_statistics(bvh: Bvh) -> dict[str, float]:
+    """Summary statistics over reachable leaves (count, mean size, depth)."""
+    leaf_count = 0
+    prim_total = 0
+    stack = [(bvh.root, 1)]
+    max_depth = 0
+    depth_total = 0
+    while stack:
+        index, depth = stack.pop()
+        node = bvh.nodes[index]
+        if node.is_leaf:
+            leaf_count += 1
+            prim_total += node.prim_count
+            depth_total += depth
+            max_depth = max(max_depth, depth)
+        else:
+            for child in node.children:
+                stack.append((child, depth + 1))
+    return {
+        "leaf_count": float(leaf_count),
+        "mean_leaf_prims": prim_total / leaf_count if leaf_count else 0.0,
+        "max_depth": float(max_depth),
+        "mean_leaf_depth": depth_total / leaf_count if leaf_count else 0.0,
+    }

@@ -1,0 +1,187 @@
+"""Instrumented stack-based BVH traversal.
+
+BVH-NN implements "a stack-based traversal which our kernel maintains per
+thread in shared memory" (§V-A).  Traversals here mirror that loop and
+record the event stream the trace compiler lowers into instructions: one
+box-node visit becomes one ``RAY_INTERSECT`` (HSU) or a slab-test instruction
+sequence (baseline); one leaf distance test becomes ``POINT_EUCLID`` beats or
+a load+FMA sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.bvh.node import Bvh
+from repro.core.ops import euclid_dist
+from repro.geometry.intersect_box import intersect_ray_box
+from repro.geometry.intersect_tri import TriangleHit, intersect_ray_triangle
+from repro.geometry.ray import Ray
+from repro.geometry.triangle import Triangle
+from repro.geometry.vec3 import Vec3
+
+#: Traversal event kinds consumed by the trace compiler.
+EVENT_BOX_NODE = "box_node"
+EVENT_LEAF_DIST = "leaf_dist"
+EVENT_LEAF_TRI = "leaf_tri"
+EVENT_STACK_OP = "stack_op"
+
+
+@dataclass
+class TraversalStats:
+    """Counters and (optionally) the event log for one traversal."""
+
+    nodes_visited: int = 0
+    box_nodes_visited: int = 0
+    box_tests: int = 0
+    leaf_visits: int = 0
+    prim_tests: int = 0
+    max_stack_depth: int = 0
+    record_events: bool = False
+    #: (kind, node_or_prim_id, payload) tuples in traversal order.
+    events: list[tuple[str, int, int]] = field(default_factory=list)
+
+    def _event(self, kind: str, ident: int, payload: int) -> None:
+        if self.record_events:
+            self.events.append((kind, ident, payload))
+
+    def visit_box_node(self, node_id: int, num_children: int) -> None:
+        self.nodes_visited += 1
+        self.box_nodes_visited += 1
+        self.box_tests += num_children
+        self._event(EVENT_BOX_NODE, node_id, num_children)
+
+    def visit_leaf(self, node_id: int) -> None:
+        self.nodes_visited += 1
+        self.leaf_visits += 1
+
+    def test_prim_dist(self, prim_id: int, dim: int) -> None:
+        self.prim_tests += 1
+        self._event(EVENT_LEAF_DIST, prim_id, dim)
+
+    def test_prim_tri(self, prim_id: int) -> None:
+        self.prim_tests += 1
+        self._event(EVENT_LEAF_TRI, prim_id, 0)
+
+    def stack_op(self, pushes: int) -> None:
+        self._event(EVENT_STACK_OP, -1, pushes)
+
+    def note_stack_depth(self, depth: int) -> None:
+        self.max_stack_depth = max(self.max_stack_depth, depth)
+
+
+def point_query(
+    bvh: Bvh,
+    query: np.ndarray,
+    stats: TraversalStats | None = None,
+) -> list[int]:
+    """All primitive ids whose leaf box contains ``query``.
+
+    This is the RTNN traversal shape: the query point acts as a
+    zero-extent ray, so a box test reduces to point-in-box; leaf containment
+    means the stored point is within the leaf half-width of the query on
+    every axis (a candidate for the real distance test).
+    """
+    stats = stats if stats is not None else TraversalStats()
+    q = Vec3(float(query[0]), float(query[1]), float(query[2]))
+    candidates: list[int] = []
+    stack = [bvh.root]
+    while stack:
+        stats.note_stack_depth(len(stack))
+        index = stack.pop()
+        node = bvh.nodes[index]
+        if node.is_leaf:
+            stats.visit_leaf(index)
+            candidates.extend(int(p) for p in bvh.leaf_prims(node))
+            continue
+        stats.visit_box_node(index, len(node.children))
+        pushes = 0
+        for child_index in node.children:
+            if bvh.nodes[child_index].aabb.contains_point(q):
+                stack.append(child_index)
+                pushes += 1
+        stats.stack_op(pushes)
+    return candidates
+
+
+def radius_search(
+    bvh: Bvh,
+    points: np.ndarray,
+    query: np.ndarray,
+    radius: float,
+    stats: TraversalStats | None = None,
+) -> list[tuple[int, float]]:
+    """Points within ``radius`` of ``query`` (BVH-NN's search, §V-A).
+
+    The BVH must have been built with ``build_lbvh_for_points(points,
+    radius)`` so leaf boxes over-approximate the radius ball; candidates from
+    :func:`point_query` are then confirmed with squared Euclidean distance
+    tests (the HSU ``POINT_EUCLID`` op).  Results sort by ascending distance.
+    """
+    stats = stats if stats is not None else TraversalStats()
+    candidates = point_query(bvh, query, stats)
+    radius_sq = radius * radius
+    hits: list[tuple[int, float]] = []
+    for prim in candidates:
+        stats.test_prim_dist(prim, dim=3)
+        d2 = euclid_dist(query, points[prim])
+        if d2 <= radius_sq:
+            hits.append((prim, d2))
+    hits.sort(key=lambda pair: pair[1])
+    return hits
+
+
+def ray_cast(
+    bvh: Bvh,
+    ray: Ray,
+    triangles: list[Triangle],
+    stats: TraversalStats | None = None,
+    any_hit: Callable[[TriangleHit], bool] | None = None,
+) -> TriangleHit | None:
+    """Closest-hit ray cast against triangles indexed by ``bvh``.
+
+    ``any_hit``, when given, mirrors the AH shader (§III-A): called on every
+    confirmed intersection; returning True terminates traversal immediately
+    (shadow rays).  Otherwise the closest hit is returned, shrinking the ray
+    interval as hits are found.
+    """
+    stats = stats if stats is not None else TraversalStats()
+    best: TriangleHit | None = None
+    t_limit = ray.t_max
+    stack = [bvh.root]
+    while stack:
+        stats.note_stack_depth(len(stack))
+        index = stack.pop()
+        node = bvh.nodes[index]
+        if node.is_leaf:
+            stats.visit_leaf(index)
+            for prim in bvh.leaf_prims(node):
+                stats.test_prim_tri(int(prim))
+                hit = intersect_ray_triangle(
+                    ray.with_interval(ray.t_min, t_limit), triangles[int(prim)]
+                )
+                if hit.hit:
+                    if any_hit is not None and any_hit(hit):
+                        return hit
+                    if best is None or hit.t() < best.t():
+                        best = hit
+                        t_limit = hit.t()
+            continue
+        stats.visit_box_node(index, len(node.children))
+        # Gather child hits, then push farthest-first so the nearest child
+        # pops first (the sorted-children behaviour of RAY_INTERSECT).
+        child_hits = []
+        for child_index in node.children:
+            box_hit = intersect_ray_box(
+                ray.with_interval(ray.t_min, t_limit), bvh.nodes[child_index].aabb
+            )
+            if box_hit.hit:
+                child_hits.append((box_hit.t_entry, child_index))
+        child_hits.sort(reverse=True)
+        for _t_entry, child_index in child_hits:
+            stack.append(child_index)
+        stats.stack_op(len(child_hits))
+    return best

@@ -1,0 +1,136 @@
+"""Zip per-query thread op streams into warp-level op streams.
+
+Thread-per-query kernels (FLANN, BVH-NN, B-tree lookups) put 32 queries in a
+warp; the warp executes in lockstep over op positions.  When the queries'
+streams diverge — different op kinds at the same position, or streams of
+different lengths — the SIMT hardware serializes: we emit one warp op per
+distinct op shape at each position, with the active mask of the threads on
+that path.  Later positions naturally thin out the active mask, which is
+exactly the sparse-mask regime the single-lane HSU datapath is built for
+(§IV-B).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Sequence
+
+from repro.compiler.ops import (
+    TAlu,
+    TBox,
+    TDist,
+    TKeyCmp,
+    TLoad,
+    TSfu,
+    TShared,
+    TTri,
+    ThreadOp,
+    WarpOp,
+)
+from repro.errors import TraceError
+
+WARP_SIZE = 32
+
+
+def _shape_key(op: ThreadOp) -> tuple:
+    """Ops with the same key execute together as one warp instruction."""
+    if isinstance(op, TDist):
+        return ("TDist", op.dim, op.metric)
+    if isinstance(op, TBox):
+        return ("TBox", op.num_boxes, op.node_bytes)
+    if isinstance(op, TTri):
+        return ("TTri",)
+    if isinstance(op, TKeyCmp):
+        return ("TKeyCmp", op.num_separators)
+    if isinstance(op, TAlu):
+        return ("TAlu",)
+    if isinstance(op, TShared):
+        return ("TShared",)
+    if isinstance(op, TSfu):
+        return ("TSfu",)
+    if isinstance(op, TLoad):
+        return ("TLoad", op.num_bytes)
+    raise TraceError(f"unknown thread op {op!r}")
+
+
+def _to_warp_op(key: tuple, ops: list[ThreadOp]) -> WarpOp:
+    kind = key[0]
+    active = len(ops)
+    if kind == "TDist":
+        return WarpOp(
+            kind,
+            tuple(op.addr for op in ops),  # type: ignore[union-attr]
+            active,
+            a=key[1],
+            meta=key[2],
+        )
+    if kind == "TBox":
+        return WarpOp(
+            kind,
+            tuple(op.addr for op in ops),  # type: ignore[union-attr]
+            active,
+            a=key[1],
+            b=key[2],
+        )
+    if kind == "TTri":
+        return WarpOp(
+            kind, tuple(op.addr for op in ops), active  # type: ignore[union-attr]
+        )
+    if kind == "TKeyCmp":
+        return WarpOp(
+            kind,
+            tuple(op.addr for op in ops),  # type: ignore[union-attr]
+            active,
+            a=key[1],
+        )
+    if kind in ("TAlu", "TShared", "TSfu"):
+        # Lockstep: the warp spends max(count) instructions.
+        count = max(op.count for op in ops)  # type: ignore[union-attr]
+        return WarpOp(kind, (), active, a=count)
+    if kind == "TLoad":
+        return WarpOp(
+            kind,
+            tuple(op.addr for op in ops),  # type: ignore[union-attr]
+            active,
+            a=key[1],
+        )
+    raise TraceError(f"unknown warp op kind {kind!r}")
+
+
+def assemble_warps(
+    thread_streams: Sequence[Sequence[ThreadOp]], warp_size: int = WARP_SIZE
+) -> list[list[WarpOp]]:
+    """Group thread streams into warps and zip each warp's streams.
+
+    Returns one warp-op list per warp of up to ``warp_size`` consecutive
+    thread streams.
+    """
+    if not thread_streams:
+        raise TraceError("no thread streams to assemble")
+    if not 1 <= warp_size <= WARP_SIZE:
+        raise TraceError(f"warp_size {warp_size} outside [1, {WARP_SIZE}]")
+    warps: list[list[WarpOp]] = []
+    for base in range(0, len(thread_streams), warp_size):
+        group = thread_streams[base : base + warp_size]
+        warps.append(_zip_group(group))
+    return warps
+
+
+def _zip_group(group: Sequence[Sequence[ThreadOp]]) -> list[WarpOp]:
+    warp_ops: list[WarpOp] = []
+    longest = max(len(stream) for stream in group)
+    for position in range(longest):
+        buckets: dict[tuple, list[ThreadOp]] = defaultdict(list)
+        order: list[tuple] = []
+        for stream in group:
+            if position >= len(stream):
+                continue  # thread has exited: inactive lane
+            op = stream[position]
+            key = _shape_key(op)
+            if key not in buckets:
+                order.append(key)
+            buckets[key].append(op)
+        # Serialized execution of divergent paths, deterministic order.
+        for key in order:
+            warp_ops.append(_to_warp_op(key, buckets[key]))
+    return warp_ops

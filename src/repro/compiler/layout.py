@@ -1,0 +1,71 @@
+"""Device address-space layout for workload data structures.
+
+A simple bump allocator hands out aligned, non-overlapping regions; workloads
+use it to give BVH nodes, candidate points, adjacency lists and B-tree nodes
+realistic global-memory addresses, so cache-line and DRAM-row behaviour in
+the simulator reflects actual structure layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import TraceError
+
+#: Default base: leave the null page unmapped.
+DEFAULT_BASE = 0x1000_0000
+#: Default region alignment (one cache line).
+DEFAULT_ALIGN = 128
+
+
+@dataclass
+class Region:
+    """One named allocation."""
+
+    name: str
+    base: int
+    size: int
+
+    def addr(self, offset: int) -> int:
+        """Address of ``offset`` bytes into the region (bounds-checked)."""
+        if not 0 <= offset < self.size:
+            raise TraceError(
+                f"offset {offset} outside region {self.name!r} of {self.size} B"
+            )
+        return self.base + offset
+
+    def element(self, index: int, stride: int) -> int:
+        """Address of fixed-stride element ``index``."""
+        return self.addr(index * stride)
+
+
+@dataclass
+class AddressSpace:
+    """Bump allocator over a flat device address space."""
+
+    next_free: int = DEFAULT_BASE
+    alignment: int = DEFAULT_ALIGN
+    regions: dict[str, Region] = field(default_factory=dict)
+
+    def alloc(self, name: str, size: int) -> Region:
+        """Allocate ``size`` bytes under ``name`` (names must be unique)."""
+        if size <= 0:
+            raise TraceError(f"allocation {name!r} must have positive size")
+        if name in self.regions:
+            raise TraceError(f"region {name!r} already allocated")
+        base = self.next_free
+        padded = (size + self.alignment - 1) // self.alignment * self.alignment
+        self.next_free = base + padded
+        region = Region(name=name, base=base, size=size)
+        self.regions[name] = region
+        return region
+
+    def alloc_array(self, name: str, count: int, stride: int) -> Region:
+        """Allocate an array of ``count`` elements of ``stride`` bytes."""
+        return self.alloc(name, count * stride)
+
+    def region(self, name: str) -> Region:
+        try:
+            return self.regions[name]
+        except KeyError:
+            raise TraceError(f"unknown region {name!r}") from None

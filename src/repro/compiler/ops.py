@@ -1,0 +1,99 @@
+"""Op-stream IR: thread-level and warp-level operation records.
+
+Workloads emit *thread ops* (one stream per query for thread-per-query
+kernels) or *warp ops* directly (for block-per-query kernels like GGNN).
+The assembler zips thread streams into warp ops; the lowering passes turn
+warp ops into simulator instructions.
+
+Thread ops are deliberately tiny (tuples via NamedTuple): a workload run
+can emit hundreds of thousands.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+#: Distance metrics (mirrors repro.graph.hnsw).
+METRIC_EUCLID = "euclid"
+METRIC_ANGULAR = "angular"
+
+
+class TDist(NamedTuple):
+    """One distance test against the candidate stored at ``addr``."""
+
+    addr: int
+    dim: int
+    metric: str
+
+
+class TBox(NamedTuple):
+    """One BVH box-node visit: test ``num_boxes`` children fetched from addr."""
+
+    addr: int
+    num_boxes: int
+    node_bytes: int
+
+
+class TTri(NamedTuple):
+    """One ray-triangle test against the triangle node at ``addr``."""
+
+    addr: int
+
+
+class TKeyCmp(NamedTuple):
+    """One B-tree inner-node visit: ``num_separators`` compares."""
+
+    addr: int
+    num_separators: int
+
+
+class TAlu(NamedTuple):
+    """``count`` generic SIMD ALU instructions (queue/stack bookkeeping)."""
+
+    count: int
+
+
+class TShared(NamedTuple):
+    """``count`` shared-memory operations (traversal stack, priority cache)."""
+
+    count: int
+
+
+class TSfu(NamedTuple):
+    """``count`` special-function ops (sqrt/div epilogues)."""
+
+    count: int
+
+
+class TLoad(NamedTuple):
+    """A non-HSU global load of ``num_bytes`` from ``addr`` (node headers,
+    adjacency lists, leaf metadata)."""
+
+    addr: int
+    num_bytes: int
+
+
+ThreadOp = TDist | TBox | TTri | TKeyCmp | TAlu | TShared | TSfu | TLoad
+
+
+class WarpOp(NamedTuple):
+    """One warp-level operation.
+
+    ``kind`` is the thread-op class name ("TDist", "TBox", ...).  ``addrs``
+    holds one address per active thread (length = active count) for memory
+    ops; for uniform ops it is empty and ``active`` carries the mask
+    population.  ``a``/``b``/``meta`` carry kind-specific payload:
+
+    * TDist: a=dim, meta=metric
+    * TBox: a=num_boxes, b=node_bytes
+    * TKeyCmp: a=num_separators
+    * TAlu/TShared/TSfu: a=count
+    * TLoad: a=num_bytes
+    """
+
+    kind: str
+    addrs: tuple[int, ...]
+    active: int
+    a: int = 0
+    b: int = 0
+    meta: str = ""

@@ -1,0 +1,63 @@
+"""The Hierarchical Search Unit (HSU) — the paper's primary contribution.
+
+This package models the HSU at two levels:
+
+* **Functional** — :mod:`~repro.core.ops` implements the exact semantics of
+  the four instructions in Table I (``RAY_INTERSECT``, ``POINT_EUCLID``,
+  ``POINT_ANGULAR``, ``KEY_COMPARE``), including the multi-beat accumulation
+  scheme of §IV-F (:mod:`~repro.core.multibeat`).
+* **Microarchitectural** — :mod:`~repro.core.pipeline` is a cycle-by-cycle
+  model of the unified single-lane 9-stage datapath (Fig. 5), with the
+  per-stage functional-unit allocation of Fig. 6 encoded in
+  :mod:`~repro.core.modes`.
+
+The GPU timing simulator (:mod:`repro.gpusim`) treats the datapath as a
+resource with the occupancy rules this package defines; the RTL cost model
+(:mod:`repro.rtl`) prices the functional-unit table defined here.
+"""
+
+from repro.core.isa import (
+    HsuInstruction,
+    Opcode,
+    describe_instruction,
+    instruction_table,
+)
+from repro.core.modes import (
+    FuKind,
+    OperatingMode,
+    PIPELINE_DEPTH,
+    additional_fus_for_hsu,
+    fu_requirements,
+    stage_maxima,
+)
+from repro.core.multibeat import Beat, plan_beats
+from repro.core.ops import (
+    angular_dist,
+    angular_distance_from_sums,
+    euclid_dist,
+    key_compare,
+    key_compare_child_index,
+)
+from repro.core.pipeline import DatapathPipeline, PipelineOp
+
+__all__ = [
+    "Beat",
+    "DatapathPipeline",
+    "FuKind",
+    "HsuInstruction",
+    "Opcode",
+    "OperatingMode",
+    "PIPELINE_DEPTH",
+    "PipelineOp",
+    "additional_fus_for_hsu",
+    "angular_dist",
+    "angular_distance_from_sums",
+    "describe_instruction",
+    "euclid_dist",
+    "fu_requirements",
+    "instruction_table",
+    "key_compare",
+    "key_compare_child_index",
+    "plan_beats",
+    "stage_maxima",
+]

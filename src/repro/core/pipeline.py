@@ -1,0 +1,261 @@
+"""Cycle-by-cycle model of the unified single-lane datapath (Fig. 5).
+
+One thread's operation enters the pipeline per cycle; operations of
+*different* operating modes may be in flight simultaneously (§IV-B: "a thread
+executing a ray-box test can be scheduled the cycle after a thread executing
+a ray-triangle test").  Results exit after :data:`PIPELINE_DEPTH` stages and
+are delivered to a result sink, except that beats with the accumulate bit set
+fold into the accumulator instead (§IV-F).
+
+This model is the golden reference the GPU timing simulator's coarser RT-unit
+resource model is validated against, and the activity source for the dynamic
+power model (Fig. 16).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.core.isa import ANGULAR_WIDTH, EUCLID_WIDTH
+from repro.core.modes import FuKind, OperatingMode, PIPELINE_DEPTH, active_fu_counts
+from repro.core.multibeat import Accumulator
+from repro.core.ops import key_compare
+from repro.errors import IsaError
+from repro.geometry.aabb import Aabb
+from repro.geometry.intersect_box import intersect_ray_box4
+from repro.geometry.intersect_tri import intersect_ray_triangle
+from repro.geometry.ray import Ray
+from repro.geometry.triangle import Triangle
+
+
+@dataclass
+class PipelineOp:
+    """One single-thread operation flowing down the datapath.
+
+    ``owner`` identifies the (sub-core, warp) issuing the op; the accumulate
+    interlock uses it to detect illegal interleaving.  ``partial0/1`` carry
+    the functional payload for distance beats; ``compute`` carries it for
+    ray/key ops.
+    """
+
+    mode: OperatingMode
+    owner: int = 0
+    accumulate: bool = False
+    partial0: float = 0.0
+    partial1: float = 0.0
+    compute: Callable[[], Any] | None = None
+    tag: int = -1
+
+    @staticmethod
+    def euclid_beat(
+        query: np.ndarray,
+        candidate: np.ndarray,
+        accumulate: bool,
+        owner: int = 0,
+        tag: int = -1,
+    ) -> "PipelineOp":
+        """A POINT_EUCLID beat over up to 16 coordinate lanes."""
+        q = np.asarray(query, dtype=np.float32)
+        c = np.asarray(candidate, dtype=np.float32)
+        if q.size > EUCLID_WIDTH:
+            raise IsaError(f"euclid beat wider than {EUCLID_WIDTH}: {q.size}")
+        diff = q - c
+        partial = float(np.float32(np.sum(diff * diff, dtype=np.float32)))
+        return PipelineOp(
+            OperatingMode.EUCLID, owner, accumulate, partial0=partial, tag=tag
+        )
+
+    @staticmethod
+    def angular_beat(
+        query: np.ndarray,
+        candidate: np.ndarray,
+        accumulate: bool,
+        owner: int = 0,
+        tag: int = -1,
+    ) -> "PipelineOp":
+        """A POINT_ANGULAR beat over up to 8 coordinate lanes."""
+        q = np.asarray(query, dtype=np.float32)
+        c = np.asarray(candidate, dtype=np.float32)
+        if q.size > ANGULAR_WIDTH:
+            raise IsaError(f"angular beat wider than {ANGULAR_WIDTH}: {q.size}")
+        dot = float(np.float32(np.sum(c * q, dtype=np.float32)))
+        norm = float(np.float32(np.sum(c * c, dtype=np.float32)))
+        return PipelineOp(
+            OperatingMode.ANGULAR,
+            owner,
+            accumulate,
+            partial0=dot,
+            partial1=norm,
+            tag=tag,
+        )
+
+    @staticmethod
+    def ray_box(
+        ray: Ray, boxes: list[Aabb], children: list[int], owner: int = 0, tag: int = -1
+    ) -> "PipelineOp":
+        """A RAY_INTERSECT over a box node (up to four children)."""
+        return PipelineOp(
+            OperatingMode.RAY_BOX,
+            owner,
+            compute=lambda: intersect_ray_box4(ray, boxes, children),
+            tag=tag,
+        )
+
+    @staticmethod
+    def ray_tri(
+        ray: Ray, triangle: Triangle, owner: int = 0, tag: int = -1
+    ) -> "PipelineOp":
+        """A RAY_INTERSECT over a triangle node."""
+        return PipelineOp(
+            OperatingMode.RAY_TRI,
+            owner,
+            compute=lambda: intersect_ray_triangle(ray, triangle),
+            tag=tag,
+        )
+
+    @staticmethod
+    def key_compare_op(
+        key: float, separators: np.ndarray, owner: int = 0, tag: int = -1
+    ) -> "PipelineOp":
+        """A KEY_COMPARE over up to 36 separator values."""
+        return PipelineOp(
+            OperatingMode.KEY_COMPARE,
+            owner,
+            compute=lambda: key_compare(key, separators),
+            tag=tag,
+        )
+
+
+@dataclass(frozen=True)
+class PipelineResult:
+    """A value emerging from stage 9 into the result buffer."""
+
+    mode: OperatingMode
+    value: Any
+    owner: int
+    tag: int
+    cycle: int
+
+
+@dataclass
+class FuActivity:
+    """Per-kind functional-unit activation counts (for the power model)."""
+
+    activations: dict[FuKind, int] = field(
+        default_factory=lambda: {kind: 0 for kind in FuKind}
+    )
+
+    def record(self, mode: OperatingMode) -> None:
+        for kind, count in active_fu_counts(mode).items():
+            self.activations[kind] += count
+
+
+class DatapathPipeline:
+    """The 9-stage unified single-lane datapath.
+
+    Usage: call :meth:`try_issue` at most once per cycle, then :meth:`tick`.
+    Completed results accumulate in :attr:`results` in retirement order.
+    """
+
+    def __init__(self, depth: int = PIPELINE_DEPTH) -> None:
+        if depth < 1:
+            raise IsaError("pipeline depth must be >= 1")
+        self.depth = depth
+        self._stages: list[PipelineOp | None] = [None] * depth
+        self._accumulator = Accumulator()
+        self._lock_owner: int | None = None
+        self.cycle = 0
+        self.results: list[PipelineResult] = []
+        self.activity = FuActivity()
+        self.issued_ops = 0
+        self.completed_ops = 0
+
+    @property
+    def busy(self) -> bool:
+        return any(op is not None for op in self._stages)
+
+    @property
+    def locked_owner(self) -> int | None:
+        """Owner an in-flight accumulate chain has locked the datapath to."""
+        return self._lock_owner
+
+    def can_issue(self, op: PipelineOp) -> bool:
+        """Whether ``op`` may enter this cycle (stage 1 free, lock honored)."""
+        if self._stages[0] is not None:
+            return False
+        if self._lock_owner is not None and op.owner != self._lock_owner:
+            return False
+        return True
+
+    def try_issue(self, op: PipelineOp) -> bool:
+        """Issue ``op`` into stage 1; returns False if the slot is taken.
+
+        Raises :class:`IsaError` if an accumulate-lock violation is attempted
+        — the bug the sub-core arbiter's accumulate check prevents.
+        """
+        if self._stages[0] is not None:
+            return False
+        if self._lock_owner is not None and op.owner != self._lock_owner:
+            raise IsaError(
+                f"datapath locked to owner {self._lock_owner}; "
+                f"op from owner {op.owner} violates accumulate ordering"
+            )
+        self._stages[0] = op
+        self.issued_ops += 1
+        self.activity.record(op.mode)
+        if op.accumulate:
+            self._lock_owner = op.owner
+        elif op.mode in (OperatingMode.EUCLID, OperatingMode.ANGULAR):
+            # Final beat of a chain (or a single-beat op): release the lock
+            # as soon as it has entered, since no younger foreign op can
+            # overtake it in an in-order pipeline.
+            self._lock_owner = None
+        return True
+
+    def tick(self) -> list[PipelineResult]:
+        """Advance one cycle; returns results that retired this cycle."""
+        self.cycle += 1
+        retired = self._stages[-1]
+        for index in range(self.depth - 1, 0, -1):
+            self._stages[index] = self._stages[index - 1]
+        self._stages[0] = None
+        fresh: list[PipelineResult] = []
+        if retired is not None:
+            value = self._retire(retired)
+            if value is not None:
+                result = PipelineResult(
+                    retired.mode, value, retired.owner, retired.tag, self.cycle
+                )
+                self.results.append(result)
+                fresh.append(result)
+            self.completed_ops += 1
+        return fresh
+
+    def run_until_drained(self) -> list[PipelineResult]:
+        """Tick until the pipeline is empty; returns everything retired."""
+        drained: list[PipelineResult] = []
+        while self.busy:
+            drained.extend(self.tick())
+        return drained
+
+    def _retire(self, op: PipelineOp) -> Any | None:
+        if op.mode is OperatingMode.EUCLID:
+            folded = self._accumulator.fold(
+                op.owner, op.partial0, 0.0, op.accumulate
+            )
+            if folded is None:
+                return None
+            return folded[0]
+        if op.mode is OperatingMode.ANGULAR:
+            folded = self._accumulator.fold(
+                op.owner, op.partial0, op.partial1, op.accumulate
+            )
+            if folded is None:
+                return None
+            return folded
+        if op.compute is None:
+            raise IsaError(f"{op.mode} op missing compute payload")
+        return op.compute()

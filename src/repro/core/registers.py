@@ -1,0 +1,83 @@
+"""Result-register formats of HSU instructions (§IV-D, §IV-E).
+
+``RAY_INTERSECT`` returns four registers per thread whose meaning depends on
+the node type tested; the HSU instructions return one or two scalars plus
+status.  These dataclasses are the architectural contract between the unit
+and software — the workloads' traversal loops consume them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import IsaError
+
+#: Null child pointer returned for box-node misses.
+NULL_CHILD = -1
+
+
+@dataclass(frozen=True)
+class BoxResultRegisters:
+    """Four sorted child pointers: hits closest-first, misses as null."""
+
+    child0: int
+    child1: int
+    child2: int
+    child3: int
+
+    @staticmethod
+    def from_sorted_hits(children: list[int]) -> "BoxResultRegisters":
+        if len(children) > 4:
+            raise IsaError("box result holds at most four children")
+        padded = list(children) + [NULL_CHILD] * (4 - len(children))
+        return BoxResultRegisters(*padded)
+
+    def hit_children(self) -> list[int]:
+        """Non-null child pointers in closest-first order."""
+        return [
+            c
+            for c in (self.child0, self.child1, self.child2, self.child3)
+            if c != NULL_CHILD
+        ]
+
+
+@dataclass(frozen=True)
+class TriangleResultRegisters:
+    """Hit status, triangle id, and the division-free distance ratio."""
+
+    hit: bool
+    triangle_id: int
+    t_num: float
+    t_denom: float
+
+    def t(self) -> float:
+        if self.t_denom == 0.0:
+            return float("inf")
+        return self.t_num / self.t_denom
+
+
+@dataclass(frozen=True)
+class EuclidResultRegister:
+    """Single scalar: squared Euclidean distance."""
+
+    distance_squared: float
+
+
+@dataclass(frozen=True)
+class AngularResultRegisters:
+    """Two scalars: dot product and candidate squared norm."""
+
+    dot_sum: float
+    norm_sum: float
+
+
+@dataclass(frozen=True)
+class KeyCompareResultRegister:
+    """Bit vector over up to 36 separators plus the count compared."""
+
+    bits: int
+    num_separators: int
+
+    def child_index(self) -> int:
+        mask = (1 << self.num_separators) - 1
+        return int(bin(self.bits & mask).count("1"))

@@ -1,0 +1,29 @@
+"""Evaluation datasets (Table II), as scaled synthetic analogs.
+
+The paper evaluates on ANN-benchmarks feature sets, Stanford 3-D scans, a
+cosmological n-body snapshot and Rodinia B-tree key sets.  None of those
+files ship here, so each dataset is replaced by a **synthetic generator
+matched in dimension and distance metric**, with the point count scaled down
+so pure-Python simulation stays tractable.  The registry records both the
+paper's count and ours; the HSU speedup mechanisms (beats per distance,
+euclid vs. angular width, traversal divergence, cache behaviour) depend on
+dimension, metric, and spatial structure — all preserved.
+"""
+
+from repro.datasets.registry import (
+    ALL_ABBREVIATIONS,
+    Dataset,
+    DatasetSpec,
+    dataset_table,
+    load_dataset,
+    spec,
+)
+
+__all__ = [
+    "ALL_ABBREVIATIONS",
+    "Dataset",
+    "DatasetSpec",
+    "dataset_table",
+    "load_dataset",
+    "spec",
+]

@@ -1,0 +1,113 @@
+"""3-D point-cloud generators — Stanford-scan and cosmology analogs.
+
+The graphics scans (bunny, dragon, buddha) are surface samples of closed
+models; what BVH/k-d-tree traversal cares about is that points concentrate
+on a 2-D manifold with varying curvature, giving non-uniform leaf density.
+The cosmos dataset is a gravitational n-body snapshot: strongly clustered
+halos over a sparse background.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _rng(seed: int) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def _unit_sphere_samples(n: int, rng: np.random.Generator) -> np.ndarray:
+    points = rng.normal(size=(n, 3))
+    return points / np.linalg.norm(points, axis=1, keepdims=True)
+
+
+def bunny_like(n: int, seed: int = 0) -> np.ndarray:
+    """Compact blobby surface (Stanford bunny analog).
+
+    A sphere deformed by low-frequency spherical harmonics plus two "ear"
+    lobes; sample density varies with curvature like a real scan.
+    """
+    rng = _rng(seed)
+    base = _unit_sphere_samples(n, rng)
+    x, y, z = base[:, 0], base[:, 1], base[:, 2]
+    radius = 1.0 + 0.25 * np.sin(3.0 * x) * np.cos(2.0 * y) + 0.15 * z * z
+    body = base * radius[:, None]
+    # Ears: displace samples in two upper caps outward.
+    for ear_dir in (np.array([0.3, 0.4, 0.86]), np.array([-0.3, 0.4, 0.86])):
+        affinity = base @ ear_dir
+        mask = affinity > 0.92
+        body[mask] += np.outer(affinity[mask] - 0.92, ear_dir) * 8.0
+    noise = 0.005 * rng.normal(size=(n, 3))
+    return (body + noise).astype(np.float32)
+
+
+def dragon_like(n: int, seed: int = 0) -> np.ndarray:
+    """Elongated twisted tube surface (Stanford dragon analog)."""
+    rng = _rng(seed)
+    t = rng.uniform(0.0, 1.0, size=n)
+    angle = rng.uniform(0.0, 2.0 * np.pi, size=n)
+    # Spine: a sinuous curve through space.
+    spine = np.stack(
+        [
+            4.0 * t,
+            0.8 * np.sin(6.0 * t),
+            0.5 * np.cos(4.0 * t) + 0.3 * t,
+        ],
+        axis=1,
+    )
+    # Tube radius tapers toward head and tail, with ridges.
+    radius = (0.35 * np.sin(np.pi * t) + 0.05) * (
+        1.0 + 0.2 * np.cos(12.0 * angle)
+    )
+    circle = np.stack(
+        [np.zeros(n), np.cos(angle + 8.0 * t), np.sin(angle + 8.0 * t)], axis=1
+    )
+    noise = 0.004 * rng.normal(size=(n, 3))
+    return (spine + circle * radius[:, None] + noise).astype(np.float32)
+
+
+def buddha_like(n: int, seed: int = 0) -> np.ndarray:
+    """Stacked-lobes statue surface (Stanford happy buddha analog)."""
+    rng = _rng(seed)
+    lobes = np.array(
+        [
+            [0.0, 0.0, 0.0, 0.9],  # base
+            [0.0, 0.0, 1.1, 0.7],  # torso
+            [0.0, 0.0, 2.0, 0.45],  # head
+        ]
+    )
+    weights = np.array([0.5, 0.33, 0.17])
+    choice = rng.choice(len(lobes), size=n, p=weights)
+    sphere = _unit_sphere_samples(n, rng)
+    centers = lobes[choice, :3]
+    radii = lobes[choice, 3]
+    wobble = 1.0 + 0.12 * np.sin(5.0 * sphere[:, 0]) * np.cos(4.0 * sphere[:, 2])
+    points = centers + sphere * (radii * wobble)[:, None]
+    noise = 0.005 * rng.normal(size=(n, 3))
+    return (points + noise).astype(np.float32)
+
+
+def cosmos_like(
+    n: int, halos: int = 64, background_fraction: float = 0.15, seed: int = 0
+) -> np.ndarray:
+    """Clustered n-body snapshot (Abacus cosmos analog).
+
+    Points concentrate in power-law halos (an NFW-ish radial profile) drawn
+    around uniformly placed centers, over a sparse uniform background.
+    """
+    rng = _rng(seed)
+    background = int(n * background_fraction)
+    clustered = n - background
+    centers = rng.uniform(0.0, 100.0, size=(halos, 3))
+    halo_mass = rng.pareto(1.5, size=halos) + 1.0
+    halo_mass /= halo_mass.sum()
+    assignment = rng.choice(halos, size=clustered, p=halo_mass)
+    directions = _unit_sphere_samples(clustered, rng)
+    # r ~ power law: dense core, extended tail (truncated at the virial-ish
+    # radius of 3 units).
+    radii = 3.0 * rng.power(0.4, size=clustered)
+    points = centers[assignment] + directions * radii[:, None]
+    uniform = rng.uniform(0.0, 100.0, size=(background, 3))
+    cloud = np.vstack([points, uniform])
+    rng.shuffle(cloud, axis=0)
+    return cloud.astype(np.float32)

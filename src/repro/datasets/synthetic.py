@@ -1,0 +1,130 @@
+"""Synthetic high-dimensional feature generators.
+
+Each generator mimics the statistical character of its Table II counterpart
+well enough to exercise the same code paths: clustered unit-norm deep
+features, class-structured image vectors, topic-structured heavy-tailed
+embeddings, and prototype-structured gradient descriptors.
+
+All generators produce **clustered** data: real ANN-benchmark datasets have
+strong class/topic structure (MNIST has ten digits, GloVe has topical
+neighborhoods), and that structure is what gives concurrent queries the
+cross-query cache reuse the paper's roofline exposes (§VI-B: operational
+intensity above the per-instruction minimum "is indicative of data reuse
+between instructions").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DatasetError
+
+
+def _rng(seed: int) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def _cluster_assignments(
+    n: int, clusters: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Zipf-ish cluster popularity: a few dense classes, a long tail."""
+    weights = 1.0 / np.arange(1, clusters + 1)
+    weights /= weights.sum()
+    return rng.choice(clusters, size=n, p=weights)
+
+
+def clustered_unit_features(
+    n: int, dim: int, clusters: int = 32, spread: float = 0.25, seed: int = 0
+) -> np.ndarray:
+    """Unit-norm clustered features (deep1b-like CNN descriptors).
+
+    Points are Gaussian perturbations of cluster centroids, renormalized to
+    the unit sphere — angular-distance searches see realistic neighborhood
+    structure instead of uniform noise.
+    """
+    if clusters < 1:
+        raise DatasetError("clusters must be >= 1")
+    rng = _rng(seed)
+    centers = rng.normal(size=(clusters, dim))
+    centers /= np.linalg.norm(centers, axis=1, keepdims=True)
+    assignment = _cluster_assignments(n, clusters, rng)
+    points = centers[assignment] + spread * rng.normal(size=(n, dim))
+    points /= np.linalg.norm(points, axis=1, keepdims=True)
+    return points.astype(np.float32)
+
+
+def image_like_features(
+    n: int, dim: int, classes: int = 10, smoothness: int = 8, seed: int = 0
+) -> np.ndarray:
+    """Class-structured non-negative pixel vectors (MNIST-like).
+
+    Each vector is a smoothed class prototype plus smoothed noise, clipped
+    at zero: neighboring "pixels" correlate, most mass sits in a subset of
+    coordinates, and the ``classes`` prototypes give the dataset the digit
+    structure real MNIST queries exploit.
+    """
+    if classes < 1:
+        raise DatasetError("classes must be >= 1")
+    rng = _rng(seed)
+
+    def smooth(rows: np.ndarray) -> np.ndarray:
+        kernel = np.ones(smoothness) / smoothness
+        return np.apply_along_axis(
+            lambda row: np.convolve(row, kernel, mode="valid"), 1, rows
+        )[:, :dim]
+
+    prototypes = smooth(rng.normal(size=(classes, dim + smoothness)) * 2.0)
+    assignment = _cluster_assignments(n, classes, rng)
+    noise = smooth(rng.normal(size=(n, dim + smoothness)))
+    clipped = np.clip(prototypes[assignment] + 0.6 * noise - 0.2, 0.0, None)
+    return (clipped * 255.0 / max(1.0, clipped.max())).astype(np.float32)
+
+
+def embedding_features(
+    n: int, dim: int, topics: int = 24, tail: float = 3.0, seed: int = 0
+) -> np.ndarray:
+    """Heavy-tailed topical embeddings (GloVe/last.fm/NYTimes-like).
+
+    Student-t noise around topic centroids gives the occasional large
+    coordinate real word and item embeddings show, with the topical
+    neighborhoods angular search actually traverses.
+    """
+    rng = _rng(seed)
+    centers = rng.normal(size=(topics, dim)) * 2.0
+    assignment = _cluster_assignments(n, topics, rng)
+    points = centers[assignment] + rng.standard_t(df=tail, size=(n, dim))
+    return points.astype(np.float32)
+
+
+def descriptor_features(
+    n: int, dim: int, prototypes: int = 32, bins: int = 8, seed: int = 0
+) -> np.ndarray:
+    """Non-negative gradient-histogram descriptors (SIFT/GIST-like).
+
+    Exponentially distributed bin magnitudes modulated by patch prototypes:
+    correlated sub-histograms, L2-comparable like real SIFT vectors.
+    """
+    rng = _rng(seed)
+    group_count = max(1, dim // bins)
+    proto_energy = rng.exponential(scale=1.0, size=(prototypes, group_count))
+    assignment = _cluster_assignments(n, prototypes, rng)
+    group_energy = proto_energy[assignment] * rng.uniform(
+        0.5, 1.5, size=(n, group_count)
+    )
+    energy = np.repeat(group_energy, bins, axis=1)[:, :dim]
+    detail = rng.exponential(scale=0.5, size=(n, dim))
+    points = energy * detail * 100.0
+    return points.astype(np.float32)
+
+
+def uniform_points(n: int, dim: int = 3, seed: int = 0) -> np.ndarray:
+    """Continuous-uniform point cloud (the random10k dataset)."""
+    rng = _rng(seed)
+    return rng.uniform(0.0, 1.0, size=(n, dim)).astype(np.float32)
+
+
+def btree_keys(n: int, seed: int = 0) -> np.ndarray:
+    """Unique integer-valued keys in random order (Rodinia key sets)."""
+    rng = _rng(seed)
+    keys = rng.permutation(n * 4)[:n]
+    return keys.astype(np.float64)

@@ -1,0 +1,31 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised by this library derive from :class:`ReproError` so callers
+can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """An invalid hardware or workload configuration was supplied."""
+
+
+class IsaError(ReproError):
+    """An HSU instruction was malformed or used illegally."""
+
+
+class TraceError(ReproError):
+    """A kernel trace violated an invariant of the timing model."""
+
+
+class DatasetError(ReproError):
+    """A dataset was requested with invalid parameters or an unknown name."""
+
+
+class BuildError(ReproError):
+    """A search structure (BVH, k-d tree, graph, B-tree) failed to build."""

@@ -1,0 +1,12 @@
+"""One module per paper table and figure.
+
+Every module exposes ``compute()`` returning structured rows, ``render()``
+returning the printable table, and ``main()`` so it can run standalone::
+
+    python -m repro.experiments.fig09_speedup
+
+Paired baseline/HSU simulations are cached per process
+(:mod:`repro.experiments.common`), so the full suite shares workload builds
+and simulator runs across figures exactly like one trace-collection campaign
+feeding many plots.
+"""

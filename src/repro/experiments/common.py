@@ -1,0 +1,155 @@
+"""Shared experiment infrastructure: configs, workload registry, run cache.
+
+The evaluation methodology mirrors §V: run each workload once to collect its
+op stream, lower it into paired baseline/HSU traces, and simulate both on
+the Table III configuration.  We simulate a single-SM slice of the V100
+(:func:`default_config`) with the chip's per-SM bandwidth shares; all
+reported numbers are HSU/baseline ratios of identical configurations.
+
+GGNN runs with a 16-warp residency cap: its shared-memory priority cache
+bounds occupancy well below the architectural 64 warps (§V-A describes the
+per-query cache; our cap models the resulting occupancy limit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from functools import lru_cache
+
+from repro.compiler.lowering import HsuWidths
+from repro.errors import ConfigError
+from repro.gpusim import GpuConfig, VOLTA_V100, simulate
+from repro.gpusim.stats import SimStats
+from repro.workloads import (
+    run_btree,
+    run_bvhnn,
+    run_flann,
+    run_ggnn,
+    to_traces,
+)
+from repro.workloads.base import WorkloadRun
+
+#: Datasets per workload family, matching Fig. 9's grouping.
+GGNN_DATASETS = (
+    "D1B", "FMNT", "MNT", "GST", "GLV", "LFM", "NYT", "S1M", "S10K",
+)
+FLANN_DATASETS = ("R10K", "BUN", "DRG", "BUD", "COS")
+BVHNN_DATASETS = ("R10K", "BUN", "DRG", "BUD", "COS")
+BTREE_DATASETS = ("B+1M", "B+10K")
+
+FAMILIES = ("ggnn", "flann", "bvhnn", "btree")
+
+#: Fig. 9 dataset label prefixes: the 3-D datasets are shared between FLANN
+#: and BVH-NN, distinguished by "F"/"B" prefixes in the paper's figures.
+FAMILY_PREFIX = {"ggnn": "", "flann": "F-", "bvhnn": "B-", "btree": ""}
+
+#: Query counts, budgeted so the full suite runs in minutes: GGNN traces
+#: are long per query (hundreds of distance chains); parallel workloads
+#: need many thread-queries to occupy a full SM.
+_GGNN_QUERIES = {"MNT": 20, "FMNT": 20, "GST": 20, "D1B": 20}
+_GGNN_DEFAULT_QUERIES = 32
+_PARALLEL_QUERIES = 1536
+_BTREE_QUERIES = {"B+1M": 2048, "B+10K": 512}
+
+#: GGNN occupancy cap (see module docstring).
+GGNN_MAX_WARPS = 16
+
+
+def default_config(num_sms: int = 1) -> GpuConfig:
+    """The Table III configuration scaled to a simulable SM count."""
+    return VOLTA_V100.scaled(num_sms)
+
+
+def config_for(family: str, base: GpuConfig | None = None) -> GpuConfig:
+    """Per-family configuration (GGNN gets the occupancy cap)."""
+    config = base if base is not None else default_config()
+    if family == "ggnn":
+        return replace(config, max_warps_per_sm=GGNN_MAX_WARPS)
+    return config
+
+
+def datasets_for(family: str) -> tuple[str, ...]:
+    table = {
+        "ggnn": GGNN_DATASETS,
+        "flann": FLANN_DATASETS,
+        "bvhnn": BVHNN_DATASETS,
+        "btree": BTREE_DATASETS,
+    }
+    try:
+        return table[family]
+    except KeyError:
+        raise ConfigError(f"unknown workload family {family!r}") from None
+
+
+@lru_cache(maxsize=64)
+def workload_run(family: str, abbr: str) -> WorkloadRun:
+    """Execute one workload over one dataset (cached per process)."""
+    if family == "ggnn":
+        queries = _GGNN_QUERIES.get(abbr, _GGNN_DEFAULT_QUERIES)
+        return run_ggnn(abbr, num_queries=queries)
+    if family == "flann":
+        return run_flann(abbr, num_queries=_PARALLEL_QUERIES)
+    if family == "bvhnn":
+        return run_bvhnn(abbr, num_queries=_PARALLEL_QUERIES)
+    if family == "btree":
+        return run_btree(abbr, num_queries=_BTREE_QUERIES[abbr])
+    raise ConfigError(f"unknown workload family {family!r}")
+
+
+@lru_cache(maxsize=128)
+def baseline_stats(family: str, abbr: str) -> SimStats:
+    """Simulate the non-RT baseline trace (cached)."""
+    run = workload_run(family, abbr)
+    bundle = to_traces(run)
+    return simulate(config_for(family), bundle.baseline)
+
+
+@lru_cache(maxsize=256)
+def hsu_stats(
+    family: str,
+    abbr: str,
+    warp_buffer: int = 8,
+    euclid_width: int = 16,
+) -> SimStats:
+    """Simulate the HSU trace under the given design point (cached)."""
+    run = workload_run(family, abbr)
+    bundle = to_traces(run, widths=HsuWidths(euclid=euclid_width))
+    config = config_for(family).with_warp_buffer(warp_buffer)
+    return simulate(config, bundle.hsu)
+
+
+@dataclass(frozen=True)
+class PairResult:
+    """One paired baseline/HSU measurement."""
+
+    family: str
+    abbr: str
+    baseline: SimStats
+    hsu: SimStats
+
+    @property
+    def label(self) -> str:
+        return f"{FAMILY_PREFIX[self.family]}{self.abbr}"
+
+    @property
+    def speedup(self) -> float:
+        return self.baseline.cycles / self.hsu.cycles
+
+
+def run_pair(family: str, abbr: str) -> PairResult:
+    """Paired default-design-point measurement for one (family, dataset)."""
+    return PairResult(
+        family=family,
+        abbr=abbr,
+        baseline=baseline_stats(family, abbr),
+        hsu=hsu_stats(family, abbr),
+    )
+
+
+def all_pairs(families: tuple[str, ...] = FAMILIES) -> list[PairResult]:
+    """Every Fig. 9 (family, dataset) pair at the default design point."""
+    return [
+        run_pair(family, abbr)
+        for family in families
+        for abbr in datasets_for(family)
+    ]

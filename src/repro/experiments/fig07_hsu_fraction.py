@@ -1,0 +1,46 @@
+"""Fig. 7 — proportion of non-RT GPU execution HSU operations could absorb.
+
+Simulates the baseline (non-RT) trace of every workload and attributes each
+warp instruction's busy time (issue through completion, including operand
+loads — the paper's accounting) to HSU-able or other work.  The fraction is
+the theoretical ceiling on what offloading can win (§VI-A).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_table
+from repro.experiments.common import FAMILIES, datasets_for, run_pair
+
+
+def compute() -> list[dict[str, object]]:
+    rows = []
+    for family in FAMILIES:
+        for abbr in datasets_for(family):
+            pair = run_pair(family, abbr)
+            rows.append(
+                {
+                    "app": family,
+                    "dataset": pair.label,
+                    "hsu_able_fraction": pair.baseline.hsu_able_fraction(),
+                }
+            )
+    return rows
+
+
+def render() -> str:
+    rows = [
+        (r["app"], r["dataset"], r["hsu_able_fraction"]) for r in compute()
+    ]
+    return format_table(
+        ["App", "Dataset", "HSU-able fraction of busy time"],
+        rows,
+        title="Fig. 7: share of baseline execution HSU operations could cover",
+    )
+
+
+def main() -> None:
+    print(render())
+
+
+if __name__ == "__main__":
+    main()

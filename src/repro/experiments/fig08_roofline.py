@@ -1,0 +1,62 @@
+"""Fig. 8 — roofline analysis of the HSU.
+
+Each application's HSU simulation yields (ops/cycle, ops per L2 line); the
+compute bound is 1 op/cycle per HSU and the memory bound 1 line/cycle
+(§VI-B).  Expected shape: no application reaches full utilization; the
+high-dimensional Euclidean datasets (gist/mnist/fashion-mnist) sit closest
+to the compute bound; the BVH-NN datasets sit under the memory-bound slope.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.roofline import roofline_point
+from repro.analysis.tables import format_table
+from repro.experiments.common import FAMILIES, datasets_for, run_pair
+
+
+def compute() -> list[dict[str, object]]:
+    rows = []
+    for family in FAMILIES:
+        for abbr in datasets_for(family):
+            pair = run_pair(family, abbr)
+            point = roofline_point(pair.label, pair.hsu)
+            rows.append(
+                {
+                    "app": family,
+                    "dataset": point.label,
+                    "ops_per_cycle": point.ops_per_cycle,
+                    "ops_per_l2_line": point.ops_per_l2_line,
+                    "attainable": point.attainable,
+                    "utilization": point.utilization,
+                    "memory_bound": point.memory_bound,
+                }
+            )
+    return rows
+
+
+def render() -> str:
+    rows = [
+        (
+            r["app"],
+            r["dataset"],
+            r["ops_per_cycle"],
+            r["ops_per_l2_line"],
+            r["attainable"],
+            r["utilization"],
+            "mem" if r["memory_bound"] else "compute",
+        )
+        for r in compute()
+    ]
+    return format_table(
+        ["App", "Dataset", "Ops/cycle", "Ops/L2 line", "Roof", "Util", "Bound"],
+        rows,
+        title="Fig. 8: HSU roofline (compute bound = 1 op/cycle, memory bound = 1 line/cycle)",
+    )
+
+
+def main() -> None:
+    print(render())
+
+
+if __name__ == "__main__":
+    main()

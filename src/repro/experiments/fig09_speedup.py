@@ -1,0 +1,78 @@
+"""Fig. 9 — summary speedup of HSU over the non-RT baseline.
+
+Paper results: GGNN +24.8%, FLANN +16.4%, BVH-NN +33.9%, B+ +13.5% on
+average, with DEEP1B the weakest GGNN dataset (+7.8%).  The reproduction
+targets the *shape*: every family gains on average, BVH-NN gains most,
+DEEP1B sits at the bottom of GGNN.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.speedup import mean_improvement_percent
+from repro.analysis.tables import format_table
+from repro.experiments.common import FAMILIES, datasets_for, run_pair
+
+#: Paper's mean improvements per family (percent), for the report.
+PAPER_MEAN_IMPROVEMENT = {
+    "ggnn": 24.8,
+    "flann": 16.4,
+    "bvhnn": 33.9,
+    "btree": 13.5,
+}
+
+
+def compute() -> dict[str, object]:
+    per_dataset = []
+    per_family = {}
+    for family in FAMILIES:
+        speedups = []
+        for abbr in datasets_for(family):
+            pair = run_pair(family, abbr)
+            speedups.append(pair.speedup)
+            per_dataset.append(
+                {
+                    "app": family,
+                    "dataset": pair.label,
+                    "speedup": pair.speedup,
+                    "baseline_cycles": pair.baseline.cycles,
+                    "hsu_cycles": pair.hsu.cycles,
+                }
+            )
+        per_family[family] = {
+            "mean_improvement_pct": mean_improvement_percent(speedups),
+            "paper_improvement_pct": PAPER_MEAN_IMPROVEMENT[family],
+        }
+    return {"per_dataset": per_dataset, "per_family": per_family}
+
+
+def render() -> str:
+    results = compute()
+    dataset_rows = [
+        (r["app"], r["dataset"], r["speedup"])
+        for r in results["per_dataset"]
+    ]
+    family_rows = [
+        (family, summary["mean_improvement_pct"], summary["paper_improvement_pct"])
+        for family, summary in results["per_family"].items()
+    ]
+    return (
+        format_table(
+            ["App", "Dataset", "Speedup"],
+            dataset_rows,
+            title="Fig. 9: HSU speedup over the non-RT baseline",
+        )
+        + "\n\n"
+        + format_table(
+            ["App", "Mean improvement %", "Paper %"],
+            family_rows,
+            title="Per-family mean improvement vs paper",
+        )
+    )
+
+
+def main() -> None:
+    print(render())
+
+
+if __name__ == "__main__":
+    main()

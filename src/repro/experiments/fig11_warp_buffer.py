@@ -1,0 +1,66 @@
+"""Fig. 11 — warp buffer size sensitivity.
+
+Sweeps the RT unit's warp buffer (1/4/8/16 entries) for the three
+hierarchical ANN structures.  Expected shape (§VI-I): one entry is worse
+than the baseline (it serializes HSU operand fetches, losing to the LSU's
+MSHR-driven memory-level parallelism); eight entries is the sweet spot;
+sixteen can regress on datasets whose HSU fetches crowd the MSHRs.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_table
+from repro.experiments.common import baseline_stats, hsu_stats
+
+#: Buffer sizes swept.
+SIZES = (1, 4, 8, 16)
+#: Representative datasets per family (two per panel keeps runtime sane;
+#: pass your own list for the full sweep).
+PANELS = {
+    "ggnn": ("LFM", "S10K"),
+    "bvhnn": ("R10K", "BUN"),
+    "flann": ("R10K", "BUN"),
+}
+
+
+def compute(
+    sizes: tuple[int, ...] = SIZES,
+    panels: dict[str, tuple[str, ...]] | None = None,
+) -> list[dict[str, object]]:
+    panels = panels if panels is not None else PANELS
+    rows = []
+    for family, datasets in panels.items():
+        for abbr in datasets:
+            base = baseline_stats(family, abbr)
+            for size in sizes:
+                hsu = hsu_stats(family, abbr, warp_buffer=size)
+                rows.append(
+                    {
+                        "app": family,
+                        "dataset": abbr,
+                        "warp_buffer": size,
+                        "speedup": base.cycles / hsu.cycles,
+                        "entry_stall_cycles": hsu.hsu_entry_stall_cycles,
+                    }
+                )
+    return rows
+
+
+def render() -> str:
+    rows = [
+        (r["app"], r["dataset"], r["warp_buffer"], r["speedup"])
+        for r in compute()
+    ]
+    return format_table(
+        ["App", "Dataset", "Warp buffer", "Speedup"],
+        rows,
+        title="Fig. 11: speedup vs warp buffer size",
+    )
+
+
+def main() -> None:
+    print(render())
+
+
+if __name__ == "__main__":
+    main()

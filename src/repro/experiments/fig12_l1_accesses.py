@@ -1,0 +1,54 @@
+"""Fig. 12 — L1D cache accesses normalized to the non-RT baseline.
+
+The HSU coalesces the baseline's sequential spatially-local loads into one
+CISC fetch (§VI-J), so normalized accesses fall below 1 — most prominently
+for BVH-NN, whose slab test issues several loads per child box.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_table
+from repro.experiments.common import FAMILIES, datasets_for, run_pair
+
+
+def compute() -> list[dict[str, object]]:
+    rows = []
+    for family in FAMILIES:
+        for abbr in datasets_for(family):
+            pair = run_pair(family, abbr)
+            ratio = (
+                pair.hsu.l1_accesses / pair.baseline.l1_accesses
+                if pair.baseline.l1_accesses
+                else 0.0
+            )
+            rows.append(
+                {
+                    "app": family,
+                    "dataset": pair.label,
+                    "baseline_l1_accesses": pair.baseline.l1_accesses,
+                    "hsu_l1_accesses": pair.hsu.l1_accesses,
+                    "normalized": ratio,
+                }
+            )
+    return rows
+
+
+def render() -> str:
+    rows = [
+        (r["app"], r["dataset"], r["baseline_l1_accesses"],
+         r["hsu_l1_accesses"], r["normalized"])
+        for r in compute()
+    ]
+    return format_table(
+        ["App", "Dataset", "Baseline L1 acc", "HSU L1 acc", "HSU/baseline"],
+        rows,
+        title="Fig. 12: L1D accesses normalized to the non-RT baseline",
+    )
+
+
+def main() -> None:
+    print(render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""Fig. 15 — HSU datapath area normalized to the baseline RT datapath.
+
+Paper result: a 37% total area increase, dominated by the per-mode pipeline
+registers rather than the five added adders; no extra multipliers or
+comparators.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_table
+from repro.rtl import area_report
+
+#: Paper's headline total ratio.
+PAPER_TOTAL_RATIO = 1.37
+
+
+def compute() -> dict[str, dict[str, float]]:
+    return area_report()
+
+
+def render() -> str:
+    report = compute()
+    rows = [
+        (
+            key,
+            report["baseline_um2"][key],
+            report["hsu_um2"][key],
+            report["hsu_normalized"][key],
+        )
+        for key in report["hsu_normalized"]
+    ]
+    table = format_table(
+        ["Resource class", "Baseline µm²", "HSU µm²", "HSU/baseline"],
+        rows,
+        title="Fig. 15: datapath area by resource class",
+        float_format="{:.2f}",
+    )
+    total = report["hsu_normalized"]["total"]
+    return table + f"\n\nTotal ratio: {total:.3f} (paper: {PAPER_TOTAL_RATIO})"
+
+
+def main() -> None:
+    print(render())
+
+
+if __name__ == "__main__":
+    main()

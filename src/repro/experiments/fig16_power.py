@@ -1,0 +1,47 @@
+"""Fig. 16 — dynamic power of each operating mode, baseline vs HSU.
+
+Paper results: HSU raises the baseline ray-box and ray-triangle modes by 10
+and 8 mW (mode muxing); the Euclidean and angular modes draw 79 and 67 mW —
+within ~5 mW of the baseline ray-box mode.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_table
+from repro.rtl import power_report
+
+#: Paper's per-mode values (mW) where stated.
+PAPER_MW = {"euclid": 79.0, "angular": 67.0}
+PAPER_DELTA_MW = {"ray_box": 10.0, "ray_tri": 8.0}
+
+
+def compute() -> dict[str, dict[str, float]]:
+    report = power_report()
+    return {"baseline_mw": report.baseline_mw, "hsu_mw": report.hsu_mw}
+
+
+def render() -> str:
+    report = compute()
+    rows = []
+    for mode, hsu_mw in report["hsu_mw"].items():
+        base_mw = report["baseline_mw"].get(mode)
+        rows.append(
+            (
+                mode,
+                f"{base_mw:.1f}" if base_mw is not None else "-",
+                f"{hsu_mw:.1f}",
+            )
+        )
+    return format_table(
+        ["Operating mode", "Baseline mW", "HSU mW"],
+        rows,
+        title="Fig. 16: dynamic power per operating mode",
+    )
+
+
+def main() -> None:
+    print(render())
+
+
+if __name__ == "__main__":
+    main()

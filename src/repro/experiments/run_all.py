@@ -1,0 +1,69 @@
+"""Regenerate every table and figure in one pass.
+
+Usage::
+
+    python -m repro.experiments.run_all            # everything (~10 min)
+    python -m repro.experiments.run_all --light    # tables + RTL only (<1 s)
+
+The shared run cache means the heavy figures (7, 8, 9, 12, 13, 14) cost one
+trace-collection campaign between them; figures 10 and 11 add their design-
+point sweeps on top.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.experiments import (
+    ablations,
+    fig07_hsu_fraction,
+    fig08_roofline,
+    fig09_speedup,
+    fig10_width,
+    fig11_warp_buffer,
+    fig12_l1_accesses,
+    fig13_miss_rate,
+    fig14_row_locality,
+    fig15_area,
+    fig16_power,
+    rtindex_comparison,
+    table1_isa,
+    table2_datasets,
+    table3_config,
+)
+
+LIGHT = (table1_isa, table2_datasets, table3_config, fig15_area, fig16_power)
+HEAVY = (
+    fig09_speedup,
+    fig07_hsu_fraction,
+    fig08_roofline,
+    fig12_l1_accesses,
+    fig13_miss_rate,
+    fig14_row_locality,
+    fig10_width,
+    fig11_warp_buffer,
+    rtindex_comparison,
+    ablations,
+)
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--light",
+        action="store_true",
+        help="only the table/RTL experiments (no timing simulations)",
+    )
+    args = parser.parse_args(argv)
+    modules = LIGHT if args.light else LIGHT + HEAVY
+    start = time.time()
+    for module in modules:
+        print("=" * 78)
+        print(f"{module.__name__}  (t+{time.time() - start:.0f}s)")
+        print(module.render())
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+"""Table I — the HSU instruction set."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis.tables import format_table
+from repro.core.isa import instruction_table
+
+
+def compute() -> list[dict[str, str]]:
+    return [
+        {"instruction": name, "description": description}
+        for name, description in instruction_table()
+    ]
+
+
+def render() -> str:
+    rows = [
+        (row["instruction"], textwrap.shorten(row["description"], 100))
+        for row in compute()
+    ]
+    return format_table(
+        ["Instruction", "Description"], rows, title="Table I: HSU instructions"
+    )
+
+
+def main() -> None:
+    print(render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+"""Table III — simulator configuration."""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_table
+from repro.experiments.common import default_config
+from repro.gpusim import VOLTA_V100
+
+
+def compute() -> dict[str, list[tuple[str, str]]]:
+    return {
+        "paper": VOLTA_V100.table_rows(),
+        "experiment": default_config().table_rows(),
+    }
+
+
+def render() -> str:
+    tables = compute()
+    paper = format_table(
+        ["Parameter", "Value"],
+        tables["paper"],
+        title="Table III: simulator configuration (full V100)",
+    )
+    ours = format_table(
+        ["Parameter", "Value"],
+        tables["experiment"],
+        title="Scaled configuration used by the experiments",
+    )
+    return paper + "\n\n" + ours
+
+
+def main() -> None:
+    print(render())
+
+
+if __name__ == "__main__":
+    main()

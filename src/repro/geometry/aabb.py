@@ -1,0 +1,123 @@
+"""Axis-aligned bounding boxes."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.geometry.vec3 import Vec3
+
+
+@dataclass(frozen=True)
+class Aabb:
+    """An axis-aligned box spanning ``[lo, hi]`` on each axis.
+
+    A box with any ``lo`` component strictly greater than the matching ``hi``
+    component is *empty*; :meth:`empty` constructs the canonical empty box
+    used as the identity for :meth:`union`.
+    """
+
+    lo: Vec3
+    hi: Vec3
+
+    @staticmethod
+    def empty() -> "Aabb":
+        return Aabb(
+            Vec3(math.inf, math.inf, math.inf),
+            Vec3(-math.inf, -math.inf, -math.inf),
+        )
+
+    @staticmethod
+    def from_points(points: Iterable[Sequence[float]]) -> "Aabb":
+        """The tightest box containing every point in ``points``."""
+        box = Aabb.empty()
+        for point in points:
+            box = box.grown_to_contain(Vec3(point[0], point[1], point[2]))
+        return box
+
+    @staticmethod
+    def around_point(center: Sequence[float], half_width: float) -> "Aabb":
+        """A cube of side ``2*half_width`` centered on ``center``.
+
+        This is how BVH-NN builds leaf boxes: *"We construct our leaf AABB
+        widths at two times the search radius with each data point in the
+        center"* (§V-A).
+        """
+        if half_width < 0.0:
+            raise ValueError("half_width must be non-negative")
+        c = Vec3(center[0], center[1], center[2])
+        r = Vec3(half_width, half_width, half_width)
+        return Aabb(c - r, c + r)
+
+    def is_empty(self) -> bool:
+        return self.lo.x > self.hi.x or self.lo.y > self.hi.y or self.lo.z > self.hi.z
+
+    def union(self, other: "Aabb") -> "Aabb":
+        return Aabb(self.lo.min_with(other.lo), self.hi.max_with(other.hi))
+
+    def grown_to_contain(self, point: Vec3) -> "Aabb":
+        return Aabb(self.lo.min_with(point), self.hi.max_with(point))
+
+    def contains_point(self, point: Vec3) -> bool:
+        return (
+            self.lo.x <= point.x <= self.hi.x
+            and self.lo.y <= point.y <= self.hi.y
+            and self.lo.z <= point.z <= self.hi.z
+        )
+
+    def overlaps(self, other: "Aabb") -> bool:
+        return (
+            self.lo.x <= other.hi.x
+            and other.lo.x <= self.hi.x
+            and self.lo.y <= other.hi.y
+            and other.lo.y <= self.hi.y
+            and self.lo.z <= other.hi.z
+            and other.lo.z <= self.hi.z
+        )
+
+    def centroid(self) -> Vec3:
+        return Vec3(
+            0.5 * (self.lo.x + self.hi.x),
+            0.5 * (self.lo.y + self.hi.y),
+            0.5 * (self.lo.z + self.hi.z),
+        )
+
+    def extent(self) -> Vec3:
+        """Per-axis size; components are negative for empty boxes."""
+        return self.hi - self.lo
+
+    def surface_area(self) -> float:
+        """Total surface area, the quantity minimized by the SAH."""
+        if self.is_empty():
+            return 0.0
+        e = self.extent()
+        return 2.0 * (e.x * e.y + e.y * e.z + e.z * e.x)
+
+    def half_area(self) -> float:
+        if self.is_empty():
+            return 0.0
+        e = self.extent()
+        return e.x * e.y + e.y * e.z + e.z * e.x
+
+    def longest_axis(self) -> int:
+        e = self.extent()
+        if e.x >= e.y and e.x >= e.z:
+            return 0
+        if e.y >= e.z:
+            return 1
+        return 2
+
+    def distance_squared_to_point(self, point: Vec3) -> float:
+        """Squared distance from ``point`` to the box (0 inside)."""
+        dist_sq = 0.0
+        for lo, hi, p in zip(
+            self.lo.iter_components(),
+            self.hi.iter_components(),
+            point.iter_components(),
+        ):
+            if p < lo:
+                dist_sq += (lo - p) ** 2
+            elif p > hi:
+                dist_sq += (p - hi) ** 2
+        return dist_sq

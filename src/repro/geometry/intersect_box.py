@@ -1,0 +1,85 @@
+"""Slab-method ray/AABB intersection, scalar and 4-wide.
+
+The baseline RT unit performs *up to four ray-box intersection tests* per
+``RAY_INTERSECT`` instruction and sorts the hits by entry distance (§IV-B,
+§IV-D).  The 4-wide form below is the functional model of that hardware; the
+scalar form is the reference the tests check it against.
+
+The algorithm is the classic slab test (Kay & Kajiya 1986): intersect the
+ray's parametric interval with the three per-axis slabs and report a hit when
+the intersection is non-empty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.geometry.aabb import Aabb
+from repro.geometry.ray import Ray
+
+
+@dataclass(frozen=True)
+class BoxHit:
+    """Result of one ray-box test.
+
+    ``t_entry`` is the distance at which the ray enters the box (clamped to
+    the ray interval), the value the RT unit sorts child nodes by.
+    """
+
+    hit: bool
+    t_entry: float
+    t_exit: float
+    child_index: int = -1
+
+
+def intersect_ray_box(ray: Ray, box: Aabb) -> BoxHit:
+    """Scalar slab test of ``ray`` against ``box``."""
+    return _slab_test(ray, box)
+
+
+def _slab_test(ray: Ray, box: Aabb) -> BoxHit:
+    t_lo = ray.t_min
+    t_hi = ray.t_max
+    for lo, hi, origin, inv in zip(
+        box.lo.iter_components(),
+        box.hi.iter_components(),
+        ray.origin.iter_components(),
+        ray.inv_direction.iter_components(),
+    ):
+        t_near = (lo - origin) * inv
+        t_far = (hi - origin) * inv
+        if t_near > t_far:
+            t_near, t_far = t_far, t_near
+        t_lo = max(t_lo, t_near)
+        t_hi = min(t_hi, t_far)
+        if t_lo > t_hi:
+            return BoxHit(False, t_lo, t_hi)
+    return BoxHit(True, t_lo, t_hi)
+
+
+def intersect_ray_box4(
+    ray: Ray, boxes: Sequence[Aabb], child_indices: Sequence[int] | None = None
+) -> list[BoxHit]:
+    """Test ``ray`` against up to four boxes and sort hits closest-first.
+
+    Mirrors the box-node path of ``RAY_INTERSECT``: the result list contains
+    one entry per input box, hits first in ascending ``t_entry`` order, then
+    misses (the hardware returns null child pointers for misses).
+
+    Raises ``ValueError`` when more than four boxes are supplied, matching the
+    BVH4 limit of the hardware.
+    """
+    if len(boxes) > 4:
+        raise ValueError(f"RAY_INTERSECT tests at most 4 boxes, got {len(boxes)}")
+    if child_indices is None:
+        child_indices = list(range(len(boxes)))
+    if len(child_indices) != len(boxes):
+        raise ValueError("child_indices must match boxes in length")
+    results = []
+    for box, child in zip(boxes, child_indices):
+        hit = _slab_test(ray, box)
+        results.append(BoxHit(hit.hit, hit.t_entry, hit.t_exit, child))
+    # Sort: hits by ascending entry distance, misses last (stable).
+    results.sort(key=lambda h: (not h.hit, h.t_entry))
+    return results

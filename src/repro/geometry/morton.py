@@ -1,0 +1,94 @@
+"""Morton (Z-order) codes for LBVH construction.
+
+BVH-NN sorts points by their Morton codes before running the Karras 2012
+radix-tree build (§V-A).  We implement the standard 30-bit code (10 bits per
+axis) with a vectorized numpy path for whole point sets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+MORTON_BITS_PER_AXIS = 10
+MORTON_GRID = 1 << MORTON_BITS_PER_AXIS  # 1024 cells per axis
+
+
+def _expand_bits_scalar(value: int) -> int:
+    """Spread the low 10 bits of ``value`` so each lands 3 positions apart."""
+    v = value & 0x3FF
+    v = (v | (v << 16)) & 0x030000FF
+    v = (v | (v << 8)) & 0x0300F00F
+    v = (v | (v << 4)) & 0x030C30C3
+    v = (v | (v << 2)) & 0x09249249
+    return v
+
+
+def _compact_bits_scalar(value: int) -> int:
+    """Inverse of :func:`_expand_bits_scalar`."""
+    v = value & 0x09249249
+    v = (v | (v >> 2)) & 0x030C30C3
+    v = (v | (v >> 4)) & 0x0300F00F
+    v = (v | (v >> 8)) & 0x030000FF
+    v = (v | (v >> 16)) & 0x000003FF
+    return v
+
+
+def morton_encode3(x: int, y: int, z: int) -> int:
+    """Interleave three 10-bit integer coordinates into a 30-bit code."""
+    for name, coord in (("x", x), ("y", y), ("z", z)):
+        if not 0 <= coord < MORTON_GRID:
+            raise ValueError(f"{name}={coord} outside [0, {MORTON_GRID})")
+    return (
+        (_expand_bits_scalar(z) << 2)
+        | (_expand_bits_scalar(y) << 1)
+        | _expand_bits_scalar(x)
+    )
+
+
+def morton_decode3(code: int) -> tuple[int, int, int]:
+    """Recover the three 10-bit coordinates from a 30-bit Morton code."""
+    if not 0 <= code < (1 << 30):
+        raise ValueError(f"code={code} outside [0, 2^30)")
+    return (
+        _compact_bits_scalar(code),
+        _compact_bits_scalar(code >> 1),
+        _compact_bits_scalar(code >> 2),
+    )
+
+
+def _expand_bits_array(values: np.ndarray) -> np.ndarray:
+    v = values.astype(np.uint32) & np.uint32(0x3FF)
+    v = (v | (v << np.uint32(16))) & np.uint32(0x030000FF)
+    v = (v | (v << np.uint32(8))) & np.uint32(0x0300F00F)
+    v = (v | (v << np.uint32(4))) & np.uint32(0x030C30C3)
+    v = (v | (v << np.uint32(2))) & np.uint32(0x09249249)
+    return v
+
+
+def quantize_points(points: np.ndarray) -> np.ndarray:
+    """Map float points (N,3) onto the integer Morton grid of their bounds.
+
+    Degenerate axes (all points share one coordinate) map to cell 0.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2 or points.shape[1] != 3:
+        raise ValueError(f"expected (N,3) points, got shape {points.shape}")
+    lo = points.min(axis=0)
+    hi = points.max(axis=0)
+    extent = hi - lo
+    extent[extent == 0.0] = 1.0
+    unit = (points - lo) / extent
+    cells = np.minimum(
+        (unit * MORTON_GRID).astype(np.int64), MORTON_GRID - 1
+    ).astype(np.uint32)
+    return cells
+
+
+def morton_encode_points(points: np.ndarray) -> np.ndarray:
+    """30-bit Morton codes for an (N,3) float array (vectorized)."""
+    cells = quantize_points(points)
+    return (
+        (_expand_bits_array(cells[:, 2]) << np.uint32(2))
+        | (_expand_bits_array(cells[:, 1]) << np.uint32(1))
+        | _expand_bits_array(cells[:, 0])
+    ).astype(np.uint32)

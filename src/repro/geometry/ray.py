@@ -1,0 +1,87 @@
+"""Rays, with the per-ray constants the RT unit expects to be precomputed.
+
+Section IV-D of the paper: *"We pre-compute the inverse ray direction as well
+as the shear and k constants in the same way as [Woop et al. 2013]. These
+values are constant for each ray and can be reused for each intersection test
+performed by the ray."*
+
+The Woop watertight triangle test permutes the ray so its dominant direction
+component becomes the z axis (``kz``), then shears the other two axes so the
+ray points straight down +z.  ``kx``/``ky``/``kz`` are the permutation and
+``sx``/``sy``/``sz`` the shear/scale constants.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.geometry.vec3 import Vec3
+
+_INF = math.inf
+
+
+def _safe_inverse(value: float) -> float:
+    """1/value with +/-inf (matching IEEE divide) for zero components."""
+    if value != 0.0:
+        return 1.0 / value
+    return math.copysign(_INF, value)
+
+
+@dataclass(frozen=True)
+class Ray:
+    """A ray with origin, direction and a parametric validity interval.
+
+    The derived fields (``inv_direction`` and the Woop constants) are computed
+    once in ``__post_init__`` — they model the values the shader precomputes
+    and passes to the RT unit through the register file.
+    """
+
+    origin: Vec3
+    direction: Vec3
+    t_min: float = 0.0
+    t_max: float = _INF
+
+    inv_direction: Vec3 = field(init=False, repr=False)
+    kx: int = field(init=False, repr=False)
+    ky: int = field(init=False, repr=False)
+    kz: int = field(init=False, repr=False)
+    sx: float = field(init=False, repr=False)
+    sy: float = field(init=False, repr=False)
+    sz: float = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.direction == Vec3(0.0, 0.0, 0.0):
+            raise ValueError("ray direction must be non-zero")
+        if self.t_min > self.t_max:
+            raise ValueError(f"empty ray interval [{self.t_min}, {self.t_max}]")
+        object.__setattr__(
+            self,
+            "inv_direction",
+            Vec3(
+                _safe_inverse(self.direction.x),
+                _safe_inverse(self.direction.y),
+                _safe_inverse(self.direction.z),
+            ),
+        )
+        kz = self.direction.max_dimension()
+        kx = (kz + 1) % 3
+        ky = (kx + 1) % 3
+        # Preserve winding: swap kx/ky when the dominant component is negative.
+        if self.direction.component(kz) < 0.0:
+            kx, ky = ky, kx
+        dz = self.direction.component(kz)
+        object.__setattr__(self, "kx", kx)
+        object.__setattr__(self, "ky", ky)
+        object.__setattr__(self, "kz", kz)
+        object.__setattr__(self, "sx", self.direction.component(kx) / dz)
+        object.__setattr__(self, "sy", self.direction.component(ky) / dz)
+        object.__setattr__(self, "sz", 1.0 / dz)
+
+    def at(self, t: float) -> Vec3:
+        """The point ``origin + t * direction``."""
+        return self.origin + self.direction * t
+
+    def with_interval(self, t_min: float, t_max: float) -> "Ray":
+        """A copy of this ray restricted to ``[t_min, t_max]``."""
+        return Ray(self.origin, self.direction, t_min, t_max)

@@ -1,0 +1,52 @@
+"""Triangle primitives."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geometry.aabb import Aabb
+from repro.geometry.vec3 import Vec3
+
+
+@dataclass(frozen=True)
+class Triangle:
+    """A triangle primitive as stored in a BVH leaf node.
+
+    In the baseline RT unit a triangle node holds the three vertices plus the
+    triangle id returned by ``RAY_INTERSECT`` (§IV-D).  Nine floats per
+    triangle is also the 288-bit footprint §VI-G charges RTIndeX for encoding
+    a single 32-bit key.
+    """
+
+    v0: Vec3
+    v1: Vec3
+    v2: Vec3
+    triangle_id: int = 0
+
+    def aabb(self) -> Aabb:
+        return Aabb(
+            self.v0.min_with(self.v1).min_with(self.v2),
+            self.v0.max_with(self.v1).max_with(self.v2),
+        )
+
+    def centroid(self) -> Vec3:
+        return (self.v0 + self.v1 + self.v2) / 3.0
+
+    def normal(self) -> Vec3:
+        """Unnormalized geometric normal (zero for degenerate triangles)."""
+        return (self.v1 - self.v0).cross(self.v2 - self.v0)
+
+    def area(self) -> float:
+        return 0.5 * self.normal().length()
+
+    def is_degenerate(self) -> bool:
+        return self.area() == 0.0
+
+    @staticmethod
+    def degenerate_at_point(center: Vec3, triangle_id: int = 0) -> "Triangle":
+        """A zero-area triangle collapsed onto ``center``.
+
+        Models the RTIndeX trick (§VI-G) of representing a scalar key as a
+        triangle primitive whose centroid encodes the key.
+        """
+        return Triangle(center, center, center, triangle_id)

@@ -1,0 +1,88 @@
+"""A minimal immutable 3-vector.
+
+The timing simulator never touches this type on its hot path (bulk geometry
+uses numpy arrays); ``Vec3`` exists for clarity in construction code, tests,
+and the functional intersection kernels.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, NamedTuple
+
+
+class Vec3(NamedTuple):
+    """An immutable 3-component float vector."""
+
+    x: float
+    y: float
+    z: float
+
+    def __add__(self, other: "Vec3") -> "Vec3":  # type: ignore[override]
+        return Vec3(self.x + other.x, self.y + other.y, self.z + other.z)
+
+    def __sub__(self, other: "Vec3") -> "Vec3":
+        return Vec3(self.x - other.x, self.y - other.y, self.z - other.z)
+
+    def __mul__(self, scalar: float) -> "Vec3":  # type: ignore[override]
+        return Vec3(self.x * scalar, self.y * scalar, self.z * scalar)
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "Vec3":
+        return Vec3(-self.x, -self.y, -self.z)
+
+    def __truediv__(self, scalar: float) -> "Vec3":
+        return Vec3(self.x / scalar, self.y / scalar, self.z / scalar)
+
+    def hadamard(self, other: "Vec3") -> "Vec3":
+        """Component-wise product."""
+        return Vec3(self.x * other.x, self.y * other.y, self.z * other.z)
+
+    def dot(self, other: "Vec3") -> float:
+        return self.x * other.x + self.y * other.y + self.z * other.z
+
+    def cross(self, other: "Vec3") -> "Vec3":
+        return Vec3(
+            self.y * other.z - self.z * other.y,
+            self.z * other.x - self.x * other.z,
+            self.x * other.y - self.y * other.x,
+        )
+
+    def length(self) -> float:
+        return math.sqrt(self.dot(self))
+
+    def length_squared(self) -> float:
+        return self.dot(self)
+
+    def normalized(self) -> "Vec3":
+        norm = self.length()
+        if norm == 0.0:
+            raise ZeroDivisionError("cannot normalize the zero vector")
+        return self / norm
+
+    def min_with(self, other: "Vec3") -> "Vec3":
+        return Vec3(min(self.x, other.x), min(self.y, other.y), min(self.z, other.z))
+
+    def max_with(self, other: "Vec3") -> "Vec3":
+        return Vec3(max(self.x, other.x), max(self.y, other.y), max(self.z, other.z))
+
+    def abs(self) -> "Vec3":
+        return Vec3(math.fabs(self.x), math.fabs(self.y), math.fabs(self.z))
+
+    def max_dimension(self) -> int:
+        """Index (0/1/2) of the component with the largest magnitude."""
+        magnitudes = self.abs()
+        if magnitudes.x >= magnitudes.y and magnitudes.x >= magnitudes.z:
+            return 0
+        if magnitudes.y >= magnitudes.z:
+            return 1
+        return 2
+
+    def component(self, axis: int) -> float:
+        return (self.x, self.y, self.z)[axis]
+
+    def iter_components(self) -> Iterator[float]:
+        yield self.x
+        yield self.y
+        yield self.z

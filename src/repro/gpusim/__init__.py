@@ -1,0 +1,32 @@
+"""An event-driven GPU timing simulator with an RT/HSU unit per SM.
+
+Stands in for Accel-Sim + GPGPU-Sim 4.0 (§V-C).  The model is warp-level and
+resource-constrained rather than strictly cycle-stepped: each warp executes
+its trace in order; contention is modeled with per-resource next-free-cycle
+bookkeeping for sub-core issue ports, the L1 port (time-shared between the
+LSU and the RT unit, §VI-H), MSHRs, L2, DRAM banks with open-row state, the
+RT unit's warp buffer, and the single-lane datapath pipeline.
+
+What it reproduces faithfully: relative cycle counts between a baseline
+(non-RT) trace and an HSU trace of the same execution, memory-level
+parallelism limited by the warp buffer (Fig. 11), L1 access/miss behaviour
+(Figs. 12/13), DRAM row locality (Fig. 14), and HSU utilization for the
+roofline (Fig. 8).  What it abstracts: SASS semantics, intra-warp operand
+collection, sector replays.
+"""
+
+from repro.gpusim.config import GpuConfig, VOLTA_V100
+from repro.gpusim.gpu import GpuSimulator, simulate
+from repro.gpusim.stats import SimStats
+from repro.gpusim.trace import KernelTrace, WarpInstr, WarpTrace
+
+__all__ = [
+    "GpuConfig",
+    "GpuSimulator",
+    "KernelTrace",
+    "SimStats",
+    "VOLTA_V100",
+    "WarpInstr",
+    "WarpTrace",
+    "simulate",
+]

@@ -1,0 +1,141 @@
+"""Set-associative cache with MSHRs, as a latency oracle.
+
+``access(line_addr, time)`` returns the cycle the data is available and
+whether the access hit.  Contention is modeled with a single tag-port
+timeline (one access per cycle — the L1D port the LSU and RT unit time-share,
+§VI-H) and a bounded miss-status-holding-register file: a miss to a line
+already outstanding merges into the existing MSHR (counted as a hit, matching
+the paper's accounting in §VI-J); when all MSHRs are busy the access stalls
+until one retires — the contention mechanism behind the Fig. 11 plateau.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+from repro.errors import ConfigError
+
+
+class CacheStats:
+    """Counters for one cache instance."""
+
+    __slots__ = ("accesses", "hits", "misses", "mshr_merges", "mshr_stalls")
+
+    def __init__(self) -> None:
+        self.accesses = 0
+        self.hits = 0
+        self.misses = 0
+        self.mshr_merges = 0
+        self.mshr_stalls = 0
+
+    def miss_rate(self) -> float:
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+
+class Cache:
+    """One cache level.
+
+    ``next_level`` maps ``(line_addr, time) -> completion_time`` — another
+    cache's :meth:`access` (hit time only) or the DRAM model.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        sets: int,
+        ways: int,
+        line_bytes: int,
+        hit_latency: int,
+        mshr_entries: int,
+        next_level: Callable[[int, int], int],
+        port_interval: float = 1.0,
+    ) -> None:
+        if sets < 1 or ways < 1:
+            raise ConfigError(f"{name}: sets/ways must be >= 1")
+        if mshr_entries < 1:
+            raise ConfigError(f"{name}: mshr_entries must be >= 1")
+        if port_interval <= 0.0:
+            raise ConfigError(f"{name}: port_interval must be positive")
+        self.name = name
+        self.sets = sets
+        self.ways = ways
+        self.line_bytes = line_bytes
+        self.hit_latency = hit_latency
+        self.mshr_entries = mshr_entries
+        self.next_level = next_level
+        self.stats = CacheStats()
+        # set index -> {line_addr: last_use_counter} (LRU).
+        self._tags: list[dict[int, int]] = [dict() for _ in range(sets)]
+        self._use_counter = 0
+        # line_addr -> fill completion time (outstanding misses).
+        self._pending: dict[int, int] = {}
+        # Min-heap of (completion_time, line_addr) mirroring _pending.
+        self._pending_heap: list[tuple[int, int]] = []
+        self.port_interval = port_interval
+        self._port_next_free = 0.0
+
+    def _set_index(self, line_addr: int) -> int:
+        return (line_addr // self.line_bytes) % self.sets
+
+    def _touch(self, line_addr: int) -> None:
+        self._use_counter += 1
+        self._tags[self._set_index(line_addr)][line_addr] = self._use_counter
+
+    def _insert(self, line_addr: int) -> None:
+        tag_set = self._tags[self._set_index(line_addr)]
+        if line_addr not in tag_set and len(tag_set) >= self.ways:
+            victim = min(tag_set, key=tag_set.get)  # type: ignore[arg-type]
+            del tag_set[victim]
+        self._touch(line_addr)
+
+    def _drain_pending(self, now: int) -> None:
+        while self._pending_heap and self._pending_heap[0][0] <= now:
+            _done, line = heapq.heappop(self._pending_heap)
+            # Only delete when the heap entry matches the live record (a
+            # merged line keeps one record; duplicates can't arise since we
+            # push once per fill).
+            self._pending.pop(line, None)
+
+    def access(self, line_addr: int, time: int) -> tuple[int, bool]:
+        """Access one cache line; returns (data_ready_time, hit)."""
+        self.stats.accesses += 1
+        # Port: one access per port_interval cycles.
+        start = max(time, self._port_next_free)
+        self._port_next_free = start + self.port_interval
+        self._drain_pending(start)
+
+        tag_set = self._tags[self._set_index(line_addr)]
+        if line_addr in tag_set:
+            self._touch(line_addr)
+            self.stats.hits += 1
+            ready = start + self.hit_latency
+            pending_fill = self._pending.get(line_addr)
+            if pending_fill is not None:
+                # The line is tagged but its fill is still in flight: merge
+                # into the outstanding MSHR — counted as a hit (§VI-J) but
+                # the data arrives no earlier than the fill.
+                self.stats.mshr_merges += 1
+                ready = max(ready, pending_fill)
+            return ready, True
+
+        if line_addr in self._pending:
+            # Pending but evicted from the tags: still merge into the MSHR.
+            self.stats.hits += 1
+            self.stats.mshr_merges += 1
+            return max(self._pending[line_addr], start + self.hit_latency), True
+
+        # True miss: need a free MSHR.
+        if len(self._pending) >= self.mshr_entries:
+            self.stats.mshr_stalls += 1
+            earliest, _line = self._pending_heap[0]
+            start = max(start, earliest)
+            self._drain_pending(start)
+        self.stats.misses += 1
+        fill_time = self.next_level(line_addr, start + self.hit_latency)
+        self._pending[line_addr] = fill_time
+        heapq.heappush(self._pending_heap, (fill_time, line_addr))
+        self._insert(line_addr)
+        return fill_time, False

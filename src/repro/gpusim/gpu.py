@@ -1,0 +1,210 @@
+"""The top-level GPU simulator: SMs, sub-cores, schedulers, memory glue.
+
+Execution model: each warp runs its trace in order.  A global event queue
+ordered by (ready-cycle, warp age) approximates GTO scheduling — a ready
+warp keeps issuing (greedy) until it blocks, and among blocked-then-ready
+warps the oldest goes first.  Sub-core issue ports, the per-SM L1 port
+(shared by LSU and RT unit), MSHRs, the shared L2, DRAM banks, the RT-unit
+warp buffer and the single-lane pipeline are all modeled as contended
+resources with next-free-cycle bookkeeping.
+
+Warps beyond the per-SM residency limit (``max_warps_per_sm``) start when a
+resident warp on the same SM retires, modeling wave scheduling.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.errors import TraceError
+from repro.gpusim.cache import Cache
+from repro.gpusim.config import GpuConfig
+from repro.gpusim.dram import DramModel
+from repro.gpusim.rtunit import RtUnit
+from repro.gpusim.stats import SimStats
+from repro.gpusim.trace import (
+    KIND_ALU,
+    KIND_HSU,
+    KIND_LDG,
+    KIND_LDS,
+    KIND_SFU,
+    KernelTrace,
+)
+
+
+class _Sm:
+    """One streaming multiprocessor's private resources."""
+
+    __slots__ = ("l1", "rt_unit", "subcore_next_free", "resident", "retire_heap")
+
+    def __init__(self, config: GpuConfig, l2: Cache) -> None:
+        def l2_fill(line_addr: int, time: int) -> int:
+            ready, _hit = l2.access(line_addr, time)
+            return ready
+
+        self.l1 = Cache(
+            name="L1D",
+            sets=config.l1_sets,
+            ways=config.l1_ways,
+            line_bytes=config.line_bytes,
+            hit_latency=config.l1_hit_latency,
+            mshr_entries=config.l1_mshr_entries,
+            next_level=l2_fill,
+        )
+        self.rt_unit = RtUnit(config, self.l1, l2_fill=l2_fill)
+        self.subcore_next_free = [0] * config.subcores_per_sm
+        self.resident = 0
+        # Completion times of resident warps (for wave admission).
+        self.retire_heap: list[int] = []
+
+
+class GpuSimulator:
+    """Simulate one kernel trace on one GPU configuration."""
+
+    def __init__(self, config: GpuConfig, kernel: KernelTrace) -> None:
+        kernel.validate()
+        self.config = config
+        self.kernel = kernel
+        self.dram = DramModel(
+            channels=config.dram_channels,
+            banks_per_channel=config.dram_banks_per_channel,
+            row_bytes=config.dram_row_bytes,
+            row_hit_cycles=config.dram_row_hit_cycles,
+            row_miss_cycles=config.dram_row_miss_cycles,
+            bus_interval=config.dram_bus_interval,
+            access_latency=config.dram_access_latency,
+        )
+        self.l2 = Cache(
+            name="L2",
+            sets=config.l2_sets,
+            ways=config.l2_ways,
+            line_bytes=config.line_bytes,
+            hit_latency=config.l2_hit_latency,
+            mshr_entries=config.l2_mshr_entries,
+            next_level=self.dram.access,
+            port_interval=config.l2_port_interval,
+        )
+        self.sms = [_Sm(config, self.l2) for _ in range(config.num_sms)]
+
+    def run(self) -> SimStats:
+        config = self.config
+        stats = SimStats(num_warps=self.kernel.num_warps)
+        kinds = {k: 0 for k in (KIND_ALU, KIND_SFU, KIND_LDS, KIND_LDG, KIND_HSU)}
+        line_bytes = config.line_bytes
+
+        # Static warp placement: round-robin over SMs, then sub-cores.
+        placements: list[tuple[int, int]] = []
+        for index in range(self.kernel.num_warps):
+            sm = index % config.num_sms
+            subcore = (index // config.num_sms) % config.subcores_per_sm
+            placements.append((sm, subcore))
+
+        # Wave admission: a warp starts at cycle 0 if a residency slot is
+        # free, else when the earliest resident warp on its SM retires.
+        # Event queue entries: (ready_cycle, warp_age, warp_index, position).
+        events: list[tuple[int, int, int, int]] = []
+        deferred: list[list[int]] = [[] for _ in range(config.num_sms)]
+        for index in range(self.kernel.num_warps):
+            sm_index, _ = placements[index]
+            sm = self.sms[sm_index]
+            if sm.resident < config.max_warps_per_sm:
+                sm.resident += 1
+                heapq.heappush(events, (0, index, index, 0))
+            else:
+                deferred[sm_index].append(index)
+
+        finish = 0
+        while events:
+            ready, age, windex, position = heapq.heappop(events)
+            warp = self.kernel.warps[windex]
+            instr = warp.instructions[position]
+            sm_index, subcore = placements[windex]
+            sm = self.sms[sm_index]
+
+            # Sub-core issue port: one instruction per cycle.
+            issue = max(ready, sm.subcore_next_free[subcore])
+            kinds[instr.kind] += instr.repeat if instr.kind != KIND_HSU else 1
+            stats.warp_instructions += instr.repeat
+
+            if instr.kind == KIND_ALU:
+                sm.subcore_next_free[subcore] = issue + instr.repeat
+                done = issue + instr.repeat - 1 + instr.chain * config.alu_latency
+            elif instr.kind == KIND_SFU:
+                sm.subcore_next_free[subcore] = issue + instr.repeat
+                done = issue + instr.repeat - 1 + instr.chain * config.sfu_latency
+            elif instr.kind == KIND_LDS:
+                sm.subcore_next_free[subcore] = issue + instr.repeat
+                done = issue + instr.repeat - 1 + instr.chain * config.shared_latency
+            elif instr.kind == KIND_LDG:
+                sm.subcore_next_free[subcore] = issue + instr.repeat
+                done = issue
+                for line in _coalesce(
+                    instr.addrs, instr.bytes_per_thread, line_bytes
+                ):
+                    fill, _hit = sm.l1.access(line, issue)
+                    if fill > done:
+                        done = fill
+            elif instr.kind == KIND_HSU:
+                sm.subcore_next_free[subcore] = issue + 1
+                done = sm.rt_unit.execute(instr, issue)
+            else:  # pragma: no cover - trace validation rejects this
+                raise TraceError(f"unknown kind {instr.kind!r}")
+
+            busy = done - issue + 1
+            if instr.hsu_able or instr.kind == KIND_HSU:
+                stats.hsu_able_busy += busy
+            else:
+                stats.other_busy += busy
+
+            position += 1
+            if position < warp.length:
+                heapq.heappush(events, (done, age, windex, position))
+            else:
+                finish = max(finish, done)
+                heapq.heappush(sm.retire_heap, done)
+                if deferred[sm_index]:
+                    successor = deferred[sm_index].pop(0)
+                    start = heapq.heappop(sm.retire_heap)
+                    heapq.heappush(events, (start, successor, successor, 0))
+
+        stats.cycles = finish
+        stats.instructions_by_kind = kinds
+        self._collect_memory_stats(stats)
+        return stats
+
+    def _collect_memory_stats(self, stats: SimStats) -> None:
+        for sm in self.sms:
+            stats.l1_accesses += sm.l1.stats.accesses
+            stats.l1_hits += sm.l1.stats.hits
+            stats.l1_misses += sm.l1.stats.misses
+            stats.l1_mshr_merges += sm.l1.stats.mshr_merges
+            stats.l1_mshr_stalls += sm.l1.stats.mshr_stalls
+            stats.hsu_warp_instructions += sm.rt_unit.stats.warp_instructions
+            stats.hsu_thread_beats += sm.rt_unit.stats.thread_beats
+            stats.hsu_fetch_line_accesses += sm.rt_unit.stats.fetch_line_accesses
+            stats.hsu_entry_stall_cycles += sm.rt_unit.stats.entry_stall_cycles
+        stats.l2_accesses = self.l2.stats.accesses
+        stats.l2_hits = self.l2.stats.hits
+        stats.l2_misses = self.l2.stats.misses
+        stats.dram_accesses = self.dram.stats.accesses
+        stats.dram_activations = self.dram.stats.activations
+        stats.dram_row_locality_frfcfs = self.dram.frfcfs_row_locality()
+
+
+def _coalesce(
+    addrs: tuple[int, ...], bytes_per_thread: int, line_bytes: int
+) -> list[int]:
+    """Unique cache-line addresses touched by a warp load, sorted."""
+    span = max(1, bytes_per_thread)
+    lines = set()
+    for base in addrs:
+        first = (base // line_bytes) * line_bytes
+        last = ((base + span - 1) // line_bytes) * line_bytes
+        for line in range(first, last + 1, line_bytes):
+            lines.add(line)
+    return sorted(lines)
+
+
+def simulate(config: GpuConfig, kernel: KernelTrace) -> SimStats:
+    """Convenience wrapper: build a simulator and run it."""
+    return GpuSimulator(config, kernel).run()

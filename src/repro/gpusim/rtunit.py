@@ -1,0 +1,162 @@
+"""The per-SM RT/HSU unit: warp buffer, fetch path, single-lane pipeline.
+
+Follows §IV-A/§IV-B: a dispatched HSU warp instruction occupies a *warp
+buffer* entry; each active thread's node data is fetched through the FIFO
+memory-access queue into the L1 (one access per cycle, port shared with the
+LSU); once every active thread's data has arrived, the entry is scheduled to
+the single-lane datapath, which consumes one thread-beat per cycle and
+retires results :data:`~repro.core.modes.PIPELINE_DEPTH` stages later.
+
+Multi-beat chains (§IV-F) arrive as a single instruction record with
+``beats > 1``; the chain occupies the datapath for ``active * beats``
+consecutive cycles, which is exactly the atomicity the accumulate-bit
+arbiter lock enforces in hardware.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.gpusim.cache import Cache
+from repro.gpusim.config import GpuConfig
+from repro.gpusim.trace import WarpInstr
+
+
+class RtUnitStats:
+    """Counters for one RT/HSU unit."""
+
+    __slots__ = (
+        "warp_instructions",
+        "thread_beats",
+        "fetch_line_accesses",
+        "entry_stall_cycles",
+        "busy_until",
+    )
+
+    def __init__(self) -> None:
+        self.warp_instructions = 0
+        self.thread_beats = 0
+        self.fetch_line_accesses = 0
+        self.entry_stall_cycles = 0
+        self.busy_until = 0
+
+
+class RtUnit:
+    """One RT/HSU unit, shared by the SM's four sub-cores.
+
+    By default operand fetches time-share the SM's L1D port with the LSU
+    (§VI-H).  The §VI-I alternatives are also modeled: with
+    ``config.rt_fetch_bypass_l1`` fetches go straight to the L2
+    (``l2_fill``); with ``config.rt_private_cache_bytes`` they go through a
+    dedicated cache in front of the L2.
+    """
+
+    def __init__(
+        self,
+        config: GpuConfig,
+        l1: Cache,
+        l2_fill=None,
+    ) -> None:
+        self.config = config
+        self.l1 = l1
+        self._l2_fill = l2_fill
+        self._private: Cache | None = None
+        if config.rt_private_cache_bytes and l2_fill is not None:
+            ways = 4
+            sets = max(
+                1, config.rt_private_cache_bytes // (config.line_bytes * ways)
+            )
+            self._private = Cache(
+                name="RT$",
+                sets=sets,
+                ways=ways,
+                line_bytes=config.line_bytes,
+                hit_latency=config.l1_hit_latency,
+                mshr_entries=config.l1_mshr_entries,
+                next_level=l2_fill,
+            )
+        self.stats = RtUnitStats()
+        # Min-heap of in-flight warp-buffer entry release times.
+        self._entries: list[int] = []
+        # Work-conserving pipeline allocator: entries are scheduled to the
+        # datapath as they become ready (valid mask == active mask), not in
+        # dispatch order, so an entry whose fetch stalls on DRAM must not
+        # block a later entry whose data already arrived.  We keep a bounded
+        # list of idle gaps that late-ready entries left behind and let
+        # early-ready entries backfill them.
+        self._pipe_tail = 0.0
+        self._pipe_gaps: list[tuple[float, float]] = []
+
+    _MAX_GAPS = 64
+
+    def _alloc_pipeline(self, ready: float, busy: int) -> float:
+        """Earliest start cycle giving the datapath ``busy`` back-to-back
+        single-lane slots at or after ``ready``."""
+        for index, (gap_start, gap_end) in enumerate(self._pipe_gaps):
+            start = max(gap_start, ready)
+            if start + busy <= gap_end:
+                replacement = []
+                if start > gap_start:
+                    replacement.append((gap_start, start))
+                if start + busy < gap_end:
+                    replacement.append((start + busy, gap_end))
+                self._pipe_gaps[index : index + 1] = replacement
+                return start
+        start = max(self._pipe_tail, ready)
+        if start > self._pipe_tail:
+            self._pipe_gaps.append((self._pipe_tail, start))
+            if len(self._pipe_gaps) > self._MAX_GAPS:
+                self._pipe_gaps.pop(0)
+        self._pipe_tail = start + busy
+        return start
+
+    def _fetch_line(self, line: int, time: int) -> float:
+        """Fetch one operand line through the configured path."""
+        if self._private is not None:
+            ready, _hit = self._private.access(line, time)
+            return ready
+        if self.config.rt_fetch_bypass_l1 and self._l2_fill is not None:
+            return self._l2_fill(line, time)
+        ready, _hit = self.l1.access(line, time)
+        return ready
+
+    def execute(self, instr: WarpInstr, issue_time: int) -> int:
+        """Run one HSU warp instruction; returns result-ready cycle."""
+        # Warp buffer admission: wait for a free entry when full.
+        dispatch = issue_time
+        if len(self._entries) >= self.config.warp_buffer_size:
+            earliest = heapq.heappop(self._entries)
+            if earliest > dispatch:
+                self.stats.entry_stall_cycles += earliest - dispatch
+                dispatch = earliest
+        # Per-thread node-data fetch through the shared L1 port.  Duplicate
+        # lines across threads merge into one request in the memory access
+        # FIFO — the CISC coalescing behind Fig. 12.
+        fetch_done = dispatch
+        line_bytes = self.config.line_bytes
+        total_bytes = max(1, instr.beats * instr.bytes_per_thread)
+        lines = set()
+        for base in instr.addrs[: instr.active]:
+            first_line = (base // line_bytes) * line_bytes
+            last_line = ((base + total_bytes - 1) // line_bytes) * line_bytes
+            for line in range(first_line, last_line + 1, line_bytes):
+                lines.add(line)
+        for line in sorted(lines):
+            ready = self._fetch_line(line, dispatch)
+            self.stats.fetch_line_accesses += 1
+            if ready > fetch_done:
+                fetch_done = ready
+        # Single-lane datapath: one thread-beat per cycle.
+        busy = instr.active * instr.beats
+        pipe_start = self._alloc_pipeline(fetch_done, busy)
+        pipe_end = pipe_start + busy + self.config.pipeline_depth
+        # "After all of the active threads within the warp buffer entry have
+        # been issued to the datapath pipeline the warp buffer entry is
+        # cleared" (§IV-B) — the entry frees at issue completion, not
+        # retirement, which is what lets 8 entries sustain memory-level
+        # parallelism.
+        heapq.heappush(self._entries, pipe_start + busy)
+        self.stats.warp_instructions += 1
+        self.stats.thread_beats += busy
+        self.stats.busy_until = max(self.stats.busy_until, pipe_end)
+        return pipe_end

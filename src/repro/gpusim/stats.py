@@ -1,0 +1,68 @@
+"""Aggregated simulation statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SimStats:
+    """Everything a run measures; the experiment modules consume these."""
+
+    cycles: int = 0
+    num_warps: int = 0
+    warp_instructions: int = 0
+    instructions_by_kind: dict[str, int] = field(default_factory=dict)
+
+    # HSU unit activity.
+    hsu_warp_instructions: int = 0
+    hsu_thread_beats: int = 0
+    hsu_fetch_line_accesses: int = 0
+    hsu_entry_stall_cycles: int = 0
+
+    # Memory system.
+    l1_accesses: int = 0
+    l1_hits: int = 0
+    l1_misses: int = 0
+    l1_mshr_merges: int = 0
+    l1_mshr_stalls: int = 0
+    l2_accesses: int = 0
+    l2_hits: int = 0
+    l2_misses: int = 0
+    dram_accesses: int = 0
+    dram_activations: int = 0
+    dram_row_locality_frfcfs: float = 0.0
+
+    # Fig. 7 attribution (baseline runs): warp-busy time split by whether
+    # the instruction could have executed on an HSU.
+    hsu_able_busy: int = 0
+    other_busy: int = 0
+
+    def l1_miss_rate(self) -> float:
+        return self.l1_misses / self.l1_accesses if self.l1_accesses else 0.0
+
+    def l2_miss_rate(self) -> float:
+        return self.l2_misses / self.l2_accesses if self.l2_accesses else 0.0
+
+    def hsu_able_fraction(self) -> float:
+        """Share of warp-busy time attributable to HSU-able operations."""
+        total = self.hsu_able_busy + self.other_busy
+        return self.hsu_able_busy / total if total else 0.0
+
+    def hsu_ops_per_cycle(self) -> float:
+        """Roofline y-axis: thread-beats retired per cycle (max 1)."""
+        return self.hsu_thread_beats / self.cycles if self.cycles else 0.0
+
+    def hsu_ops_per_l2_line(self) -> float:
+        """Roofline x-axis: operational intensity in ops per L2 line."""
+        return (
+            self.hsu_thread_beats / self.l2_accesses if self.l2_accesses else 0.0
+        )
+
+    def dram_row_locality(self) -> float:
+        """Arrival-order accesses per activation (see also FR-FCFS replay)."""
+        return (
+            self.dram_accesses / self.dram_activations
+            if self.dram_activations
+            else 0.0
+        )

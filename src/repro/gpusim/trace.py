@@ -1,0 +1,141 @@
+"""Warp-level instruction traces — the simulator's input format.
+
+A :class:`KernelTrace` is a list of :class:`WarpTrace`; each warp executes
+its instruction list in order.  This mirrors the paper's methodology of
+feeding SASS traces (with HSU-able sequences rewritten into HSU CISC
+instructions) to Accel-Sim; our compiler (:mod:`repro.compiler`) produces
+the paired baseline/HSU traces from one workload execution.
+
+Instruction kinds:
+
+* ``alu`` — ``repeat`` back-to-back SIMD arithmetic instructions;
+  ``chain`` gives the length of the longest dependent chain among them, so
+  the simulator can charge realistic dependency-stall latency (an
+  FMA-accumulate loop or a shuffle reduction serializes even though each
+  instruction issues in one cycle),
+* ``sfu`` — special-function ops (sqrt/div epilogues of angular distance),
+* ``lds`` — shared-memory ops (traversal stacks, GGNN's priority cache),
+* ``ldg`` — a global load: per-active-thread base addresses + bytes each,
+* ``hsu`` — one HSU CISC instruction (a full multi-beat chain is carried as
+  one record with ``beats >= 1``, since the accumulate lock makes the chain
+  atomic in the datapath anyway).
+
+``hsu_able`` tags baseline instructions that an HSU could have absorbed —
+the attribution Fig. 7 measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.isa import Opcode
+from repro.errors import TraceError
+
+KIND_ALU = "alu"
+KIND_SFU = "sfu"
+KIND_LDS = "lds"
+KIND_LDG = "ldg"
+KIND_HSU = "hsu"
+
+_KINDS = (KIND_ALU, KIND_SFU, KIND_LDS, KIND_LDG, KIND_HSU)
+
+
+class WarpInstr:
+    """One warp-level instruction (compact: __slots__, shared by millions)."""
+
+    __slots__ = (
+        "kind",
+        "active",
+        "repeat",
+        "addrs",
+        "bytes_per_thread",
+        "opcode",
+        "beats",
+        "hsu_able",
+        "chain",
+    )
+
+    def __init__(
+        self,
+        kind: str,
+        active: int = 32,
+        repeat: int = 1,
+        addrs: tuple[int, ...] = (),
+        bytes_per_thread: int = 0,
+        opcode: Opcode | None = None,
+        beats: int = 1,
+        hsu_able: bool = False,
+        chain: int = 1,
+    ) -> None:
+        if kind not in _KINDS:
+            raise TraceError(f"unknown instruction kind {kind!r}")
+        if not 1 <= active <= 32:
+            raise TraceError(f"active thread count {active} outside [1, 32]")
+        if repeat < 1:
+            raise TraceError("repeat must be >= 1")
+        if kind == KIND_LDG and not addrs:
+            raise TraceError("ldg requires per-thread addresses")
+        if chain < 1:
+            raise TraceError("chain must be >= 1")
+        if kind == KIND_HSU:
+            if opcode is None:
+                raise TraceError("hsu instruction requires an opcode")
+            if not addrs:
+                raise TraceError("hsu instruction requires fetch addresses")
+            if beats < 1:
+                raise TraceError("beats must be >= 1")
+        self.kind = kind
+        self.active = active
+        self.repeat = repeat
+        self.addrs = addrs
+        self.bytes_per_thread = bytes_per_thread
+        self.opcode = opcode
+        self.beats = beats
+        self.hsu_able = hsu_able
+        self.chain = chain
+
+    def __repr__(self) -> str:
+        extra = ""
+        if self.kind == KIND_HSU and self.opcode is not None:
+            extra = f" {self.opcode.value} beats={self.beats}"
+        elif self.kind == KIND_LDG:
+            extra = f" {len(self.addrs)}x{self.bytes_per_thread}B"
+        return f"<{self.kind} active={self.active} repeat={self.repeat}{extra}>"
+
+
+@dataclass
+class WarpTrace:
+    """One warp's instruction stream plus bookkeeping."""
+
+    instructions: list[WarpInstr] = field(default_factory=list)
+    #: Identifier for debugging (e.g. query index range).
+    label: str = ""
+
+    def append(self, instr: WarpInstr) -> None:
+        self.instructions.append(instr)
+
+    @property
+    def length(self) -> int:
+        return len(self.instructions)
+
+
+@dataclass
+class KernelTrace:
+    """A full kernel launch: all warps of all thread blocks."""
+
+    warps: list[WarpTrace] = field(default_factory=list)
+    name: str = ""
+
+    @property
+    def num_warps(self) -> int:
+        return len(self.warps)
+
+    def total_instructions(self) -> int:
+        return sum(w.length for w in self.warps)
+
+    def validate(self) -> None:
+        if not self.warps:
+            raise TraceError(f"kernel {self.name!r} has no warps")
+        for index, warp in enumerate(self.warps):
+            if not warp.instructions:
+                raise TraceError(f"warp {index} of {self.name!r} is empty")

@@ -1,0 +1,21 @@
+"""Hierarchical graph substrate — the GGNN workload's search index.
+
+GGNN (§V-A) is "the current state of the art approximate nearest neighbors
+GPU implementation for high dimensional data": a hierarchical
+navigable-small-world graph searched best-first, with a bounded
+priority-queue cache of candidates and the current K best.  The distance
+tests that steer traversal are what the HSU accelerates; queue maintenance
+stays on the SIMD units (§VI-D).
+"""
+
+from repro.graph.hnsw import HnswGraph, build_hnsw
+from repro.graph.priority_cache import PriorityCache
+from repro.graph.search import GraphSearchStats, search
+
+__all__ = [
+    "GraphSearchStats",
+    "HnswGraph",
+    "PriorityCache",
+    "build_hnsw",
+    "search",
+]

@@ -1,0 +1,232 @@
+"""Hierarchical navigable-small-world graph construction.
+
+A from-scratch HNSW build (Malkov & Yashunin) — the layered graph family
+GGNN, SONG and CAGRA draw on (Fig. 1; §V-A).  Points receive geometrically
+distributed maximum layers; insertion greedily descends from the top layer,
+then connects each point to its ``m`` closest neighbors per layer (with
+``ef_construction`` beam width), pruning back-links to ``m_max``.
+
+Distances use float32 numpy batch kernels for build speed; the *search* path
+(:mod:`repro.graph.search`) is the instrumented one the trace compiler uses.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import BuildError
+
+#: Supported distance metrics.
+METRIC_EUCLID = "euclid"
+METRIC_ANGULAR = "angular"
+
+
+def batch_distances(
+    query: np.ndarray, candidates: np.ndarray, metric: str
+) -> np.ndarray:
+    """Distances from ``query`` to each row of ``candidates`` (float32).
+
+    Euclid returns squared distances (what ``POINT_EUCLID`` computes);
+    angular returns ``1 - cos(theta)`` (the software epilogue over
+    ``POINT_ANGULAR``'s dot/norm sums).
+    """
+    q = query.astype(np.float32, copy=False)
+    c = candidates.astype(np.float32, copy=False)
+    if metric == METRIC_EUCLID:
+        diff = c - q
+        return np.sum(diff * diff, axis=1, dtype=np.float32)
+    if metric == METRIC_ANGULAR:
+        dot = c @ q
+        norms = np.sqrt(np.sum(c * c, axis=1, dtype=np.float32))
+        q_norm = np.float32(math.sqrt(float(np.sum(q * q, dtype=np.float64))))
+        denom = norms * q_norm
+        denom[denom == 0.0] = np.float32(1.0)
+        return np.float32(1.0) - dot / denom
+    raise BuildError(f"unknown metric {metric!r}")
+
+
+@dataclass
+class HnswGraph:
+    """A layered proximity graph.
+
+    ``layers[l]`` maps node id -> neighbor id list for layer ``l`` (layer 0
+    holds every point; higher layers are sparser).  ``entry_point`` is the
+    node the search starts from, on ``top_layer``.
+    """
+
+    points: np.ndarray
+    metric: str
+    m: int
+    layers: list[dict[int, list[int]]] = field(default_factory=list)
+    node_max_layer: np.ndarray = field(
+        default_factory=lambda: np.empty(0, np.int32)
+    )
+    entry_point: int = 0
+
+    @property
+    def num_points(self) -> int:
+        return int(self.points.shape[0])
+
+    @property
+    def dim(self) -> int:
+        return int(self.points.shape[1])
+
+    @property
+    def top_layer(self) -> int:
+        return len(self.layers) - 1
+
+    def neighbors(self, layer: int, node: int) -> list[int]:
+        return self.layers[layer].get(node, [])
+
+    def validate(self) -> None:
+        """Check layer nesting and symmetry-ish invariants."""
+        if not self.layers:
+            raise BuildError("graph has no layers")
+        if len(self.layers[0]) != self.num_points:
+            raise BuildError("layer 0 must contain every point")
+        for layer_index, layer in enumerate(self.layers):
+            for node, nbrs in layer.items():
+                if self.node_max_layer[node] < layer_index:
+                    raise BuildError(
+                        f"node {node} appears above its max layer"
+                    )
+                for nbr in nbrs:
+                    if nbr == node:
+                        raise BuildError(f"self-loop at node {node}")
+                    if nbr not in layer:
+                        raise BuildError(
+                            f"edge {node}->{nbr} leaves layer {layer_index}"
+                        )
+
+
+def _search_layer(
+    graph: HnswGraph,
+    query: np.ndarray,
+    entry: int,
+    entry_dist: float,
+    layer: int,
+    ef: int,
+) -> list[tuple[float, int]]:
+    """Beam search on one layer; returns (dist, node) ascending, length<=ef."""
+    import heapq
+
+    visited = {entry}
+    frontier = [(entry_dist, entry)]  # min-heap
+    best = [(-entry_dist, entry)]  # max-heap
+    while frontier:
+        dist, node = heapq.heappop(frontier)
+        if dist > -best[0][0] and len(best) >= ef:
+            break
+        nbrs = [n for n in graph.neighbors(layer, node) if n not in visited]
+        if not nbrs:
+            continue
+        visited.update(nbrs)
+        dists = batch_distances(query, graph.points[nbrs], graph.metric)
+        for nbr_dist, nbr in zip(dists, nbrs):
+            nbr_dist = float(nbr_dist)
+            if len(best) < ef:
+                heapq.heappush(best, (-nbr_dist, nbr))
+                heapq.heappush(frontier, (nbr_dist, nbr))
+            elif nbr_dist < -best[0][0]:
+                heapq.heapreplace(best, (-nbr_dist, nbr))
+                heapq.heappush(frontier, (nbr_dist, nbr))
+    return sorted((-negd, node) for negd, node in best)
+
+
+def build_hnsw(
+    points: np.ndarray,
+    m: int = 12,
+    ef_construction: int = 48,
+    metric: str = METRIC_EUCLID,
+    seed: int = 0,
+) -> HnswGraph:
+    """Build an HNSW graph over ``points``.
+
+    ``m`` is the target out-degree per layer (layer 0 allows ``2*m``);
+    ``ef_construction`` the build-time beam width.
+    """
+    points = np.ascontiguousarray(points, dtype=np.float32)
+    if points.ndim != 2 or points.shape[0] == 0:
+        raise BuildError(f"expected non-empty (N, dim) points, got {points.shape}")
+    if m < 2:
+        raise BuildError(f"m must be >= 2, got {m}")
+    if ef_construction < m:
+        raise BuildError("ef_construction must be >= m")
+
+    count = points.shape[0]
+    rng = np.random.default_rng(seed)
+    level_scale = 1.0 / math.log(m)
+    max_layers = max(1, int(math.log(max(count, 2)) * level_scale) + 1)
+    node_levels = np.minimum(
+        (-np.log(rng.uniform(size=count) + 1e-12) * level_scale).astype(np.int32),
+        max_layers - 1,
+    )
+
+    graph = HnswGraph(
+        points=points,
+        metric=metric,
+        m=m,
+        layers=[{} for _ in range(int(node_levels.max()) + 1)],
+        node_max_layer=node_levels,
+    )
+
+    def degree_cap(layer: int) -> int:
+        return 2 * m if layer == 0 else m
+
+    def connect(layer: int, node: int, candidates: list[tuple[float, int]]) -> None:
+        chosen = [nbr for _dist, nbr in candidates[: degree_cap(layer)]]
+        graph.layers[layer][node] = chosen
+        for nbr in chosen:
+            back = graph.layers[layer].setdefault(nbr, [])
+            if node not in back:
+                back.append(node)
+                if len(back) > degree_cap(layer):
+                    # Prune the farthest back-link.
+                    dists = batch_distances(
+                        points[nbr], points[back], metric
+                    )
+                    worst = int(np.argmax(dists))
+                    back.pop(worst)
+
+    # First point seeds every one of its layers.
+    first_level = int(node_levels[0])
+    graph.entry_point = 0
+    for layer in range(first_level + 1):
+        graph.layers[layer][0] = []
+    entry_level = first_level
+
+    for node in range(1, count):
+        query = points[node]
+        level = int(node_levels[node])
+        entry = graph.entry_point
+        entry_dist = float(batch_distances(query, points[entry : entry + 1], metric)[0])
+        # Greedy descent through layers above the node's level.
+        for layer in range(entry_level, level, -1):
+            improved = True
+            while improved:
+                improved = False
+                nbrs = graph.neighbors(layer, entry)
+                if not nbrs:
+                    break
+                dists = batch_distances(query, points[nbrs], metric)
+                best = int(np.argmin(dists))
+                if float(dists[best]) < entry_dist:
+                    entry_dist = float(dists[best])
+                    entry = nbrs[best]
+                    improved = True
+        # Beam-search and connect on layers min(level, entry_level)..0.
+        for layer in range(min(level, entry_level), -1, -1):
+            candidates = _search_layer(
+                graph, query, entry, entry_dist, layer, ef_construction
+            )
+            connect(layer, node, candidates)
+            entry_dist, entry = candidates[0]
+        if level > entry_level:
+            for layer in range(entry_level + 1, level + 1):
+                graph.layers[layer][node] = []
+            graph.entry_point = node
+            entry_level = level
+    return graph

@@ -1,0 +1,98 @@
+"""The bounded priority-queue cache GGNN keeps in shared memory.
+
+GGNN "uses ... a parallel cache in shared memory for maintaining a priority
+queue of nodes to visit and the current closest K neighbors" (§V-A).  We
+model it as one structure with the same three roles:
+
+* a *visit queue* — min-heap of unexplored candidates by distance,
+* a *best list* — the closest K found so far (bounded max-heap),
+* a *visited filter* — membership set preventing re-expansion.
+
+Every mutation is counted; the trace compiler charges these operations to
+the SIMD pipeline (the HSU does not accelerate queue maintenance, §VI-C).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+
+@dataclass
+class CacheOpCounts:
+    """Operation counters for one query's cache activity."""
+
+    pushes: int = 0
+    pops: int = 0
+    best_updates: int = 0
+    visited_checks: int = 0
+
+    def total(self) -> int:
+        return self.pushes + self.pops + self.best_updates + self.visited_checks
+
+
+class PriorityCache:
+    """Bounded candidate queue + best-K list + visited set."""
+
+    def __init__(self, k: int, ef: int) -> None:
+        """``k`` results to keep; ``ef`` is the candidate beam width (>= k)."""
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if ef < k:
+            raise ValueError(f"ef ({ef}) must be >= k ({k})")
+        self.k = k
+        self.ef = ef
+        self._visit: list[tuple[float, int]] = []  # min-heap
+        self._best: list[tuple[float, int]] = []  # max-heap via negation
+        self._visited: set[int] = set()
+        self.counts = CacheOpCounts()
+
+    def mark_visited(self, node: int) -> bool:
+        """Record ``node`` as visited; True if it was new."""
+        self.counts.visited_checks += 1
+        if node in self._visited:
+            return False
+        self._visited.add(node)
+        return True
+
+    def is_visited(self, node: int) -> bool:
+        self.counts.visited_checks += 1
+        return node in self._visited
+
+    def worst_best(self) -> float:
+        """Distance of the current K-th best (inf while under-full)."""
+        if len(self._best) < self.ef:
+            return float("inf")
+        return -self._best[0][0]
+
+    def push(self, dist: float, node: int) -> None:
+        """Offer a scored candidate to both the visit queue and best list."""
+        self.counts.pushes += 1
+        if dist >= self.worst_best():
+            return
+        heapq.heappush(self._visit, (dist, node))
+        self.counts.best_updates += 1
+        if len(self._best) < self.ef:
+            heapq.heappush(self._best, (-dist, node))
+        else:
+            heapq.heapreplace(self._best, (-dist, node))
+
+    def pop_nearest(self) -> tuple[float, int] | None:
+        """Closest unexplored candidate, or None when the frontier is dry.
+
+        Returns None (terminating the search) once the nearest frontier
+        entry is no better than the current K-th best — the standard
+        best-first stopping rule.
+        """
+        while self._visit:
+            self.counts.pops += 1
+            dist, node = heapq.heappop(self._visit)
+            if dist > self.worst_best():
+                return None
+            return dist, node
+        return None
+
+    def results(self) -> list[tuple[int, float]]:
+        """Best K as (node, distance), ascending by distance."""
+        ordered = sorted((-negd, node) for negd, node in self._best)
+        return [(node, dist) for dist, node in ordered[: self.k]]

@@ -1,0 +1,114 @@
+"""GGNN-style best-first graph search with an instrumented event stream.
+
+One query maps to one threadblock in GGNN; the block cooperatively computes
+distances to a node's neighbors (the HSU-able work), then updates the
+priority-queue cache (SIMD-only work, §VI-C/§VI-D).  The recorded event
+stream interleaves these phases in traversal order so the trace compiler
+reproduces the overlap behaviour the roofline analysis discusses (§VI-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.graph.hnsw import HnswGraph, batch_distances
+from repro.graph.priority_cache import PriorityCache
+
+#: Event kinds consumed by the trace compiler.
+EVENT_DIST = "dist"
+EVENT_QUEUE = "queue"
+EVENT_VISIT = "visit"
+
+
+@dataclass
+class GraphSearchStats:
+    """Counters and optional event log for one query."""
+
+    dist_tests: int = 0
+    nodes_expanded: int = 0
+    queue_ops: int = 0
+    record_events: bool = False
+    #: (kind, node_id, payload): payload is dim for dist, op count for queue.
+    events: list[tuple[str, int, int]] = field(default_factory=list)
+
+    def _event(self, kind: str, ident: int, payload: int) -> None:
+        if self.record_events:
+            self.events.append((kind, ident, payload))
+
+    def dist(self, node_id: int, dim: int) -> None:
+        self.dist_tests += 1
+        self._event(EVENT_DIST, node_id, dim)
+
+    def queue(self, ops: int) -> None:
+        self.queue_ops += ops
+        self._event(EVENT_QUEUE, -1, ops)
+
+    def visit(self, node_id: int) -> None:
+        self.nodes_expanded += 1
+        self._event(EVENT_VISIT, node_id, 0)
+
+
+def search(
+    graph: HnswGraph,
+    query: np.ndarray,
+    k: int = 10,
+    ef: int = 32,
+    stats: GraphSearchStats | None = None,
+) -> list[tuple[int, float]]:
+    """Approximate K nearest neighbors of ``query``.
+
+    Greedy descent through the upper layers to a layer-0 entry, then
+    best-first expansion with beam width ``ef``.  Returns (node, distance)
+    pairs ascending by distance.
+    """
+    stats = stats if stats is not None else GraphSearchStats()
+    query = np.asarray(query, dtype=np.float32)
+
+    entry = graph.entry_point
+    stats.dist(entry, graph.dim)
+    entry_dist = float(
+        batch_distances(query, graph.points[entry : entry + 1], graph.metric)[0]
+    )
+
+    # Greedy descent on the sparse upper layers.
+    for layer in range(graph.top_layer, 0, -1):
+        improved = True
+        while improved:
+            improved = False
+            nbrs = graph.neighbors(layer, entry)
+            if not nbrs:
+                break
+            dists = batch_distances(query, graph.points[nbrs], graph.metric)
+            for node_id in nbrs:
+                stats.dist(node_id, graph.dim)
+            best = int(np.argmin(dists))
+            stats.queue(1)  # compare-and-swap of the running minimum
+            if float(dists[best]) < entry_dist:
+                entry_dist = float(dists[best])
+                entry = nbrs[best]
+                improved = True
+
+    # Best-first expansion on layer 0 with the priority cache.
+    cache = PriorityCache(k=k, ef=ef)
+    cache.mark_visited(entry)
+    cache.push(entry_dist, entry)
+    stats.queue(2)
+    while True:
+        popped = cache.pop_nearest()
+        stats.queue(1)
+        if popped is None:
+            break
+        _dist, node = popped
+        stats.visit(node)
+        nbrs = [n for n in graph.neighbors(0, node) if cache.mark_visited(n)]
+        stats.queue(len(graph.neighbors(0, node)))  # visited-filter checks
+        if not nbrs:
+            continue
+        dists = batch_distances(query, graph.points[nbrs], graph.metric)
+        for nbr, nbr_dist in zip(nbrs, dists):
+            stats.dist(nbr, graph.dim)
+            cache.push(float(nbr_dist), nbr)
+            stats.queue(1)
+    return cache.results()

@@ -1,0 +1,18 @@
+"""K-d tree substrate — the FLANN workload's search index (§V-A, §VI-F).
+
+K-d trees split n-dimensional space along one axis per level, so traversal
+needs only "a single scalar subtraction and comparison" per node — too cheap
+to offload (§VI-F).  The HSU instead accelerates the Euclidean/angular
+distance tests performed at the leaves.
+"""
+
+from repro.kdtree.build import KdTree, build_kdtree
+from repro.kdtree.search import KdSearchStats, knn_search, radius_search
+
+__all__ = [
+    "KdSearchStats",
+    "KdTree",
+    "build_kdtree",
+    "knn_search",
+    "radius_search",
+]

@@ -1,0 +1,161 @@
+"""Median-split k-d tree construction.
+
+Splits on the axis of greatest spread at the median (the classic FLANN
+randomized-kd-tree build without the randomization — deterministic for
+reproducibility), storing points only at the leaves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import BuildError
+
+
+@dataclass
+class KdNode:
+    """One k-d tree node: either a split plane or a leaf range."""
+
+    split_dim: int = -1
+    split_value: float = 0.0
+    left: int = -1
+    right: int = -1
+    first_point: int = 0
+    point_count: int = 0
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.split_dim < 0
+
+
+@dataclass
+class KdTree:
+    """A k-d tree over an (N, dim) point array.
+
+    ``point_indices`` is the permutation leaf ranges index into; ``points``
+    stays in the caller's original order.
+    """
+
+    points: np.ndarray
+    nodes: list[KdNode] = field(default_factory=list)
+    point_indices: np.ndarray = field(default_factory=lambda: np.empty(0, np.int64))
+    root: int = 0
+    leaf_size: int = 8
+
+    @property
+    def dim(self) -> int:
+        return int(self.points.shape[1])
+
+    @property
+    def num_points(self) -> int:
+        return int(self.points.shape[0])
+
+    def leaf_points(self, node: KdNode) -> np.ndarray:
+        """Original point ids stored in a leaf."""
+        if not node.is_leaf:
+            raise BuildError("leaf_points called on a split node")
+        return self.point_indices[
+            node.first_point : node.first_point + node.point_count
+        ]
+
+    def depth(self) -> int:
+        max_depth = 0
+        stack = [(self.root, 1)]
+        while stack:
+            index, depth = stack.pop()
+            node = self.nodes[index]
+            if node.is_leaf:
+                max_depth = max(max_depth, depth)
+            else:
+                stack.append((node.left, depth + 1))
+                stack.append((node.right, depth + 1))
+        return max_depth
+
+    def validate(self) -> None:
+        """Check partition invariants; raises :class:`BuildError` on failure."""
+        seen = np.zeros(self.num_points, dtype=bool)
+        # (node, per-dim lower bounds, per-dim upper bounds)
+        stack: list[tuple[int, np.ndarray, np.ndarray]] = [
+            (
+                self.root,
+                np.full(self.dim, -np.inf),
+                np.full(self.dim, np.inf),
+            )
+        ]
+        while stack:
+            index, lo, hi = stack.pop()
+            node = self.nodes[index]
+            if node.is_leaf:
+                for point_id in self.leaf_points(node):
+                    if seen[point_id]:
+                        raise BuildError(f"point {point_id} in multiple leaves")
+                    seen[point_id] = True
+                    coords = self.points[point_id]
+                    if np.any(coords < lo - 1e-9) or np.any(coords > hi + 1e-9):
+                        raise BuildError(
+                            f"point {point_id} escapes its cell at node {index}"
+                        )
+                continue
+            left_hi = hi.copy()
+            left_hi[node.split_dim] = node.split_value
+            right_lo = lo.copy()
+            right_lo[node.split_dim] = node.split_value
+            stack.append((node.left, lo, left_hi))
+            stack.append((node.right, right_lo, hi))
+        if not seen.all():
+            raise BuildError("some points unreachable from the root")
+
+
+def build_kdtree(points: np.ndarray, leaf_size: int = 8) -> KdTree:
+    """Build a k-d tree with median splits on the widest axis."""
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2:
+        raise BuildError(f"expected (N, dim) points, got shape {points.shape}")
+    if points.shape[0] == 0:
+        raise BuildError("cannot build a k-d tree over zero points")
+    if leaf_size < 1:
+        raise BuildError(f"leaf_size must be >= 1, got {leaf_size}")
+
+    tree = KdTree(points=points, leaf_size=leaf_size)
+    indices = np.arange(points.shape[0], dtype=np.int64)
+    tree.point_indices = indices
+
+    def new_node() -> int:
+        tree.nodes.append(KdNode())
+        return len(tree.nodes) - 1
+
+    # Iterative build over index ranges [first, last) of point_indices.
+    root = new_node()
+    stack = [(root, 0, points.shape[0])]
+    while stack:
+        index, first, last = stack.pop()
+        node = tree.nodes[index]
+        count = last - first
+        ids = indices[first:last]
+        if count <= leaf_size:
+            node.first_point = first
+            node.point_count = count
+            continue
+        cell = points[ids]
+        spread = cell.max(axis=0) - cell.min(axis=0)
+        axis = int(np.argmax(spread))
+        if spread[axis] == 0.0:
+            # All points identical in this range: make a leaf.
+            node.first_point = first
+            node.point_count = count
+            continue
+        mid = count // 2
+        # Partition so the median lands at position mid.
+        partition = np.argpartition(cell[:, axis], mid)
+        indices[first:last] = ids[partition]
+        split_value = float(points[indices[first + mid], axis])
+        node.split_dim = axis
+        node.split_value = split_value
+        node.left = new_node()
+        node.right = new_node()
+        stack.append((node.left, first, first + mid))
+        stack.append((node.right, first + mid, last))
+    tree.root = root
+    return tree

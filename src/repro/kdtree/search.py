@@ -1,0 +1,171 @@
+"""Approximate nearest-neighbor search over a k-d tree (FLANN style).
+
+Best-first search: descend to the leaf containing the query, testing one
+scalar split plane per level (the operation §VI-F deems too cheap to
+offload), while pushing the unexplored sibling branches onto a priority
+queue keyed by their minimum possible distance.  Backtracking continues
+until ``max_checks`` leaf points have been distance-tested — the knob FLANN
+uses to trade recall for time.
+
+The distance tests at the leaves are what the HSU accelerates; the recorded
+event stream separates plane tests from distance tests so the trace compiler
+can offload only the latter.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.ops import euclid_dist
+from repro.kdtree.build import KdTree
+
+#: Event kinds consumed by the trace compiler.
+EVENT_PLANE_TEST = "plane_test"
+EVENT_LEAF_DIST = "leaf_dist"
+
+
+@dataclass
+class KdSearchStats:
+    """Counters and optional event log for one query."""
+
+    plane_tests: int = 0
+    leaf_visits: int = 0
+    dist_tests: int = 0
+    record_events: bool = False
+    events: list[tuple[str, int, int]] = field(default_factory=list)
+
+    def plane_test(self, node_id: int) -> None:
+        self.plane_tests += 1
+        if self.record_events:
+            self.events.append((EVENT_PLANE_TEST, node_id, 0))
+
+    def dist_test(self, point_id: int, dim: int) -> None:
+        self.dist_tests += 1
+        if self.record_events:
+            self.events.append((EVENT_LEAF_DIST, point_id, dim))
+
+
+def knn_search(
+    tree: KdTree,
+    query: np.ndarray,
+    k: int,
+    max_checks: int = 128,
+    stats: KdSearchStats | None = None,
+) -> list[tuple[int, float]]:
+    """K nearest neighbors of ``query``, approximately.
+
+    Returns up to ``k`` ``(point_id, squared_distance)`` pairs sorted by
+    ascending distance.  With ``max_checks >= tree.num_points`` the search
+    is exact.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    stats = stats if stats is not None else KdSearchStats()
+    query = np.asarray(query, dtype=np.float64)
+
+    # Max-heap of current best: (-d2, point_id).
+    best: list[tuple[float, int]] = []
+    # Min-heap of pending branches: (min_possible_d2, tie, node_id, contribs)
+    # where contribs is the per-axis contribution tuple backing min_d2 (the
+    # Arya & Mount incremental-distance bookkeeping: crossing a split plane
+    # *replaces* the contribution along that axis rather than adding to it).
+    pending: list[tuple[float, int, int, tuple[float, ...]]] = []
+    checks = 0
+    tie = 0
+    zero_contribs = (0.0,) * tree.dim
+
+    def worst_d2() -> float:
+        return -best[0][0] if len(best) == k else np.inf
+
+    def descend(
+        node_id: int, min_d2: float, contribs: tuple[float, ...]
+    ) -> None:
+        nonlocal checks, tie
+        while True:
+            node = tree.nodes[node_id]
+            if node.is_leaf:
+                break
+            stats.plane_test(node_id)
+            diff = query[node.split_dim] - node.split_value
+            if diff < 0.0:
+                near, far = node.left, node.right
+            else:
+                near, far = node.right, node.left
+            axis = node.split_dim
+            far_contrib = diff * diff
+            far_min = min_d2 - contribs[axis] + far_contrib
+            far_contribs = (
+                contribs[:axis] + (far_contrib,) + contribs[axis + 1 :]
+            )
+            tie += 1
+            heapq.heappush(pending, (far_min, tie, far, far_contribs))
+            node_id = near
+        stats.leaf_visits += 1
+        leaf = tree.nodes[node_id]
+        for point_id in tree.leaf_points(leaf):
+            stats.dist_test(int(point_id), tree.dim)
+            d2 = euclid_dist(query, tree.points[point_id])
+            checks += 1
+            if len(best) < k:
+                heapq.heappush(best, (-d2, int(point_id)))
+            elif d2 < worst_d2():
+                heapq.heapreplace(best, (-d2, int(point_id)))
+
+    descend(tree.root, 0.0, zero_contribs)
+    while pending and checks < max_checks:
+        min_d2, _tie, node_id, contribs = heapq.heappop(pending)
+        if min_d2 >= worst_d2():
+            continue
+        descend(node_id, min_d2, contribs)
+
+    results = sorted(((-negd2, pid) for negd2, pid in best))
+    return [(pid, d2) for d2, pid in results]
+
+
+def radius_search(
+    tree: KdTree,
+    query: np.ndarray,
+    radius: float,
+    stats: KdSearchStats | None = None,
+) -> list[tuple[int, float]]:
+    """All points within ``radius`` of ``query`` (exact), sorted by distance."""
+    if radius < 0.0:
+        raise ValueError("radius must be non-negative")
+    stats = stats if stats is not None else KdSearchStats()
+    query = np.asarray(query, dtype=np.float64)
+    radius_sq = radius * radius
+    hits: list[tuple[float, int]] = []
+    zero_contribs = (0.0,) * tree.dim
+    # Stack entries carry the per-axis contribution tuple behind min_d2
+    # (incremental distance: crossing a plane replaces that axis's term).
+    stack = [(tree.root, 0.0, zero_contribs)]
+    while stack:
+        node_id, min_d2, contribs = stack.pop()
+        if min_d2 > radius_sq:
+            continue
+        node = tree.nodes[node_id]
+        if node.is_leaf:
+            stats.leaf_visits += 1
+            for point_id in tree.leaf_points(node):
+                stats.dist_test(int(point_id), tree.dim)
+                d2 = euclid_dist(query, tree.points[point_id])
+                if d2 <= radius_sq:
+                    hits.append((d2, int(point_id)))
+            continue
+        stats.plane_test(node_id)
+        axis = node.split_dim
+        diff = query[axis] - node.split_value
+        far_contrib = diff * diff
+        far_min = min_d2 - contribs[axis] + far_contrib
+        far_contribs = contribs[:axis] + (far_contrib,) + contribs[axis + 1 :]
+        if diff < 0.0:
+            stack.append((node.left, min_d2, contribs))
+            stack.append((node.right, far_min, far_contribs))
+        else:
+            stack.append((node.right, min_d2, contribs))
+            stack.append((node.left, far_min, far_contribs))
+    hits.sort()
+    return [(pid, d2) for d2, pid in hits]

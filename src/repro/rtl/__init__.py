@@ -1,0 +1,28 @@
+"""RTL-level cost model for the HSU datapath (Figs. 15 and 16).
+
+The paper synthesizes a Chisel implementation of the unified single-lane
+datapath with a 15 nm PDK and Berkeley Hardfloat FUs at 1 GHz.  We model the
+same design mechanistically: the Fig. 6 stage×mode functional-unit table
+(:mod:`repro.core.modes`) priced with 15 nm-class per-FU area and energy
+constants (:mod:`repro.rtl.process`), plus per-mode pipeline registers —
+the paper's design deliberately keeps "individual registers at every stage
+for each operating mode" (§VI-K), which is why the area overhead is
+register-dominated.
+
+We reproduce the *normalized* results: HSU/baseline total datapath area of
+about 1.37×, and per-mode dynamic power with euclid/angular within a few mW
+of the baseline ray-box mode.
+"""
+
+from repro.rtl.area import AreaBreakdown, area_report
+from repro.rtl.power import PowerReport, power_report
+from repro.rtl.process import FuCosts, PROCESS_15NM
+
+__all__ = [
+    "AreaBreakdown",
+    "FuCosts",
+    "PROCESS_15NM",
+    "PowerReport",
+    "area_report",
+    "power_report",
+]

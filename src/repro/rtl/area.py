@@ -1,0 +1,100 @@
+"""Datapath area model (Fig. 15).
+
+Prices the provisioned functional units (per-stage maxima over the
+supported operating modes), the per-mode pipeline registers, and a control
+fraction.  Fig. 15 reports HSU area normalized to the baseline datapath;
+the paper's total is a 37% increase, dominated by the new modes' stage
+registers rather than the five added adders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.modes import (
+    BASELINE_MODES,
+    FuKind,
+    HSU_MODES,
+    OperatingMode,
+    PIPELINE_DEPTH,
+    stage_maxima,
+)
+from repro.rtl.process import FuCosts, MODE_REGISTER_BITS, PROCESS_15NM
+
+
+@dataclass(frozen=True)
+class AreaBreakdown:
+    """Area (µm²) of one datapath design by resource class."""
+
+    adders: float
+    multipliers: float
+    comparators: float
+    int_alus: float
+    registers: float
+    control: float
+
+    @property
+    def combinational(self) -> float:
+        return self.adders + self.multipliers + self.comparators + self.int_alus
+
+    @property
+    def total(self) -> float:
+        return self.combinational + self.registers + self.control
+
+    def by_class(self) -> dict[str, float]:
+        return {
+            "adders": self.adders,
+            "multipliers": self.multipliers,
+            "comparators": self.comparators,
+            "int_alus": self.int_alus,
+            "registers": self.registers,
+            "control": self.control,
+            "total": self.total,
+        }
+
+
+def datapath_area(
+    modes: tuple[OperatingMode, ...], costs: FuCosts = PROCESS_15NM
+) -> AreaBreakdown:
+    """Area of a datapath provisioned for ``modes``."""
+    fu_totals: dict[FuKind, int] = {kind: 0 for kind in FuKind}
+    for units in stage_maxima(modes).values():
+        for kind, count in units.items():
+            fu_totals[kind] += count
+    adders = fu_totals[FuKind.FP_ADD] * costs.area_um2[FuKind.FP_ADD]
+    multipliers = fu_totals[FuKind.FP_MUL] * costs.area_um2[FuKind.FP_MUL]
+    comparators = fu_totals[FuKind.FP_CMP] * costs.area_um2[FuKind.FP_CMP]
+    int_alus = fu_totals[FuKind.INT_ALU] * costs.area_um2[FuKind.INT_ALU]
+    register_bits = sum(
+        MODE_REGISTER_BITS[mode.value] * PIPELINE_DEPTH for mode in modes
+    )
+    registers = register_bits * costs.reg_area_um2_per_bit
+    combinational = adders + multipliers + comparators + int_alus
+    control = combinational * costs.control_area_fraction
+    return AreaBreakdown(
+        adders=adders,
+        multipliers=multipliers,
+        comparators=comparators,
+        int_alus=int_alus,
+        registers=registers,
+        control=control,
+    )
+
+
+def area_report(costs: FuCosts = PROCESS_15NM) -> dict[str, dict[str, float]]:
+    """Fig. 15: per-class area for baseline and HSU plus normalized ratios."""
+    baseline = datapath_area(BASELINE_MODES, costs)
+    hsu = datapath_area(HSU_MODES, costs)
+    baseline_classes = baseline.by_class()
+    hsu_classes = hsu.by_class()
+    normalized = {
+        key: (hsu_classes[key] / baseline_classes[key])
+        if baseline_classes[key]
+        else float("inf")
+        for key in hsu_classes
+    }
+    return {
+        "baseline_um2": baseline_classes,
+        "hsu_um2": hsu_classes,
+        "hsu_normalized": normalized,
+    }

@@ -1,0 +1,63 @@
+"""Per-mode dynamic power model (Fig. 16).
+
+Dynamic power of one operating mode = (energy of the functional units that
+mode activates + the switching energy of its pipeline registers + mode-mux
+overhead) × clock frequency, with the unit processing one op per cycle
+(the paper measures with a random stimulus stream, i.e. full occupancy).
+
+The HSU design pays a mux/clock overhead for supporting five modes; this is
+what makes HSU ray-box/ray-triangle a few mW more expensive than the same
+modes in the baseline design (Fig. 16 shows +10 and +8 mW).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.modes import (
+    BASELINE_MODES,
+    HSU_MODES,
+    OperatingMode,
+    PIPELINE_DEPTH,
+    active_fu_counts,
+)
+from repro.rtl.process import FuCosts, MODE_REGISTER_BITS, PROCESS_15NM
+
+
+@dataclass(frozen=True)
+class PowerReport:
+    """Per-mode dynamic power (mW) for both designs."""
+
+    baseline_mw: dict[str, float]
+    hsu_mw: dict[str, float]
+
+
+def mode_power_mw(
+    mode: OperatingMode,
+    num_modes_supported: int,
+    costs: FuCosts = PROCESS_15NM,
+) -> float:
+    """Dynamic power of ``mode`` on a design supporting ``num_modes``."""
+    energy_pj = 0.0
+    for kind, count in active_fu_counts(mode).items():
+        energy_pj += count * costs.energy_pj[kind]
+    # Register toggling: the mode's own stage registers clock every cycle.
+    register_bits = MODE_REGISTER_BITS[mode.value] * PIPELINE_DEPTH
+    energy_pj += register_bits * costs.reg_energy_pj_per_bit
+    # Mode-select muxing and clock overhead grows with supported modes.
+    energy_pj += costs.mode_mux_energy_pj * (num_modes_supported - 1)
+    watts = energy_pj * 1e-12 * costs.clock_frequency_hz
+    return watts * 1e3
+
+
+def power_report(costs: FuCosts = PROCESS_15NM) -> PowerReport:
+    """Fig. 16: per-mode power for the baseline and HSU designs."""
+    baseline = {
+        mode.value: mode_power_mw(mode, len(BASELINE_MODES), costs)
+        for mode in BASELINE_MODES
+    }
+    hsu = {
+        mode.value: mode_power_mw(mode, len(HSU_MODES), costs)
+        for mode in HSU_MODES
+    }
+    return PowerReport(baseline_mw=baseline, hsu_mw=hsu)

@@ -1,0 +1,33 @@
+"""The evaluated workloads (§V-A) as op-stream generators.
+
+Each workload builds its search structure from scratch, executes the real
+search algorithm over a dataset, and emits warp-level op streams; the trace
+compiler lowers one run into the paired baseline/HSU kernel traces the
+simulator consumes.
+
+* :mod:`~repro.workloads.ggnn` — hierarchical-graph ANN, block-per-query,
+* :mod:`~repro.workloads.flann` — k-d tree ANN, thread-per-query,
+* :mod:`~repro.workloads.bvhnn` — BVH radius search (RTNN-style),
+  thread-per-query,
+* :mod:`~repro.workloads.btree_kv` — B-tree key-value lookups,
+  block-per-query,
+* :mod:`~repro.workloads.rtindex` — §VI-G: keys as triangles (baseline RT)
+  vs native points (HSU),
+* :mod:`~repro.workloads.raytrace` — plain ray casting on the baseline unit.
+"""
+
+from repro.workloads.base import TraceBundle, WorkloadRun, to_traces
+from repro.workloads.btree_kv import run_btree
+from repro.workloads.bvhnn import run_bvhnn
+from repro.workloads.flann import run_flann
+from repro.workloads.ggnn import run_ggnn
+
+__all__ = [
+    "TraceBundle",
+    "WorkloadRun",
+    "run_btree",
+    "run_bvhnn",
+    "run_flann",
+    "run_ggnn",
+    "to_traces",
+]

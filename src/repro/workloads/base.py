@@ -1,0 +1,63 @@
+"""Common workload plumbing: runs, trace bundles, lowering glue."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.compiler.lowering import (
+    CostModel,
+    HsuWidths,
+    lower_baseline,
+    lower_hsu,
+)
+from repro.compiler.ops import WarpOp
+from repro.errors import TraceError
+from repro.gpusim.trace import KernelTrace
+
+
+@dataclass
+class WorkloadRun:
+    """One executed workload: warp-level op streams plus metadata.
+
+    ``style`` selects the lowering convention (``cooperative`` for
+    block-per-query kernels, ``parallel`` for thread-per-query kernels).
+    ``extras`` carries workload-specific results (recall, hit counts, ...)
+    so tests can check the algorithm did real work.
+    """
+
+    name: str
+    style: str
+    warp_ops: list[list[WarpOp]]
+    extras: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.warp_ops:
+            raise TraceError(f"workload {self.name!r} produced no warps")
+
+
+@dataclass(frozen=True)
+class TraceBundle:
+    """The paired traces one workload run lowers into."""
+
+    baseline: KernelTrace
+    hsu: KernelTrace
+
+
+def to_traces(
+    run: WorkloadRun,
+    cost: CostModel | None = None,
+    widths: HsuWidths | None = None,
+) -> TraceBundle:
+    """Lower a workload run into its baseline and HSU kernel traces."""
+    baseline = KernelTrace(name=f"{run.name}-baseline")
+    hsu = KernelTrace(name=f"{run.name}-hsu")
+    for index, ops in enumerate(run.warp_ops):
+        label = f"{run.name}/w{index}"
+        baseline.warps.append(
+            lower_baseline(ops, run.style, cost=cost, label=label)
+        )
+        hsu.warps.append(
+            lower_hsu(ops, run.style, cost=cost, widths=widths, label=label)
+        )
+    return TraceBundle(baseline=baseline, hsu=hsu)

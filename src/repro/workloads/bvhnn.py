@@ -1,0 +1,161 @@
+"""BVH-NN workload: RTNN-style BVH radius search, thread-per-query.
+
+Builds the §V-A acceleration structure — leaf AABBs of width twice the
+search radius centered on each point, Morton-sorted, Karras LBVH — and runs
+the instrumented point-query traversal per query.  Box-node visits are the
+HSU-able ``RAY_INTERSECT`` work; per-thread traversal-stack maintenance
+stays on the SIMD units (§VI-C); leaf distance tests are few ("less than
+200 for each query", §VI-C) and also HSU-able.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.bvh.collapse import collapse_to_bvh4
+from repro.bvh.lbvh import build_lbvh_for_points
+from repro.bvh.sah import build_sah
+from repro.bvh.traversal import (
+    EVENT_BOX_NODE,
+    EVENT_LEAF_DIST,
+    EVENT_STACK_OP,
+    TraversalStats,
+    radius_search,
+)
+from repro.compiler.assembler import assemble_warps
+from repro.compiler.layout import AddressSpace
+from repro.compiler.lowering import STYLE_PARALLEL
+from repro.compiler.ops import METRIC_EUCLID, TAlu, TBox, TDist, TShared
+from repro.datasets.registry import load_dataset
+
+#: Bytes per stored child record in a box node (6 box floats + pointer).
+_CHILD_BYTES = 32
+
+
+def choose_radius(
+    points: np.ndarray, neighbor_rank: int = 5, sample: int = 128, seed: int = 0
+) -> float:
+    """A search radius reaching about ``neighbor_rank`` neighbors.
+
+    RTNN tunes the radius per dataset; we estimate it as the mean distance
+    to the ``neighbor_rank``-th neighbor over a point sample, so queries see
+    a realistic (tens, not thousands) candidate count.
+    """
+    rng = np.random.default_rng(seed)
+    count = points.shape[0]
+    chosen = rng.choice(count, size=min(sample, count), replace=False)
+    radii = []
+    for index in chosen:
+        d2 = np.sum((points - points[index]) ** 2, axis=1)
+        radii.append(np.sqrt(np.partition(d2, neighbor_rank)[neighbor_rank]))
+    return float(np.median(radii))
+
+
+@lru_cache(maxsize=16)
+def _build(abbr: str, scale: float, seed: int, builder: str, arity: int):
+    dataset = load_dataset(abbr, num_queries=512, scale=scale, seed=seed)
+    points = dataset.points.astype(np.float64)
+    radius = choose_radius(points, seed=seed)
+    if builder == "lbvh":
+        bvh = build_lbvh_for_points(points, radius)
+    elif builder == "sah":
+        from repro.geometry.aabb import Aabb
+
+        boxes = [Aabb.around_point(p, radius) for p in points]
+        bvh = build_sah(boxes, leaf_size=1)
+    else:
+        raise ValueError(f"unknown builder {builder!r}")
+    if arity == 4:
+        bvh = collapse_to_bvh4(bvh)
+    elif arity != 2:
+        raise ValueError(f"arity must be 2 or 4, got {arity}")
+    return dataset, points, radius, bvh
+
+
+def run_bvhnn(
+    abbr: str,
+    num_queries: int = 256,
+    scale: float = 1.0,
+    seed: int = 0,
+    builder: str = "lbvh",
+    arity: int = 2,
+    sort_queries: bool = False,
+):
+    """Execute BVH-NN radius search over one dataset; returns a WorkloadRun.
+
+    Ablation knobs beyond the paper's default configuration:
+
+    * ``builder="sah"`` — the higher-quality binned-SAH build §VI-E says
+      "would further improve performance" over the fast LBVH;
+    * ``arity=4`` — the BVH4 §VI-E says "would likely have better
+      performance" because the unit tests four boxes per instruction;
+    * ``sort_queries=True`` — Morton-sort the query batch, the RTNN
+      coherence preprocessing the paper's BVH-NN deliberately omits.
+    """
+    from repro.workloads.base import WorkloadRun
+
+    dataset, points, radius, bvh = _build(abbr, scale, seed, builder, arity)
+    # Queries near the data manifold: perturbed dataset points, so traversal
+    # reaches leaves (pure generator queries can fall far off the surface).
+    rng = np.random.default_rng(seed + 1)
+    picks = rng.choice(points.shape[0], size=num_queries, replace=True)
+    queries = points[picks] + rng.normal(scale=radius * 0.3, size=(num_queries, 3))
+    if sort_queries:
+        from repro.geometry.morton import morton_encode_points
+
+        queries = queries[np.argsort(morton_encode_points(queries))]
+
+    space = AddressSpace()
+    nodes = space.alloc_array("bvh_nodes", bvh.num_nodes, bvh.arity * _CHILD_BYTES)
+    point_mem = space.alloc_array("points", points.shape[0], 3 * 4)
+    # Points are stored Morton-sorted (the order the LBVH build produced),
+    # so leaf data for nearby queries shares cache lines.
+    position_of = {int(pid): pos for pos, pid in enumerate(bvh.prim_indices)}
+
+    thread_streams = []
+    total_hits = 0
+    total_dist_tests = 0
+    for query in queries:
+        stats = TraversalStats(record_events=True)
+        hits = radius_search(bvh, points, query, radius, stats=stats)
+        total_hits += len(hits)
+        total_dist_tests += stats.prim_tests
+        stream = []
+        for kind, ident, payload in stats.events:
+            if kind == EVENT_BOX_NODE:
+                stream.append(
+                    TBox(
+                        nodes.element(ident, bvh.arity * _CHILD_BYTES),
+                        payload,
+                        payload * _CHILD_BYTES,
+                    )
+                )
+            elif kind == EVENT_STACK_OP:
+                # Push/pop bookkeeping in shared memory plus the traversal
+                # loop control that stays on the SIMD units (§VI-C: "these
+                # operations are not accelerated within the RT unit").
+                stream.append(TShared(max(1, payload)))
+                stream.append(TAlu(4))
+            elif kind == EVENT_LEAF_DIST:
+                stream.append(
+                    TDist(point_mem.element(position_of[ident], 12), 3, METRIC_EUCLID)
+                )
+        thread_streams.append(stream)
+
+    extras = {
+        "dataset": abbr,
+        "builder": builder,
+        "arity": arity,
+        "radius": radius,
+        "num_queries": len(queries),
+        "mean_hits": total_hits / max(1, len(queries)),
+        "mean_dist_tests": total_dist_tests / max(1, len(queries)),
+    }
+    return WorkloadRun(
+        name=f"bvhnn-{abbr}",
+        style=STYLE_PARALLEL,
+        warp_ops=assemble_warps(thread_streams),
+        extras=extras,
+    )

@@ -1,0 +1,100 @@
+"""FLANN workload: k-d tree ANN search, thread-per-query.
+
+Builds a k-d tree over the dataset and runs the instrumented
+bounded-backtracking search for each query (§V-A).  Per-query thread op
+streams are zipped into 32-wide warps; split-plane tests stay scalar SIMD
+work ("only a single scalar subtraction and comparison", §VI-F) while leaf
+distance tests are the HSU-able operations.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.ann.ground_truth import brute_force_knn
+from repro.ann.recall import recall_at_k
+from repro.compiler.assembler import assemble_warps
+from repro.compiler.layout import AddressSpace
+from repro.compiler.lowering import STYLE_PARALLEL
+from repro.compiler.ops import METRIC_EUCLID, TAlu, TDist, TLoad, TShared
+from repro.datasets.registry import load_dataset, perturbed_queries
+from repro.kdtree.build import build_kdtree
+from repro.kdtree.search import (
+    EVENT_LEAF_DIST,
+    EVENT_PLANE_TEST,
+    KdSearchStats,
+    knn_search,
+)
+
+#: Bytes per k-d split node (dim, value, two child pointers).
+_NODE_BYTES = 16
+#: ALU cost of one plane test + branch bookkeeping (§VI-F: "a single
+#: scalar subtraction and comparison", plus far-distance arithmetic).
+_PLANE_ALU = 5
+#: Shared-memory ops per backtracking-heap push/pop.
+_HEAP_OPS = 5
+
+
+@lru_cache(maxsize=16)
+def _build_tree(abbr: str, leaf_size: int, scale: float, seed: int):
+    dataset = load_dataset(abbr, num_queries=512, scale=scale, seed=seed)
+    tree = build_kdtree(dataset.points, leaf_size=leaf_size)
+    return dataset, tree
+
+
+def run_flann(
+    abbr: str,
+    num_queries: int = 256,
+    k: int = 5,
+    max_checks: int = 64,
+    leaf_size: int = 8,
+    scale: float = 1.0,
+    seed: int = 0,
+    check_recall: bool = False,
+):
+    """Execute FLANN-style search over one dataset; returns a WorkloadRun."""
+    from repro.workloads.base import WorkloadRun
+
+    dataset, tree = _build_tree(abbr, leaf_size, scale, seed)
+    queries = perturbed_queries(dataset, num_queries, seed=seed)
+    dim = dataset.dim
+
+    space = AddressSpace()
+    nodes = space.alloc_array("kd_nodes", len(tree.nodes), _NODE_BYTES)
+    points = space.alloc_array("points", tree.num_points, dim * 4)
+    # FLANN stores a leaf-ordered copy of the points, so leaf scans touch
+    # contiguous memory; address by sorted position, not original id.
+    position_of = {int(pid): pos for pos, pid in enumerate(tree.point_indices)}
+
+    thread_streams = []
+    results = []
+    for query in queries:
+        stats = KdSearchStats(record_events=True)
+        results.append(knn_search(tree, query, k=k, max_checks=max_checks, stats=stats))
+        stream = []
+        for kind, ident, _payload in stats.events:
+            if kind == EVENT_PLANE_TEST:
+                stream.append(TLoad(nodes.element(ident, _NODE_BYTES), _NODE_BYTES))
+                stream.append(TAlu(_PLANE_ALU))
+                # Far-branch bookkeeping on the backtracking heap.
+                stream.append(TShared(_HEAP_OPS))
+            elif kind == EVENT_LEAF_DIST:
+                stream.append(
+                    TDist(
+                        points.element(position_of[ident], dim * 4),
+                        dim,
+                        METRIC_EUCLID,
+                    )
+                )
+        thread_streams.append(stream)
+
+    extras = {"dataset": abbr, "dim": dim, "num_queries": len(queries)}
+    if check_recall:
+        truth = brute_force_knn(tree.points, queries, k)
+        extras["recall"] = recall_at_k([[i for i, _ in r] for r in results], truth)
+    return WorkloadRun(
+        name=f"flann-{abbr}",
+        style=STYLE_PARALLEL,
+        warp_ops=assemble_warps(thread_streams),
+        extras=extras,
+    )

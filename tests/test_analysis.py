@@ -1,0 +1,75 @@
+"""Analysis helpers: roofline, speedup aggregation, table rendering."""
+
+import pytest
+
+from repro.analysis import (
+    format_table,
+    geometric_mean,
+    mean_improvement_percent,
+    roofline_point,
+)
+from repro.analysis.roofline import RooflinePoint
+from repro.gpusim.stats import SimStats
+
+
+class TestRoofline:
+    def test_compute_bound_point(self):
+        point = RooflinePoint("x", ops_per_cycle=0.8, ops_per_l2_line=10.0)
+        assert point.attainable == 1.0
+        assert point.utilization == pytest.approx(0.8)
+        assert not point.memory_bound
+
+    def test_memory_bound_point(self):
+        point = RooflinePoint("x", ops_per_cycle=0.3, ops_per_l2_line=0.5)
+        assert point.attainable == pytest.approx(0.5)
+        assert point.memory_bound
+
+    def test_from_stats(self):
+        stats = SimStats(cycles=1000, hsu_thread_beats=500, l2_accesses=100)
+        point = roofline_point("app", stats)
+        assert point.ops_per_cycle == pytest.approx(0.5)
+        assert point.ops_per_l2_line == pytest.approx(5.0)
+
+
+class TestSpeedup:
+    def test_geometric_mean(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+        assert geometric_mean([1.0]) == 1.0
+
+    def test_geometric_mean_validation(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, -2.0])
+
+    def test_mean_improvement(self):
+        # The paper's convention: mean speedup 1.248 => "improved 24.8%".
+        assert mean_improvement_percent([1.2, 1.3]) == pytest.approx(25.0)
+        with pytest.raises(ValueError):
+            mean_improvement_percent([])
+
+
+class TestFormatTable:
+    def test_alignment_and_floats(self):
+        text = format_table(
+            ["name", "value"],
+            [("a", 1.23456), ("long-name", 2.0)],
+            title="T",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "1.235" in text
+        # All data rows equal width.
+        assert len(lines[2]) == len(lines[3])
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [("only-one",)])
+
+    def test_empty_headers(self):
+        with pytest.raises(ValueError):
+            format_table([], [])
+
+    def test_empty_rows_ok(self):
+        text = format_table(["a"], [])
+        assert "a" in text

@@ -1,0 +1,61 @@
+"""Ground truth and recall metrics."""
+
+import numpy as np
+import pytest
+
+from repro.ann import brute_force_knn, recall_at_k
+from repro.errors import DatasetError
+
+
+class TestGroundTruth:
+    def test_self_is_nearest(self):
+        rng = np.random.default_rng(0)
+        points = rng.normal(size=(100, 8)).astype(np.float32)
+        truth = brute_force_knn(points, points[:5], k=1)
+        assert list(truth[:, 0]) == [0, 1, 2, 3, 4]
+
+    def test_angular_metric(self):
+        points = np.array(
+            [[1.0, 0.0], [0.9, 0.1], [0.0, 1.0], [-1.0, 0.0]], dtype=np.float32
+        )
+        truth = brute_force_knn(points, points[:1], k=4, metric="angular")
+        assert list(truth[0]) == [0, 1, 2, 3]
+
+    def test_k_validation(self):
+        points = np.zeros((5, 2), dtype=np.float32)
+        with pytest.raises(DatasetError):
+            brute_force_knn(points, points[:1], k=6)
+        with pytest.raises(DatasetError):
+            brute_force_knn(points, points[:1], k=0)
+
+    def test_unknown_metric(self):
+        points = np.zeros((5, 2), dtype=np.float32)
+        with pytest.raises(DatasetError):
+            brute_force_knn(points, points[:1], k=1, metric="hamming")
+
+
+class TestRecall:
+    def test_perfect_recall(self):
+        truth = np.array([[0, 1, 2], [3, 4, 5]])
+        assert recall_at_k([[0, 1, 2], [3, 4, 5]], truth) == 1.0
+
+    def test_order_insensitive(self):
+        truth = np.array([[0, 1, 2]])
+        assert recall_at_k([[2, 0, 1]], truth) == 1.0
+
+    def test_partial_recall(self):
+        truth = np.array([[0, 1, 2, 3]])
+        assert recall_at_k([[0, 1, 9, 8]], truth) == pytest.approx(0.5)
+
+    def test_recall_at_smaller_k(self):
+        truth = np.array([[0, 1, 2, 3]])
+        assert recall_at_k([[0, 9, 9, 9]], truth, k=1) == 1.0
+
+    def test_validation(self):
+        truth = np.array([[0, 1]])
+        with pytest.raises(DatasetError):
+            recall_at_k([[0, 1], [0, 1]], truth)  # query count mismatch
+        with pytest.raises(DatasetError):
+            recall_at_k([[0, 1]], truth, k=3)
+        with pytest.raises(DatasetError):
+            recall_at_k([[0]], np.array([0, 1]))  # 1-D truth

@@ -1,0 +1,128 @@
+"""B-tree bulk load, lookup, range scan, and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.btree import BTree, BTreeStats, bulk_load
+from repro.btree.btree import EVENT_KEY_COMPARE, EVENT_LEAF_SCAN, MAX_BRANCH
+from repro.errors import BuildError
+
+
+def make_tree(n=5000, branch=64, seed=0):
+    rng = np.random.default_rng(seed)
+    keys = rng.permutation(n * 3)[:n].astype(float)
+    return keys, bulk_load(keys, keys * 2.0, branch=branch)
+
+
+class TestBulkLoad:
+    def test_valid_structure(self):
+        _keys, tree = make_tree()
+        tree.validate()
+
+    def test_rodinia_branch_factor(self):
+        keys = np.arange(100_000, dtype=float)
+        tree = bulk_load(keys, branch=256)
+        tree.validate()
+        # 255 separators max per internal node.
+        for node in tree.nodes:
+            if not node.is_leaf:
+                assert len(node.separators) <= 255
+
+    def test_height_logarithmic(self):
+        keys = np.arange(10_000, dtype=float)
+        tree = bulk_load(keys, branch=256)
+        assert tree.height() <= 3
+
+    def test_single_leaf_tree(self):
+        tree = bulk_load(np.array([3.0, 1.0, 2.0]))
+        assert tree.height() == 1
+        assert tree.lookup(2.0) == 2.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(BuildError):
+            bulk_load(np.array([]))
+        with pytest.raises(BuildError):
+            bulk_load(np.array([1.0, 1.0]))  # duplicates
+        with pytest.raises(BuildError):
+            bulk_load(np.array([1.0]), branch=1)
+        with pytest.raises(BuildError):
+            bulk_load(np.array([1.0]), branch=MAX_BRANCH + 1)
+        with pytest.raises(BuildError):
+            bulk_load(np.array([1.0, 2.0]), values=np.array([1.0]))
+
+
+class TestLookup:
+    def test_every_key_found(self):
+        keys, tree = make_tree(n=2000, branch=32)
+        for key in keys[::37]:
+            assert tree.lookup(float(key)) == pytest.approx(key * 2.0)
+
+    def test_absent_keys_return_none(self):
+        keys, tree = make_tree(n=500)
+        assert tree.lookup(float(max(keys)) + 100.0) is None
+        assert tree.lookup(-1.0) is None
+        assert tree.lookup(float(keys[0]) + 0.5) is None
+
+    def test_stats_and_events(self):
+        _keys, tree = make_tree(n=5000, branch=32)
+        stats = BTreeStats(record_events=True)
+        tree.lookup(42.0, stats)
+        assert stats.nodes_visited == tree.height()
+        kinds = [kind for kind, _i, _p in stats.events]
+        assert kinds.count(EVENT_LEAF_SCAN) == 1
+        assert kinds.count(EVENT_KEY_COMPARE) == tree.height() - 1
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(10, 800), st.integers(2, 200), st.integers(0, 50))
+    def test_lookup_roundtrip_property(self, n, branch, seed):
+        branch = min(branch, MAX_BRANCH)
+        rng = np.random.default_rng(seed)
+        keys = rng.choice(n * 10, size=n, replace=False).astype(float)
+        tree = bulk_load(keys, keys + 0.5, branch=max(2, branch))
+        tree.validate()
+        probe = float(rng.choice(keys))
+        assert tree.lookup(probe) == probe + 0.5
+
+
+class TestRangeScan:
+    def reference(self, keys, lo, hi):
+        selected = sorted(k for k in keys if lo <= k <= hi)
+        return [(float(k), float(k * 2.0)) for k in selected]
+
+    def test_matches_reference(self):
+        keys, tree = make_tree(n=2000, branch=32, seed=1)
+        assert tree.range_scan(100.0, 300.0) == self.reference(keys, 100.0, 300.0)
+
+    def test_empty_range(self):
+        _keys, tree = make_tree(n=100)
+        assert tree.range_scan(10.0, 5.0) == []
+
+    def test_full_range(self):
+        keys, tree = make_tree(n=300, branch=16, seed=2)
+        scan = tree.range_scan(float(keys.min()), float(keys.max()))
+        assert len(scan) == len(keys)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(20, 300), st.integers(0, 30))
+    def test_scan_property(self, n, seed):
+        rng = np.random.default_rng(seed)
+        keys = rng.choice(n * 5, size=n, replace=False).astype(float)
+        tree = bulk_load(keys, keys * 2.0, branch=16)
+        lo, hi = sorted(rng.uniform(0, n * 5, size=2))
+        assert tree.range_scan(lo, hi) == self.reference(keys, lo, hi)
+
+
+class TestValidation:
+    def test_detects_unsorted_separators(self):
+        _keys, tree = make_tree(n=500, branch=16)
+        # Corrupt an internal node.
+        for node in tree.nodes:
+            if not node.is_leaf and len(node.separators) >= 2:
+                node.separators[0], node.separators[-1] = (
+                    node.separators[-1],
+                    node.separators[0],
+                )
+                break
+        with pytest.raises(BuildError):
+            tree.validate()

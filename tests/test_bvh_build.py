@@ -1,0 +1,141 @@
+"""LBVH construction, BVH4 collapse, and quality metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bvh import (
+    build_lbvh,
+    build_lbvh_for_points,
+    collapse_to_bvh4,
+    sah_cost,
+)
+from repro.bvh.quality import leaf_statistics
+from repro.errors import BuildError
+from repro.geometry.aabb import Aabb
+
+
+def random_points(n, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.uniform(0.0, 1.0, size=(n, 3))
+
+
+class TestBuild:
+    def test_single_primitive(self):
+        bvh = build_lbvh([Aabb.around_point((0.5, 0.5, 0.5), 0.1)])
+        bvh.validate()
+        assert bvh.num_nodes == 1
+        assert bvh.nodes[bvh.root].is_leaf
+
+    def test_structure_valid(self):
+        bvh = build_lbvh_for_points(random_points(500), 0.05)
+        bvh.validate()
+        # Binary tree with 1-prim leaves: 2N-1 nodes.
+        assert bvh.num_nodes == 2 * 500 - 1
+
+    def test_leaf_size_respected(self):
+        points = random_points(200, seed=1)
+        boxes = [Aabb.around_point(p, 0.01) for p in points]
+        bvh = build_lbvh(boxes, leaf_size=4)
+        bvh.validate()
+        for _idx, leaf in bvh.iter_leaves():
+            assert leaf.prim_count <= 4
+
+    def test_duplicate_points_handled(self):
+        points = np.zeros((64, 3))
+        bvh = build_lbvh_for_points(points + 0.5, 0.1)
+        bvh.validate()
+
+    def test_empty_rejected(self):
+        with pytest.raises(BuildError):
+            build_lbvh([])
+
+    def test_bad_radius_rejected(self):
+        with pytest.raises(BuildError):
+            build_lbvh_for_points(random_points(10), 0.0)
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(BuildError):
+            build_lbvh_for_points(np.zeros((5, 2)), 0.1)
+
+    def test_root_box_covers_all(self):
+        points = random_points(300, seed=2)
+        bvh = build_lbvh_for_points(points, 0.02)
+        root = bvh.nodes[bvh.root].aabb
+        for box in bvh.prim_boxes:
+            assert root.lo.x <= box.lo.x + 1e-9
+            assert root.hi.x >= box.hi.x - 1e-9
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(2, 200), st.integers(0, 100))
+    def test_every_point_reachable(self, n, seed):
+        points = random_points(n, seed)
+        bvh = build_lbvh_for_points(points, 0.05)
+        bvh.validate()  # includes the every-prim-in-exactly-one-leaf check
+
+    def test_morton_order_locality(self):
+        """Adjacent leaves in the sorted permutation are spatially close
+        more often than random pairs — the point of the Morton sort."""
+        points = random_points(1000, seed=3)
+        bvh = build_lbvh_for_points(points, 0.02)
+        order = bvh.prim_indices
+        adjacent = np.linalg.norm(
+            points[order[:-1]] - points[order[1:]], axis=1
+        )
+        rng = np.random.default_rng(0)
+        random_pairs = np.linalg.norm(
+            points[rng.permutation(999)] - points[rng.permutation(999)], axis=1
+        )
+        assert np.median(adjacent) < np.median(random_pairs)
+
+
+class TestCollapse:
+    def test_bvh4_valid_and_equivalent(self):
+        points = random_points(400, seed=4)
+        bvh2 = build_lbvh_for_points(points, 0.05)
+        bvh4 = collapse_to_bvh4(bvh2)
+        bvh4.validate()
+        assert bvh4.arity == 4
+        # Same primitive set reachable.
+        assert bvh4.num_prims == bvh2.num_prims
+
+    def test_bvh4_shallower(self):
+        points = random_points(600, seed=5)
+        bvh2 = build_lbvh_for_points(points, 0.05)
+        bvh4 = collapse_to_bvh4(bvh2)
+        assert bvh4.depth() < bvh2.depth()
+
+    def test_children_within_limit(self):
+        bvh4 = collapse_to_bvh4(build_lbvh_for_points(random_points(300), 0.05))
+        for node in bvh4.nodes:
+            assert len(node.children) <= 4
+
+    def test_collapse_requires_binary(self):
+        bvh4 = collapse_to_bvh4(build_lbvh_for_points(random_points(50), 0.05))
+        with pytest.raises(BuildError):
+            collapse_to_bvh4(bvh4)
+
+
+class TestQuality:
+    def test_sah_positive(self):
+        bvh = build_lbvh_for_points(random_points(200, seed=6), 0.05)
+        assert sah_cost(bvh) > 0.0
+
+    def test_sah_degenerate_tree(self):
+        # All primitives at one point: zero root area.
+        bvh = build_lbvh_for_points(np.full((16, 3), 0.5), 0.0001)
+        assert sah_cost(bvh) > 0.0
+
+    def test_leaf_statistics(self):
+        bvh = build_lbvh_for_points(random_points(128, seed=7), 0.05)
+        stats = leaf_statistics(bvh)
+        assert stats["leaf_count"] == 128
+        assert stats["mean_leaf_prims"] == 1.0
+        assert stats["max_depth"] >= stats["mean_leaf_depth"]
+
+    def test_bvh4_sah_not_worse_much(self):
+        """Collapsing preserves coverage; SAH changes only through the
+        removed internal nodes, so it should not explode."""
+        bvh2 = build_lbvh_for_points(random_points(300, seed=8), 0.05)
+        bvh4 = collapse_to_bvh4(bvh2)
+        assert sah_cost(bvh4) <= sah_cost(bvh2) * 1.5

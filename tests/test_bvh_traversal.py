@@ -1,0 +1,132 @@
+"""BVH traversal: point queries, radius search, ray casting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bvh import build_lbvh, build_lbvh_for_points, point_query, radius_search, ray_cast
+from repro.bvh.traversal import TraversalStats
+from repro.geometry.ray import Ray
+from repro.geometry.triangle import Triangle
+from repro.geometry.vec3 import Vec3
+from repro.workloads.raytrace import make_sphere_scene
+
+
+def random_points(n, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.uniform(0.0, 1.0, size=(n, 3))
+
+
+class TestPointQuery:
+    def test_own_point_is_candidate(self):
+        points = random_points(300)
+        bvh = build_lbvh_for_points(points, 0.05)
+        for i in (0, 77, 299):
+            assert i in point_query(bvh, points[i])
+
+    def test_far_query_has_no_candidates(self):
+        points = random_points(100, seed=1)
+        bvh = build_lbvh_for_points(points, 0.01)
+        assert point_query(bvh, np.array([10.0, 10.0, 10.0])) == []
+
+    def test_stats_counted(self):
+        points = random_points(200, seed=2)
+        bvh = build_lbvh_for_points(points, 0.05)
+        stats = TraversalStats(record_events=True)
+        point_query(bvh, points[0], stats)
+        assert stats.box_nodes_visited > 0
+        assert stats.box_tests >= stats.box_nodes_visited
+        assert stats.max_stack_depth >= 1
+        assert any(kind == "box_node" for kind, _i, _p in stats.events)
+
+
+class TestRadiusSearch:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(20, 200), st.integers(0, 50))
+    def test_matches_brute_force(self, n, seed):
+        points = random_points(n, seed)
+        radius = 0.15
+        bvh = build_lbvh_for_points(points, radius)
+        rng = np.random.default_rng(seed + 1)
+        query = rng.uniform(0.0, 1.0, size=3)
+        found = {pid for pid, _d2 in radius_search(bvh, points, query, radius)}
+        d2 = np.sum((points - query) ** 2, axis=1)
+        expected = set(np.nonzero(d2 <= radius * radius)[0].tolist())
+        assert found == expected
+
+    def test_results_sorted_by_distance(self):
+        points = random_points(400, seed=3)
+        bvh = build_lbvh_for_points(points, 0.2)
+        hits = radius_search(bvh, points, points[5], 0.2)
+        distances = [d for _p, d in hits]
+        assert distances == sorted(distances)
+
+    def test_fewer_distance_tests_than_points(self):
+        """The BVH culls: 'reduce the total number of euclidean distance
+        tests to less than 200 for each query' (§VI-C)."""
+        points = random_points(5000, seed=4)
+        bvh = build_lbvh_for_points(points, 0.03)
+        stats = TraversalStats()
+        radius_search(bvh, points, points[42], 0.03, stats)
+        assert 0 < stats.prim_tests < 200
+
+
+class TestRayCast:
+    def scene(self):
+        triangles = make_sphere_scene(rings=8, sectors=12)
+        bvh = build_lbvh([t.aabb() for t in triangles])
+        return triangles, bvh
+
+    def brute_force(self, ray, triangles):
+        from repro.geometry.intersect_tri import intersect_ray_triangle
+
+        best = None
+        for tri in triangles:
+            hit = intersect_ray_triangle(ray, tri)
+            if hit.hit and (best is None or hit.t() < best.t()):
+                best = hit
+        return best
+
+    def test_matches_brute_force_closest_hit(self):
+        triangles, bvh = self.scene()
+        rng = np.random.default_rng(5)
+        checked = 0
+        for _ in range(30):
+            origin = Vec3(*(rng.uniform(-0.5, 0.5, size=2)), 3.0)
+            ray = Ray(origin, Vec3(0.0, 0.0, -1.0))
+            bvh_hit = ray_cast(bvh, ray, triangles)
+            ref_hit = self.brute_force(ray, triangles)
+            assert (bvh_hit is None) == (ref_hit is None)
+            if bvh_hit is not None:
+                assert bvh_hit.t() == pytest.approx(ref_hit.t(), rel=1e-9)
+                checked += 1
+        assert checked > 5  # most rays hit the sphere
+
+    def test_miss(self):
+        triangles, bvh = self.scene()
+        ray = Ray(Vec3(10.0, 10.0, 10.0), Vec3(0.0, 1.0, 0.0))
+        assert ray_cast(bvh, ray, triangles) is None
+
+    def test_any_hit_early_exit(self):
+        triangles, bvh = self.scene()
+        ray = Ray(Vec3(0.0, 0.2, 3.0), Vec3(0.0, 0.0, -1.0))
+        stats_full = TraversalStats()
+        ray_cast(bvh, ray, triangles, stats=stats_full)
+        stats_any = TraversalStats()
+        hit = ray_cast(
+            bvh, ray, triangles, stats=stats_any, any_hit=lambda h: True
+        )
+        assert hit is not None and hit.hit
+        assert stats_any.prim_tests <= stats_full.prim_tests
+
+    def test_interval_limit(self):
+        triangles, bvh = self.scene()
+        ray = Ray(Vec3(0.0, 0.2, 3.0), Vec3(0.0, 0.0, -1.0), t_max=0.5)
+        assert ray_cast(bvh, ray, triangles) is None
+
+    def test_single_degenerate_leaf_chain(self):
+        tri = Triangle(Vec3(0, 0, 0), Vec3(1, 0, 0), Vec3(0, 1, 0))
+        bvh = build_lbvh([tri.aabb()])
+        ray = Ray(Vec3(0.2, 0.2, 1.0), Vec3(0.0, 0.0, -1.0))
+        hit = ray_cast(bvh, ray, [tri])
+        assert hit is not None and hit.hit

@@ -1,0 +1,110 @@
+"""Warp assembly: SIMT zipping, divergence serialization, masks."""
+
+import pytest
+
+from repro.compiler.assembler import WARP_SIZE, assemble_warps
+from repro.compiler.ops import (
+    METRIC_EUCLID,
+    TAlu,
+    TBox,
+    TDist,
+    TKeyCmp,
+    TLoad,
+    TSfu,
+    TShared,
+    TTri,
+)
+from repro.errors import TraceError
+
+
+class TestGrouping:
+    def test_uniform_streams_fuse(self):
+        streams = [[TDist(100 * i, 3, METRIC_EUCLID)] for i in range(4)]
+        warps = assemble_warps(streams)
+        assert len(warps) == 1
+        (op,) = warps[0]
+        assert op.kind == "TDist"
+        assert op.active == 4
+        assert op.addrs == (0, 100, 200, 300)
+        assert op.a == 3 and op.meta == METRIC_EUCLID
+
+    def test_divergent_kinds_serialize(self):
+        streams = [
+            [TDist(0, 3, METRIC_EUCLID)],
+            [TBox(64, 2, 64)],
+        ]
+        warps = assemble_warps(streams)
+        kinds = [op.kind for op in warps[0]]
+        assert kinds == ["TDist", "TBox"]
+        assert all(op.active == 1 for op in warps[0])
+
+    def test_different_dims_do_not_fuse(self):
+        streams = [
+            [TDist(0, 3, METRIC_EUCLID)],
+            [TDist(64, 5, METRIC_EUCLID)],
+        ]
+        warps = assemble_warps(streams)
+        assert len(warps[0]) == 2
+
+    def test_uniform_ops_take_max_count(self):
+        streams = [[TAlu(3)], [TAlu(7)]]
+        warps = assemble_warps(streams)
+        (op,) = warps[0]
+        assert op.a == 7  # lockstep: warp spends max(count)
+        assert op.active == 2
+
+    def test_mask_thins_as_threads_exit(self):
+        streams = [
+            [TAlu(1), TAlu(1), TAlu(1)],
+            [TAlu(1)],
+        ]
+        warps = assemble_warps(streams)
+        actives = [op.active for op in warps[0]]
+        assert actives == [2, 1, 1]
+
+    def test_warp_partitioning(self):
+        streams = [[TAlu(1)] for _ in range(70)]
+        warps = assemble_warps(streams)
+        assert len(warps) == 3  # 32 + 32 + 6
+        assert warps[0][0].active == WARP_SIZE
+        assert warps[2][0].active == 6
+
+    def test_all_op_kinds_assemble(self):
+        stream = [
+            TDist(0, 4, METRIC_EUCLID),
+            TBox(64, 2, 64),
+            TTri(128),
+            TKeyCmp(256, 12),
+            TAlu(2),
+            TShared(3),
+            TSfu(1),
+            TLoad(512, 16),
+        ]
+        warps = assemble_warps([stream])
+        assert [op.kind for op in warps[0]] == [
+            "TDist", "TBox", "TTri", "TKeyCmp", "TAlu", "TShared", "TSfu",
+            "TLoad",
+        ]
+
+    def test_empty_rejected(self):
+        with pytest.raises(TraceError):
+            assemble_warps([])
+
+    def test_bad_warp_size_rejected(self):
+        with pytest.raises(TraceError):
+            assemble_warps([[TAlu(1)]], warp_size=0)
+        with pytest.raises(TraceError):
+            assemble_warps([[TAlu(1)]], warp_size=64)
+
+    def test_deterministic_group_order(self):
+        streams = [
+            [TBox(0, 2, 64)],
+            [TDist(0, 3, METRIC_EUCLID)],
+            [TBox(64, 2, 64)],
+        ]
+        a = assemble_warps(streams)
+        b = assemble_warps(streams)
+        assert [op.kind for op in a[0]] == [op.kind for op in b[0]]
+        # First-seen kind leads.
+        assert a[0][0].kind == "TBox"
+        assert a[0][0].active == 2

@@ -1,0 +1,55 @@
+"""Device address-space layout."""
+
+import pytest
+
+from repro.compiler.layout import DEFAULT_ALIGN, AddressSpace
+from repro.errors import TraceError
+
+
+class TestAllocation:
+    def test_regions_disjoint(self):
+        space = AddressSpace()
+        a = space.alloc("a", 1000)
+        b = space.alloc("b", 1000)
+        assert a.base + a.size <= b.base
+
+    def test_alignment(self):
+        space = AddressSpace()
+        space.alloc("a", 1)
+        b = space.alloc("b", 1)
+        assert b.base % DEFAULT_ALIGN == 0
+
+    def test_duplicate_name_rejected(self):
+        space = AddressSpace()
+        space.alloc("x", 10)
+        with pytest.raises(TraceError):
+            space.alloc("x", 10)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(TraceError):
+            AddressSpace().alloc("x", 0)
+
+    def test_region_lookup(self):
+        space = AddressSpace()
+        region = space.alloc("points", 64)
+        assert space.region("points") is region
+        with pytest.raises(TraceError):
+            space.region("missing")
+
+
+class TestAddressing:
+    def test_element_stride(self):
+        space = AddressSpace()
+        region = space.alloc_array("arr", 10, 16)
+        assert region.element(0, 16) == region.base
+        assert region.element(3, 16) == region.base + 48
+
+    def test_bounds_checked(self):
+        space = AddressSpace()
+        region = space.alloc("r", 100)
+        with pytest.raises(TraceError):
+            region.addr(100)
+        with pytest.raises(TraceError):
+            region.addr(-1)
+        with pytest.raises(TraceError):
+            region.element(10, 10)

@@ -1,0 +1,99 @@
+"""HSU ISA definitions (Table I)."""
+
+import pytest
+
+from repro.core.isa import (
+    ANGULAR_WIDTH,
+    EUCLID_WIDTH,
+    HsuInstruction,
+    KEY_COMPARE_WIDTH,
+    MAX_BOX_TESTS,
+    Opcode,
+    describe_instruction,
+    instruction_table,
+)
+from repro.errors import IsaError
+
+
+class TestWidths:
+    def test_paper_widths(self):
+        assert EUCLID_WIDTH == 16
+        assert ANGULAR_WIDTH == 8
+        assert KEY_COMPARE_WIDTH == 36
+        assert MAX_BOX_TESTS == 4
+
+    def test_native_widths_per_opcode(self):
+        assert Opcode.POINT_EUCLID.native_width == 16
+        assert Opcode.POINT_ANGULAR.native_width == 8
+        assert Opcode.KEY_COMPARE.native_width == 36
+        assert Opcode.RAY_INTERSECT.native_width == 0
+
+    def test_classification(self):
+        assert Opcode.RAY_INTERSECT.is_baseline
+        assert not Opcode.POINT_EUCLID.is_baseline
+        assert Opcode.POINT_EUCLID.is_distance
+        assert Opcode.POINT_ANGULAR.is_distance
+        assert not Opcode.KEY_COMPARE.is_distance
+
+
+class TestTable:
+    def test_four_instructions(self):
+        table = instruction_table()
+        assert len(table) == 4
+        assert [name for name, _ in table] == [
+            "RAY_INTERSECT", "POINT_EUCLID", "POINT_ANGULAR", "KEY_COMPARE",
+        ]
+
+    def test_descriptions_mention_key_facts(self):
+        assert "four ray-box" in describe_instruction(Opcode.RAY_INTERSECT)
+        assert "16-wide" in describe_instruction(Opcode.POINT_EUCLID)
+        assert "dot_sum" in describe_instruction(Opcode.POINT_ANGULAR)
+        assert "36" in describe_instruction(Opcode.KEY_COMPARE)
+
+
+class TestInstructionValidation:
+    def test_valid_euclid(self):
+        instr = HsuInstruction(
+            Opcode.POINT_EUCLID, node_addr=0x1000, fetch_bytes=64,
+            accumulate=True, lanes=16,
+        )
+        assert instr.accumulate
+
+    def test_accumulate_only_for_distance(self):
+        with pytest.raises(IsaError):
+            HsuInstruction(
+                Opcode.RAY_INTERSECT, node_addr=0, fetch_bytes=64,
+                accumulate=True,
+            )
+        with pytest.raises(IsaError):
+            HsuInstruction(
+                Opcode.KEY_COMPARE, node_addr=0, fetch_bytes=16,
+                accumulate=True, num_separators=4,
+            )
+
+    def test_lane_bounds(self):
+        with pytest.raises(IsaError):
+            HsuInstruction(
+                Opcode.POINT_EUCLID, node_addr=0, fetch_bytes=64, lanes=17
+            )
+        with pytest.raises(IsaError):
+            HsuInstruction(
+                Opcode.POINT_ANGULAR, node_addr=0, fetch_bytes=32, lanes=9
+            )
+        with pytest.raises(IsaError):
+            HsuInstruction(
+                Opcode.POINT_EUCLID, node_addr=0, fetch_bytes=64, lanes=0
+            )
+
+    def test_separator_bounds(self):
+        with pytest.raises(IsaError):
+            HsuInstruction(
+                Opcode.KEY_COMPARE, node_addr=0, fetch_bytes=4,
+                num_separators=37,
+            )
+
+    def test_negative_fetch_rejected(self):
+        with pytest.raises(IsaError):
+            HsuInstruction(
+                Opcode.POINT_EUCLID, node_addr=0, fetch_bytes=-1, lanes=4
+            )

@@ -1,0 +1,91 @@
+"""The Fig. 6 functional-unit table and the paper's minimal-extension claim."""
+
+from repro.core.modes import (
+    BASELINE_MODES,
+    FuKind,
+    HSU_MODES,
+    OperatingMode,
+    PIPELINE_DEPTH,
+    active_fu_counts,
+    additional_fus_for_hsu,
+    fu_requirements,
+    stage_maxima,
+    total_fu_counts,
+)
+
+
+class TestStructure:
+    def test_nine_stages(self):
+        assert PIPELINE_DEPTH == 9
+
+    def test_five_modes(self):
+        assert len(HSU_MODES) == 5
+        assert len(BASELINE_MODES) == 2
+
+    def test_all_stages_within_depth(self):
+        for mode in OperatingMode:
+            for stage in fu_requirements(mode):
+                assert 1 <= stage <= PIPELINE_DEPTH
+
+
+class TestPaperClaims:
+    def test_only_five_extra_adders(self):
+        """§IV-C: 'Only two additional adders are required in stage 3, and
+        one in stages 5, 8 and 9 to support the additional instructions.'"""
+        delta = additional_fus_for_hsu()
+        assert delta == {
+            3: {FuKind.FP_ADD: 2},
+            5: {FuKind.FP_ADD: 1},
+            8: {FuKind.FP_ADD: 1},
+            9: {FuKind.FP_ADD: 1},
+        }
+
+    def test_no_extra_multipliers_or_comparators(self):
+        delta = additional_fus_for_hsu()
+        for stage_delta in delta.values():
+            assert FuKind.FP_MUL not in stage_delta
+            assert FuKind.FP_CMP not in stage_delta
+
+    def test_key_compare_reuses_ray_box_comparators(self):
+        """§IV-C: 'The key-compare mode is implemented using the ray-box
+        comparators in stage 3, and requires no additional functional
+        units.'"""
+        keycmp = fu_requirements(OperatingMode.KEY_COMPARE)
+        raybox = fu_requirements(OperatingMode.RAY_BOX)
+        assert keycmp[3][FuKind.FP_CMP] == 36
+        assert raybox[3][FuKind.FP_CMP] >= 36
+
+    def test_euclid_is_16_wide(self):
+        euclid = fu_requirements(OperatingMode.EUCLID)
+        assert euclid[1][FuKind.FP_ADD] == 16  # 16-wide subtraction
+        assert euclid[2][FuKind.FP_MUL] == 16
+
+    def test_angular_is_two_8_wide_multiplies(self):
+        angular = fu_requirements(OperatingMode.ANGULAR)
+        assert angular[2][FuKind.FP_MUL] == 16  # 2 x 8-wide
+
+    def test_euclid_adder_tree_shape(self):
+        """16 -> 8 -> 4 -> 2 -> 1 reduction across stages 3-6."""
+        euclid = fu_requirements(OperatingMode.EUCLID)
+        assert [euclid[s][FuKind.FP_ADD] for s in (3, 4, 5, 6)] == [8, 4, 2, 1]
+
+
+class TestMaxima:
+    def test_maxima_dominate_each_mode(self):
+        maxima = stage_maxima(HSU_MODES)
+        for mode in HSU_MODES:
+            for stage, units in fu_requirements(mode).items():
+                for kind, count in units.items():
+                    assert maxima[stage].get(kind, 0) >= count
+
+    def test_hsu_totals_exceed_baseline_only_in_adders(self):
+        hsu = total_fu_counts(HSU_MODES)
+        base = total_fu_counts(BASELINE_MODES)
+        assert hsu[FuKind.FP_ADD] == base[FuKind.FP_ADD] + 5
+        assert hsu[FuKind.FP_MUL] == base[FuKind.FP_MUL]
+        assert hsu[FuKind.FP_CMP] == base[FuKind.FP_CMP]
+
+    def test_active_counts_positive(self):
+        for mode in OperatingMode:
+            counts = active_fu_counts(mode)
+            assert sum(counts.values()) > 0

@@ -1,0 +1,156 @@
+"""Functional semantics of the HSU distance and compare operations."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.ops import (
+    angular_dist,
+    angular_distance_from_sums,
+    euclid_dist,
+    key_compare,
+    key_compare_child_index,
+    query_norm,
+)
+from repro.errors import IsaError
+
+dims = st.integers(min_value=1, max_value=300)
+
+
+def random_pair(dim: int, seed: int):
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=dim).astype(np.float32), rng.normal(size=dim).astype(
+        np.float32
+    )
+
+
+class TestEuclid:
+    def test_matches_numpy(self):
+        a, b = random_pair(96, 0)
+        expected = float(np.sum((a - b) ** 2, dtype=np.float64))
+        assert euclid_dist(a, b) == pytest.approx(expected, rel=1e-4)
+
+    def test_zero_distance(self):
+        a, _ = random_pair(17, 1)
+        assert euclid_dist(a, a) == 0.0
+
+    def test_symmetry(self):
+        a, b = random_pair(33, 2)
+        assert euclid_dist(a, b) == euclid_dist(b, a)
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(IsaError):
+            euclid_dist([1.0, 2.0], [1.0])
+
+    def test_non_1d_rejected(self):
+        with pytest.raises(IsaError):
+            euclid_dist(np.zeros((2, 2)), np.zeros((2, 2)))
+
+    def test_empty_rejected(self):
+        with pytest.raises(IsaError):
+            euclid_dist([], [])
+
+    @settings(max_examples=50)
+    @given(dims, st.integers(0, 1000))
+    def test_beat_width_invariance(self, dim, seed):
+        """The result is (near-)independent of the datapath width — wider
+        datapaths change the beat structure, not the math."""
+        a, b = random_pair(dim, seed)
+        reference = euclid_dist(a, b, width=16)
+        for width in (4, 8, 32):
+            assert euclid_dist(a, b, width=width) == pytest.approx(
+                reference, rel=1e-4, abs=1e-5
+            )
+
+    @settings(max_examples=50)
+    @given(dims, st.integers(0, 1000))
+    def test_non_negative(self, dim, seed):
+        a, b = random_pair(dim, seed)
+        assert euclid_dist(a, b) >= 0.0
+
+
+class TestAngular:
+    def test_sums_match_numpy(self):
+        q, c = random_pair(65, 3)
+        dot_sum, norm_sum = angular_dist(q, c)
+        assert dot_sum == pytest.approx(float(np.dot(c, q)), rel=1e-4)
+        assert norm_sum == pytest.approx(float(np.dot(c, c)), rel=1e-4)
+
+    def test_distance_epilogue(self):
+        q, c = random_pair(65, 4)
+        dot_sum, norm_sum = angular_dist(q, c)
+        dist = angular_distance_from_sums(dot_sum, norm_sum, query_norm(q))
+        cos = np.dot(q, c) / (np.linalg.norm(q) * np.linalg.norm(c))
+        assert dist == pytest.approx(1.0 - cos, abs=1e-4)
+
+    def test_identical_vectors_have_zero_distance(self):
+        q, _ = random_pair(40, 5)
+        dot_sum, norm_sum = angular_dist(q, q)
+        dist = angular_distance_from_sums(dot_sum, norm_sum, query_norm(q))
+        assert dist == pytest.approx(0.0, abs=1e-5)
+
+    def test_opposite_vectors_have_distance_two(self):
+        q, _ = random_pair(40, 6)
+        dot_sum, norm_sum = angular_dist(q, -q)
+        dist = angular_distance_from_sums(dot_sum, norm_sum, query_norm(q))
+        assert dist == pytest.approx(2.0, abs=1e-5)
+
+    def test_zero_candidate_degenerate(self):
+        assert angular_distance_from_sums(0.0, 0.0, 1.0) == 1.0
+
+    @settings(max_examples=50)
+    @given(dims, st.integers(0, 1000))
+    def test_width_invariance(self, dim, seed):
+        q, c = random_pair(dim, seed)
+        ref = angular_dist(q, c, width=8)
+        for width in (4, 16):
+            got = angular_dist(q, c, width=width)
+            assert got[0] == pytest.approx(ref[0], rel=1e-3, abs=1e-4)
+            assert got[1] == pytest.approx(ref[1], rel=1e-3, abs=1e-4)
+
+
+class TestKeyCompare:
+    def test_bit_vector_semantics(self):
+        seps = [10.0, 20.0, 30.0]
+        assert key_compare(5.0, seps) == 0b000
+        assert key_compare(10.0, seps) == 0b001  # key >= sep -> 1
+        assert key_compare(25.0, seps) == 0b011
+        assert key_compare(99.0, seps) == 0b111
+
+    def test_child_index_is_popcount(self):
+        assert key_compare_child_index(0b000, 3) == 0
+        assert key_compare_child_index(0b011, 3) == 2
+        assert key_compare_child_index(0b111, 3) == 3
+
+    def test_36_separator_limit(self):
+        assert key_compare(50.0, list(range(36))) == (1 << 36) - 1
+        with pytest.raises(IsaError):
+            key_compare(0.0, list(range(37)))
+        with pytest.raises(IsaError):
+            key_compare(0.0, [])
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(IsaError):
+            key_compare(0.0, [3.0, 1.0, 2.0])
+
+    def test_duplicates_allowed(self):
+        # Non-decreasing separators are legal in B-trees.
+        assert key_compare(5.0, [5.0, 5.0, 6.0]) == 0b011
+
+    @given(
+        st.lists(st.floats(-1e6, 1e6, allow_nan=False), min_size=1, max_size=36),
+        st.floats(-1e6, 1e6, allow_nan=False),
+    )
+    def test_result_selects_correct_interval(self, raw, key):
+        seps = sorted(raw)
+        bits = key_compare(key, seps)
+        child = key_compare_child_index(bits, len(seps))
+        # The selected child's key interval contains the key.
+        lo = seps[child - 1] if child > 0 else -math.inf
+        hi = seps[child] if child < len(seps) else math.inf
+        assert lo <= key or math.isclose(lo, key)
+        assert key < hi or key >= lo
+        # Bit vector is a contiguous run of ones from bit 0.
+        assert bits == (1 << child) - 1

@@ -1,0 +1,189 @@
+"""Cycle-level datapath pipeline: latency, mixing, accumulate interlock."""
+
+import numpy as np
+import pytest
+
+from repro.core.isa import EUCLID_WIDTH
+from repro.core.modes import OperatingMode, PIPELINE_DEPTH
+from repro.core.multibeat import plan_beats
+from repro.core.ops import angular_dist, euclid_dist
+from repro.core.pipeline import DatapathPipeline, PipelineOp
+from repro.errors import IsaError
+from repro.geometry.aabb import Aabb
+from repro.geometry.ray import Ray
+from repro.geometry.triangle import Triangle
+from repro.geometry.vec3 import Vec3
+
+
+def vecs(dim, seed=0):
+    rng = np.random.default_rng(seed)
+    return (
+        rng.normal(size=dim).astype(np.float32),
+        rng.normal(size=dim).astype(np.float32),
+    )
+
+
+class TestLatency:
+    def test_depth_cycles_to_first_result(self):
+        pipe = DatapathPipeline()
+        q, c = vecs(16)
+        assert pipe.try_issue(PipelineOp.euclid_beat(q, c, accumulate=False))
+        results = []
+        for _ in range(PIPELINE_DEPTH):
+            results.extend(pipe.tick())
+        assert len(results) == 1
+        assert results[0].cycle == PIPELINE_DEPTH
+
+    def test_throughput_one_per_cycle(self):
+        pipe = DatapathPipeline()
+        for i in range(20):
+            q, c = vecs(8, seed=i)
+            assert pipe.try_issue(
+                PipelineOp.euclid_beat(q, c, accumulate=False, tag=i)
+            )
+            pipe.tick()
+        drained = pipe.run_until_drained()
+        total = len(pipe.results)
+        assert total == 20
+        # Retirement is in issue order, one per cycle.
+        cycles = [r.cycle for r in pipe.results]
+        assert cycles == list(range(PIPELINE_DEPTH, PIPELINE_DEPTH + 20))
+        # The drain flushed whatever was still in flight (at most the depth).
+        assert 0 < len(drained) <= PIPELINE_DEPTH
+
+    def test_stage_conflict_refused(self):
+        pipe = DatapathPipeline()
+        q, c = vecs(4)
+        assert pipe.try_issue(PipelineOp.euclid_beat(q, c, False))
+        # Without a tick, stage 1 is still occupied.
+        assert not pipe.try_issue(PipelineOp.euclid_beat(q, c, False))
+
+
+class TestFunctionalResults:
+    def test_euclid_matches_ops(self):
+        pipe = DatapathPipeline()
+        q, c = vecs(16, seed=3)
+        pipe.try_issue(PipelineOp.euclid_beat(q, c, accumulate=False))
+        result = pipe.run_until_drained()[0]
+        assert result.value == pytest.approx(euclid_dist(q, c), rel=1e-6)
+
+    def test_multibeat_euclid_matches_ops(self):
+        pipe = DatapathPipeline()
+        q, c = vecs(100, seed=4)
+        for beat in plan_beats(100, EUCLID_WIDTH):
+            op = PipelineOp.euclid_beat(
+                q[beat.lo : beat.hi], c[beat.lo : beat.hi],
+                accumulate=beat.accumulate, owner=5,
+            )
+            while not pipe.try_issue(op):
+                pipe.tick()
+            pipe.tick()
+        results = pipe.run_until_drained()
+        # Only the final beat writes a result.
+        assert len(pipe.results) == 1
+        assert pipe.results[0].value == pytest.approx(
+            euclid_dist(q, c), rel=1e-5
+        )
+        del results
+
+    def test_multibeat_angular_matches_ops(self):
+        pipe = DatapathPipeline()
+        q, c = vecs(65, seed=5)
+        for beat in plan_beats(65, 8):
+            op = PipelineOp.angular_beat(
+                q[beat.lo : beat.hi], c[beat.lo : beat.hi],
+                accumulate=beat.accumulate, owner=2,
+            )
+            assert pipe.try_issue(op)
+            pipe.tick()
+        pipe.run_until_drained()
+        assert len(pipe.results) == 1
+        dot, norm = pipe.results[0].value
+        expected = angular_dist(q, c)
+        assert dot == pytest.approx(expected[0], rel=1e-4, abs=1e-5)
+        assert norm == pytest.approx(expected[1], rel=1e-4, abs=1e-5)
+
+    def test_ray_box_op(self):
+        pipe = DatapathPipeline()
+        ray = Ray(Vec3(-1.0, 0.5, 0.5), Vec3(1.0, 0.0, 0.0))
+        boxes = [
+            Aabb(Vec3(0.0, 0.0, 0.0), Vec3(1.0, 1.0, 1.0)),
+            Aabb(Vec3(5.0, 5.0, 5.0), Vec3(6.0, 6.0, 6.0)),
+        ]
+        pipe.try_issue(PipelineOp.ray_box(ray, boxes, [10, 11]))
+        result = pipe.run_until_drained()[0]
+        hits = result.value
+        assert hits[0].hit and hits[0].child_index == 10
+        assert not hits[1].hit
+
+    def test_ray_tri_op(self):
+        pipe = DatapathPipeline()
+        tri = Triangle(Vec3(0, 0, 0), Vec3(1, 0, 0), Vec3(0, 1, 0))
+        ray = Ray(Vec3(0.2, 0.2, 1.0), Vec3(0.0, 0.0, -1.0))
+        pipe.try_issue(PipelineOp.ray_tri(ray, tri))
+        result = pipe.run_until_drained()[0]
+        assert result.value.hit
+
+    def test_key_compare_op(self):
+        pipe = DatapathPipeline()
+        pipe.try_issue(
+            PipelineOp.key_compare_op(15.0, np.array([10.0, 20.0, 30.0]))
+        )
+        result = pipe.run_until_drained()[0]
+        assert result.value == 0b001
+
+
+class TestMixedModes:
+    def test_interleaved_modes_retire_in_order(self):
+        """§IV-B: 'a thread executing a ray-box test can be scheduled the
+        cycle after a thread executing a ray-triangle test.'"""
+        pipe = DatapathPipeline()
+        tri = Triangle(Vec3(0, 0, 0), Vec3(1, 0, 0), Vec3(0, 1, 0))
+        ray = Ray(Vec3(0.2, 0.2, 1.0), Vec3(0.0, 0.0, -1.0))
+        q, c = vecs(16)
+        pipe.try_issue(PipelineOp.ray_tri(ray, tri, tag=0))
+        pipe.tick()
+        pipe.try_issue(PipelineOp.euclid_beat(q, c, False, tag=1))
+        pipe.tick()
+        pipe.try_issue(PipelineOp.key_compare_op(1.0, np.array([0.5]), tag=2))
+        pipe.run_until_drained()
+        assert [r.tag for r in pipe.results] == [0, 1, 2]
+        assert [r.mode for r in pipe.results] == [
+            OperatingMode.RAY_TRI, OperatingMode.EUCLID,
+            OperatingMode.KEY_COMPARE,
+        ]
+
+
+class TestAccumulateInterlock:
+    def test_lock_taken_and_released(self):
+        pipe = DatapathPipeline()
+        q, c = vecs(8)
+        pipe.try_issue(PipelineOp.euclid_beat(q, c, accumulate=True, owner=7))
+        assert pipe.locked_owner == 7
+        pipe.tick()
+        pipe.try_issue(PipelineOp.euclid_beat(q, c, accumulate=False, owner=7))
+        assert pipe.locked_owner is None
+
+    def test_foreign_op_rejected_mid_chain(self):
+        pipe = DatapathPipeline()
+        q, c = vecs(8)
+        pipe.try_issue(PipelineOp.euclid_beat(q, c, accumulate=True, owner=1))
+        pipe.tick()
+        foreign = PipelineOp.euclid_beat(q, c, accumulate=False, owner=2)
+        assert not pipe.can_issue(foreign)
+        with pytest.raises(IsaError):
+            pipe.try_issue(foreign)
+
+    def test_activity_recorded(self):
+        pipe = DatapathPipeline()
+        q, c = vecs(16)
+        pipe.try_issue(PipelineOp.euclid_beat(q, c, False))
+        pipe.run_until_drained()
+        total = sum(pipe.activity.activations.values())
+        assert total > 0
+
+    def test_beat_width_validation(self):
+        with pytest.raises(IsaError):
+            PipelineOp.euclid_beat(np.zeros(17), np.zeros(17), False)
+        with pytest.raises(IsaError):
+            PipelineOp.angular_beat(np.zeros(9), np.zeros(9), False)

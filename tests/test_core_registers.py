@@ -1,0 +1,65 @@
+"""Result-register formats (§IV-D/§IV-E)."""
+
+import math
+
+import pytest
+
+from repro.core.registers import (
+    AngularResultRegisters,
+    BoxResultRegisters,
+    EuclidResultRegister,
+    KeyCompareResultRegister,
+    NULL_CHILD,
+    TriangleResultRegisters,
+)
+from repro.errors import IsaError
+
+
+class TestBoxResults:
+    def test_padding_with_null(self):
+        regs = BoxResultRegisters.from_sorted_hits([5, 9])
+        assert regs.child0 == 5 and regs.child1 == 9
+        assert regs.child2 == NULL_CHILD and regs.child3 == NULL_CHILD
+        assert regs.hit_children() == [5, 9]
+
+    def test_full(self):
+        regs = BoxResultRegisters.from_sorted_hits([1, 2, 3, 4])
+        assert regs.hit_children() == [1, 2, 3, 4]
+
+    def test_too_many_rejected(self):
+        with pytest.raises(IsaError):
+            BoxResultRegisters.from_sorted_hits([1, 2, 3, 4, 5])
+
+    def test_all_miss(self):
+        regs = BoxResultRegisters.from_sorted_hits([])
+        assert regs.hit_children() == []
+
+
+class TestTriangleResults:
+    def test_division_free_ratio(self):
+        regs = TriangleResultRegisters(True, 7, t_num=3.0, t_denom=2.0)
+        assert regs.t() == pytest.approx(1.5)
+
+    def test_zero_denominator(self):
+        regs = TriangleResultRegisters(False, -1, 1.0, 0.0)
+        assert math.isinf(regs.t())
+
+
+class TestScalarResults:
+    def test_euclid(self):
+        assert EuclidResultRegister(4.0).distance_squared == 4.0
+
+    def test_angular(self):
+        regs = AngularResultRegisters(dot_sum=3.0, norm_sum=9.0)
+        assert regs.dot_sum == 3.0 and regs.norm_sum == 9.0
+
+
+class TestKeyCompareResults:
+    def test_child_index(self):
+        regs = KeyCompareResultRegister(bits=0b0111, num_separators=5)
+        assert regs.child_index() == 3
+
+    def test_masking(self):
+        # Bits above num_separators are ignored.
+        regs = KeyCompareResultRegister(bits=0b11111, num_separators=2)
+        assert regs.child_index() == 2

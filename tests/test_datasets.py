@@ -1,0 +1,159 @@
+"""Dataset registry and generators (Table II)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    ALL_ABBREVIATIONS,
+    dataset_table,
+    load_dataset,
+    spec,
+)
+from repro.datasets import pointcloud, synthetic
+from repro.datasets.registry import perturbed_queries
+from repro.errors import DatasetError
+
+
+class TestRegistry:
+    def test_sixteen_datasets(self):
+        assert len(ALL_ABBREVIATIONS) == 16
+
+    def test_paper_dimensions(self):
+        expectations = {
+            "D1B": (96, "A"), "FMNT": (784, "E"), "MNT": (784, "E"),
+            "GST": (960, "E"), "GLV": (200, "A"), "LFM": (65, "A"),
+            "NYT": (256, "A"), "S1M": (128, "E"), "S10K": (128, "E"),
+            "R10K": (3, "E"), "BUN": (3, "E"), "DRG": (3, "E"),
+            "BUD": (3, "E"), "COS": (3, "E"),
+            "B+1M": (1, "N/A"), "B+10K": (1, "N/A"),
+        }
+        for abbr, (dim, metric) in expectations.items():
+            entry = spec(abbr)
+            assert entry.dim == dim, abbr
+            assert entry.metric == metric, abbr
+
+    def test_paper_point_counts_recorded(self):
+        assert spec("D1B").paper_points == 9_900_000
+        assert spec("BUN").paper_points == 35_900
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(DatasetError):
+            spec("NOPE")
+
+    def test_table_rows(self):
+        rows = dataset_table()
+        assert len(rows) == 16
+        assert all("workloads" in row for row in rows)
+
+
+class TestLoading:
+    def test_shapes(self):
+        data = load_dataset("LFM", num_queries=8)
+        assert data.points.shape[1] == 65
+        assert data.queries.shape == (8, 65)
+        assert data.points.dtype == np.float32
+
+    def test_deterministic(self):
+        a = load_dataset("S10K", num_queries=4, seed=3)
+        b = load_dataset("S10K", num_queries=4, seed=3)
+        np.testing.assert_array_equal(a.points, b.points)
+
+    def test_seed_changes_data(self):
+        a = load_dataset("S10K", num_queries=4, seed=1)
+        b = load_dataset("S10K", num_queries=4, seed=2)
+        assert not np.array_equal(a.points, b.points)
+
+    def test_sibling_datasets_differ(self):
+        # mnist and fashion-mnist share shape but must not be identical.
+        mnist = load_dataset("MNT", num_queries=4)
+        fashion = load_dataset("FMNT", num_queries=4)
+        assert not np.array_equal(mnist.points, fashion.points)
+
+    def test_scale(self):
+        full = load_dataset("BUN")
+        half = load_dataset("BUN", scale=0.5)
+        assert abs(half.points.shape[0] - full.points.shape[0] // 2) <= 1
+
+    def test_validation(self):
+        with pytest.raises(DatasetError):
+            load_dataset("BUN", num_queries=0)
+        with pytest.raises(DatasetError):
+            load_dataset("BUN", scale=0.0)
+
+    def test_perturbed_queries_near_data(self):
+        data = load_dataset("BUN")
+        queries = perturbed_queries(data, 16)
+        assert queries.shape == (16, 3)
+        # Each query lies near some data point.
+        for q in queries[:4]:
+            d = np.min(np.linalg.norm(data.points - q, axis=1))
+            assert d < np.ptp(data.points) * 0.5
+
+
+class TestGenerators:
+    def test_clustered_unit_norm(self):
+        points = synthetic.clustered_unit_features(200, 32)
+        norms = np.linalg.norm(points, axis=1)
+        np.testing.assert_allclose(norms, 1.0, rtol=1e-5)
+
+    def test_image_like_non_negative(self):
+        points = synthetic.image_like_features(100, 64)
+        assert np.all(points >= 0.0)
+        assert points.max() > 0.0
+
+    def test_embedding_heavy_tailed(self):
+        points = synthetic.embedding_features(2000, 16)
+        # Student-t has excess kurtosis vs normal.
+        flat = (points - points.mean()) / points.std()
+        kurtosis = float(np.mean(flat**4))
+        assert kurtosis > 3.2
+
+    def test_descriptor_non_negative(self):
+        points = synthetic.descriptor_features(100, 128)
+        assert np.all(points >= 0.0)
+
+    def test_btree_keys_unique(self):
+        keys = synthetic.btree_keys(5000)
+        assert np.unique(keys).size == 5000
+        assert np.all(keys == np.floor(keys))  # integer-valued
+
+    def test_cluster_validation(self):
+        with pytest.raises(DatasetError):
+            synthetic.clustered_unit_features(10, 8, clusters=0)
+
+
+class TestPointClouds:
+    @pytest.mark.parametrize(
+        "maker", [pointcloud.bunny_like, pointcloud.dragon_like,
+                  pointcloud.buddha_like, pointcloud.cosmos_like]
+    )
+    def test_shape_and_finite(self, maker):
+        cloud = maker(500)
+        assert cloud.shape == (500, 3)
+        assert np.all(np.isfinite(cloud))
+
+    def test_surface_models_are_hollow(self):
+        """Surface samples concentrate on a shell: distances from the
+        centroid cluster away from zero."""
+        cloud = pointcloud.bunny_like(2000)
+        radii = np.linalg.norm(cloud - cloud.mean(axis=0), axis=1)
+        assert np.quantile(radii, 0.05) > 0.3 * np.median(radii)
+
+    def test_cosmos_is_clustered(self):
+        """Halo structure: nearest-neighbor distances are much smaller than
+        uniform sampling of the same bounding volume would give."""
+        cloud = pointcloud.cosmos_like(2000)
+        rng = np.random.default_rng(0)
+        sample = rng.choice(2000, size=100, replace=False)
+        nn = []
+        for i in sample:
+            d = np.linalg.norm(cloud - cloud[i], axis=1)
+            nn.append(np.partition(d, 1)[1])
+        lo = cloud.min(axis=0)
+        hi = cloud.max(axis=0)
+        uniform = rng.uniform(lo, hi, size=(2000, 3))
+        nn_uniform = []
+        for i in sample:
+            d = np.linalg.norm(uniform - uniform[i], axis=1)
+            nn_uniform.append(np.partition(d, 1)[1])
+        assert np.median(nn) < 0.5 * np.median(nn_uniform)

@@ -1,0 +1,51 @@
+"""The example scripts run end-to-end (scaled-down where needed)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=900,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "POINT_EUCLID beats" in out
+        assert "speedup" in out
+
+    def test_btree_kvstore(self):
+        out = run_example("btree_kvstore.py")
+        assert "lookup(4242) = 42420.0" in out
+        assert "range_scan" in out
+
+    def test_raytrace_scene(self, tmp_path):
+        target = tmp_path / "scene.pgm"
+        out = run_example("raytrace_scene.py", str(target))
+        assert target.exists()
+        header = target.read_bytes()[:2]
+        assert header == b"P5"
+        assert "primary rays" in out
+
+    def test_rtindex_comparison(self):
+        out = run_example("rtindex_comparison.py")
+        assert "speedup" in out.lower()
+
+    def test_ann_search(self):
+        out = run_example("ann_search.py")
+        assert "recall@10" in out
+        assert "recall@5" in out
+        assert "Speedup" in out

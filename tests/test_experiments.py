@@ -1,0 +1,70 @@
+"""Experiment plumbing and the light (non-simulation) experiments.
+
+The heavy figure sweeps run under ``pytest benchmarks/``; here we test the
+shared infrastructure and everything that completes in milliseconds.
+"""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments import (
+    fig15_area,
+    fig16_power,
+    table1_isa,
+    table2_datasets,
+    table3_config,
+)
+from repro.experiments.common import (
+    FAMILIES,
+    config_for,
+    datasets_for,
+    default_config,
+)
+
+
+class TestCommon:
+    def test_families_and_datasets(self):
+        assert set(FAMILIES) == {"ggnn", "flann", "bvhnn", "btree"}
+        assert len(datasets_for("ggnn")) == 9
+        assert len(datasets_for("flann")) == 5
+        assert len(datasets_for("bvhnn")) == 5
+        assert len(datasets_for("btree")) == 2
+        with pytest.raises(ConfigError):
+            datasets_for("magic")
+
+    def test_default_config_is_one_sm_slice(self):
+        config = default_config()
+        assert config.num_sms == 1
+        assert config.warp_buffer_size == 8
+
+    def test_ggnn_occupancy_cap(self):
+        assert config_for("ggnn").max_warps_per_sm == 16
+        assert config_for("flann").max_warps_per_sm == 64
+
+
+class TestLightExperiments:
+    def test_table1(self):
+        assert len(table1_isa.compute()) == 4
+        assert "RAY_INTERSECT" in table1_isa.render()
+
+    def test_table2(self):
+        rows = table2_datasets.compute()
+        assert len(rows) == 16
+        assert "deep1b" in table2_datasets.render()
+
+    def test_table3(self):
+        tables = table3_config.compute()
+        assert dict(tables["paper"])["# SMs"] == "80"
+        assert "GTO" in table3_config.render()
+
+    def test_fig15(self):
+        report = fig15_area.compute()
+        assert report["hsu_normalized"]["total"] == pytest.approx(1.37, abs=0.03)
+        assert "1.37" in fig15_area.render()
+
+    def test_fig16(self):
+        report = fig16_power.compute()
+        assert set(report["hsu_mw"]) == {
+            "ray_box", "ray_tri", "euclid", "angular", "key_compare",
+        }
+        assert "euclid" in fig16_power.render()

@@ -1,0 +1,104 @@
+"""AABB operations and invariants."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry.aabb import Aabb
+from repro.geometry.vec3 import Vec3
+
+# Flush near-denormal magnitudes to zero: squaring them underflows, which
+# would falsify the distance/containment property for reasons unrelated to
+# the geometry code.
+coord = st.floats(min_value=-1e3, max_value=1e3, allow_nan=False).map(
+    lambda x: 0.0 if abs(x) < 1e-100 else x
+)
+points = st.builds(Vec3, coord, coord, coord)
+
+
+def box_from(a: Vec3, b: Vec3) -> Aabb:
+    return Aabb(a.min_with(b), a.max_with(b))
+
+
+boxes = st.builds(box_from, points, points)
+
+
+class TestBasics:
+    def test_empty_box(self):
+        empty = Aabb.empty()
+        assert empty.is_empty()
+        assert empty.surface_area() == 0.0
+
+    def test_from_points(self):
+        box = Aabb.from_points([(0.0, 0.0, 0.0), (1.0, 2.0, -1.0), (0.5, 1.0, 0.0)])
+        assert box.lo == Vec3(0.0, 0.0, -1.0)
+        assert box.hi == Vec3(1.0, 2.0, 0.0)
+
+    def test_around_point(self):
+        box = Aabb.around_point((1.0, 2.0, 3.0), 0.5)
+        assert box.lo == Vec3(0.5, 1.5, 2.5)
+        assert box.hi == Vec3(1.5, 2.5, 3.5)
+        assert box.centroid() == Vec3(1.0, 2.0, 3.0)
+
+    def test_around_point_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            Aabb.around_point((0.0, 0.0, 0.0), -1.0)
+
+    def test_surface_area_unit_cube(self):
+        box = Aabb(Vec3(0.0, 0.0, 0.0), Vec3(1.0, 1.0, 1.0))
+        assert box.surface_area() == pytest.approx(6.0)
+        assert box.half_area() == pytest.approx(3.0)
+
+    def test_longest_axis(self):
+        box = Aabb(Vec3(0.0, 0.0, 0.0), Vec3(1.0, 5.0, 2.0))
+        assert box.longest_axis() == 1
+
+    def test_contains_point_boundary(self):
+        box = Aabb(Vec3(0.0, 0.0, 0.0), Vec3(1.0, 1.0, 1.0))
+        assert box.contains_point(Vec3(0.0, 0.0, 0.0))
+        assert box.contains_point(Vec3(1.0, 1.0, 1.0))
+        assert not box.contains_point(Vec3(1.0001, 0.5, 0.5))
+
+    def test_overlaps(self):
+        a = Aabb(Vec3(0.0, 0.0, 0.0), Vec3(1.0, 1.0, 1.0))
+        b = Aabb(Vec3(0.5, 0.5, 0.5), Vec3(2.0, 2.0, 2.0))
+        c = Aabb(Vec3(2.5, 2.5, 2.5), Vec3(3.0, 3.0, 3.0))
+        assert a.overlaps(b) and b.overlaps(a)
+        assert not a.overlaps(c)
+
+    def test_distance_squared_to_point(self):
+        box = Aabb(Vec3(0.0, 0.0, 0.0), Vec3(1.0, 1.0, 1.0))
+        assert box.distance_squared_to_point(Vec3(0.5, 0.5, 0.5)) == 0.0
+        assert box.distance_squared_to_point(Vec3(2.0, 0.5, 0.5)) == pytest.approx(1.0)
+        assert box.distance_squared_to_point(Vec3(2.0, 2.0, 0.5)) == pytest.approx(2.0)
+
+
+class TestProperties:
+    @given(boxes, boxes)
+    def test_union_contains_both(self, a, b):
+        u = a.union(b)
+        for box in (a, b):
+            assert u.contains_point(box.lo)
+            assert u.contains_point(box.hi)
+
+    @given(boxes, boxes)
+    def test_union_commutative(self, a, b):
+        assert a.union(b) == b.union(a)
+
+    @given(boxes)
+    def test_union_with_empty_is_identity(self, a):
+        assert a.union(Aabb.empty()) == a
+
+    @given(boxes, points)
+    def test_grow_contains(self, box, p):
+        assert box.grown_to_contain(p).contains_point(p)
+
+    @given(boxes, boxes)
+    def test_union_area_monotone(self, a, b):
+        assert a.union(b).surface_area() >= max(
+            a.surface_area(), b.surface_area()
+        ) - 1e-9
+
+    @given(boxes, points)
+    def test_distance_zero_iff_contained(self, box, p):
+        d2 = box.distance_squared_to_point(p)
+        assert (d2 == 0.0) == box.contains_point(p)

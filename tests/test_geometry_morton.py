@@ -1,0 +1,83 @@
+"""Morton codes: roundtrip, ordering, vectorization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry.morton import (
+    MORTON_GRID,
+    morton_decode3,
+    morton_encode3,
+    morton_encode_points,
+    quantize_points,
+)
+
+cell = st.integers(min_value=0, max_value=MORTON_GRID - 1)
+
+
+class TestScalar:
+    def test_origin_is_zero(self):
+        assert morton_encode3(0, 0, 0) == 0
+
+    def test_known_interleaving(self):
+        # x bits land at positions 0,3,6,...; y at 1,4,...; z at 2,5,...
+        assert morton_encode3(1, 0, 0) == 0b001
+        assert morton_encode3(0, 1, 0) == 0b010
+        assert morton_encode3(0, 0, 1) == 0b100
+        assert morton_encode3(3, 0, 0) == 0b001001
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            morton_encode3(MORTON_GRID, 0, 0)
+        with pytest.raises(ValueError):
+            morton_encode3(-1, 0, 0)
+        with pytest.raises(ValueError):
+            morton_decode3(1 << 30)
+
+    @given(cell, cell, cell)
+    def test_roundtrip(self, x, y, z):
+        assert morton_decode3(morton_encode3(x, y, z)) == (x, y, z)
+
+    @given(cell, cell, cell)
+    def test_monotone_in_each_axis(self, x, y, z):
+        # Increasing one coordinate increases the code.
+        if x + 1 < MORTON_GRID:
+            assert morton_encode3(x + 1, y, z) > morton_encode3(x, y, z)
+
+
+class TestVectorized:
+    def test_matches_scalar(self):
+        rng = np.random.default_rng(0)
+        points = rng.uniform(-5.0, 5.0, size=(256, 3))
+        codes = morton_encode_points(points)
+        cells = quantize_points(points)
+        for i in range(points.shape[0]):
+            expected = morton_encode3(*(int(c) for c in cells[i]))
+            assert int(codes[i]) == expected
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            morton_encode_points(np.zeros((4, 2)))
+
+    def test_degenerate_axis(self):
+        points = np.array([[0.0, 1.0, 5.0], [1.0, 1.0, 5.0], [2.0, 1.0, 5.0]])
+        codes = morton_encode_points(points)
+        # y and z collapse to cell 0; ordering follows x.
+        assert list(codes) == sorted(codes)
+
+    def test_locality(self):
+        """Nearby points receive nearby codes more often than far points —
+        the property that makes the Morton sort useful for LBVH."""
+        rng = np.random.default_rng(1)
+        base = rng.uniform(0.2, 0.8, size=(200, 3))
+        near = base + 1e-4
+        far = rng.uniform(0.0, 1.0, size=(200, 3))
+        cloud = np.vstack([base, near, far])
+        codes = morton_encode_points(cloud)
+        near_gap = np.abs(
+            codes[:200].astype(np.int64) - codes[200:400].astype(np.int64)
+        )
+        far_gap = np.abs(
+            codes[:200].astype(np.int64) - codes[400:].astype(np.int64)
+        )
+        assert np.median(near_gap) < np.median(far_gap)

@@ -1,0 +1,78 @@
+"""Ray construction and the precomputed Woop constants."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry.ray import Ray
+from repro.geometry.vec3 import Vec3
+
+nonzero = st.floats(min_value=-100.0, max_value=100.0, allow_nan=False).filter(
+    lambda x: abs(x) > 1e-3
+)
+
+
+class TestConstruction:
+    def test_zero_direction_rejected(self):
+        with pytest.raises(ValueError):
+            Ray(Vec3(0.0, 0.0, 0.0), Vec3(0.0, 0.0, 0.0))
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(ValueError):
+            Ray(Vec3(0.0, 0.0, 0.0), Vec3(1.0, 0.0, 0.0), t_min=2.0, t_max=1.0)
+
+    def test_inverse_direction(self):
+        ray = Ray(Vec3(0.0, 0.0, 0.0), Vec3(2.0, -4.0, 0.5))
+        assert ray.inv_direction.x == pytest.approx(0.5)
+        assert ray.inv_direction.y == pytest.approx(-0.25)
+        assert ray.inv_direction.z == pytest.approx(2.0)
+
+    def test_inverse_of_zero_component_is_inf(self):
+        ray = Ray(Vec3(0.0, 0.0, 0.0), Vec3(1.0, 0.0, 0.0))
+        assert math.isinf(ray.inv_direction.y)
+        assert math.isinf(ray.inv_direction.z)
+
+    def test_at(self):
+        ray = Ray(Vec3(1.0, 1.0, 1.0), Vec3(1.0, 0.0, 0.0))
+        assert ray.at(3.0) == Vec3(4.0, 1.0, 1.0)
+
+    def test_with_interval(self):
+        ray = Ray(Vec3(0.0, 0.0, 0.0), Vec3(0.0, 0.0, 1.0))
+        clipped = ray.with_interval(1.0, 2.0)
+        assert clipped.t_min == 1.0 and clipped.t_max == 2.0
+        assert clipped.direction == ray.direction
+
+
+class TestWoopConstants:
+    def test_kz_is_dominant_axis(self):
+        ray = Ray(Vec3(0.0, 0.0, 0.0), Vec3(0.1, 5.0, -0.2))
+        assert ray.kz == 1  # y dominates
+
+    def test_permutation_is_cyclic(self):
+        ray = Ray(Vec3(0.0, 0.0, 0.0), Vec3(1.0, 2.0, 9.0))
+        assert sorted((ray.kx, ray.ky, ray.kz)) == [0, 1, 2]
+
+    def test_negative_dominant_swaps_winding(self):
+        pos = Ray(Vec3(0.0, 0.0, 0.0), Vec3(0.1, 0.1, 1.0))
+        neg = Ray(Vec3(0.0, 0.0, 0.0), Vec3(0.1, 0.1, -1.0))
+        assert (pos.kx, pos.ky) == (neg.ky, neg.kx)
+
+    @given(nonzero, nonzero, nonzero)
+    def test_shear_maps_direction_to_plus_z(self, dx, dy, dz):
+        ray = Ray(Vec3(0.0, 0.0, 0.0), Vec3(dx, dy, dz))
+        d = ray.direction
+        # After the shear, the direction's kx/ky components vanish and the
+        # scaled kz component is exactly 1.
+        sheared_x = d.component(ray.kx) - ray.sx * d.component(ray.kz)
+        sheared_y = d.component(ray.ky) - ray.sy * d.component(ray.kz)
+        assert sheared_x == pytest.approx(0.0, abs=1e-9)
+        assert sheared_y == pytest.approx(0.0, abs=1e-9)
+        assert ray.sz * d.component(ray.kz) == pytest.approx(1.0)
+
+    @given(nonzero, nonzero, nonzero)
+    def test_shear_constants_bounded(self, dx, dy, dz):
+        ray = Ray(Vec3(0.0, 0.0, 0.0), Vec3(dx, dy, dz))
+        # The dominant-axis choice bounds the shear factors by 1.
+        assert abs(ray.sx) <= 1.0 + 1e-12
+        assert abs(ray.sy) <= 1.0 + 1e-12

@@ -1,0 +1,95 @@
+"""Vec3 arithmetic and invariants."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry.vec3 import Vec3
+
+finite = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+vectors = st.builds(Vec3, finite, finite, finite)
+
+
+class TestBasicArithmetic:
+    def test_add_sub_roundtrip(self):
+        a = Vec3(1.0, 2.0, 3.0)
+        b = Vec3(-4.0, 5.0, 0.5)
+        assert (a + b) - b == a
+
+    def test_scalar_multiplication_commutes(self):
+        v = Vec3(1.0, -2.0, 3.0)
+        assert 2.0 * v == v * 2.0 == Vec3(2.0, -4.0, 6.0)
+
+    def test_negation(self):
+        assert -Vec3(1.0, -2.0, 3.0) == Vec3(-1.0, 2.0, -3.0)
+
+    def test_division(self):
+        assert Vec3(2.0, 4.0, 6.0) / 2.0 == Vec3(1.0, 2.0, 3.0)
+
+    def test_hadamard(self):
+        assert Vec3(1.0, 2.0, 3.0).hadamard(Vec3(4.0, 5.0, 6.0)) == Vec3(
+            4.0, 10.0, 18.0
+        )
+
+
+class TestGeometricOperations:
+    def test_dot_orthogonal(self):
+        assert Vec3(1.0, 0.0, 0.0).dot(Vec3(0.0, 1.0, 0.0)) == 0.0
+
+    def test_cross_basis(self):
+        assert Vec3(1.0, 0.0, 0.0).cross(Vec3(0.0, 1.0, 0.0)) == Vec3(
+            0.0, 0.0, 1.0
+        )
+
+    def test_length(self):
+        assert Vec3(3.0, 4.0, 0.0).length() == pytest.approx(5.0)
+        assert Vec3(3.0, 4.0, 0.0).length_squared() == pytest.approx(25.0)
+
+    def test_normalized_unit_length(self):
+        v = Vec3(1.0, 2.0, -2.0).normalized()
+        assert v.length() == pytest.approx(1.0)
+
+    def test_normalize_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            Vec3(0.0, 0.0, 0.0).normalized()
+
+    def test_min_max_with(self):
+        a = Vec3(1.0, 5.0, -1.0)
+        b = Vec3(2.0, 3.0, 0.0)
+        assert a.min_with(b) == Vec3(1.0, 3.0, -1.0)
+        assert a.max_with(b) == Vec3(2.0, 5.0, 0.0)
+
+    def test_max_dimension(self):
+        assert Vec3(1.0, -5.0, 2.0).max_dimension() == 1
+        assert Vec3(0.0, 0.0, 1.0).max_dimension() == 2
+        assert Vec3(3.0, 1.0, 1.0).max_dimension() == 0
+
+    def test_component_indexing(self):
+        v = Vec3(7.0, 8.0, 9.0)
+        assert [v.component(i) for i in range(3)] == [7.0, 8.0, 9.0]
+        assert list(v.iter_components()) == [7.0, 8.0, 9.0]
+
+
+class TestProperties:
+    @given(vectors, vectors)
+    def test_cross_orthogonal_to_operands(self, a, b):
+        c = a.cross(b)
+        # |a x b . a| is bounded by magnitude-scaled rounding error.
+        scale = max(1.0, a.length() * b.length() * max(a.length(), b.length()))
+        assert abs(c.dot(a)) <= 1e-6 * scale
+        assert abs(c.dot(b)) <= 1e-6 * scale
+
+    @given(vectors, vectors)
+    def test_dot_symmetry(self, a, b):
+        assert a.dot(b) == pytest.approx(b.dot(a), rel=1e-12, abs=1e-12)
+
+    @given(vectors)
+    def test_length_matches_dot(self, v):
+        assert v.length() == pytest.approx(math.sqrt(v.dot(v)))
+
+    @given(vectors, vectors)
+    def test_triangle_inequality(self, a, b):
+        assert (a + b).length() <= a.length() + b.length() + 1e-6

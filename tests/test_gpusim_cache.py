@@ -1,0 +1,119 @@
+"""Cache model: hits, LRU, MSHR merging and stalls, port contention."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigError
+from repro.gpusim.cache import Cache
+
+
+def make_cache(sets=4, ways=2, hit_latency=10, mshr=4, next_latency=100,
+               port_interval=1.0):
+    def next_level(line, time):
+        return time + next_latency
+
+    return Cache(
+        name="test", sets=sets, ways=ways, line_bytes=128,
+        hit_latency=hit_latency, mshr_entries=mshr, next_level=next_level,
+        port_interval=port_interval,
+    )
+
+
+class TestHitMiss:
+    def test_cold_miss_then_hit(self):
+        cache = make_cache()
+        t1, hit1 = cache.access(0, 0)
+        assert not hit1
+        assert t1 >= 100
+        t2, hit2 = cache.access(0, t1 + 1)
+        assert hit2
+        assert t2 == pytest.approx(t1 + 1 + 10)
+
+    def test_distinct_lines_both_miss(self):
+        cache = make_cache()
+        _, h1 = cache.access(0, 0)
+        _, h2 = cache.access(128 * 4, 0)  # different set
+        assert not h1 and not h2
+        assert cache.stats.misses == 2
+
+    def test_lru_eviction(self):
+        cache = make_cache(sets=1, ways=2)
+        cache.access(0, 0)          # A
+        cache.access(128, 10)       # B
+        cache.access(0, 20)         # touch A (B becomes LRU)
+        cache.access(256, 30)       # C evicts B
+        _, hit_a = cache.access(0, 1000)
+        _, hit_b = cache.access(128, 1000)
+        assert hit_a
+        assert not hit_b
+
+    def test_miss_rate(self):
+        cache = make_cache()
+        cache.access(0, 0)
+        cache.access(0, 500)
+        assert cache.stats.miss_rate() == pytest.approx(0.5)
+
+
+class TestMshr:
+    def test_merge_counts_as_hit(self):
+        """Accesses that hit on a pending miss are hits (§VI-J)."""
+        cache = make_cache()
+        t1, _ = cache.access(0, 0)
+        t2, hit = cache.access(0, 1)  # still in flight
+        assert hit
+        assert cache.stats.mshr_merges == 1
+        assert t2 <= t1 + 1e9 and t2 >= t1  # merged fill, not a new one
+
+    def test_full_mshr_stalls(self):
+        cache = make_cache(mshr=2)
+        cache.access(0, 0)
+        cache.access(128, 0)
+        t3, _ = cache.access(256, 0)
+        assert cache.stats.mshr_stalls == 1
+        # The stalled access could not start before an MSHR freed (~t=100+).
+        assert t3 > 150
+
+    def test_mshr_frees_after_fill(self):
+        cache = make_cache(mshr=1, next_latency=50)
+        t1, _ = cache.access(0, 0)
+        t2, _ = cache.access(128, t1 + 1)  # after the fill returned
+        assert cache.stats.mshr_stalls == 0
+        del t2
+
+
+class TestPort:
+    def test_same_cycle_accesses_serialize(self):
+        cache = make_cache()
+        cache.access(0, 0)
+        cache.access(0, 100)  # warm
+        t_a, _ = cache.access(0, 200)
+        t_b, _ = cache.access(0, 200)
+        assert t_b == t_a + 1  # one port slot apart
+
+    def test_fractional_port_interval(self):
+        cache = make_cache(port_interval=4.0)
+        cache.access(0, 0)
+        t1, _ = cache.access(0, 100)
+        t2, _ = cache.access(0, 100)
+        assert t2 - t1 == pytest.approx(4.0)
+
+    @settings(max_examples=30)
+    @given(st.lists(st.integers(0, 15), min_size=1, max_size=40))
+    def test_time_monotone_per_port(self, lines):
+        """Completion times never precede request times."""
+        cache = make_cache()
+        now = 0
+        for line in lines:
+            done, _ = cache.access(line * 128, now)
+            assert done >= now
+            now += 1
+
+
+class TestValidation:
+    def test_bad_params_rejected(self):
+        with pytest.raises(ConfigError):
+            make_cache(sets=0)
+        with pytest.raises(ConfigError):
+            make_cache(mshr=0)
+        with pytest.raises(ConfigError):
+            make_cache(port_interval=0.0)

@@ -1,0 +1,100 @@
+"""DRAM model: open rows, bus bandwidth, FR-FCFS locality replay."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.gpusim.dram import DramModel
+
+
+def make_dram(channels=2, banks=4, bus_interval=1.0, access_latency=0):
+    return DramModel(
+        channels=channels, banks_per_channel=banks, row_bytes=2048,
+        row_hit_cycles=20, row_miss_cycles=60, bus_interval=bus_interval,
+        access_latency=access_latency,
+    )
+
+
+class TestOpenRow:
+    def test_first_access_activates(self):
+        dram = make_dram()
+        done = dram.access(0, 0)
+        assert dram.stats.activations == 1
+        assert done >= 60
+
+    def test_same_row_hits(self):
+        dram = make_dram()
+        t1 = dram.access(0, 0)
+        t2 = dram.access(128, t1)  # same 2 KB row
+        assert dram.stats.row_hits == 1
+        assert t2 - t1 == pytest.approx(20.0)
+
+    def test_row_conflict_pays_miss(self):
+        dram = make_dram(channels=1, banks=1)
+        t1 = dram.access(0, 0)
+        t2 = dram.access(2048, t1)  # next row, same bank
+        assert dram.stats.activations == 2
+        assert t2 - t1 == pytest.approx(60.0)
+
+    def test_banks_overlap(self):
+        dram = make_dram()
+        t1 = dram.access(0, 0)       # bank 0
+        t2 = dram.access(2048, 0)    # bank 1 (row interleaving)
+        # Different banks: both finish around the same time (bus-separated).
+        assert abs(t2 - t1) < 60
+
+    def test_access_latency_added(self):
+        base = make_dram().access(0, 0)
+        delayed = make_dram(access_latency=250).access(0, 0)
+        assert delayed == pytest.approx(base + 250)
+
+    def test_bus_serializes(self):
+        dram = make_dram(bus_interval=16.0)
+        t1 = dram.access(0, 0)
+        t2 = dram.access(2048, 0)  # other bank, but shared bus
+        assert t2 - t1 >= 16.0 - 1e-9
+
+
+class TestFrFcfsReplay:
+    def test_no_traffic(self):
+        assert make_dram().frfcfs_row_locality() == 0.0
+
+    def test_perfect_locality(self):
+        dram = make_dram(channels=1, banks=1)
+        for i in range(8):
+            dram.access(i * 128, i)
+        assert dram.frfcfs_row_locality() == pytest.approx(8.0)
+        assert dram.stats.arrival_order_locality() == pytest.approx(8.0)
+
+    def test_reordering_recovers_locality(self):
+        """Interleaved rows A,B,A,B,...: arrival order activates every
+        access, FR-FCFS batches same-row requests within its window."""
+        dram = make_dram(channels=1, banks=1)
+        for i in range(8):
+            row = (i % 2) * 2048
+            dram.access(row + (i // 2) * 128, i)
+        arrival = dram.stats.arrival_order_locality()
+        frfcfs = dram.frfcfs_row_locality(window=8)
+        assert arrival == pytest.approx(1.0)
+        assert frfcfs > arrival
+
+    def test_window_validation(self):
+        with pytest.raises(ConfigError):
+            make_dram().frfcfs_row_locality(window=0)
+
+    def test_replay_preserves_access_count(self):
+        dram = make_dram()
+        for i in range(37):
+            dram.access(i * 512, i)
+        locality = dram.frfcfs_row_locality()
+        assert locality >= 1.0
+
+
+class TestValidation:
+    def test_bad_params(self):
+        with pytest.raises(ConfigError):
+            make_dram(channels=0)
+        with pytest.raises(ConfigError):
+            DramModel(1, 1, row_bytes=1000, row_hit_cycles=1,
+                      row_miss_cycles=2)
+        with pytest.raises(ConfigError):
+            make_dram(bus_interval=0.0)

@@ -1,0 +1,185 @@
+"""Top-level simulator: issue timing, scheduling, memory integration."""
+
+import pytest
+
+from repro.core.isa import Opcode
+from repro.errors import TraceError
+from repro.gpusim import GpuSimulator, KernelTrace, VOLTA_V100, WarpInstr, WarpTrace, simulate
+from repro.gpusim.trace import (
+    KIND_ALU,
+    KIND_HSU,
+    KIND_LDG,
+    KIND_LDS,
+    KIND_SFU,
+)
+
+CFG = VOLTA_V100.scaled(1)
+
+
+def kernel(*warps):
+    return KernelTrace(warps=[WarpTrace(instructions=list(w)) for w in warps])
+
+
+class TestBasicTiming:
+    def test_single_alu(self):
+        stats = simulate(CFG, kernel([WarpInstr(KIND_ALU)]))
+        assert stats.cycles == CFG.alu_latency
+        assert stats.warp_instructions == 1
+
+    def test_alu_repeat(self):
+        stats = simulate(CFG, kernel([WarpInstr(KIND_ALU, repeat=10)]))
+        assert stats.cycles == 10 - 1 + CFG.alu_latency
+
+    def test_chain_latency(self):
+        short = simulate(CFG, kernel([WarpInstr(KIND_ALU, repeat=10, chain=1)]))
+        long = simulate(CFG, kernel([WarpInstr(KIND_ALU, repeat=10, chain=5)]))
+        assert long.cycles == short.cycles + 4 * CFG.alu_latency
+
+    def test_sfu_and_lds_latencies(self):
+        sfu = simulate(CFG, kernel([WarpInstr(KIND_SFU)]))
+        lds = simulate(CFG, kernel([WarpInstr(KIND_LDS)]))
+        assert sfu.cycles == CFG.sfu_latency
+        assert lds.cycles == CFG.shared_latency
+
+    def test_instruction_kind_counters(self):
+        stats = simulate(
+            CFG,
+            kernel([
+                WarpInstr(KIND_ALU, repeat=3),
+                WarpInstr(KIND_LDS),
+                WarpInstr(KIND_LDG, addrs=(0,), bytes_per_thread=4),
+            ]),
+        )
+        assert stats.instructions_by_kind[KIND_ALU] == 3
+        assert stats.instructions_by_kind[KIND_LDS] == 1
+        assert stats.instructions_by_kind[KIND_LDG] == 1
+
+
+class TestScheduling:
+    def test_same_subcore_warps_share_issue_port(self):
+        # Warps 0 and num_sms land on the same SM; with 1 SM, warps 0..3 go
+        # to sub-cores 0..3 and warp 4 shares sub-core 0 with warp 0.
+        one = simulate(CFG, kernel([WarpInstr(KIND_ALU, repeat=100)]))
+        five = simulate(
+            CFG,
+            kernel(*[[WarpInstr(KIND_ALU, repeat=100)] for _ in range(5)]),
+        )
+        # Two warps on sub-core 0 serialize their issue slots.
+        assert five.cycles >= one.cycles + 100 - 1
+
+    def test_different_subcores_overlap(self):
+        four = simulate(
+            CFG,
+            kernel(*[[WarpInstr(KIND_ALU, repeat=100)] for _ in range(4)]),
+        )
+        one = simulate(CFG, kernel([WarpInstr(KIND_ALU, repeat=100)]))
+        assert four.cycles == one.cycles
+
+    def test_wave_admission_beyond_residency(self):
+        import dataclasses
+
+        tiny = dataclasses.replace(CFG, max_warps_per_sm=2)
+        stats = simulate(
+            tiny,
+            kernel(*[[WarpInstr(KIND_ALU, repeat=50)] for _ in range(4)]),
+        )
+        # Four warps, two resident at a time, on separate sub-cores: two
+        # sequential waves.
+        assert stats.cycles >= 2 * 50
+
+    def test_determinism(self):
+        k = kernel(*[[WarpInstr(KIND_ALU, repeat=7),
+                      WarpInstr(KIND_LDG, addrs=(i * 4096,), bytes_per_thread=64)]
+                     for i in range(8)])
+        a = simulate(CFG, k)
+        b = simulate(CFG, k)
+        assert a.cycles == b.cycles
+        assert a.l1_accesses == b.l1_accesses
+
+
+class TestMemoryPath:
+    def test_ldg_coalescing(self):
+        # 4 threads within one line: 1 access.  4 threads scattered: 4.
+        coalesced = simulate(
+            CFG,
+            kernel([WarpInstr(KIND_LDG, addrs=(0, 32, 64, 96),
+                              bytes_per_thread=32, active=4)]),
+        )
+        scattered = simulate(
+            CFG,
+            kernel([WarpInstr(KIND_LDG, addrs=(0, 4096, 8192, 12288),
+                              bytes_per_thread=32, active=4)]),
+        )
+        assert coalesced.l1_accesses == 1
+        assert scattered.l1_accesses == 4
+
+    def test_load_spanning_lines(self):
+        stats = simulate(
+            CFG,
+            kernel([WarpInstr(KIND_LDG, addrs=(100,), bytes_per_thread=256)]),
+        )
+        assert stats.l1_accesses == 3  # 100..356 spans 3 lines
+
+    def test_miss_goes_to_l2_and_dram(self):
+        stats = simulate(
+            CFG,
+            kernel([WarpInstr(KIND_LDG, addrs=(0,), bytes_per_thread=4)]),
+        )
+        assert stats.l1_misses == 1
+        assert stats.l2_accesses == 1
+        assert stats.dram_accesses == 1
+        assert stats.cycles > 300  # cold miss pays the full path
+
+    def test_rehit_is_cheap(self):
+        k = kernel([
+            WarpInstr(KIND_LDG, addrs=(0,), bytes_per_thread=4),
+            WarpInstr(KIND_LDG, addrs=(0,), bytes_per_thread=4),
+        ])
+        stats = simulate(CFG, k)
+        assert stats.l1_hits == 1
+
+
+class TestHsuPath:
+    def hsu(self, **kwargs):
+        defaults = dict(
+            active=4, addrs=(0, 4096, 8192, 12288), bytes_per_thread=64,
+            opcode=Opcode.POINT_EUCLID, beats=2,
+        )
+        defaults.update(kwargs)
+        return WarpInstr(KIND_HSU, **defaults)
+
+    def test_hsu_counters(self):
+        stats = simulate(CFG, kernel([self.hsu()]))
+        assert stats.hsu_warp_instructions == 1
+        assert stats.hsu_thread_beats == 8
+        assert stats.hsu_fetch_line_accesses == 4
+
+    def test_hsu_attributed_to_hsu_able_busy(self):
+        stats = simulate(CFG, kernel([self.hsu()]))
+        assert stats.hsu_able_busy > 0
+        assert stats.other_busy == 0
+
+    def test_hsu_and_lsu_share_l1_port(self):
+        """§VI-H: 'the HSU time shares access to the L1D cache with the
+        load-store unit.'"""
+        k = kernel(
+            [self.hsu(addrs=(0, 128, 256, 384), bytes_per_thread=64, beats=1)],
+            [WarpInstr(KIND_LDG, addrs=(512,), bytes_per_thread=4)],
+        )
+        stats = simulate(CFG, k)
+        # Both consumed the same L1: 4 + 1 accesses.
+        assert stats.l1_accesses == 5
+
+    def test_empty_kernel_rejected(self):
+        with pytest.raises(TraceError):
+            simulate(CFG, KernelTrace(warps=[]))
+        with pytest.raises(TraceError):
+            simulate(CFG, KernelTrace(warps=[WarpTrace()]))
+
+    def test_hsu_fraction_helper(self):
+        k = kernel([
+            self.hsu(),
+            WarpInstr(KIND_ALU, repeat=5),
+        ])
+        stats = simulate(CFG, k)
+        assert 0.0 < stats.hsu_able_fraction() < 1.0

@@ -1,0 +1,132 @@
+"""RT/HSU unit model: warp buffer, fetch coalescing, pipeline allocation."""
+
+import pytest
+
+from repro.core.isa import Opcode
+from repro.gpusim.cache import Cache
+from repro.gpusim.config import VOLTA_V100
+from repro.gpusim.rtunit import RtUnit
+from repro.gpusim.trace import KIND_HSU, WarpInstr
+
+
+def make_unit(warp_buffer=8, next_latency=200):
+    config = VOLTA_V100.scaled(1).with_warp_buffer(warp_buffer)
+
+    def next_level(line, time):
+        return time + next_latency
+
+    l1 = Cache(
+        name="L1", sets=config.l1_sets, ways=config.l1_ways,
+        line_bytes=128, hit_latency=32, mshr_entries=48,
+        next_level=next_level,
+    )
+    return RtUnit(config, l1), l1
+
+
+def hsu_instr(active=4, beats=1, base=0x1000, stride=4096, bytes_per_thread=64):
+    return WarpInstr(
+        KIND_HSU,
+        active=active,
+        addrs=tuple(base + i * stride for i in range(active)),
+        bytes_per_thread=bytes_per_thread,
+        opcode=Opcode.POINT_EUCLID,
+        beats=beats,
+    )
+
+
+class TestExecution:
+    def test_single_instruction_latency(self):
+        unit, _l1 = make_unit()
+        done = unit.execute(hsu_instr(active=4), issue_time=0)
+        # fetch (~miss 200+) + 4 pipeline slots + depth 9.
+        assert done >= 200 + 4 + 9
+        assert unit.stats.warp_instructions == 1
+        assert unit.stats.thread_beats == 4
+
+    def test_multibeat_occupancy(self):
+        unit, _l1 = make_unit()
+        done_1 = make_unit()[0].execute(hsu_instr(active=8, beats=1), 0)
+        done_6 = unit.execute(hsu_instr(active=8, beats=6), 0)
+        # Six beats per thread occupy the single-lane pipeline longer.
+        assert done_6 > done_1
+        assert unit.stats.thread_beats == 48
+
+    def test_fetch_lines_deduplicated(self):
+        """Threads touching the same cache line coalesce into one request
+        in the memory access FIFO (the Fig. 12 CISC coalescing)."""
+        unit, l1 = make_unit()
+        # All four threads read within one 128-byte line.
+        instr = WarpInstr(
+            KIND_HSU, active=4, addrs=(0, 16, 32, 48), bytes_per_thread=16,
+            opcode=Opcode.POINT_EUCLID,
+        )
+        unit.execute(instr, 0)
+        assert unit.stats.fetch_line_accesses == 1
+        assert l1.stats.accesses == 1
+
+    def test_scattered_threads_fetch_separately(self):
+        unit, l1 = make_unit()
+        unit.execute(hsu_instr(active=4, stride=4096), 0)
+        assert l1.stats.accesses == 4
+
+
+class TestWarpBuffer:
+    def test_single_entry_serializes(self):
+        """§VI-I: one entry allows only one instruction to fetch at a time."""
+        serialized, _ = make_unit(warp_buffer=1)
+        parallel, _ = make_unit(warp_buffer=8)
+        last_serial = 0
+        last_parallel = 0
+        for i in range(8):
+            instr = hsu_instr(active=2, base=0x1000 + i * 64 * 1024)
+            last_serial = max(last_serial, serialized.execute(instr, 0))
+            last_parallel = max(last_parallel, parallel.execute(instr, 0))
+        assert last_serial > last_parallel * 2
+
+    def test_entry_stall_accounting(self):
+        unit, _ = make_unit(warp_buffer=1)
+        for i in range(4):
+            unit.execute(hsu_instr(active=2, base=0x1000 + i * 64 * 1024), 0)
+        assert unit.stats.entry_stall_cycles > 0
+
+    def test_entry_released_at_pipeline_issue(self):
+        """The entry frees when all threads have issued to the datapath,
+        not at retirement — back-to-back dispatches of warm data should
+        proceed at pipeline rate."""
+        unit, l1 = make_unit(warp_buffer=1, next_latency=10)
+        # Warm the line.
+        unit.execute(hsu_instr(active=1, base=0), 0)
+        warm_start = 1000
+        d1 = unit.execute(hsu_instr(active=1, base=0), warm_start)
+        d2 = unit.execute(hsu_instr(active=1, base=0), warm_start)
+        # The second dispatch waits for the entry (released at pipe issue,
+        # before d1's full retirement).
+        assert d2 - d1 <= 40
+        del l1
+
+
+class TestPipelineAllocator:
+    def test_backfill_no_head_of_line_blocking(self):
+        """A slow-fetching instruction must not delay a later one whose
+        data is already available (out-of-order entry scheduling)."""
+        unit, _ = make_unit(next_latency=500)
+        # First instruction misses (ready ~500+).
+        slow = unit.execute(hsu_instr(active=2, base=0x100000), 0)
+        # Second touches the same line as a previous... use a warmed line:
+        unit2, _ = make_unit(next_latency=500)
+        unit2.execute(hsu_instr(active=1, base=0), 0)  # warm line 0
+        t_slow = unit2.execute(hsu_instr(active=2, base=0x200000), 600)
+        t_fast = unit2.execute(hsu_instr(active=1, base=0), 601)
+        # The fast one completes well before the slow one.
+        assert t_fast < t_slow
+        del slow
+
+    def test_gap_reuse_preserves_capacity(self):
+        unit, _ = make_unit(next_latency=100)
+        times = [
+            unit.execute(hsu_instr(active=4, base=i * 0x10000), 0)
+            for i in range(10)
+        ]
+        # Total pipeline work = 40 thread-beats; the last completion cannot
+        # be earlier than fetch + work.
+        assert max(times) >= 100 + 40

@@ -1,0 +1,35 @@
+"""SimStats derived metrics."""
+
+import pytest
+
+from repro.gpusim.stats import SimStats
+
+
+class TestDerivedMetrics:
+    def test_miss_rates(self):
+        stats = SimStats(l1_accesses=100, l1_misses=25, l2_accesses=25,
+                         l2_misses=5)
+        assert stats.l1_miss_rate() == pytest.approx(0.25)
+        assert stats.l2_miss_rate() == pytest.approx(0.2)
+
+    def test_zero_division_guards(self):
+        stats = SimStats()
+        assert stats.l1_miss_rate() == 0.0
+        assert stats.l2_miss_rate() == 0.0
+        assert stats.hsu_able_fraction() == 0.0
+        assert stats.hsu_ops_per_cycle() == 0.0
+        assert stats.hsu_ops_per_l2_line() == 0.0
+        assert stats.dram_row_locality() == 0.0
+
+    def test_hsu_able_fraction(self):
+        stats = SimStats(hsu_able_busy=300, other_busy=100)
+        assert stats.hsu_able_fraction() == pytest.approx(0.75)
+
+    def test_roofline_inputs(self):
+        stats = SimStats(cycles=2000, hsu_thread_beats=500, l2_accesses=125)
+        assert stats.hsu_ops_per_cycle() == pytest.approx(0.25)
+        assert stats.hsu_ops_per_l2_line() == pytest.approx(4.0)
+
+    def test_row_locality(self):
+        stats = SimStats(dram_accesses=30, dram_activations=10)
+        assert stats.dram_row_locality() == pytest.approx(3.0)

@@ -1,0 +1,157 @@
+"""HNSW graph build, GGNN-style search, and the priority cache."""
+
+import numpy as np
+import pytest
+
+from repro.ann import brute_force_knn, recall_at_k
+from repro.errors import BuildError
+from repro.graph import PriorityCache, build_hnsw, search
+from repro.graph.hnsw import METRIC_ANGULAR, METRIC_EUCLID, batch_distances
+from repro.graph.search import GraphSearchStats
+
+
+def random_points(n, dim, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=(n, dim)).astype(np.float32)
+
+
+class TestPriorityCache:
+    def test_push_pop_ordering(self):
+        cache = PriorityCache(k=2, ef=4)
+        for dist, node in [(3.0, 3), (1.0, 1), (2.0, 2)]:
+            cache.push(dist, node)
+        assert cache.pop_nearest() == (1.0, 1)
+        assert cache.pop_nearest() == (2.0, 2)
+
+    def test_results_best_k(self):
+        cache = PriorityCache(k=2, ef=4)
+        for dist, node in [(5.0, 5), (1.0, 1), (3.0, 3), (2.0, 2)]:
+            cache.push(dist, node)
+        assert cache.results() == [(1, 1.0), (2, 2.0)]
+
+    def test_bounded_rejects_far_candidates(self):
+        cache = PriorityCache(k=1, ef=2)
+        cache.push(1.0, 1)
+        cache.push(2.0, 2)
+        cache.push(50.0, 50)  # beyond the worst of a full best-list
+        assert all(node != 50 for node, _d in cache.results())
+
+    def test_visited_filter(self):
+        cache = PriorityCache(k=1, ef=2)
+        assert cache.mark_visited(7)
+        assert not cache.mark_visited(7)
+        assert cache.is_visited(7)
+        assert not cache.is_visited(8)
+
+    def test_termination_rule(self):
+        cache = PriorityCache(k=1, ef=1)
+        cache.push(1.0, 1)
+        cache.push(0.5, 2)
+        first = cache.pop_nearest()
+        assert first == (0.5, 2)
+        # The remaining frontier entry (1.0) is no better than the best:
+        # search terminates.
+        assert cache.pop_nearest() is None
+
+    def test_op_counts(self):
+        cache = PriorityCache(k=1, ef=2)
+        cache.push(1.0, 1)
+        cache.mark_visited(1)
+        cache.pop_nearest()
+        assert cache.counts.total() >= 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PriorityCache(k=0, ef=1)
+        with pytest.raises(ValueError):
+            PriorityCache(k=4, ef=2)
+
+
+class TestBatchDistances:
+    def test_euclid_matches_numpy(self):
+        points = random_points(50, 16)
+        q = points[0] + 0.1
+        dists = batch_distances(q, points, METRIC_EUCLID)
+        expected = np.sum((points - q) ** 2, axis=1)
+        np.testing.assert_allclose(dists, expected, rtol=1e-4)
+
+    def test_angular_range(self):
+        points = random_points(50, 16, seed=1)
+        dists = batch_distances(points[0], points, METRIC_ANGULAR)
+        assert np.all(dists >= -1e-5) and np.all(dists <= 2.0 + 1e-5)
+        assert dists[0] == pytest.approx(0.0, abs=1e-5)
+
+    def test_unknown_metric(self):
+        with pytest.raises(BuildError):
+            batch_distances(np.zeros(4), np.zeros((2, 4)), "manhattan")
+
+
+class TestBuild:
+    def test_structure_valid(self):
+        graph = build_hnsw(random_points(400, 8), m=8, ef_construction=24)
+        graph.validate()
+        assert graph.num_points == 400
+
+    def test_layer_zero_complete(self):
+        graph = build_hnsw(random_points(200, 4), m=6, ef_construction=16)
+        assert len(graph.layers[0]) == 200
+
+    def test_degrees_bounded(self):
+        graph = build_hnsw(random_points(300, 8), m=8, ef_construction=24)
+        for layer_index, layer in enumerate(graph.layers):
+            cap = 16 if layer_index == 0 else 8
+            for node, nbrs in layer.items():
+                assert len(nbrs) <= cap, (layer_index, node)
+
+    def test_validation_errors(self):
+        with pytest.raises(BuildError):
+            build_hnsw(np.empty((0, 4)))
+        with pytest.raises(BuildError):
+            build_hnsw(random_points(10, 4), m=1)
+        with pytest.raises(BuildError):
+            build_hnsw(random_points(10, 4), m=8, ef_construction=4)
+
+    def test_deterministic(self):
+        a = build_hnsw(random_points(100, 4), m=4, ef_construction=8, seed=3)
+        b = build_hnsw(random_points(100, 4), m=4, ef_construction=8, seed=3)
+        assert a.layers[0] == b.layers[0]
+
+
+class TestSearch:
+    def test_recall_reasonable(self):
+        points = random_points(800, 16, seed=2)
+        graph = build_hnsw(points, m=12, ef_construction=48)
+        queries = points[:20] + 0.01
+        found = [[n for n, _ in search(graph, q, k=10, ef=48)] for q in queries]
+        truth = brute_force_knn(points, queries, 10)
+        assert recall_at_k(found, truth) >= 0.8
+
+    def test_angular_metric(self):
+        points = random_points(400, 24, seed=3)
+        graph = build_hnsw(points, m=8, ef_construction=32,
+                           metric=METRIC_ANGULAR)
+        results = search(graph, points[5], k=5, ef=32)
+        assert results[0][0] == 5  # the point itself is its own nearest
+        assert results[0][1] == pytest.approx(0.0, abs=1e-5)
+
+    def test_results_sorted(self):
+        points = random_points(300, 8, seed=4)
+        graph = build_hnsw(points, m=8, ef_construction=24)
+        results = search(graph, points[0], k=8, ef=24)
+        dists = [d for _n, d in results]
+        assert dists == sorted(dists)
+
+    def test_stats_and_events(self):
+        points = random_points(300, 8, seed=5)
+        graph = build_hnsw(points, m=8, ef_construction=24)
+        stats = GraphSearchStats(record_events=True)
+        search(graph, points[1], k=5, ef=16, stats=stats)
+        assert stats.dist_tests > 0
+        assert stats.nodes_expanded > 0
+        assert stats.queue_ops > 0
+        kinds = {kind for kind, _i, _p in stats.events}
+        assert {"dist", "visit", "queue"} <= kinds
+        # Event-counted distances match the counter.
+        assert stats.dist_tests == sum(
+            1 for kind, _i, _p in stats.events if kind == "dist"
+        )

@@ -1,0 +1,137 @@
+"""K-d tree build and search."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import BuildError
+from repro.kdtree import KdSearchStats, build_kdtree, knn_search, radius_search
+
+
+def random_points(n, dim, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=(n, dim))
+
+
+class TestBuild:
+    def test_valid_partition(self):
+        tree = build_kdtree(random_points(500, 3))
+        tree.validate()
+
+    def test_high_dimension(self):
+        tree = build_kdtree(random_points(200, 32), leaf_size=4)
+        tree.validate()
+        assert tree.dim == 32
+
+    def test_leaf_size_respected(self):
+        tree = build_kdtree(random_points(300, 3), leaf_size=8)
+        for node in tree.nodes:
+            if node.is_leaf:
+                assert node.point_count <= 8
+
+    def test_duplicate_points(self):
+        points = np.vstack([np.zeros((50, 4)), np.ones((50, 4))])
+        tree = build_kdtree(points, leaf_size=8)
+        tree.validate()
+
+    def test_all_identical_points_become_leaf(self):
+        tree = build_kdtree(np.ones((100, 3)), leaf_size=8)
+        tree.validate()
+        assert tree.nodes[tree.root].is_leaf
+
+    def test_invalid_inputs(self):
+        with pytest.raises(BuildError):
+            build_kdtree(np.empty((0, 3)))
+        with pytest.raises(BuildError):
+            build_kdtree(np.zeros(5))
+        with pytest.raises(BuildError):
+            build_kdtree(random_points(10, 3), leaf_size=0)
+
+    def test_depth_logarithmic(self):
+        tree = build_kdtree(random_points(1024, 3), leaf_size=8)
+        # Median splits: depth close to log2(1024/8) = 7 (allow slack).
+        assert tree.depth() <= 12
+
+
+class TestKnnSearch:
+    def brute(self, points, query, k):
+        d2 = np.sum((points.astype(np.float32) - query.astype(np.float32)) ** 2, axis=1)
+        return list(np.argsort(d2, kind="stable")[:k])
+
+    def test_exact_with_unlimited_checks(self):
+        points = random_points(400, 3, seed=1)
+        tree = build_kdtree(points)
+        query = np.array([0.1, -0.2, 0.3])
+        found = [p for p, _ in knn_search(tree, query, k=5, max_checks=10_000)]
+        assert set(found) == set(self.brute(points, query, 5))
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(30, 300), st.integers(2, 8), st.integers(0, 50))
+    def test_exact_property(self, n, dim, seed):
+        points = random_points(n, dim, seed)
+        tree = build_kdtree(points, leaf_size=4)
+        query = random_points(1, dim, seed + 999)[0]
+        found = [p for p, _ in knn_search(tree, query, k=3, max_checks=n * 10)]
+        expected = self.brute(points, query, 3)
+        # Distances must match even if ties reorder ids.
+        d2 = np.sum((points - query) ** 2, axis=1)
+        assert sorted(d2[found]) == pytest.approx(sorted(d2[expected]), rel=1e-5)
+
+    def test_bounded_checks_reduces_work(self):
+        points = random_points(2000, 3, seed=2)
+        tree = build_kdtree(points)
+        query = np.zeros(3)
+        stats_small = KdSearchStats()
+        knn_search(tree, query, k=5, max_checks=32, stats=stats_small)
+        stats_large = KdSearchStats()
+        knn_search(tree, query, k=5, max_checks=1000, stats=stats_large)
+        assert stats_small.dist_tests < stats_large.dist_tests
+
+    def test_results_sorted(self):
+        points = random_points(200, 3, seed=3)
+        tree = build_kdtree(points)
+        results = knn_search(tree, np.zeros(3), k=10, max_checks=500)
+        distances = [d for _p, d in results]
+        assert distances == sorted(distances)
+
+    def test_k_validation(self):
+        tree = build_kdtree(random_points(10, 3))
+        with pytest.raises(ValueError):
+            knn_search(tree, np.zeros(3), k=0)
+
+    def test_events_recorded(self):
+        tree = build_kdtree(random_points(200, 3, seed=4))
+        stats = KdSearchStats(record_events=True)
+        knn_search(tree, np.zeros(3), k=2, max_checks=64, stats=stats)
+        kinds = {kind for kind, _i, _p in stats.events}
+        assert kinds == {"plane_test", "leaf_dist"}
+        assert stats.plane_tests == sum(
+            1 for kind, _i, _p in stats.events if kind == "plane_test"
+        )
+
+
+class TestRadiusSearch:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(20, 200), st.integers(0, 30))
+    def test_matches_brute_force(self, n, seed):
+        points = random_points(n, 3, seed)
+        tree = build_kdtree(points, leaf_size=4)
+        query = random_points(1, 3, seed + 7)[0]
+        radius = 1.0
+        found = {p for p, _ in radius_search(tree, query, radius)}
+        d2 = np.sum(
+            (points.astype(np.float32) - query.astype(np.float32)) ** 2, axis=1
+        )
+        expected = set(np.nonzero(d2 <= radius * radius)[0].tolist())
+        assert found == expected
+
+    def test_negative_radius_rejected(self):
+        tree = build_kdtree(random_points(10, 3))
+        with pytest.raises(ValueError):
+            radius_search(tree, np.zeros(3), -0.5)
+
+    def test_zero_radius_finds_exact_point(self):
+        points = random_points(50, 3, seed=5)
+        tree = build_kdtree(points)
+        found = radius_search(tree, points[7], 0.0)
+        assert any(p == 7 for p, _ in found)

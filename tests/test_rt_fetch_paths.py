@@ -1,0 +1,86 @@
+"""§VI-I RT-unit fetch-path alternatives: bypass and private cache."""
+
+import pytest
+
+from repro.core.isa import Opcode
+from repro.errors import ConfigError
+from repro.gpusim import KernelTrace, VOLTA_V100, WarpInstr, WarpTrace, simulate
+from repro.gpusim.trace import KIND_HSU, KIND_LDG
+
+BASE = VOLTA_V100.scaled(1)
+
+
+def hsu_kernel(lines=8, repeats=4):
+    """Warps re-fetching the same node lines (a cacheable RT working set)."""
+    warps = []
+    for w in range(4):
+        instrs = []
+        for r in range(repeats):
+            for i in range(lines):
+                instrs.append(
+                    WarpInstr(
+                        KIND_HSU,
+                        active=2,
+                        addrs=(i * 128, i * 128 + 64),
+                        bytes_per_thread=32,
+                        opcode=Opcode.POINT_EUCLID,
+                    )
+                )
+        warps.append(WarpTrace(instructions=instrs))
+    return KernelTrace(warps=warps)
+
+
+class TestConfig:
+    def test_bypass_flag(self):
+        config = BASE.with_rt_bypass()
+        assert config.rt_fetch_bypass_l1
+        assert config.rt_private_cache_bytes == 0
+
+    def test_private_flag(self):
+        config = BASE.with_rt_private_cache(64 * 1024)
+        assert config.rt_private_cache_bytes == 64 * 1024
+        assert not config.rt_fetch_bypass_l1
+
+    def test_private_too_small_rejected(self):
+        with pytest.raises(ConfigError):
+            BASE.with_rt_private_cache(16)
+
+
+class TestBehaviour:
+    def test_bypass_skips_l1(self):
+        shared = simulate(BASE, hsu_kernel())
+        bypassed = simulate(BASE.with_rt_bypass(), hsu_kernel())
+        assert shared.l1_accesses > 0
+        assert bypassed.l1_accesses == 0
+        assert bypassed.l2_accesses >= shared.l2_accesses
+
+    def test_private_cache_keeps_l1_free(self):
+        private = simulate(BASE.with_rt_private_cache(), hsu_kernel())
+        assert private.l1_accesses == 0
+
+    def test_private_beats_bypass_on_reuse(self):
+        """Re-fetched node lines hit the private cache; the bypass pays L2
+        latency every time."""
+        private = simulate(BASE.with_rt_private_cache(), hsu_kernel(repeats=8))
+        bypassed = simulate(BASE.with_rt_bypass(), hsu_kernel(repeats=8))
+        assert private.cycles < bypassed.cycles
+
+    def test_bypass_relieves_lsu_contention(self):
+        """With the RT unit off the L1 port, plain loads keep the whole
+        port to themselves."""
+        mixed = KernelTrace(
+            warps=[
+                hsu_kernel().warps[0],
+                WarpTrace(
+                    instructions=[
+                        WarpInstr(KIND_LDG, addrs=(1 << 20,), bytes_per_thread=4)
+                        for _ in range(32)
+                    ]
+                ),
+            ]
+        )
+        shared = simulate(BASE, mixed)
+        bypassed = simulate(BASE.with_rt_bypass(), mixed)
+        # LSU-only accesses in the bypass run.
+        assert bypassed.l1_accesses == 32
+        assert shared.l1_accesses > 32

@@ -1,0 +1,71 @@
+"""RTL cost model: Fig. 15 area and Fig. 16 power."""
+
+import pytest
+
+from repro.core.modes import BASELINE_MODES, HSU_MODES, OperatingMode
+from repro.rtl import area_report, power_report
+from repro.rtl.area import datapath_area
+from repro.rtl.power import mode_power_mw
+
+
+class TestArea:
+    def test_total_ratio_matches_paper(self):
+        report = area_report()
+        assert report["hsu_normalized"]["total"] == pytest.approx(1.37, abs=0.03)
+
+    def test_only_adders_grow_combinationally(self):
+        normalized = area_report()["hsu_normalized"]
+        assert normalized["adders"] > 1.0
+        assert normalized["multipliers"] == 1.0
+        assert normalized["comparators"] == 1.0
+        assert normalized["int_alus"] == 1.0
+
+    def test_register_dominated_increase(self):
+        """§VI-K: the prototyping choices (per-mode stage registers) drive
+        the overhead, not the five adders."""
+        report = area_report()
+        reg_delta = report["hsu_um2"]["registers"] - report["baseline_um2"]["registers"]
+        adder_delta = report["hsu_um2"]["adders"] - report["baseline_um2"]["adders"]
+        assert reg_delta > 5 * adder_delta
+
+    def test_breakdown_sums(self):
+        breakdown = datapath_area(HSU_MODES)
+        assert breakdown.total == pytest.approx(
+            breakdown.combinational + breakdown.registers + breakdown.control
+        )
+
+    def test_baseline_subset_smaller(self):
+        assert (
+            datapath_area(BASELINE_MODES).total < datapath_area(HSU_MODES).total
+        )
+
+
+class TestPower:
+    def test_paper_mode_values(self):
+        report = power_report()
+        # Euclid ~79 mW, angular ~67 mW (§VI-K), within a few mW.
+        assert report.hsu_mw["euclid"] == pytest.approx(79.0, abs=4.0)
+        assert report.hsu_mw["angular"] == pytest.approx(67.0, abs=4.0)
+
+    def test_hsu_overhead_on_baseline_modes(self):
+        report = power_report()
+        delta_box = report.hsu_mw["ray_box"] - report.baseline_mw["ray_box"]
+        delta_tri = report.hsu_mw["ray_tri"] - report.baseline_mw["ray_tri"]
+        # Paper: +10 and +8 mW.
+        assert delta_box == pytest.approx(10.0, abs=4.0)
+        assert delta_tri == pytest.approx(8.0, abs=4.0)
+
+    def test_euclid_within_5mw_of_baseline_box(self):
+        report = power_report()
+        assert abs(
+            report.hsu_mw["euclid"] - report.baseline_mw["ray_box"]
+        ) <= 8.0
+
+    def test_key_compare_cheapest(self):
+        report = power_report()
+        assert report.hsu_mw["key_compare"] == min(report.hsu_mw.values())
+
+    def test_power_scales_with_mode_count(self):
+        two = mode_power_mw(OperatingMode.RAY_BOX, 2)
+        five = mode_power_mw(OperatingMode.RAY_BOX, 5)
+        assert five > two

@@ -1,0 +1,88 @@
+"""RTIndeX and ray-tracing workloads."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim import VOLTA_V100, simulate
+from repro.gpusim.trace import KIND_HSU
+from repro.workloads import to_traces
+from repro.workloads.raytrace import camera_ray, make_sphere_scene, render, run_raytrace
+from repro.workloads.rtindex import run_rtindex
+
+CFG = VOLTA_V100.scaled(1)
+
+
+class TestRtIndex:
+    @pytest.fixture(scope="class")
+    def runs(self):
+        return run_rtindex(num_keys=2048, num_lookups=256)
+
+    def test_hit_rate(self, runs):
+        triangle_run, point_run = runs
+        assert triangle_run.extras["hit_rate"] == pytest.approx(0.5, abs=0.05)
+        assert point_run.extras["hit_rate"] == triangle_run.extras["hit_rate"]
+
+    def test_nine_to_one_memory(self, runs):
+        triangle_run, point_run = runs
+        assert (
+            triangle_run.extras["triangle_leaf_bytes"]
+            // point_run.extras["point_leaf_bytes"]
+            == 9
+        )
+
+    def test_traversal_identical_leaves_differ(self, runs):
+        from repro.core.isa import Opcode
+
+        triangle_run, point_run = runs
+        tri_bundle = to_traces(triangle_run)
+        pt_bundle = to_traces(point_run)
+        tri_ops = [
+            i.opcode for w in tri_bundle.hsu.warps for i in w.instructions
+            if i.kind == KIND_HSU
+        ]
+        pt_ops = [
+            i.opcode for w in pt_bundle.hsu.warps for i in w.instructions
+            if i.kind == KIND_HSU
+        ]
+        # Same number of HSU ops; triangle variant uses RAY_INTERSECT for
+        # leaves, the point variant POINT_EUCLID.
+        assert len(tri_ops) == len(pt_ops)
+        assert any(o is Opcode.POINT_EUCLID for o in pt_ops)
+        assert not any(o is Opcode.POINT_EUCLID for o in tri_ops)
+
+    def test_point_variant_faster(self, runs):
+        triangle_run, point_run = runs
+        tri_stats = simulate(CFG, to_traces(triangle_run).hsu)
+        pt_stats = simulate(CFG, to_traces(point_run).hsu)
+        assert pt_stats.cycles < tri_stats.cycles
+
+
+class TestRayTrace:
+    def test_scene_generation(self):
+        triangles = make_sphere_scene(rings=6, sectors=8)
+        assert len(triangles) > 50
+        assert all(not t.is_degenerate() for t in triangles)
+
+    def test_camera_rays_span_screen(self):
+        left = camera_ray(0, 12, 32, 24)
+        right = camera_ray(31, 12, 32, 24)
+        assert left.direction.x < 0 < right.direction.x
+
+    def test_render_hits_sphere_and_ground(self):
+        image, streams = render(width=24, height=18, rings=6, sectors=8)
+        assert image.shape == (18, 24)
+        # Center pixel sees the sphere.
+        assert image[9, 12] > 0.0
+        assert len(streams) == 24 * 18
+
+    def test_run_produces_trace(self):
+        run = run_raytrace(width=16, height=12)
+        assert run.extras["coverage"] > 0.3
+        bundle = to_traces(run)
+        stats = simulate(CFG, bundle.hsu)
+        assert stats.hsu_warp_instructions > 0
+
+    def test_render_deterministic(self):
+        a, _ = render(width=8, height=6, rings=6, sectors=8)
+        b, _ = render(width=8, height=6, rings=6, sectors=8)
+        np.testing.assert_array_equal(a, b)
