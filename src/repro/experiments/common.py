@@ -18,8 +18,14 @@ from functools import lru_cache
 
 from repro.compiler.lowering import HsuWidths
 from repro.errors import ConfigError
-from repro.gpusim import GpuConfig, VOLTA_V100, simulate
+from repro.gpusim import GpuConfig, GpuSimulator, VOLTA_V100
+from repro.gpusim.observability import (
+    build_manifest,
+    manifests_enabled,
+    write_manifest,
+)
 from repro.gpusim.stats import SimStats
+from repro.gpusim.trace import KernelTrace
 from repro.workloads import (
     run_btree,
     run_bvhnn,
@@ -96,12 +102,44 @@ def workload_run(family: str, abbr: str) -> WorkloadRun:
     raise ConfigError(f"unknown workload family {family!r}")
 
 
+def simulate_recorded(
+    family: str,
+    abbr: str,
+    variant: str,
+    config: GpuConfig,
+    kernel: KernelTrace,
+) -> SimStats:
+    """Simulate and stamp a ``results/<run-id>.json`` manifest.
+
+    Every experiment simulation routes through here, so each figure run
+    leaves a machine-readable artifact (full metrics registry + legacy
+    ``SimStats`` view + config hash + git SHA) behind.  The run id is
+    deterministic per (workload, variant, config), so re-running overwrites
+    rather than accumulates.  ``REPRO_MANIFESTS=0`` disables the writing.
+    """
+    sim = GpuSimulator(config, kernel)
+    stats = sim.run()
+    if manifests_enabled():
+        run_id = f"{family}-{abbr.replace('+', '')}-{variant}".lower()
+        manifest = build_manifest(
+            run_id=run_id,
+            config=config,
+            registry=sim.registry,
+            stats=stats,
+            workload={"family": family, "dataset": abbr, "variant": variant},
+        )
+        write_manifest(manifest)
+    return stats
+
+
 @lru_cache(maxsize=128)
 def baseline_stats(family: str, abbr: str) -> SimStats:
     """Simulate the non-RT baseline trace (cached)."""
     run = workload_run(family, abbr)
     bundle = to_traces(run)
-    return simulate(config_for(family), bundle.baseline)
+    return simulate_recorded(
+        family, abbr, "baseline", config_for(family), bundle.baseline
+    )
 
 
 @lru_cache(maxsize=256)
@@ -115,7 +153,13 @@ def hsu_stats(
     run = workload_run(family, abbr)
     bundle = to_traces(run, widths=HsuWidths(euclid=euclid_width))
     config = config_for(family).with_warp_buffer(warp_buffer)
-    return simulate(config, bundle.hsu)
+    return simulate_recorded(
+        family,
+        abbr,
+        f"hsu-wb{warp_buffer}-ew{euclid_width}",
+        config,
+        bundle.hsu,
+    )
 
 
 @dataclass(frozen=True)

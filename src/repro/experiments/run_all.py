@@ -4,10 +4,19 @@ Usage::
 
     python -m repro.experiments.run_all            # everything (~10 min)
     python -m repro.experiments.run_all --light    # tables + RTL only (<1 s)
+    python -m repro.experiments.run_all --smoke    # CI: light + tiny end-to-end sim
 
 The shared run cache means the heavy figures (7, 8, 9, 12, 13, 14) cost one
 trace-collection campaign between them; figures 10 and 11 add their design-
 point sweeps on top.
+
+Every timing simulation stamps a run manifest to ``results/<run-id>.json``
+(see ``docs/METRICS.md``); compare two manifests with
+``python -m repro.gpusim.report a.json b.json``.  ``--smoke`` runs the
+light experiments plus one small paired baseline/HSU simulation end-to-end
+— workload, trace lowering, simulator, metrics registry, manifest writing
+and the report diff — in well under a minute, which is what the CI
+workflow executes on every push.
 """
 
 from __future__ import annotations
@@ -48,20 +57,57 @@ HEAVY = (
 )
 
 
+def smoke() -> str:
+    """One tiny paired simulation through the full observability path."""
+    from repro.experiments.common import config_for, simulate_recorded
+    from repro.gpusim.observability import manifests_enabled, results_dir
+    from repro.gpusim.report import diff_manifests, load_manifest, render_report
+    from repro.workloads import run_bvhnn, to_traces
+
+    bundle = to_traces(run_bvhnn("R10K", num_queries=64))
+    config = config_for("bvhnn")
+    base = simulate_recorded("smoke", "R10K", "baseline", config, bundle.baseline)
+    hsu = simulate_recorded("smoke", "R10K", "hsu", config, bundle.hsu)
+    lines = [
+        f"baseline cycles: {base.cycles}",
+        f"hsu cycles:      {hsu.cycles}",
+        f"speedup:         {base.cycles / hsu.cycles:.3f}",
+    ]
+    if manifests_enabled():
+        old = load_manifest(results_dir() / "smoke-r10k-baseline.json")
+        new = load_manifest(results_dir() / "smoke-r10k-hsu.json")
+        lines.append(f"manifests:       {results_dir()}/smoke-r10k-*.json")
+        lines.append("")
+        lines.append(render_report(old, new, diff_manifests(old, new)))
+    return "\n".join(lines)
+
+
 def main(argv: list[str] | None = None) -> None:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument(
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument(
         "--light",
         action="store_true",
         help="only the table/RTL experiments (no timing simulations)",
     )
+    group.add_argument(
+        "--smoke",
+        action="store_true",
+        help="light experiments plus one tiny end-to-end paired simulation "
+        "(manifest + report included); the CI entry point",
+    )
     args = parser.parse_args(argv)
-    modules = LIGHT if args.light else LIGHT + HEAVY
+    modules = LIGHT if (args.light or args.smoke) else LIGHT + HEAVY
     start = time.time()
     for module in modules:
         print("=" * 78)
         print(f"{module.__name__}  (t+{time.time() - start:.0f}s)")
         print(module.render())
+        print()
+    if args.smoke:
+        print("=" * 78)
+        print(f"smoke simulation  (t+{time.time() - start:.0f}s)")
+        print(smoke())
         print()
 
 

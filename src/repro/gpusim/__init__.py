@@ -17,6 +17,11 @@ collection, sector replays.
 
 from repro.gpusim.config import GpuConfig, VOLTA_V100
 from repro.gpusim.gpu import GpuSimulator, simulate
+from repro.gpusim.observability import (
+    MetricsRegistry,
+    RunManifest,
+    TimelineTracer,
+)
 from repro.gpusim.stats import SimStats
 from repro.gpusim.trace import KernelTrace, WarpInstr, WarpTrace
 
@@ -24,7 +29,10 @@ __all__ = [
     "GpuConfig",
     "GpuSimulator",
     "KernelTrace",
+    "MetricsRegistry",
+    "RunManifest",
     "SimStats",
+    "TimelineTracer",
     "VOLTA_V100",
     "WarpInstr",
     "WarpTrace",

@@ -52,6 +52,8 @@ class Cache:
         mshr_entries: int,
         next_level: Callable[[int, int], int],
         port_interval: float = 1.0,
+        tracer=None,
+        trace_channel: str | None = None,
     ) -> None:
         if sets < 1 or ways < 1:
             raise ConfigError(f"{name}: sets/ways must be >= 1")
@@ -76,6 +78,17 @@ class Cache:
         self._pending_heap: list[tuple[int, int]] = []
         self.port_interval = port_interval
         self._port_next_free = 0.0
+        # Optional timeline tracer: per-bucket peak of outstanding MSHRs.
+        self._tracer = tracer
+        self._trace_channel = None
+        if tracer is not None:
+            from repro.gpusim.observability.tracer import MODE_MAX
+
+            self._trace_channel = tracer.channel(
+                trace_channel or f"{name.lower()}/mshr_pending",
+                mode=MODE_MAX,
+                unit="mshrs",
+            )
 
     def _set_index(self, line_addr: int) -> int:
         return (line_addr // self.line_bytes) % self.sets
@@ -138,4 +151,8 @@ class Cache:
         self._pending[line_addr] = fill_time
         heapq.heappush(self._pending_heap, (fill_time, line_addr))
         self._insert(line_addr)
+        if self._trace_channel is not None:
+            self._tracer.record(
+                self._trace_channel, start, len(self._pending)
+            )
         return fill_time, False

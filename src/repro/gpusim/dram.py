@@ -48,6 +48,7 @@ class DramModel:
         bus_interval: float = 1.0,
         access_latency: int = 0,
         record_streams: bool = True,
+        tracer=None,
     ) -> None:
         if channels < 1 or banks_per_channel < 1:
             raise ConfigError("channels and banks_per_channel must be >= 1")
@@ -71,6 +72,15 @@ class DramModel:
         self._streams: list[list[tuple[int, int]]] = [
             [] for _ in range(self.banks)
         ]
+        # Optional timeline tracer: per-bucket mean of 1/0 row-hit samples.
+        self._tracer = tracer
+        self._trace_channel = None
+        if tracer is not None:
+            from repro.gpusim.observability.tracer import MODE_MEAN
+
+            self._trace_channel = tracer.channel(
+                "dram/row_hit_rate", mode=MODE_MEAN, unit="ratio"
+            )
 
     def _decode(self, line_addr: int) -> tuple[int, int]:
         """(bank index, row id) for a line address.
@@ -100,17 +110,32 @@ class DramModel:
             self.stats.activations += 1
             self._open_row[bank] = row
             service = self.row_miss_cycles
+        if self._trace_channel is not None:
+            self._tracer.record(
+                self._trace_channel,
+                start,
+                1.0 if service == self.row_hit_cycles else 0.0,
+            )
         done = start + service
         self._bank_next_free[bank] = done
         return done + self.access_latency
 
     def frfcfs_row_locality(self, window: int = 16) -> float:
-        """Mean accesses per activation under an FR-FCFS replay.
+        """Mean accesses per activation under an FR-FCFS replay."""
+        accesses, activations = self.frfcfs_replay(window)
+        if activations == 0:
+            return 0.0
+        return accesses / activations
+
+    def frfcfs_replay(self, window: int = 16) -> tuple[int, int]:
+        """(accesses, activations) under an FR-FCFS replay.
 
         Replays each bank's recorded request stream with a reorder window of
         ``window`` requests: the scheduler repeatedly serves the oldest
         queued request matching the open row, falling back to the oldest
-        request overall (First-Row, then First-Come-First-Served).
+        request overall (First-Row, then First-Come-First-Served).  The
+        replayed access count always equals the recorded one (the replay is
+        a permutation); only the activation count can shrink.
         """
         if window < 1:
             raise ConfigError("window must be >= 1")
@@ -140,6 +165,9 @@ class DramModel:
                 if row != open_row:
                     activations += 1
                     open_row = row
-        if activations == 0:
-            return 0.0
-        return accesses / activations
+        if self._record and accesses != self.stats.accesses:
+            raise ConfigError(
+                f"FR-FCFS replay served {accesses} accesses but "
+                f"{self.stats.accesses} were recorded"
+            )
+        return accesses, activations

@@ -10,6 +10,16 @@ resources with next-free-cycle bookkeeping.
 
 Warps beyond the per-SM residency limit (``max_warps_per_sm``) start when a
 resident warp on the same SM retires, modeling wave scheduling.
+
+Observability: every component's counters are registered into a hierarchical
+:class:`~repro.gpusim.observability.MetricsRegistry` under scoped names
+(``sm0/l1/misses``, ``dram/activations``, ``derived/l1_miss_rate``); the
+legacy :class:`SimStats` returned by :meth:`GpuSimulator.run` is built as an
+aggregation of that registry, and per-SM/per-component values stay
+queryable on the simulator afterwards (``sim.registry.value(...)``).  An
+optional :class:`~repro.gpusim.observability.TimelineTracer` collects
+cycle-sampled warp-occupancy / HSU-busy / MSHR-pressure / DRAM-row-hit
+series.  See ``docs/METRICS.md`` for the glossary.
 """
 
 from __future__ import annotations
@@ -20,6 +30,8 @@ from repro.errors import TraceError
 from repro.gpusim.cache import Cache
 from repro.gpusim.config import GpuConfig
 from repro.gpusim.dram import DramModel
+from repro.gpusim.observability import MetricsRegistry, TimelineTracer
+from repro.gpusim.observability.tracer import MODE_LAST
 from repro.gpusim.rtunit import RtUnit
 from repro.gpusim.stats import SimStats
 from repro.gpusim.trace import (
@@ -31,13 +43,20 @@ from repro.gpusim.trace import (
     KernelTrace,
 )
 
+_KINDS = (KIND_ALU, KIND_SFU, KIND_LDS, KIND_LDG, KIND_HSU)
+
 
 class _Sm:
     """One streaming multiprocessor's private resources."""
 
     __slots__ = ("l1", "rt_unit", "subcore_next_free", "resident", "retire_heap")
 
-    def __init__(self, config: GpuConfig, l2: Cache) -> None:
+    def __init__(
+        self,
+        config: GpuConfig,
+        l2: Cache,
+        tracer: TimelineTracer | None = None,
+    ) -> None:
         def l2_fill(line_addr: int, time: int) -> int:
             ready, _hit = l2.access(line_addr, time)
             return ready
@@ -50,8 +69,10 @@ class _Sm:
             hit_latency=config.l1_hit_latency,
             mshr_entries=config.l1_mshr_entries,
             next_level=l2_fill,
+            tracer=tracer,
+            trace_channel="l1/mshr_pending",
         )
-        self.rt_unit = RtUnit(config, self.l1, l2_fill=l2_fill)
+        self.rt_unit = RtUnit(config, self.l1, l2_fill=l2_fill, tracer=tracer)
         self.subcore_next_free = [0] * config.subcores_per_sm
         self.resident = 0
         # Completion times of resident warps (for wave admission).
@@ -61,10 +82,16 @@ class _Sm:
 class GpuSimulator:
     """Simulate one kernel trace on one GPU configuration."""
 
-    def __init__(self, config: GpuConfig, kernel: KernelTrace) -> None:
+    def __init__(
+        self,
+        config: GpuConfig,
+        kernel: KernelTrace,
+        tracer: TimelineTracer | None = None,
+    ) -> None:
         kernel.validate()
         self.config = config
         self.kernel = kernel
+        self.tracer = tracer
         self.dram = DramModel(
             channels=config.dram_channels,
             banks_per_channel=config.dram_banks_per_channel,
@@ -73,6 +100,7 @@ class GpuSimulator:
             row_miss_cycles=config.dram_row_miss_cycles,
             bus_interval=config.dram_bus_interval,
             access_latency=config.dram_access_latency,
+            tracer=tracer,
         )
         self.l2 = Cache(
             name="L2",
@@ -83,27 +111,315 @@ class GpuSimulator:
             mshr_entries=config.l2_mshr_entries,
             next_level=self.dram.access,
             port_interval=config.l2_port_interval,
+            tracer=tracer,
+            trace_channel="l2/mshr_pending",
         )
-        self.sms = [_Sm(config, self.l2) for _ in range(config.num_sms)]
+        self.sms = [_Sm(config, self.l2, tracer) for _ in range(config.num_sms)]
+        self.registry = MetricsRegistry()
+        self._register_metrics()
+
+    # -- metric registration ----------------------------------------------
+
+    def _register_metrics(self) -> None:
+        """Register every component's metrics under scoped names.
+
+        Components keep their fast ``__slots__`` counters; the registry
+        exposes them as probes (zero hot-path overhead) plus owned
+        counters/gauges for scheduler-level attribution and derived ratios
+        for everything the paper's figures read out.
+        """
+        reg = self.registry
+        gpu = reg.scope("gpu")
+        self._m_cycles = gpu.gauge(
+            "cycles",
+            unit="cycles",
+            doc="Total kernel execution time (last warp retirement).",
+            figure="Figs. 9-11",
+        )
+        self._m_warps = gpu.gauge(
+            "warps_launched",
+            unit="warps",
+            doc="Warps in the kernel trace (resident + wave-scheduled).",
+        )
+
+        self._m_sched_wi: list = []
+        self._m_sched_able: list = []
+        self._m_sched_other: list = []
+        self._m_sched_kinds: list[dict[str, object]] = []
+        for index, sm in enumerate(self.sms):
+            scope = reg.scope(f"sm{index}")
+            sched = scope.scope("sched")
+            self._m_sched_wi.append(
+                sched.counter(
+                    "warp_instructions",
+                    unit="instructions",
+                    doc="Warp-level instructions issued on this SM "
+                    "(repeat-expanded).",
+                )
+            )
+            self._m_sched_able.append(
+                sched.counter(
+                    "hsu_able_busy_cycles",
+                    unit="cycles",
+                    doc="Warp-busy cycles spent on HSU-able instructions.",
+                    figure="Fig. 7",
+                )
+            )
+            self._m_sched_other.append(
+                sched.counter(
+                    "other_busy_cycles",
+                    unit="cycles",
+                    doc="Warp-busy cycles spent on non-HSU-able instructions.",
+                    figure="Fig. 7",
+                )
+            )
+            kinds_scope = sched.scope("instructions")
+            self._m_sched_kinds.append(
+                {
+                    kind: kinds_scope.counter(
+                        kind,
+                        unit="instructions",
+                        doc=f"Issued {kind} warp instructions "
+                        "(HSU chains count once).",
+                    )
+                    for kind in _KINDS
+                }
+            )
+
+            l1 = scope.scope("l1")
+            stats = sm.l1.stats
+            l1.probe(
+                "accesses",
+                lambda s=stats: s.accesses,
+                unit="lines",
+                doc="L1D line accesses (LSU + RT-unit fetch port).",
+                figure="Fig. 12",
+            )
+            l1.probe(
+                "hits",
+                lambda s=stats: s.hits,
+                unit="lines",
+                doc="L1D hits (MSHR merges count as hits, §VI-J).",
+            )
+            l1.probe(
+                "misses",
+                lambda s=stats: s.misses,
+                unit="lines",
+                doc="L1D true misses (MSHR allocated).",
+                figure="Fig. 13",
+            )
+            l1.probe(
+                "mshr_merges",
+                lambda s=stats: s.mshr_merges,
+                unit="lines",
+                doc="Accesses merged into an outstanding L1 MSHR.",
+            )
+            l1.probe(
+                "mshr_stalls",
+                lambda s=stats: s.mshr_stalls,
+                unit="events",
+                doc="Accesses stalled waiting for a free L1 MSHR.",
+                figure="Fig. 11",
+            )
+            l1.probe(
+                "miss_rate",
+                stats.miss_rate,
+                unit="ratio",
+                doc="This SM's L1D miss rate (misses / accesses).",
+                figure="Fig. 13",
+            )
+
+            rt = scope.scope("rt")
+            rstats = sm.rt_unit.stats
+            rt.probe(
+                "warp_instructions",
+                lambda s=rstats: s.warp_instructions,
+                unit="instructions",
+                doc="HSU CISC warp instructions executed by this RT unit.",
+            )
+            rt.probe(
+                "thread_beats",
+                lambda s=rstats: s.thread_beats,
+                unit="thread-beats",
+                doc="Single-lane datapath beats consumed (active x beats).",
+                figure="Fig. 8",
+            )
+            rt.probe(
+                "fetch_line_accesses",
+                lambda s=rstats: s.fetch_line_accesses,
+                unit="lines",
+                doc="Operand lines fetched by the RT unit (post-coalescing).",
+                figure="Fig. 12",
+            )
+            rt.probe(
+                "entry_stall_cycles",
+                lambda s=rstats: s.entry_stall_cycles,
+                unit="cycles",
+                doc="Dispatch cycles lost waiting for a warp-buffer entry.",
+                figure="Fig. 11",
+            )
+
+        l2 = reg.scope("l2")
+        l2.probe(
+            "accesses",
+            lambda s=self.l2.stats: s.accesses,
+            unit="lines",
+            doc="L2 line accesses from all SMs' L1 misses.",
+            figure="Fig. 8",
+        )
+        l2.probe(
+            "hits",
+            lambda s=self.l2.stats: s.hits,
+            unit="lines",
+            doc="L2 hits (MSHR merges count as hits, §VI-J).",
+        )
+        l2.probe(
+            "misses",
+            lambda s=self.l2.stats: s.misses,
+            unit="lines",
+            doc="L2 true misses forwarded to DRAM.",
+            figure="Fig. 13",
+        )
+        l2.probe(
+            "mshr_merges",
+            lambda s=self.l2.stats: s.mshr_merges,
+            unit="lines",
+            doc="Accesses merged into an outstanding L2 MSHR.",
+        )
+        l2.probe(
+            "mshr_stalls",
+            lambda s=self.l2.stats: s.mshr_stalls,
+            unit="events",
+            doc="Accesses stalled waiting for a free L2 MSHR.",
+        )
+        l2.probe(
+            "miss_rate",
+            self.l2.stats.miss_rate,
+            unit="ratio",
+            doc="L2 miss rate (misses / accesses).",
+            figure="Fig. 13",
+        )
+
+        dram = reg.scope("dram")
+        dram.probe(
+            "accesses",
+            lambda s=self.dram.stats: s.accesses,
+            unit="lines",
+            doc="DRAM line fills served.",
+            figure="Fig. 14",
+        )
+        dram.probe(
+            "row_hits",
+            lambda s=self.dram.stats: s.row_hits,
+            unit="lines",
+            doc="Accesses hitting a bank's open row (arrival order).",
+        )
+        dram.probe(
+            "activations",
+            lambda s=self.dram.stats: s.activations,
+            unit="activations",
+            doc="Row activations under arrival-order service.",
+            figure="Fig. 14",
+        )
+        self._m_frfcfs_activations = dram.gauge(
+            "frfcfs_activations",
+            unit="activations",
+            doc="Row activations under the FR-FCFS replay (§VI-J); "
+            "set when the run finishes.",
+            figure="Fig. 14",
+        )
+
+        derived = reg.scope("derived")
+
+        def ratio(num: float, den: float) -> float:
+            return num / den if den else 0.0
+
+        derived.derived(
+            "l1_miss_rate",
+            lambda r: ratio(r.sum("sm*/l1/misses"), r.sum("sm*/l1/accesses")),
+            doc="Chip-wide L1D miss rate (all SMs).",
+            figure="Fig. 13",
+        )
+        derived.derived(
+            "l2_miss_rate",
+            lambda r: ratio(r.value("l2/misses"), r.value("l2/accesses")),
+            doc="L2 miss rate.",
+            figure="Fig. 13",
+        )
+        derived.derived(
+            "hsu_able_fraction",
+            lambda r: ratio(
+                r.sum("sm*/sched/hsu_able_busy_cycles"),
+                r.sum("sm*/sched/hsu_able_busy_cycles")
+                + r.sum("sm*/sched/other_busy_cycles"),
+            ),
+            doc="Share of warp-busy time attributable to HSU-able work.",
+            figure="Fig. 7",
+        )
+        derived.derived(
+            "hsu_ops_per_cycle",
+            lambda r: ratio(r.sum("sm*/rt/thread_beats"), r.value("gpu/cycles")),
+            unit="beats/cycle",
+            doc="Roofline y-axis: thread-beats retired per cycle (max 1).",
+            figure="Fig. 8",
+        )
+        derived.derived(
+            "hsu_ops_per_l2_line",
+            lambda r: ratio(
+                r.sum("sm*/rt/thread_beats"), r.value("l2/accesses")
+            ),
+            unit="beats/line",
+            doc="Roofline x-axis: operational intensity in ops per L2 line.",
+            figure="Fig. 8",
+        )
+        derived.derived(
+            "dram_row_locality_arrival",
+            lambda r: ratio(r.value("dram/accesses"), r.value("dram/activations")),
+            unit="accesses/activation",
+            doc="Row locality under arrival-order service.",
+            figure="Fig. 14",
+        )
+        derived.derived(
+            "dram_row_locality_frfcfs",
+            lambda r: ratio(
+                r.value("dram/accesses"), r.value("dram/frfcfs_activations")
+            ),
+            unit="accesses/activation",
+            doc="Row locality under the FR-FCFS replay (§VI-J).",
+            figure="Fig. 14",
+        )
+
+    # -- simulation -------------------------------------------------------
 
     def run(self) -> SimStats:
         config = self.config
-        stats = SimStats(num_warps=self.kernel.num_warps)
-        kinds = {k: 0 for k in (KIND_ALU, KIND_SFU, KIND_LDS, KIND_LDG, KIND_HSU)}
+        tracer = self.tracer
+        occupancy_channel = None
+        if tracer is not None:
+            occupancy_channel = tracer.channel(
+                "gpu/warps_inflight", mode=MODE_LAST, unit="warps"
+            )
+        num_sms = config.num_sms
         line_bytes = config.line_bytes
+        # Per-SM scheduler attribution, accumulated in plain locals for
+        # event-loop speed and published into the registry afterwards.
+        sched_wi = [0] * num_sms
+        sched_able = [0] * num_sms
+        sched_other = [0] * num_sms
+        sched_kinds = [dict.fromkeys(_KINDS, 0) for _ in range(num_sms)]
 
         # Static warp placement: round-robin over SMs, then sub-cores.
         placements: list[tuple[int, int]] = []
         for index in range(self.kernel.num_warps):
-            sm = index % config.num_sms
-            subcore = (index // config.num_sms) % config.subcores_per_sm
+            sm = index % num_sms
+            subcore = (index // num_sms) % config.subcores_per_sm
             placements.append((sm, subcore))
 
         # Wave admission: a warp starts at cycle 0 if a residency slot is
         # free, else when the earliest resident warp on its SM retires.
         # Event queue entries: (ready_cycle, warp_age, warp_index, position).
         events: list[tuple[int, int, int, int]] = []
-        deferred: list[list[int]] = [[] for _ in range(config.num_sms)]
+        deferred: list[list[int]] = [[] for _ in range(num_sms)]
         for index in range(self.kernel.num_warps):
             sm_index, _ = placements[index]
             sm = self.sms[sm_index]
@@ -112,6 +428,10 @@ class GpuSimulator:
                 heapq.heappush(events, (0, index, index, 0))
             else:
                 deferred[sm_index].append(index)
+
+        inflight = len(events)
+        if occupancy_channel is not None:
+            tracer.record(occupancy_channel, 0, inflight)
 
         finish = 0
         while events:
@@ -123,8 +443,10 @@ class GpuSimulator:
 
             # Sub-core issue port: one instruction per cycle.
             issue = max(ready, sm.subcore_next_free[subcore])
-            kinds[instr.kind] += instr.repeat if instr.kind != KIND_HSU else 1
-            stats.warp_instructions += instr.repeat
+            sched_kinds[sm_index][instr.kind] += (
+                instr.repeat if instr.kind != KIND_HSU else 1
+            )
+            sched_wi[sm_index] += instr.repeat
 
             if instr.kind == KIND_ALU:
                 sm.subcore_next_free[subcore] = issue + instr.repeat
@@ -152,9 +474,9 @@ class GpuSimulator:
 
             busy = done - issue + 1
             if instr.hsu_able or instr.kind == KIND_HSU:
-                stats.hsu_able_busy += busy
+                sched_able[sm_index] += busy
             else:
-                stats.other_busy += busy
+                sched_other[sm_index] += busy
 
             position += 1
             if position < warp.length:
@@ -162,33 +484,31 @@ class GpuSimulator:
             else:
                 finish = max(finish, done)
                 heapq.heappush(sm.retire_heap, done)
+                inflight -= 1
+                if occupancy_channel is not None:
+                    tracer.record(occupancy_channel, done, inflight)
                 if deferred[sm_index]:
                     successor = deferred[sm_index].pop(0)
                     start = heapq.heappop(sm.retire_heap)
                     heapq.heappush(events, (start, successor, successor, 0))
+                    inflight += 1
+                    if occupancy_channel is not None:
+                        tracer.record(occupancy_channel, start, inflight)
 
-        stats.cycles = finish
-        stats.instructions_by_kind = kinds
-        self._collect_memory_stats(stats)
+        self._m_cycles.set(finish)
+        self._m_warps.set(self.kernel.num_warps)
+        for index in range(num_sms):
+            self._m_sched_wi[index].add(sched_wi[index])
+            self._m_sched_able[index].add(sched_able[index])
+            self._m_sched_other[index].add(sched_other[index])
+            for kind, count in sched_kinds[index].items():
+                self._m_sched_kinds[index][kind].add(count)
+        _accesses, frfcfs_activations = self.dram.frfcfs_replay()
+        self._m_frfcfs_activations.set(frfcfs_activations)
+
+        stats = SimStats.from_registry(self.registry)
+        stats.check_dram_consistency()
         return stats
-
-    def _collect_memory_stats(self, stats: SimStats) -> None:
-        for sm in self.sms:
-            stats.l1_accesses += sm.l1.stats.accesses
-            stats.l1_hits += sm.l1.stats.hits
-            stats.l1_misses += sm.l1.stats.misses
-            stats.l1_mshr_merges += sm.l1.stats.mshr_merges
-            stats.l1_mshr_stalls += sm.l1.stats.mshr_stalls
-            stats.hsu_warp_instructions += sm.rt_unit.stats.warp_instructions
-            stats.hsu_thread_beats += sm.rt_unit.stats.thread_beats
-            stats.hsu_fetch_line_accesses += sm.rt_unit.stats.fetch_line_accesses
-            stats.hsu_entry_stall_cycles += sm.rt_unit.stats.entry_stall_cycles
-        stats.l2_accesses = self.l2.stats.accesses
-        stats.l2_hits = self.l2.stats.hits
-        stats.l2_misses = self.l2.stats.misses
-        stats.dram_accesses = self.dram.stats.accesses
-        stats.dram_activations = self.dram.stats.activations
-        stats.dram_row_locality_frfcfs = self.dram.frfcfs_row_locality()
 
 
 def _coalesce(
@@ -205,6 +525,10 @@ def _coalesce(
     return sorted(lines)
 
 
-def simulate(config: GpuConfig, kernel: KernelTrace) -> SimStats:
+def simulate(
+    config: GpuConfig,
+    kernel: KernelTrace,
+    tracer: TimelineTracer | None = None,
+) -> SimStats:
     """Convenience wrapper: build a simulator and run it."""
-    return GpuSimulator(config, kernel).run()
+    return GpuSimulator(config, kernel, tracer=tracer).run()

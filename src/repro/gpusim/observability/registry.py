@@ -1,0 +1,355 @@
+"""Hierarchical metrics registry: the simulator's measurement substrate.
+
+Components register metrics under scoped, ``/``-separated names —
+``sm3/l1/mshr_merges``, ``dram/activations`` — and a finished simulation is
+queried through one object instead of a bag of ad-hoc attributes.  Five
+metric kinds cover everything the paper's evaluation reads out of Accel-Sim:
+
+* :class:`Counter` — monotonically increasing event count, bumped by the
+  owner (``counter.add(n)``),
+* :class:`Gauge` — a level set explicitly (``gauge.set(v)``),
+* :class:`Probe` — a read-only gauge backed by a callable, so components
+  can expose their existing fast ``__slots__`` counters without rewriting
+  their hot paths,
+* :class:`Histogram` — running count/sum/min/max over observed samples,
+* :class:`Derived` — a ratio or other function computed over the registry
+  at read time (miss rates, rooflines, row locality).
+
+Naming convention: ``<component-instance>/<unit>/<metric>`` with lowercase
+``[a-z0-9_]`` segments.  Per-SM instances are ``sm0``, ``sm1``, ...;
+:func:`canonical_name` folds them to ``sm*`` so documentation and rollups
+can speak about the per-SM family once.  ``registry.sum("sm*/l1/misses")``
+aggregates across instances (fnmatch patterns).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from fnmatch import fnmatchcase
+from typing import Callable
+
+from repro.errors import ConfigError
+
+SEPARATOR = "/"
+
+KIND_COUNTER = "counter"
+KIND_GAUGE = "gauge"
+KIND_PROBE = "probe"
+KIND_HISTOGRAM = "histogram"
+KIND_DERIVED = "derived"
+
+_SEGMENT = re.compile(r"^[a-z0-9_]+$")
+_SM_SEGMENT = re.compile(r"^sm\d+$")
+
+
+def canonical_name(name: str) -> str:
+    """Fold per-instance segments (``sm7``) into their family (``sm*``).
+
+    Documentation (docs/METRICS.md) and rollup patterns describe the family
+    once; the live registry holds one metric per instance.
+    """
+    return SEPARATOR.join(
+        "sm*" if _SM_SEGMENT.match(segment) else segment
+        for segment in name.split(SEPARATOR)
+    )
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """Identity and documentation of one registered metric."""
+
+    name: str
+    kind: str
+    unit: str = ""
+    doc: str = ""
+    #: Which paper figure/table consumes this metric ("Fig. 13", ...).
+    figure: str = ""
+
+
+class Metric:
+    """Base class: a spec plus a current value."""
+
+    __slots__ = ("spec",)
+
+    def __init__(self, spec: MetricSpec) -> None:
+        self.spec = spec
+
+    def value(self):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class Counter(Metric):
+    """Monotonic event count."""
+
+    __slots__ = ("count",)
+
+    def __init__(self, spec: MetricSpec) -> None:
+        super().__init__(spec)
+        self.count = 0
+
+    def add(self, n: int = 1) -> None:
+        self.count += n
+
+    def value(self) -> int:
+        return self.count
+
+
+class Gauge(Metric):
+    """A level set explicitly by the owner."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self, spec: MetricSpec) -> None:
+        super().__init__(spec)
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        self._value = value
+
+    def value(self) -> float:
+        return self._value
+
+
+class Probe(Metric):
+    """Read-only gauge backed by a callable (zero hot-path overhead)."""
+
+    __slots__ = ("_fn",)
+
+    def __init__(self, spec: MetricSpec, fn: Callable[[], float]) -> None:
+        super().__init__(spec)
+        self._fn = fn
+
+    def value(self) -> float:
+        return self._fn()
+
+
+class Histogram(Metric):
+    """Running count/sum/min/max/mean over observed samples."""
+
+    __slots__ = ("count", "total", "lo", "hi")
+
+    def __init__(self, spec: MetricSpec) -> None:
+        super().__init__(spec)
+        self.count = 0
+        self.total = 0.0
+        self.lo = float("inf")
+        self.hi = float("-inf")
+
+    def observe(self, sample: float) -> None:
+        self.count += 1
+        self.total += sample
+        if sample < self.lo:
+            self.lo = sample
+        if sample > self.hi:
+            self.hi = sample
+
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def value(self) -> dict[str, float]:
+        if not self.count:
+            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.lo,
+            "max": self.hi,
+            "mean": self.mean(),
+        }
+
+
+class Derived(Metric):
+    """A value computed over the registry at read time (ratios etc.)."""
+
+    __slots__ = ("_fn",)
+
+    def __init__(
+        self, spec: MetricSpec, fn: Callable[["MetricsRegistry"], float]
+    ) -> None:
+        super().__init__(spec)
+        self._fn = fn
+
+    def compute(self, registry: "MetricsRegistry") -> float:
+        return self._fn(registry)
+
+    def value(self):  # pragma: no cover - needs the registry
+        raise ConfigError(
+            f"derived metric {self.spec.name!r} must be read through "
+            "MetricsRegistry.value()"
+        )
+
+
+def _validate_name(name: str) -> None:
+    segments = name.split(SEPARATOR)
+    if not segments or not all(_SEGMENT.match(s) for s in segments):
+        raise ConfigError(
+            f"invalid metric name {name!r}: segments must match [a-z0-9_]+"
+        )
+
+
+class MetricsRegistry:
+    """All metrics of one simulation, addressable by scoped name."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Metric] = {}
+
+    # -- registration -----------------------------------------------------
+
+    def _register(self, metric: Metric) -> Metric:
+        name = metric.spec.name
+        _validate_name(name)
+        if name in self._metrics:
+            raise ConfigError(f"metric {name!r} already registered")
+        self._metrics[name] = metric
+        return metric
+
+    def counter(
+        self, name: str, unit: str = "events", doc: str = "", figure: str = ""
+    ) -> Counter:
+        return self._register(
+            Counter(MetricSpec(name, KIND_COUNTER, unit, doc, figure))
+        )
+
+    def gauge(
+        self, name: str, unit: str = "", doc: str = "", figure: str = ""
+    ) -> Gauge:
+        return self._register(
+            Gauge(MetricSpec(name, KIND_GAUGE, unit, doc, figure))
+        )
+
+    def probe(
+        self,
+        name: str,
+        fn: Callable[[], float],
+        unit: str = "",
+        doc: str = "",
+        figure: str = "",
+    ) -> Probe:
+        return self._register(
+            Probe(MetricSpec(name, KIND_PROBE, unit, doc, figure), fn)
+        )
+
+    def histogram(
+        self, name: str, unit: str = "", doc: str = "", figure: str = ""
+    ) -> Histogram:
+        return self._register(
+            Histogram(MetricSpec(name, KIND_HISTOGRAM, unit, doc, figure))
+        )
+
+    def derived(
+        self,
+        name: str,
+        fn: Callable[["MetricsRegistry"], float],
+        unit: str = "ratio",
+        doc: str = "",
+        figure: str = "",
+    ) -> Derived:
+        return self._register(
+            Derived(MetricSpec(name, KIND_DERIVED, unit, doc, figure), fn)
+        )
+
+    def scope(self, prefix: str) -> "MetricScope":
+        """A view that prefixes every registered name with ``prefix/``."""
+        _validate_name(prefix)
+        return MetricScope(self, prefix)
+
+    # -- queries ----------------------------------------------------------
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def get(self, name: str) -> Metric:
+        try:
+            return self._metrics[name]
+        except KeyError:
+            raise ConfigError(f"unknown metric {name!r}") from None
+
+    def value(self, name: str):
+        """Current value of one metric (derived metrics compute here)."""
+        metric = self.get(name)
+        if isinstance(metric, Derived):
+            return metric.compute(self)
+        return metric.value()
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def specs(self) -> list[MetricSpec]:
+        return [self._metrics[name].spec for name in self.names()]
+
+    def match(self, pattern: str) -> list[str]:
+        """Metric names matching an fnmatch pattern (``sm*/l1/misses``)."""
+        return [n for n in self.names() if fnmatchcase(n, pattern)]
+
+    def sum(self, pattern: str) -> float:
+        """Roll up a metric family: sum of all values matching ``pattern``."""
+        names = self.match(pattern)
+        if not names:
+            raise ConfigError(f"no metrics match pattern {pattern!r}")
+        total = 0.0
+        for name in names:
+            value = self.value(name)
+            if isinstance(value, dict):
+                raise ConfigError(
+                    f"cannot sum histogram metric {name!r}; "
+                    "query its summary with value()"
+                )
+            total += value
+        return total
+
+    def as_dict(self) -> dict[str, object]:
+        """Flat ``{name: value}`` snapshot (JSON-serializable)."""
+        return {name: self.value(name) for name in self.names()}
+
+    def tree(self) -> dict[str, object]:
+        """Nested snapshot keyed by name segments."""
+        root: dict[str, object] = {}
+        for name in self.names():
+            node = root
+            *parents, leaf = name.split(SEPARATOR)
+            for segment in parents:
+                node = node.setdefault(segment, {})  # type: ignore[assignment]
+            node[leaf] = self.value(name)
+        return root
+
+
+class MetricScope:
+    """Registration helper bound to a name prefix (nestable)."""
+
+    __slots__ = ("_registry", "_prefix")
+
+    def __init__(self, registry: MetricsRegistry, prefix: str) -> None:
+        self._registry = registry
+        self._prefix = prefix
+
+    @property
+    def prefix(self) -> str:
+        return self._prefix
+
+    def _full(self, name: str) -> str:
+        return f"{self._prefix}{SEPARATOR}{name}"
+
+    def scope(self, prefix: str) -> "MetricScope":
+        _validate_name(prefix)
+        return MetricScope(self._registry, self._full(prefix))
+
+    def counter(self, name: str, **kwargs) -> Counter:
+        return self._registry.counter(self._full(name), **kwargs)
+
+    def gauge(self, name: str, **kwargs) -> Gauge:
+        return self._registry.gauge(self._full(name), **kwargs)
+
+    def probe(self, name: str, fn: Callable[[], float], **kwargs) -> Probe:
+        return self._registry.probe(self._full(name), fn, **kwargs)
+
+    def histogram(self, name: str, **kwargs) -> Histogram:
+        return self._registry.histogram(self._full(name), **kwargs)
+
+    def derived(
+        self, name: str, fn: Callable[[MetricsRegistry], float], **kwargs
+    ) -> Derived:
+        return self._registry.derived(self._full(name), fn, **kwargs)

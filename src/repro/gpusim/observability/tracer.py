@@ -1,0 +1,173 @@
+"""Cycle-sampled timeline tracer with bounded (ring-buffer) storage.
+
+The simulator is event-driven, not cycle-stepped, so "sampling" means
+bucketing: every recorded event lands in the bucket ``cycle // interval``
+and is folded into that bucket's aggregate according to the channel's mode:
+
+* ``sum`` — total of recorded values per bucket (e.g. HSU busy beats),
+* ``max`` — peak per bucket (e.g. MSHR occupancy pressure),
+* ``last`` — most recent value per bucket (levels like warp occupancy),
+* ``mean`` — average per bucket (e.g. DRAM row-hit rate as 0/1 samples).
+
+Each channel keeps at most ``capacity`` buckets; when a new bucket would
+exceed that, the oldest is evicted and late events older than the evicted
+horizon are counted in ``dropped`` rather than stored — memory stays bounded
+no matter how long the simulation runs.
+
+Export formats: :meth:`TimelineTracer.to_json` (self-describing dict) and
+:meth:`TimelineTracer.to_chrome_trace` (Chrome ``chrome://tracing`` /
+Perfetto counter events, ``ph: "C"``).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+MODE_SUM = "sum"
+MODE_MAX = "max"
+MODE_LAST = "last"
+MODE_MEAN = "mean"
+
+_MODES = (MODE_SUM, MODE_MAX, MODE_LAST, MODE_MEAN)
+
+
+class _Channel:
+    __slots__ = ("name", "mode", "unit", "buckets", "floor", "dropped")
+
+    def __init__(self, name: str, mode: str, unit: str) -> None:
+        self.name = name
+        self.mode = mode
+        self.unit = unit
+        # bucket index -> aggregate (mean mode stores [sum, count]).
+        self.buckets: dict[int, object] = {}
+        # Buckets below this index have been evicted; late events drop.
+        self.floor = 0
+        self.dropped = 0
+
+
+class TimelineTracer:
+    """Bounded time-series recorder shared by all simulator components."""
+
+    def __init__(self, interval: int = 256, capacity: int = 4096) -> None:
+        if interval < 1:
+            raise ConfigError("tracer interval must be >= 1 cycle")
+        if capacity < 1:
+            raise ConfigError("tracer capacity must be >= 1 bucket")
+        self.interval = interval
+        self.capacity = capacity
+        self._channels: dict[str, _Channel] = {}
+
+    def channel(
+        self, name: str, mode: str = MODE_SUM, unit: str = ""
+    ) -> str:
+        """Declare a channel (idempotent if the mode agrees); returns name."""
+        if mode not in _MODES:
+            raise ConfigError(f"unknown tracer mode {mode!r}")
+        existing = self._channels.get(name)
+        if existing is not None:
+            if existing.mode != mode:
+                raise ConfigError(
+                    f"channel {name!r} already declared with mode "
+                    f"{existing.mode!r}"
+                )
+            return name
+        self._channels[name] = _Channel(name, mode, unit)
+        return name
+
+    def record(self, name: str, cycle: float, value: float = 1.0) -> None:
+        """Fold one event at ``cycle`` into its channel's bucket."""
+        channel = self._channels.get(name)
+        if channel is None:
+            self.channel(name)
+            channel = self._channels[name]
+        index = int(cycle) // self.interval
+        if index < channel.floor:
+            channel.dropped += 1
+            return
+        buckets = channel.buckets
+        mode = channel.mode
+        if mode == MODE_SUM:
+            buckets[index] = buckets.get(index, 0.0) + value
+        elif mode == MODE_MAX:
+            prior = buckets.get(index)
+            if prior is None or value > prior:
+                buckets[index] = value
+        elif mode == MODE_LAST:
+            buckets[index] = value
+        else:  # MODE_MEAN
+            pair = buckets.get(index)
+            if pair is None:
+                buckets[index] = [value, 1]
+            else:
+                pair[0] += value
+                pair[1] += 1
+        while len(buckets) > self.capacity:
+            oldest = min(buckets)
+            del buckets[oldest]
+            channel.floor = max(channel.floor, oldest + 1)
+
+    # -- queries / export -------------------------------------------------
+
+    def channels(self) -> list[str]:
+        return sorted(self._channels)
+
+    def dropped(self, name: str) -> int:
+        return self._get(name).dropped
+
+    def _get(self, name: str) -> _Channel:
+        try:
+            return self._channels[name]
+        except KeyError:
+            raise ConfigError(f"unknown tracer channel {name!r}") from None
+
+    def series(self, name: str) -> list[tuple[int, float]]:
+        """``[(bucket_start_cycle, value), ...]`` in cycle order."""
+        channel = self._get(name)
+        out = []
+        for index in sorted(channel.buckets):
+            aggregate = channel.buckets[index]
+            if channel.mode == MODE_MEAN:
+                total, count = aggregate  # type: ignore[misc]
+                value = total / count
+            else:
+                value = float(aggregate)  # type: ignore[arg-type]
+            out.append((index * self.interval, value))
+        return out
+
+    def to_json(self) -> dict[str, object]:
+        """Self-describing snapshot of every channel."""
+        return {
+            "interval": self.interval,
+            "capacity": self.capacity,
+            "channels": {
+                name: {
+                    "mode": self._channels[name].mode,
+                    "unit": self._channels[name].unit,
+                    "dropped": self._channels[name].dropped,
+                    "samples": [list(pair) for pair in self.series(name)],
+                }
+                for name in self.channels()
+            },
+        }
+
+    def to_chrome_trace(self) -> list[dict[str, object]]:
+        """Counter events loadable by chrome://tracing / Perfetto.
+
+        One ``ph: "C"`` event per (channel, bucket); ``ts`` is the bucket's
+        start cycle (microsecond field reused as a cycle count).
+        """
+        events: list[dict[str, object]] = []
+        for name in self.channels():
+            for cycle, value in self.series(name):
+                events.append(
+                    {
+                        "name": name,
+                        "ph": "C",
+                        "ts": cycle,
+                        "pid": 0,
+                        "tid": 0,
+                        "args": {name.rsplit("/", 1)[-1]: value},
+                    }
+                )
+        events.sort(key=lambda e: (e["ts"], e["name"]))
+        return events

@@ -1,0 +1,193 @@
+"""Diff two run manifests and pretty-print regressions.
+
+Usage::
+
+    python -m repro.gpusim.report results/a.json results/b.json
+    python -m repro.gpusim.report a.json b.json --threshold 1.0 --all
+    python -m repro.gpusim.report a.json b.json --fail-on-regression
+
+Compares the metrics-registry snapshots of two ``results/*.json`` manifests
+(see :mod:`repro.gpusim.observability.manifest`).  Each changed metric is
+classified by direction — for ``cycles``, ``misses``, ``stalls`` and friends
+an increase is a regression; for ``hits``, ``speedup``, ``locality`` a
+decrease is — and anything whose relative change exceeds the threshold is
+flagged.  Metrics with no known direction are reported as ``change``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import dataclass
+
+from repro.analysis.tables import format_table
+from repro.errors import ConfigError
+from repro.gpusim.observability.manifest import RunManifest, load_manifest
+
+#: Name fragments implying "lower is better" / "higher is better".
+_LOWER_BETTER = (
+    "cycles", "misses", "miss_rate", "stall", "activations", "dropped",
+)
+_HIGHER_BETTER = ("hits", "hit_rate", "speedup", "locality", "ops_per")
+
+VERDICT_REGRESSION = "REGRESSION"
+VERDICT_IMPROVEMENT = "improvement"
+VERDICT_CHANGE = "change"
+VERDICT_SAME = "same"
+
+
+def direction(name: str) -> int:
+    """+1 if higher is better, -1 if lower is better, 0 if unknown.
+
+    Checked most-specific-last-segment first so e.g. ``l1/hits`` (higher
+    better) is not shadowed by the ``miss`` fragment elsewhere in the path.
+    """
+    leaf = name.rsplit("/", 1)[-1]
+    for fragment in _HIGHER_BETTER:
+        if fragment in leaf:
+            return 1
+    for fragment in _LOWER_BETTER:
+        if fragment in leaf:
+            return -1
+    return 0
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One metric's change between two manifests."""
+
+    name: str
+    old: float
+    new: float
+    verdict: str
+
+    @property
+    def delta(self) -> float:
+        return self.new - self.old
+
+    @property
+    def percent(self) -> float:
+        if self.old == 0:
+            return 0.0 if self.new == 0 else float("inf")
+        return 100.0 * (self.new - self.old) / abs(self.old)
+
+
+def _numeric_metrics(manifest: RunManifest) -> dict[str, float]:
+    return {
+        name: float(value)
+        for name, value in manifest.metrics.items()
+        if isinstance(value, (int, float)) and not isinstance(value, bool)
+    }
+
+
+def diff_manifests(
+    old: RunManifest, new: RunManifest, threshold_pct: float = 0.0
+) -> list[MetricDelta]:
+    """Per-metric deltas over the metrics both manifests share.
+
+    ``threshold_pct`` is the relative-change bar below which a differing
+    value still counts as ``same`` (noise floor).
+    """
+    old_metrics = _numeric_metrics(old)
+    new_metrics = _numeric_metrics(new)
+    deltas = []
+    for name in sorted(set(old_metrics) & set(new_metrics)):
+        a, b = old_metrics[name], new_metrics[name]
+        if a == b:
+            verdict = VERDICT_SAME
+        else:
+            pct = abs(100.0 * (b - a) / abs(a)) if a else float("inf")
+            if pct <= threshold_pct:
+                verdict = VERDICT_SAME
+            else:
+                sign = direction(name)
+                if sign == 0:
+                    verdict = VERDICT_CHANGE
+                elif (b - a) * sign > 0:
+                    verdict = VERDICT_IMPROVEMENT
+                else:
+                    verdict = VERDICT_REGRESSION
+        deltas.append(MetricDelta(name, a, b, verdict))
+    return deltas
+
+
+def render_report(
+    old: RunManifest,
+    new: RunManifest,
+    deltas: list[MetricDelta],
+    show_all: bool = False,
+) -> str:
+    """Human-readable diff: header, changed-metric table, verdict line."""
+    shown = [d for d in deltas if show_all or d.verdict != VERDICT_SAME]
+    regressions = sum(d.verdict == VERDICT_REGRESSION for d in deltas)
+    improvements = sum(d.verdict == VERDICT_IMPROVEMENT for d in deltas)
+    header = (
+        f"old: {old.run_id}  (git {old.git_sha[:12]}, "
+        f"config {old.config_sha256[:12]})\n"
+        f"new: {new.run_id}  (git {new.git_sha[:12]}, "
+        f"config {new.config_sha256[:12]})"
+    )
+    if old.config_sha256 != new.config_sha256:
+        header += "\nnote: configurations differ — deltas include config effects"
+    if not shown:
+        return header + "\n\nNo metric differences."
+    rows = [
+        (
+            d.name,
+            d.old,
+            d.new,
+            "inf" if d.percent == float("inf") else f"{d.percent:+.2f}%",
+            d.verdict,
+        )
+        for d in shown
+    ]
+    table = format_table(
+        ["Metric", "Old", "New", "Delta", "Verdict"],
+        rows,
+        title=f"Manifest diff ({len(shown)} shown, "
+        f"{regressions} regressions, {improvements} improvements)",
+    )
+    return header + "\n\n" + table
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.gpusim.report", description=__doc__
+    )
+    parser.add_argument("old", help="baseline manifest (results/*.json)")
+    parser.add_argument("new", help="candidate manifest to compare against")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.0,
+        metavar="PCT",
+        help="relative change (%%) below which a metric counts as unchanged",
+    )
+    parser.add_argument(
+        "--all",
+        action="store_true",
+        help="show unchanged metrics too",
+    )
+    parser.add_argument(
+        "--fail-on-regression",
+        action="store_true",
+        help="exit 1 if any metric regressed",
+    )
+    args = parser.parse_args(argv)
+    try:
+        old = load_manifest(args.old)
+        new = load_manifest(args.new)
+    except (OSError, ValueError, ConfigError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    deltas = diff_manifests(old, new, threshold_pct=args.threshold)
+    print(render_report(old, new, deltas, show_all=args.all))
+    if args.fail_on_regression and any(
+        d.verdict == VERDICT_REGRESSION for d in deltas
+    ):
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -56,10 +56,20 @@ class RtUnit:
         config: GpuConfig,
         l1: Cache,
         l2_fill=None,
+        tracer=None,
     ) -> None:
         self.config = config
         self.l1 = l1
         self._l2_fill = l2_fill
+        # Optional timeline tracer: per-bucket sum of datapath busy beats.
+        self._tracer = tracer
+        self._trace_channel = None
+        if tracer is not None:
+            from repro.gpusim.observability.tracer import MODE_SUM
+
+            self._trace_channel = tracer.channel(
+                "hsu/busy_beats", mode=MODE_SUM, unit="thread-beats"
+            )
         self._private: Cache | None = None
         if config.rt_private_cache_bytes and l2_fill is not None:
             ways = 4
@@ -156,6 +166,8 @@ class RtUnit:
         # retirement, which is what lets 8 entries sustain memory-level
         # parallelism.
         heapq.heappush(self._entries, pipe_start + busy)
+        if self._trace_channel is not None:
+            self._tracer.record(self._trace_channel, pipe_start, busy)
         self.stats.warp_instructions += 1
         self.stats.thread_beats += busy
         self.stats.busy_until = max(self.stats.busy_until, pipe_end)

@@ -1,8 +1,26 @@
-"""Aggregated simulation statistics."""
+"""Aggregated simulation statistics.
+
+:class:`SimStats` is the legacy flat view the experiment modules consume.
+Since the observability layer landed it is a *thin aggregation* over the
+simulator's :class:`~repro.gpusim.observability.MetricsRegistry`: a finished
+:class:`~repro.gpusim.gpu.GpuSimulator` builds it with
+:meth:`SimStats.from_registry`, so every field here equals a rollup of
+scoped per-SM/per-component metrics (``sm*/l1/misses`` etc.) that remain
+individually queryable on the simulator.  See ``docs/METRICS.md`` for the
+name-by-name mapping.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.gpusim.observability import MetricsRegistry
+
+#: Instruction kinds aggregated into ``instructions_by_kind`` (mirrors
+#: ``repro.gpusim.trace``; duplicated literals to keep this module leaf-level).
+_INSTRUCTION_KINDS = ("alu", "sfu", "lds", "ldg", "hsu")
 
 
 @dataclass
@@ -31,12 +49,55 @@ class SimStats:
     l2_misses: int = 0
     dram_accesses: int = 0
     dram_activations: int = 0
-    dram_row_locality_frfcfs: float = 0.0
+    #: Activations under the FR-FCFS replay (§VI-J); the replay reorders the
+    #: recorded streams so it can only merge activations, never add any.
+    dram_frfcfs_activations: int = 0
 
     # Fig. 7 attribution (baseline runs): warp-busy time split by whether
     # the instruction could have executed on an HSU.
     hsu_able_busy: int = 0
     other_busy: int = 0
+
+    @classmethod
+    def from_registry(cls, registry: "MetricsRegistry") -> "SimStats":
+        """Aggregate a metrics registry into the legacy flat view.
+
+        Per-SM families (``sm*/...``) roll up by summation; chip-level
+        metrics (``l2/...``, ``dram/...``, ``gpu/...``) copy through.
+        Cycle-valued fields stay floats — event times carry the fractional
+        L2/DRAM port intervals — so the aggregation is bit-exact with the
+        pre-registry direct-attribute accounting.
+        """
+        return cls(
+            cycles=registry.value("gpu/cycles"),
+            num_warps=int(registry.value("gpu/warps_launched")),
+            warp_instructions=int(registry.sum("sm*/sched/warp_instructions")),
+            instructions_by_kind={
+                kind: int(registry.sum(f"sm*/sched/instructions/{kind}"))
+                for kind in _INSTRUCTION_KINDS
+            },
+            hsu_warp_instructions=int(registry.sum("sm*/rt/warp_instructions")),
+            hsu_thread_beats=int(registry.sum("sm*/rt/thread_beats")),
+            hsu_fetch_line_accesses=int(
+                registry.sum("sm*/rt/fetch_line_accesses")
+            ),
+            hsu_entry_stall_cycles=registry.sum("sm*/rt/entry_stall_cycles"),
+            l1_accesses=int(registry.sum("sm*/l1/accesses")),
+            l1_hits=int(registry.sum("sm*/l1/hits")),
+            l1_misses=int(registry.sum("sm*/l1/misses")),
+            l1_mshr_merges=int(registry.sum("sm*/l1/mshr_merges")),
+            l1_mshr_stalls=int(registry.sum("sm*/l1/mshr_stalls")),
+            l2_accesses=int(registry.value("l2/accesses")),
+            l2_hits=int(registry.value("l2/hits")),
+            l2_misses=int(registry.value("l2/misses")),
+            dram_accesses=int(registry.value("dram/accesses")),
+            dram_activations=int(registry.value("dram/activations")),
+            dram_frfcfs_activations=int(
+                registry.value("dram/frfcfs_activations")
+            ),
+            hsu_able_busy=registry.sum("sm*/sched/hsu_able_busy_cycles"),
+            other_busy=registry.sum("sm*/sched/other_busy_cycles"),
+        )
 
     def l1_miss_rate(self) -> float:
         return self.l1_misses / self.l1_accesses if self.l1_accesses else 0.0
@@ -66,3 +127,40 @@ class SimStats:
             if self.dram_activations
             else 0.0
         )
+
+    @property
+    def dram_row_locality_frfcfs(self) -> float:
+        """Accesses per activation under the FR-FCFS replay (Fig. 14).
+
+        Derived from the same ``dram_accesses`` numerator as
+        :meth:`dram_row_locality`, so the two statistics can never silently
+        disagree about how many accesses were served — they differ only in
+        the activation count their scheduler produced.
+        """
+        return (
+            self.dram_accesses / self.dram_frfcfs_activations
+            if self.dram_frfcfs_activations
+            else 0.0
+        )
+
+    def check_dram_consistency(self) -> None:
+        """Invariants tying the two row-locality views together.
+
+        The FR-FCFS replay serves a permutation of the recorded stream: it
+        can merge activations by reordering, never create new ones, so its
+        activation count must lie in ``[1, dram_activations]`` whenever any
+        DRAM traffic happened (and be 0 otherwise).  Raises
+        :class:`AssertionError` on violation.
+        """
+        if self.dram_accesses == 0:
+            assert self.dram_activations == 0, "activations without accesses"
+            return
+        assert self.dram_activations >= 1, "accesses without activations"
+        if self.dram_frfcfs_activations:
+            assert 1 <= self.dram_frfcfs_activations <= self.dram_activations, (
+                f"FR-FCFS activations {self.dram_frfcfs_activations} outside "
+                f"[1, {self.dram_activations}]"
+            )
+            assert (
+                self.dram_row_locality_frfcfs >= self.dram_row_locality()
+            ), "FR-FCFS replay reduced row locality"

@@ -33,3 +33,28 @@ class TestDerivedMetrics:
     def test_row_locality(self):
         stats = SimStats(dram_accesses=30, dram_activations=10)
         assert stats.dram_row_locality() == pytest.approx(3.0)
+
+
+class TestFrfcfsLocalityDerivation:
+    """Regression: ``dram_row_locality_frfcfs`` used to be an independently
+    assigned float that could silently disagree with the arrival-order
+    statistic; it is now derived from the shared ``dram_accesses``."""
+
+    def test_shares_numerator_with_arrival_order(self):
+        stats = SimStats(
+            dram_accesses=30, dram_activations=10, dram_frfcfs_activations=5
+        )
+        assert stats.dram_row_locality_frfcfs == pytest.approx(6.0)
+        assert stats.dram_row_locality() == pytest.approx(3.0)
+        stats.check_dram_consistency()
+
+    def test_zero_guard(self):
+        assert SimStats().dram_row_locality_frfcfs == 0.0
+        SimStats().check_dram_consistency()
+
+    def test_consistency_check_rejects_impossible_replay(self):
+        bad = SimStats(
+            dram_accesses=30, dram_activations=10, dram_frfcfs_activations=20
+        )
+        with pytest.raises(AssertionError):
+            bad.check_dram_consistency()

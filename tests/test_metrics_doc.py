@@ -1,0 +1,82 @@
+"""docs/METRICS.md must list exactly the metrics the live registry holds.
+
+The glossary is enforced in both directions: every registered metric
+(canonicalized — ``sm3`` folds to ``sm*``) must have a table row, and every
+table row must correspond to a registered metric.  Registering a metric
+without documenting it, or documenting a phantom, fails here.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.gpusim import GpuSimulator, KernelTrace, WarpInstr, WarpTrace, VOLTA_V100
+from repro.gpusim.observability import canonical_name
+
+DOC = Path(__file__).resolve().parent.parent / "docs" / "METRICS.md"
+
+#: Table rows look like ``| `name` | kind | ...``.
+_ROW = re.compile(r"^\|\s*`([a-z0-9_*/]+)`\s*\|")
+
+
+def _documented_names() -> set[str]:
+    text = DOC.read_text()
+    section = text.split("## Registry metrics", 1)[1].split(
+        "## Timeline channels", 1
+    )[0]
+    names = {m.group(1) for m in map(_ROW.match, section.splitlines()) if m}
+    assert names, "no metric rows found in docs/METRICS.md"
+    return names
+
+
+def _live_names() -> set[str]:
+    kernel = KernelTrace(
+        warps=[WarpTrace(instructions=[WarpInstr("alu")])], name="doc-probe"
+    )
+    # Two SMs so the sm-instance folding is actually exercised.
+    sim = GpuSimulator(VOLTA_V100.scaled(2), kernel)
+    return {canonical_name(name) for name in sim.registry.names()}
+
+
+def test_doc_exists_and_is_linked_from_readme():
+    assert DOC.is_file()
+    readme = (DOC.parent.parent / "README.md").read_text()
+    assert "docs/METRICS.md" in readme
+
+
+def test_every_registered_metric_is_documented():
+    missing = _live_names() - _documented_names()
+    assert not missing, (
+        f"metrics registered but absent from docs/METRICS.md: {sorted(missing)}"
+    )
+
+
+def test_every_documented_metric_exists():
+    phantom = _documented_names() - _live_names()
+    assert not phantom, (
+        f"docs/METRICS.md rows with no registered metric: {sorted(phantom)}"
+    )
+
+
+def test_timeline_channels_documented():
+    from repro.gpusim import TimelineTracer
+    from repro.workloads.base import to_traces
+    from repro.workloads.rtindex import run_rtindex
+
+    _tri, point = run_rtindex(num_keys=128, num_lookups=16)
+    tracer = TimelineTracer(interval=64)
+    GpuSimulator(VOLTA_V100.scaled(1), to_traces(point).hsu, tracer).run()
+    text = DOC.read_text()
+    missing = [c for c in tracer.channels() if f"`{c}`" not in text]
+    assert not missing, f"tracer channels undocumented: {missing}"
+
+
+@pytest.mark.parametrize("metric", ["sm0/l1/misses", "gpu/cycles"])
+def test_doc_examples_are_real(metric):
+    kernel = KernelTrace(
+        warps=[WarpTrace(instructions=[WarpInstr("alu")])], name="doc-probe"
+    )
+    sim = GpuSimulator(VOLTA_V100.scaled(1), kernel)
+    sim.run()
+    assert metric in sim.registry
