@@ -5,8 +5,11 @@ returning the printable table, and ``main()`` so it can run standalone::
 
     python -m repro.experiments.fig09_speedup
 
-Paired baseline/HSU simulations are cached per process
-(:mod:`repro.experiments.common`), so the full suite shares workload builds
-and simulator runs across figures exactly like one trace-collection campaign
-feeding many plots.
+Paired baseline/HSU simulations route through the campaign runner
+(:mod:`repro.experiments.campaign`): results persist in a content-addressed
+cache under ``results/cache/`` and can execute across a process pool
+(``python -m repro.experiments.run_all --jobs N``), so the full suite shares
+workload builds and simulator runs across figures — and across invocations —
+exactly like one trace-collection campaign feeding many plots.  See
+``docs/CAMPAIGN.md``.
 """

@@ -28,8 +28,11 @@ from repro.bvh.quality import sah_cost
 from repro.bvh.sah import build_sah
 from repro.bvh.traversal import TraversalStats, radius_search
 from repro.datasets.registry import load_dataset
-from repro.experiments.common import config_for, default_config
-from repro.gpusim import simulate
+from repro.experiments.common import (
+    config_for,
+    default_config,
+    simulate_recorded,
+)
 from repro.workloads import run_bvhnn, run_ggnn, to_traces
 from repro.workloads.bvhnn import choose_radius
 
@@ -53,7 +56,12 @@ def bvh_variants(datasets: tuple[str, ...] = BVH_DATASETS) -> list[dict[str, obj
     for abbr in datasets:
         for label, kwargs in variants:
             run = run_bvhnn(abbr, num_queries=_QUERIES, **kwargs)
-            stats = simulate(config, to_traces(run).hsu)
+            slug = "ablation-" + "".join(
+                c if c.isalnum() else "-" for c in label
+            ).strip("-")
+            stats = simulate_recorded(
+                "bvhnn", abbr, slug, config, to_traces(run).hsu
+            )
             rows.append(
                 {
                     "dataset": abbr,
@@ -83,7 +91,10 @@ def rt_fetch_paths() -> list[dict[str, object]]:
             ("bypass L1", base_config.with_rt_bypass()),
             ("private 32KB", base_config.with_rt_private_cache(32 * 1024)),
         ):
-            stats = simulate(config, hsu_trace)
+            slug = "fetch-" + "".join(
+                c if c.isalnum() else "-" for c in label
+            ).strip("-")
+            stats = simulate_recorded(family, abbr, slug, config, hsu_trace)
             rows.append(
                 {
                     "app": family,
@@ -123,6 +134,15 @@ def build_quality(abbr: str = "R10K", num_queries: int = 256) -> dict[str, objec
             "dist_tests_per_query": traversal.prim_tests / num_queries,
         }
     return {"dataset": abbr, "radius": radius, **stats}
+
+
+def compute() -> dict[str, object]:
+    """All three ablation studies (A: BVH arity, B: fetch path, C: build)."""
+    return {
+        "bvh_variants": bvh_variants(),
+        "rt_fetch_paths": rt_fetch_paths(),
+        "build_quality": build_quality(),
+    }
 
 
 def render() -> str:

@@ -1,0 +1,856 @@
+"""Parallel campaign runner with a persistent on-disk result cache.
+
+The paper's evaluation (§V, Figs. 7-16) is a *campaign*: dozens of paired
+baseline/HSU simulations over four workload families, their datasets, and
+the Fig. 10/11 design-point sweeps.  This module turns that campaign into a
+job graph:
+
+* every simulation is a deterministically keyed :class:`Job`
+  (family, dataset, variant, design point),
+* jobs execute across a ``ProcessPoolExecutor`` (``--jobs N``), grouped by
+  workload so each worker runs a workload once and simulates all of its
+  variants,
+* every result lands in a persistent content-addressed cache under
+  ``results/cache/`` keyed by (workload key, trace fingerprint,
+  ``GpuConfig`` hash, cache schema version), storing the serialized
+  :class:`~repro.gpusim.stats.SimStats` plus the run-manifest snapshot,
+* each job gets a timeout and a single retry, and a failed job is reported
+  in the campaign summary without aborting the rest.
+
+Two cache tiers live under the cache directory (see ``docs/CAMPAIGN.md``
+for the layout and the invalidation rules):
+
+* ``sims/<key>.json`` — the simulation results, content-addressed by the
+  trace fingerprint and config hash, so any change to the emitted trace or
+  to any ``GpuConfig`` field busts the entry;
+* ``traces/<key>.json`` — workload parameters -> trace fingerprint, which
+  lets a warm run map a job to its simulation entry *without re-running
+  the workload* (GGNN trace collection alone costs minutes).  Trace-tier
+  entries are keyed by the workload parameters and
+  :data:`CACHE_SCHEMA_VERSION`; whenever a workload *is* re-executed the
+  fresh fingerprint overwrites the entry, so stale mappings self-heal on
+  any cold or ``rebuild`` run.
+
+Corrupted or schema-incompatible entries are treated as misses and
+recomputed (then overwritten).  ``python -m repro.experiments.campaign``
+runs the default §V campaign from the command line; ``run_all`` uses the
+same machinery to prewarm the cache before rendering the figures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import sys
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import ConfigError
+from repro.gpusim import GpuConfig, GpuSimulator
+from repro.gpusim.observability import (
+    build_manifest,
+    manifests_enabled,
+    results_dir,
+    write_manifest,
+)
+from repro.gpusim.stats import SimStats
+from repro.gpusim.trace import KernelTrace
+
+#: Bump to invalidate every cache entry (stored in, and hashed into, every
+#: key).  Bump it whenever simulator/workload code changes results without
+#: changing the emitted trace or the config (e.g. a timing-model fix).
+CACHE_SCHEMA_VERSION = 1
+
+#: Default per-job timeout (seconds) for pool execution; a group's budget
+#: is ``timeout * len(group)``.
+DEFAULT_JOB_TIMEOUT = 900.0
+
+_VARIANTS = ("baseline", "hsu")
+
+_MODES = ("on", "off", "rebuild")
+_mode = "on"
+
+
+def set_cache_mode(mode: str) -> None:
+    """Select cache behaviour: ``on`` (default), ``off``, or ``rebuild``.
+
+    ``off`` neither reads nor writes (``--no-cache``); ``rebuild`` ignores
+    existing entries but still writes fresh ones (``--rebuild``).
+    """
+    if mode not in _MODES:
+        raise ConfigError(f"unknown cache mode {mode!r} (want one of {_MODES})")
+    global _mode
+    _mode = mode
+
+
+def cache_mode() -> str:
+    return _mode
+
+
+def cache_dir() -> Path:
+    """Cache root: ``REPRO_CACHE_DIR``, else ``<results_dir>/cache``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    return Path(env) if env else results_dir() / "cache"
+
+
+@dataclass
+class CacheStats:
+    """Process-local cache traffic counters (run_all's summary reads these)."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    corrupt: int = 0
+
+    def snapshot(self) -> "CacheStats":
+        return CacheStats(self.hits, self.misses, self.stores, self.corrupt)
+
+    def delta(self, since: "CacheStats") -> "CacheStats":
+        return CacheStats(
+            self.hits - since.hits,
+            self.misses - since.misses,
+            self.stores - since.stores,
+            self.corrupt - since.corrupt,
+        )
+
+
+#: Global counters for this process (workers keep their own; the campaign
+#: summary aggregates across workers from the returned job results).
+cache_stats = CacheStats()
+
+
+@dataclass(frozen=True)
+class Job:
+    """One deterministically keyed simulation of the evaluation campaign."""
+
+    family: str
+    abbr: str
+    variant: str  # "baseline" | "hsu"
+    warp_buffer: int = 8
+    euclid_width: int = 16
+    #: Override the family's default query count (smoke/test campaigns).
+    queries: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.variant not in _VARIANTS:
+            raise ConfigError(
+                f"unknown variant {self.variant!r} (want one of {_VARIANTS})"
+            )
+
+    @property
+    def group(self) -> tuple[str, str, int | None]:
+        """Jobs sharing a group share one workload execution."""
+        return (self.family, self.abbr, self.queries)
+
+    @property
+    def variant_label(self) -> str:
+        if self.variant == "baseline":
+            return "baseline"
+        return f"hsu-wb{self.warp_buffer}-ew{self.euclid_width}"
+
+    @property
+    def run_id(self) -> str:
+        stem = f"{self.family}-{self.abbr.replace('+', '')}-{self.variant_label}"
+        if self.queries is not None:
+            stem += f"-q{self.queries}"
+        return stem.lower()
+
+
+@dataclass
+class JobOutcome:
+    """What running (or cache-hitting) one job produced."""
+
+    job: Job
+    stats: SimStats
+    cached: bool
+    wall: float
+    key: str
+
+
+@dataclass
+class JobRecord:
+    """One job's row in a campaign summary (worker-safe plain data)."""
+
+    job: Job
+    ok: bool
+    cached: bool = False
+    wall: float = 0.0
+    key: str = ""
+    attempts: int = 1
+    error: str | None = None
+    simstats: dict[str, object] | None = None
+
+
+# ---------------------------------------------------------------------------
+# Keys and on-disk entries
+# ---------------------------------------------------------------------------
+
+
+def _sha(payload: dict[str, object]) -> str:
+    blob = json.dumps(payload, sort_keys=True, default=str)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def stats_key(
+    workload: dict[str, object], trace_sha: str, config_sha: str
+) -> str:
+    """Content address of one simulation result.
+
+    Hashes the workload key, the trace fingerprint, the config hash, and
+    :data:`CACHE_SCHEMA_VERSION` — the complete invalidation surface: a
+    config change, a trace change, or a schema bump each produce a new key.
+    """
+    return _sha(
+        {
+            "schema": CACHE_SCHEMA_VERSION,
+            "workload": workload,
+            "trace_sha": trace_sha,
+            "config_sha": config_sha,
+        }
+    )
+
+
+def trace_key(workload: dict[str, object], variant: str, euclid_width: int) -> str:
+    """Key of the workload-params -> trace-fingerprint mapping entry."""
+    return _sha(
+        {
+            "schema": CACHE_SCHEMA_VERSION,
+            "workload": workload,
+            "variant": variant,
+            "euclid_width": euclid_width if variant == "hsu" else None,
+        }
+    )
+
+
+def _stats_path(key: str) -> Path:
+    return cache_dir() / "sims" / f"{key}.json"
+
+
+def _trace_path(key: str) -> Path:
+    return cache_dir() / "traces" / f"{key}.json"
+
+
+def _write_entry(path: Path, payload: dict[str, object]) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_suffix(f".tmp{os.getpid()}")
+    tmp.write_text(json.dumps(payload, sort_keys=True) + "\n")
+    tmp.replace(path)
+    cache_stats.stores += 1
+
+
+def _load_entry(path: Path, key: str, required: tuple[str, ...]) -> dict | None:
+    """Load a cache entry, treating any corruption as a miss.
+
+    A partially written file, invalid JSON, a wrong-schema payload, or a
+    payload whose recorded key disagrees with its filename all return
+    ``None`` (and count as ``corrupt``); the caller recomputes and the
+    store overwrites the bad entry.
+    """
+    try:
+        payload = json.loads(path.read_text())
+    except FileNotFoundError:
+        return None
+    except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+        cache_stats.corrupt += 1
+        return None
+    if (
+        not isinstance(payload, dict)
+        or payload.get("schema") != CACHE_SCHEMA_VERSION
+        or payload.get("key") != key
+        or any(name not in payload for name in required)
+    ):
+        cache_stats.corrupt += 1
+        return None
+    return payload
+
+
+def load_stats_entry(key: str) -> tuple[SimStats, dict] | None:
+    """Cached (SimStats, entry) for a stats key, or ``None`` on miss."""
+    payload = _load_entry(_stats_path(key), key, ("simstats",))
+    if payload is None:
+        return None
+    try:
+        stats = SimStats.from_json_dict(payload["simstats"])
+    except (TypeError, ValueError):
+        cache_stats.corrupt += 1
+        return None
+    return stats, payload
+
+
+def store_stats_entry(
+    key: str,
+    workload: dict[str, object],
+    trace_sha: str,
+    config_sha: str,
+    stats: SimStats,
+    manifest: dict[str, object] | None,
+) -> None:
+    _write_entry(
+        _stats_path(key),
+        {
+            "schema": CACHE_SCHEMA_VERSION,
+            "key": key,
+            "workload": workload,
+            "trace_sha": trace_sha,
+            "config_sha": config_sha,
+            "simstats": stats.to_json_dict(),
+            "manifest": manifest,
+        },
+    )
+
+
+def load_trace_entry(key: str) -> dict | None:
+    return _load_entry(_trace_path(key), key, ("trace_sha",))
+
+
+def store_trace_entry(
+    key: str, workload: dict[str, object], variant: str, kernel: KernelTrace,
+    trace_sha: str,
+) -> None:
+    _write_entry(
+        _trace_path(key),
+        {
+            "schema": CACHE_SCHEMA_VERSION,
+            "key": key,
+            "workload": workload,
+            "variant": variant,
+            "trace_sha": trace_sha,
+            "num_warps": kernel.num_warps,
+            "total_instructions": kernel.total_instructions(),
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# Cached simulation
+# ---------------------------------------------------------------------------
+
+
+def cached_simulate(
+    family: str,
+    abbr: str,
+    variant: str,
+    config: GpuConfig,
+    kernel: KernelTrace,
+    run_id: str | None = None,
+    workload: dict[str, object] | None = None,
+) -> SimStats:
+    """Simulate through the persistent cache (the ``simulate_recorded`` core).
+
+    Content-addressed: the key hashes the actual ``kernel`` fingerprint and
+    ``config``, so a hit is guaranteed to correspond to a bit-identical
+    simulation input.  On a hit the cached run-manifest snapshot is
+    re-stamped to ``results/`` (original timestamp and git SHA — it
+    documents the run that actually computed the numbers); on a miss the
+    simulation runs, stamps its manifest, and stores the entry.
+    """
+    mode = cache_mode()
+    wkey = dict(workload) if workload is not None else {
+        "family": family, "dataset": abbr, "variant": variant,
+    }
+    run_id = run_id or f"{family}-{abbr.replace('+', '')}-{variant}".lower()
+    trace_sha = kernel.fingerprint()
+    config_sha = config.stable_hash()
+    key = stats_key(wkey, trace_sha, config_sha)
+    if mode == "on":
+        cached = load_stats_entry(key)
+        if cached is not None:
+            stats, payload = cached
+            cache_stats.hits += 1
+            if manifests_enabled() and payload.get("manifest"):
+                _restamp_manifest(payload["manifest"])
+            return stats
+    cache_stats.misses += 1
+    sim = GpuSimulator(config, kernel)
+    stats = sim.run()
+    manifest = build_manifest(
+        run_id=run_id,
+        config=config,
+        registry=sim.registry,
+        stats=stats,
+        workload={"family": family, "dataset": abbr, "variant": variant},
+    )
+    if manifests_enabled():
+        write_manifest(manifest)
+    if mode != "off":
+        store_stats_entry(
+            key, wkey, trace_sha, config_sha, stats, manifest.to_json_dict()
+        )
+    return stats
+
+
+def _restamp_manifest(snapshot: dict[str, object]) -> None:
+    """Rewrite a cached run manifest into ``results/`` on a cache hit."""
+    from repro.gpusim.observability import RunManifest
+
+    try:
+        write_manifest(RunManifest.from_json_dict(dict(snapshot)))
+    except (ConfigError, TypeError, OSError):
+        pass  # the manifest is an audit artifact; a hit must not fail on it
+
+
+def run_job(job: Job, mode: str | None = None) -> JobOutcome:
+    """Run one campaign job, consulting both cache tiers.
+
+    Fast path (warm): the trace-tier entry maps the job's workload
+    parameters to a trace fingerprint without executing the workload; the
+    stats tier then supplies the result.  Cold path: execute the workload
+    (process-local ``lru_cache`` shares it across the group's jobs),
+    lower, fingerprint, simulate, and populate both tiers.
+    """
+    from repro.experiments import common  # deferred: common wires onto us
+
+    if mode is not None:
+        set_cache_mode(mode)
+    mode = cache_mode()
+    start = time.perf_counter()
+    params = common.workload_params(job.family, job.abbr, job.queries)
+    wkey = params | {"variant": job.variant_label}
+    config = common.config_for(job.family)
+    if job.variant == "hsu":
+        config = config.with_warp_buffer(job.warp_buffer)
+    config_sha = config.stable_hash()
+    tkey = trace_key(params, job.variant, job.euclid_width)
+    if mode == "on":
+        tentry = load_trace_entry(tkey)
+        if tentry is not None:
+            skey = stats_key(wkey, tentry["trace_sha"], config_sha)
+            cached = load_stats_entry(skey)
+            if cached is not None:
+                stats, payload = cached
+                cache_stats.hits += 1
+                if manifests_enabled() and payload.get("manifest"):
+                    _restamp_manifest(payload["manifest"])
+                return JobOutcome(
+                    job, stats, True, time.perf_counter() - start, skey
+                )
+    bundle = common.trace_bundle(
+        job.family, job.abbr, job.queries, job.euclid_width
+    )
+    kernel = bundle.baseline if job.variant == "baseline" else bundle.hsu
+    trace_sha = kernel.fingerprint()
+    if mode != "off":
+        store_trace_entry(tkey, params, job.variant, kernel, trace_sha)
+    skey = stats_key(wkey, trace_sha, config_sha)
+    before = cache_stats.snapshot()
+    stats = cached_simulate(
+        job.family,
+        job.abbr,
+        job.variant_label,
+        config,
+        kernel,
+        run_id=job.run_id,
+        workload=wkey,
+    )
+    hit = cache_stats.hits > before.hits
+    return JobOutcome(job, stats, hit, time.perf_counter() - start, skey)
+
+
+# ---------------------------------------------------------------------------
+# Campaign enumeration
+# ---------------------------------------------------------------------------
+
+
+def default_jobs(families: tuple[str, ...] | None = None) -> list[Job]:
+    """The §V campaign: every pair plus the Fig. 10/11 design-point sweeps."""
+    from repro.experiments import fig10_width, fig11_warp_buffer
+    from repro.experiments.common import FAMILIES, datasets_for
+
+    families = tuple(families) if families else FAMILIES
+    jobs: list[Job] = []
+    for family in families:
+        for abbr in datasets_for(family):
+            jobs.append(Job(family, abbr, "baseline"))
+            jobs.append(Job(family, abbr, "hsu"))
+    if "ggnn" in families:
+        for abbr in fig10_width.DATASETS:
+            for width in fig10_width.WIDTHS:
+                jobs.append(Job("ggnn", abbr, "hsu", euclid_width=width))
+    for family, datasets in fig11_warp_buffer.PANELS.items():
+        if family not in families:
+            continue
+        for abbr in datasets:
+            for size in fig11_warp_buffer.SIZES:
+                jobs.append(Job(family, abbr, "hsu", warp_buffer=size))
+    seen: set[Job] = set()
+    unique = []
+    for job in jobs:
+        if job not in seen:
+            seen.add(job)
+            unique.append(job)
+    return unique
+
+
+def smoke_jobs() -> list[Job]:
+    """Tiny paired campaign (the CI entry point).
+
+    Two workload groups (BVH-NN R10K and B+10K at 64 queries each) so that
+    ``--jobs 2`` genuinely exercises the process pool — a single group
+    would fall back to serial execution.
+    """
+    return [
+        Job("bvhnn", "R10K", "baseline", queries=64),
+        Job("bvhnn", "R10K", "hsu", queries=64),
+        Job("btree", "B+10K", "baseline", queries=64),
+        Job("btree", "B+10K", "hsu", queries=64),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Execution across a process pool
+# ---------------------------------------------------------------------------
+
+
+def _worker(
+    jobs: tuple[Job, ...],
+    mode: str,
+    cache: str,
+    results: str,
+    manifests: bool,
+) -> list[JobRecord]:
+    """Pool entry point: run one workload group's jobs in a worker process."""
+    os.environ["REPRO_CACHE_DIR"] = cache
+    os.environ["REPRO_RESULTS_DIR"] = results
+    if not manifests:
+        os.environ["REPRO_MANIFESTS"] = "0"
+    set_cache_mode(mode)
+    records = []
+    for job in jobs:
+        records.append(_run_recorded(job))
+    return records
+
+
+def _run_recorded(job: Job) -> JobRecord:
+    start = time.perf_counter()
+    try:
+        outcome = run_job(job)
+    except Exception as exc:  # noqa: BLE001 - a job failure must not abort the campaign
+        return JobRecord(
+            job,
+            ok=False,
+            wall=time.perf_counter() - start,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+    return JobRecord(
+        job,
+        ok=True,
+        cached=outcome.cached,
+        wall=outcome.wall,
+        key=outcome.key,
+        simstats=outcome.stats.to_json_dict(),
+    )
+
+
+@dataclass
+class CampaignSummary:
+    """Everything one campaign execution produced, failures included."""
+
+    records: list[JobRecord] = field(default_factory=list)
+    wall: float = 0.0
+    jobs_n: int = 1
+    label: str = "campaign"
+
+    @property
+    def hits(self) -> int:
+        return sum(1 for r in self.records if r.ok and r.cached)
+
+    @property
+    def misses(self) -> int:
+        return sum(1 for r in self.records if r.ok and not r.cached)
+
+    @property
+    def failed(self) -> list[JobRecord]:
+        return [r for r in self.records if not r.ok]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failed
+
+    def stats_for(self, job: Job) -> SimStats | None:
+        for record in self.records:
+            if record.job == job and record.simstats is not None:
+                return SimStats.from_json_dict(record.simstats)
+        return None
+
+    def render(self) -> str:
+        from repro.analysis.tables import format_table
+
+        rows = []
+        for record in sorted(self.records, key=lambda r: r.job.run_id):
+            status = "FAILED" if not record.ok else (
+                "hit" if record.cached else "miss"
+            )
+            rows.append(
+                (
+                    record.job.run_id,
+                    status,
+                    f"{record.wall:.2f}",
+                    record.attempts,
+                    record.error or "",
+                )
+            )
+        table = format_table(
+            ["Job", "Cache", "Wall s", "Attempts", "Error"],
+            rows,
+            title=f"Campaign {self.label!r}: {len(self.records)} jobs, "
+            f"--jobs {self.jobs_n}",
+        )
+        totals = (
+            f"total wall {self.wall:.1f}s — {self.hits} cache hits, "
+            f"{self.misses} misses, {len(self.failed)} failed"
+        )
+        return table + "\n" + totals
+
+
+def write_campaign_manifest(summary: CampaignSummary) -> Path:
+    """Merge per-job records into one campaign manifest in ``results/``.
+
+    Workers stamp their own per-run manifests as they go; this rolls the
+    campaign up into a single auditable artifact referencing each of them.
+    """
+    directory = results_dir()
+    directory.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "campaign": summary.label,
+        "schema": CACHE_SCHEMA_VERSION,
+        "jobs_n": summary.jobs_n,
+        "wall_seconds": summary.wall,
+        "cache_hits": summary.hits,
+        "cache_misses": summary.misses,
+        "failed": len(summary.failed),
+        "jobs": [
+            {
+                "run_id": r.job.run_id,
+                "ok": r.ok,
+                "cached": r.cached,
+                "wall_seconds": r.wall,
+                "attempts": r.attempts,
+                "key": r.key,
+                "error": r.error,
+                "manifest": f"{r.job.run_id}.json" if r.ok else None,
+            }
+            for r in sorted(summary.records, key=lambda r: r.job.run_id)
+        ],
+    }
+    path = directory / f"campaign-{summary.label}.json"
+    tmp = path.with_suffix(".json.tmp")
+    tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    tmp.replace(path)
+    return path
+
+
+def _group_jobs(jobs: list[Job]) -> list[tuple[Job, ...]]:
+    groups: dict[tuple, list[Job]] = {}
+    for job in jobs:
+        groups.setdefault(job.group, []).append(job)
+    # Largest groups first: better load balance across the pool.
+    return [
+        tuple(group)
+        for group in sorted(groups.values(), key=len, reverse=True)
+    ]
+
+
+def execute(
+    jobs: list[Job],
+    jobs_n: int | None = None,
+    mode: str | None = None,
+    per_job_timeout: float = DEFAULT_JOB_TIMEOUT,
+    retries: int = 1,
+    label: str = "campaign",
+) -> CampaignSummary:
+    """Run a campaign, serially or across a process pool.
+
+    Jobs are grouped by workload (family, dataset, query count) so one
+    worker executes the workload once and simulates every variant.  A
+    group whose future times out (``per_job_timeout * len(group)``) or a
+    job that raises is retried once, job-by-job; jobs still failing are
+    reported in the summary without aborting the others.
+    """
+    if mode is not None:
+        set_cache_mode(mode)
+    mode = cache_mode()
+    jobs_n = jobs_n if jobs_n is not None else (os.cpu_count() or 1)
+    start = time.perf_counter()
+    groups = _group_jobs(jobs)
+    by_job: dict[Job, JobRecord] = {}
+
+    def absorb(records: list[JobRecord], attempt: int) -> None:
+        for record in records:
+            record.attempts = attempt
+            by_job[record.job] = record
+
+    if jobs_n <= 1 or len(groups) <= 1:
+        for attempt in range(1, retries + 2):
+            pending = [
+                job
+                for group in groups
+                for job in group
+                if job not in by_job or not by_job[job].ok
+            ]
+            if not pending:
+                break
+            absorb([_run_recorded(job) for job in pending], attempt)
+    else:
+        _execute_pool(
+            groups, by_job, jobs_n, mode, per_job_timeout, retries, absorb
+        )
+
+    summary = CampaignSummary(
+        records=[by_job[job] for group in groups for job in group],
+        wall=time.perf_counter() - start,
+        jobs_n=jobs_n,
+        label=label,
+    )
+    if manifests_enabled():
+        write_campaign_manifest(summary)
+    return summary
+
+
+def _execute_pool(
+    groups: list[tuple[Job, ...]],
+    by_job: dict[Job, JobRecord],
+    jobs_n: int,
+    mode: str,
+    per_job_timeout: float,
+    retries: int,
+    absorb,
+) -> None:
+    cache = str(cache_dir())
+    results = str(results_dir())
+    manifests = manifests_enabled()
+    with ProcessPoolExecutor(max_workers=min(jobs_n, len(groups))) as pool:
+
+        def submit(group: tuple[Job, ...], attempt: int) -> None:
+            future = pool.submit(_worker, group, mode, cache, results, manifests)
+            futures[future] = (group, attempt, time.monotonic())
+
+        futures: dict = {}
+        for group in groups:
+            submit(group, 1)
+        while futures:
+            deadlines = {
+                f: started + per_job_timeout * len(group)
+                for f, (group, _a, started) in futures.items()
+            }
+            timeout = max(0.0, min(deadlines.values()) - time.monotonic())
+            done, _pending = wait(
+                futures, timeout=timeout, return_when=FIRST_COMPLETED
+            )
+            now = time.monotonic()
+            expired = [
+                f for f in futures
+                if f not in done and deadlines[f] <= now
+            ]
+            for future in done:
+                group, attempt, _started = futures.pop(future)
+                try:
+                    records = future.result()
+                except Exception as exc:  # noqa: BLE001 - worker crash
+                    records = [
+                        JobRecord(
+                            job, ok=False,
+                            error=f"worker: {type(exc).__name__}: {exc}",
+                        )
+                        for job in group
+                    ]
+                absorb(records, attempt)
+                retry = [
+                    job for job in group
+                    if not by_job[job].ok and attempt <= retries
+                ]
+                for job in retry:  # retry failures individually, isolated
+                    submit((job,), attempt + 1)
+            for future in expired:
+                group, attempt, _started = futures.pop(future)
+                future.cancel()
+                absorb(
+                    [
+                        JobRecord(
+                            job, ok=False,
+                            wall=per_job_timeout * len(group),
+                            error=f"timeout after {per_job_timeout:.0f}s/job",
+                        )
+                        for job in group
+                    ],
+                    attempt,
+                )
+                if attempt <= retries:
+                    for job in group:
+                        submit((job,), attempt + 1)
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.campaign",
+        description="Run the paper's evaluation campaign through the "
+        "parallel runner and persistent result cache.",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=os.cpu_count() or 1, metavar="N",
+        help="worker processes (default: CPU count; 1 = serial)",
+    )
+    cache_group = parser.add_mutually_exclusive_group()
+    cache_group.add_argument(
+        "--no-cache", action="store_true",
+        help="neither read nor write the persistent cache",
+    )
+    cache_group.add_argument(
+        "--rebuild", action="store_true",
+        help="ignore existing cache entries but write fresh ones",
+    )
+    parser.add_argument(
+        "--families", nargs="+", metavar="FAM",
+        help="restrict to these workload families",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="run the tiny CI campaign instead of the full §V job set",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=DEFAULT_JOB_TIMEOUT, metavar="S",
+        help="per-job timeout in seconds",
+    )
+    parser.add_argument(
+        "--expect-hits", type=int, default=None, metavar="K",
+        help="exit non-zero unless the campaign scored >= K cache hits "
+        "(CI warm-cache assertion)",
+    )
+    parser.add_argument(
+        "--label", default=None, help="campaign manifest label",
+    )
+    args = parser.parse_args(argv)
+    mode = "off" if args.no_cache else ("rebuild" if args.rebuild else "on")
+    jobs = smoke_jobs() if args.smoke else default_jobs(
+        tuple(args.families) if args.families else None
+    )
+    label = args.label or ("smoke" if args.smoke else "default")
+    summary = execute(
+        jobs,
+        jobs_n=args.jobs,
+        mode=mode,
+        per_job_timeout=args.timeout,
+        label=label,
+    )
+    print(summary.render())
+    if not summary.ok:
+        return 1
+    if args.expect_hits is not None and summary.hits < args.expect_hits:
+        print(
+            f"expected >= {args.expect_hits} cache hits, got {summary.hits}",
+            file=sys.stderr,
+        )
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,6 +9,13 @@ reported numbers are HSU/baseline ratios of identical configurations.
 GGNN runs with a 16-warp residency cap: its shared-memory priority cache
 bounds occupancy well below the architectural 64 warps (§V-A describes the
 per-query cache; our cap models the resulting occupancy limit).
+
+Since the campaign runner landed, :func:`baseline_stats`, :func:`hsu_stats`
+and :func:`simulate_recorded` are thin views over the persistent result
+cache in :mod:`repro.experiments.campaign` (``results/cache/``; see
+``docs/CAMPAIGN.md``): the per-process ``lru_cache`` decorators only
+short-circuit repeated calls within one process, while the disk cache
+carries results across processes and invocations.
 """
 
 from __future__ import annotations
@@ -18,12 +25,8 @@ from functools import lru_cache
 
 from repro.compiler.lowering import HsuWidths
 from repro.errors import ConfigError
-from repro.gpusim import GpuConfig, GpuSimulator, VOLTA_V100
-from repro.gpusim.observability import (
-    build_manifest,
-    manifests_enabled,
-    write_manifest,
-)
+from repro.experiments import campaign
+from repro.gpusim import GpuConfig, VOLTA_V100
 from repro.gpusim.stats import SimStats
 from repro.gpusim.trace import KernelTrace
 from repro.workloads import (
@@ -33,7 +36,7 @@ from repro.workloads import (
     run_ggnn,
     to_traces,
 )
-from repro.workloads.base import WorkloadRun
+from repro.workloads.base import TraceBundle, WorkloadRun
 
 #: Datasets per workload family, matching Fig. 9's grouping.
 GGNN_DATASETS = (
@@ -87,19 +90,70 @@ def datasets_for(family: str) -> tuple[str, ...]:
         raise ConfigError(f"unknown workload family {family!r}") from None
 
 
-@lru_cache(maxsize=64)
-def workload_run(family: str, abbr: str) -> WorkloadRun:
-    """Execute one workload over one dataset (cached per process)."""
+def resolved_queries(family: str, abbr: str, queries: int | None = None) -> int:
+    """The query count a workload runs with (explicit override wins)."""
+    if queries is not None:
+        return queries
     if family == "ggnn":
-        queries = _GGNN_QUERIES.get(abbr, _GGNN_DEFAULT_QUERIES)
-        return run_ggnn(abbr, num_queries=queries)
-    if family == "flann":
-        return run_flann(abbr, num_queries=_PARALLEL_QUERIES)
-    if family == "bvhnn":
-        return run_bvhnn(abbr, num_queries=_PARALLEL_QUERIES)
+        return _GGNN_QUERIES.get(abbr, _GGNN_DEFAULT_QUERIES)
+    if family in ("flann", "bvhnn"):
+        return _PARALLEL_QUERIES
     if family == "btree":
-        return run_btree(abbr, num_queries=_BTREE_QUERIES[abbr])
+        return _BTREE_QUERIES[abbr]
     raise ConfigError(f"unknown workload family {family!r}")
+
+
+def workload_params(
+    family: str, abbr: str, queries: int | None = None
+) -> dict[str, object]:
+    """The fully resolved workload key the campaign cache hashes.
+
+    Everything that parameterizes trace *generation* goes here — family,
+    dataset, and the resolved query count — so changing a query budget in
+    this module busts the relevant cache entries.
+    """
+    if family not in FAMILIES:
+        raise ConfigError(f"unknown workload family {family!r}")
+    if abbr not in datasets_for(family):
+        raise ConfigError(f"unknown {family} dataset {abbr!r}")
+    return {
+        "family": family,
+        "dataset": abbr,
+        "num_queries": resolved_queries(family, abbr, queries),
+    }
+
+
+@lru_cache(maxsize=64)
+def workload_run(
+    family: str, abbr: str, queries: int | None = None
+) -> WorkloadRun:
+    """Execute one workload over one dataset (cached per process)."""
+    count = resolved_queries(family, abbr, queries)
+    if family == "ggnn":
+        return run_ggnn(abbr, num_queries=count)
+    if family == "flann":
+        return run_flann(abbr, num_queries=count)
+    if family == "bvhnn":
+        return run_bvhnn(abbr, num_queries=count)
+    if family == "btree":
+        return run_btree(abbr, num_queries=count)
+    raise ConfigError(f"unknown workload family {family!r}")
+
+
+@lru_cache(maxsize=2)
+def trace_bundle(
+    family: str,
+    abbr: str,
+    queries: int | None = None,
+    euclid_width: int = 16,
+) -> TraceBundle:
+    """Lowered paired traces for one workload (small per-process cache).
+
+    Keeps a campaign group's lowering cost to once per design point; the
+    ``maxsize`` stays tiny because GGNN bundles are large.
+    """
+    run = workload_run(family, abbr, queries)
+    return to_traces(run, widths=HsuWidths(euclid=euclid_width))
 
 
 def simulate_recorded(
@@ -109,37 +163,24 @@ def simulate_recorded(
     config: GpuConfig,
     kernel: KernelTrace,
 ) -> SimStats:
-    """Simulate and stamp a ``results/<run-id>.json`` manifest.
+    """Simulate through the campaign cache and stamp a run manifest.
 
     Every experiment simulation routes through here, so each figure run
-    leaves a machine-readable artifact (full metrics registry + legacy
-    ``SimStats`` view + config hash + git SHA) behind.  The run id is
-    deterministic per (workload, variant, config), so re-running overwrites
-    rather than accumulates.  ``REPRO_MANIFESTS=0`` disables the writing.
+    leaves a machine-readable ``results/<run-id>.json`` artifact behind
+    *and* lands in the persistent result cache: a re-run with an identical
+    trace and config returns the cached ``SimStats`` (bit-exact) instead
+    of simulating again.  The run id is deterministic per (workload,
+    variant, config), so re-running overwrites rather than accumulates.
+    ``REPRO_MANIFESTS=0`` disables manifest stamping;
+    ``campaign.set_cache_mode`` controls the cache.
     """
-    sim = GpuSimulator(config, kernel)
-    stats = sim.run()
-    if manifests_enabled():
-        run_id = f"{family}-{abbr.replace('+', '')}-{variant}".lower()
-        manifest = build_manifest(
-            run_id=run_id,
-            config=config,
-            registry=sim.registry,
-            stats=stats,
-            workload={"family": family, "dataset": abbr, "variant": variant},
-        )
-        write_manifest(manifest)
-    return stats
+    return campaign.cached_simulate(family, abbr, variant, config, kernel)
 
 
 @lru_cache(maxsize=128)
 def baseline_stats(family: str, abbr: str) -> SimStats:
-    """Simulate the non-RT baseline trace (cached)."""
-    run = workload_run(family, abbr)
-    bundle = to_traces(run)
-    return simulate_recorded(
-        family, abbr, "baseline", config_for(family), bundle.baseline
-    )
+    """Simulate the non-RT baseline trace (thin view over the campaign cache)."""
+    return campaign.run_job(campaign.Job(family, abbr, "baseline")).stats
 
 
 @lru_cache(maxsize=256)
@@ -149,17 +190,11 @@ def hsu_stats(
     warp_buffer: int = 8,
     euclid_width: int = 16,
 ) -> SimStats:
-    """Simulate the HSU trace under the given design point (cached)."""
-    run = workload_run(family, abbr)
-    bundle = to_traces(run, widths=HsuWidths(euclid=euclid_width))
-    config = config_for(family).with_warp_buffer(warp_buffer)
-    return simulate_recorded(
-        family,
-        abbr,
-        f"hsu-wb{warp_buffer}-ew{euclid_width}",
-        config,
-        bundle.hsu,
+    """Simulate the HSU trace at a design point (view over the campaign cache)."""
+    job = campaign.Job(
+        family, abbr, "hsu", warp_buffer=warp_buffer, euclid_width=euclid_width
     )
+    return campaign.run_job(job).stats
 
 
 @dataclass(frozen=True)

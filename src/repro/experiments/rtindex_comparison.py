@@ -11,8 +11,7 @@ from __future__ import annotations
 
 from repro.analysis.tables import format_table
 from repro.compiler.lowering import HsuWidths
-from repro.experiments.common import default_config
-from repro.gpusim import simulate
+from repro.experiments.common import default_config, simulate_recorded
 from repro.workloads.base import to_traces
 from repro.workloads.rtindex import run_rtindex
 
@@ -26,10 +25,15 @@ def compute(num_keys: int = 8192, num_lookups: int = 2048) -> dict[str, object]:
     )
     config = default_config()
     widths = HsuWidths()
-    triangle_stats = simulate(
-        config, to_traces(triangle_run, widths=widths).hsu
+    abbr = f"K{num_keys}"
+    triangle_stats = simulate_recorded(
+        "rtindex", abbr, "triangle-keys", config,
+        to_traces(triangle_run, widths=widths).hsu,
     )
-    point_stats = simulate(config, to_traces(point_run, widths=widths).hsu)
+    point_stats = simulate_recorded(
+        "rtindex", abbr, "point-keys", config,
+        to_traces(point_run, widths=widths).hsu,
+    )
     return {
         "triangle_cycles": triangle_stats.cycles,
         "point_cycles": point_stats.cycles,

@@ -1,4 +1,12 @@
-"""Table I — the HSU instruction set."""
+"""Table I — the HSU instruction set.
+
+Reproduces the paper's four-instruction ISA: the baseline ``RAY_INTERSECT``
+plus the three HSU additions ``POINT_EUCLID``, ``POINT_ANGULAR`` and
+``KEY_COMPARE``, with the paper's datapath widths (16-wide Euclidean,
+8-wide angular, 36-byte key compare, 4-box intersect).  The claim checked:
+hierarchical search generalizes to exactly these four primitive
+comparisons (§IV-A).
+"""
 
 from __future__ import annotations
 

@@ -1,4 +1,11 @@
-"""Table II — evaluation datasets (with our scaled substitute counts)."""
+"""Table II — evaluation datasets (with our scaled substitute counts).
+
+Reproduces the paper's sixteen-dataset evaluation matrix: each dataset
+keeps its original dimensionality, distance metric, and workload
+assignment, while point counts are scaled for pure-Python simulation (the
+registry records both the paper's count and ours, so the scaling is
+auditable per dataset).
+"""
 
 from __future__ import annotations
 

@@ -1,4 +1,10 @@
-"""Table III — simulator configuration."""
+"""Table III — simulator configuration.
+
+Reproduces the paper's Accel-Sim configuration (Volta V100: 80 SMs, GTO
+scheduling, 64 warps/SM, one RT unit per SM with an 8-entry warp buffer)
+and prints it next to the scaled slice the experiments actually simulate,
+so the structural parameters and the scaling are both visible.
+"""
 
 from __future__ import annotations
 

@@ -9,6 +9,9 @@ to first order).
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
+import json
 from dataclasses import dataclass, replace
 
 from repro.errors import ConfigError
@@ -140,6 +143,19 @@ class GpuConfig:
         return replace(
             self, rt_private_cache_bytes=size_bytes, rt_fetch_bypass_l1=False
         )
+
+    def stable_hash(self) -> str:
+        """SHA-256 over the sorted JSON form of this configuration.
+
+        Identical to :func:`repro.gpusim.observability.config_hash` for a
+        ``GpuConfig`` (both hash ``json.dumps(asdict, sort_keys=True)``),
+        but computable without the observability layer.  The campaign
+        cache uses it as the config component of its keys: any field
+        change — warp buffer, datapath width, fetch path, latencies —
+        produces a different hash and therefore a cache miss.
+        """
+        blob = json.dumps(dataclasses.asdict(self), sort_keys=True, default=str)
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
     def table_rows(self) -> list[tuple[str, str]]:
         """Rows reproducing Table III."""

@@ -12,6 +12,7 @@ name-by-name mapping.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -98,6 +99,31 @@ class SimStats:
             hsu_able_busy=registry.sum("sm*/sched/hsu_able_busy_cycles"),
             other_busy=registry.sum("sm*/sched/other_busy_cycles"),
         )
+
+    def to_json_dict(self) -> dict[str, object]:
+        """Plain JSON-serializable mapping of every field.
+
+        The round trip through :meth:`from_json_dict` is bit-exact:
+        integers stay integers and floats survive via ``repr`` (Python's
+        ``json`` emits the shortest repr, which parses back to the same
+        IEEE-754 value).  The campaign cache relies on this to make cached
+        and freshly simulated :class:`SimStats` compare equal.
+        """
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_json_dict(cls, payload: dict[str, object]) -> "SimStats":
+        """Rebuild stats from :meth:`to_json_dict` output.
+
+        Raises :class:`ValueError` on unknown fields, so a cache entry
+        written by an incompatible schema fails loudly (the campaign cache
+        treats that as a miss and recomputes).
+        """
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(f"unknown SimStats fields: {sorted(unknown)}")
+        return cls(**payload)  # type: ignore[arg-type]
 
     def l1_miss_rate(self) -> float:
         return self.l1_misses / self.l1_accesses if self.l1_accesses else 0.0

@@ -26,6 +26,7 @@ the attribution Fig. 7 measures.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 
 from repro.core.isa import Opcode
@@ -139,3 +140,34 @@ class KernelTrace:
         for index, warp in enumerate(self.warps):
             if not warp.instructions:
                 raise TraceError(f"warp {index} of {self.name!r} is empty")
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the whole trace (hex digest).
+
+        Covers every field of every instruction of every warp (plus warp
+        labels and the kernel name), so two traces hash equal iff the
+        simulator would see identical inputs.  The campaign result cache
+        (:mod:`repro.experiments.campaign`) uses this as the trace
+        component of its content-addressed keys: any change to workload
+        code or lowering that alters the emitted trace changes the
+        fingerprint and therefore busts the cache.
+        """
+        digest = hashlib.blake2b(digest_size=20)
+        digest.update(self.name.encode("utf-8"))
+        for warp in self.warps:
+            digest.update(b"\x00warp\x00")
+            digest.update(warp.label.encode("utf-8"))
+            for instr in warp.instructions:
+                record = (
+                    instr.kind,
+                    instr.active,
+                    instr.repeat,
+                    instr.addrs,
+                    instr.bytes_per_thread,
+                    instr.opcode.value if instr.opcode is not None else None,
+                    instr.beats,
+                    instr.hsu_able,
+                    instr.chain,
+                )
+                digest.update(repr(record).encode("utf-8"))
+        return digest.hexdigest()

@@ -1,0 +1,254 @@
+"""The campaign runner and its persistent result cache.
+
+Covers the contract docs/CAMPAIGN.md documents: cached results are
+bit-exact with fresh simulation, the cache invalidates on config change /
+trace change / schema bump, parallel execution equals serial execution,
+corrupted entries fall back to recompute, and a failed job is reported
+without aborting the campaign.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments import campaign
+from repro.experiments import common
+from repro.gpusim import GpuConfig, KernelTrace, VOLTA_V100, WarpInstr, WarpTrace
+from repro.gpusim.observability import config_hash
+from repro.gpusim.stats import SimStats
+
+#: Tiny jobs: one btree group and one bvhnn group, milliseconds each.
+BTREE_BASE = campaign.Job("btree", "B+10K", "baseline", queries=32)
+BTREE_HSU = campaign.Job("btree", "B+10K", "hsu", queries=32)
+BVHNN_BASE = campaign.Job("bvhnn", "R10K", "baseline", queries=32)
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    """Every test gets a fresh results/cache dir and clean process caches."""
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path / "results"))
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    campaign.set_cache_mode("on")
+    _clear_process_caches()
+    yield tmp_path
+    campaign.set_cache_mode("on")
+    _clear_process_caches()
+
+
+def _clear_process_caches():
+    common.workload_run.cache_clear()
+    common.trace_bundle.cache_clear()
+    common.baseline_stats.cache_clear()
+    common.hsu_stats.cache_clear()
+
+
+class TestKeys:
+    def test_config_stable_hash_matches_observability(self):
+        config = VOLTA_V100.scaled(2)
+        assert config.stable_hash() == config_hash(config)
+        assert config.stable_hash() != VOLTA_V100.stable_hash()
+
+    def test_trace_fingerprint_tracks_content(self):
+        def kernel(repeat):
+            return KernelTrace(
+                warps=[WarpTrace(instructions=[WarpInstr("alu", repeat=repeat)])],
+                name="fp",
+            )
+
+        assert kernel(1).fingerprint() == kernel(1).fingerprint()
+        assert kernel(1).fingerprint() != kernel(2).fingerprint()
+
+    def test_stats_key_covers_all_invalidation_axes(self):
+        base = campaign.stats_key({"w": 1}, "t" * 40, "c" * 64)
+        assert campaign.stats_key({"w": 2}, "t" * 40, "c" * 64) != base
+        assert campaign.stats_key({"w": 1}, "u" * 40, "c" * 64) != base
+        assert campaign.stats_key({"w": 1}, "t" * 40, "d" * 64) != base
+
+    def test_simstats_json_roundtrip_is_bit_exact(self):
+        stats = SimStats(
+            cycles=12345.678, l1_accesses=7, hsu_entry_stall_cycles=0.1 + 0.2
+        )
+        clone = SimStats.from_json_dict(
+            json.loads(json.dumps(stats.to_json_dict()))
+        )
+        assert clone == stats
+
+    def test_simstats_rejects_unknown_fields(self):
+        with pytest.raises(ValueError):
+            SimStats.from_json_dict({"cycles": 1, "bogus": 2})
+
+
+class TestCache:
+    def test_cold_then_warm_is_bit_exact(self):
+        cold = campaign.run_job(BTREE_BASE)
+        assert not cold.cached
+        _clear_process_caches()
+        warm = campaign.run_job(BTREE_BASE)
+        assert warm.cached
+        assert warm.stats == cold.stats
+        assert warm.key == cold.key
+
+    def test_warm_run_skips_workload_execution(self):
+        campaign.run_job(BTREE_BASE)
+        _clear_process_caches()
+        campaign.run_job(BTREE_BASE)
+        assert common.workload_run.cache_info().misses == 0
+
+    def test_config_change_busts_cache(self):
+        campaign.run_job(BTREE_HSU)
+        _clear_process_caches()
+        other = campaign.run_job(
+            campaign.Job("btree", "B+10K", "hsu", warp_buffer=4, queries=32)
+        )
+        assert not other.cached
+
+    def test_trace_change_busts_cache(self):
+        campaign.run_job(BTREE_BASE)
+        _clear_process_caches()
+        other = campaign.run_job(
+            campaign.Job("btree", "B+10K", "baseline", queries=16)
+        )
+        assert not other.cached
+
+    def test_schema_bump_busts_cache(self, monkeypatch):
+        campaign.run_job(BTREE_BASE)
+        _clear_process_caches()
+        monkeypatch.setattr(campaign, "CACHE_SCHEMA_VERSION", 9999)
+        assert not campaign.run_job(BTREE_BASE).cached
+
+    def test_corrupted_entry_falls_back_to_recompute(self):
+        cold = campaign.run_job(BTREE_BASE)
+        path = campaign._stats_path(cold.key)
+        path.write_text("{ not json !!")
+        _clear_process_caches()
+        before = campaign.cache_stats.snapshot()
+        healed = campaign.run_job(BTREE_BASE)
+        assert not healed.cached
+        assert healed.stats == cold.stats
+        assert campaign.cache_stats.delta(before).corrupt >= 1
+        # The bad entry was overwritten with a loadable one.
+        _clear_process_caches()
+        assert campaign.run_job(BTREE_BASE).cached
+
+    def test_corrupted_trace_entry_recovers_too(self):
+        campaign.run_job(BTREE_BASE)
+        for entry in (campaign.cache_dir() / "traces").glob("*.json"):
+            entry.write_text('{"schema": -1}')
+        _clear_process_caches()
+        warm = campaign.run_job(BTREE_BASE)
+        # Trace tier was corrupt, so the workload re-ran; the sims tier
+        # still hit because the recomputed fingerprint matches.
+        assert warm.cached
+        assert common.workload_run.cache_info().misses == 1
+
+    def test_no_cache_mode_neither_reads_nor_writes(self):
+        campaign.run_job(BTREE_BASE, mode="off")
+        assert not list((campaign.cache_dir()).rglob("*.json"))
+        campaign.set_cache_mode("on")
+        campaign.run_job(BTREE_BASE)
+        _clear_process_caches()
+        assert not campaign.run_job(BTREE_BASE, mode="off").cached
+
+    def test_rebuild_mode_recomputes_but_stores(self):
+        campaign.run_job(BTREE_BASE)
+        _clear_process_caches()
+        assert not campaign.run_job(BTREE_BASE, mode="rebuild").cached
+        campaign.set_cache_mode("on")
+        _clear_process_caches()
+        assert campaign.run_job(BTREE_BASE).cached
+
+    def test_cached_hit_restamps_run_manifest(self):
+        cold = campaign.run_job(BTREE_BASE)
+        manifest = (
+            campaign.results_dir() / f"{BTREE_BASE.run_id}.json"
+        )
+        original = manifest.read_text()
+        manifest.unlink()
+        _clear_process_caches()
+        warm = campaign.run_job(BTREE_BASE)
+        assert warm.cached
+        assert manifest.read_text() == original
+        assert cold.stats == warm.stats
+
+
+class TestExecute:
+    def test_parallel_equals_serial(self, tmp_path, monkeypatch):
+        jobs = [BTREE_BASE, BTREE_HSU, BVHNN_BASE]
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache-par"))
+        parallel = campaign.execute(jobs, jobs_n=2, label="par")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache-ser"))
+        _clear_process_caches()
+        serial = campaign.execute(jobs, jobs_n=1, label="ser")
+        assert parallel.ok and serial.ok
+        assert parallel.misses == serial.misses == 3
+        for job in jobs:
+            assert parallel.stats_for(job) == serial.stats_for(job)
+
+    def test_failed_job_reported_without_aborting(self):
+        bad = campaign.Job("btree", "NOPE", "baseline")
+        summary = campaign.execute([BTREE_BASE, bad], jobs_n=1, label="mixed")
+        assert not summary.ok
+        assert [r.job for r in summary.failed] == [bad]
+        assert summary.misses == 1  # the good job still ran
+        assert summary.failed[0].attempts == 2  # single retry happened
+        assert "FAILED" in summary.render()
+
+    def test_campaign_manifest_merges_job_records(self):
+        summary = campaign.execute([BTREE_BASE, BTREE_HSU], jobs_n=1,
+                                   label="merged")
+        payload = json.loads(
+            (campaign.results_dir() / "campaign-merged.json").read_text()
+        )
+        assert payload["campaign"] == "merged"
+        assert payload["cache_misses"] == 2 and payload["failed"] == 0
+        run_ids = {j["run_id"] for j in payload["jobs"]}
+        assert run_ids == {BTREE_BASE.run_id, BTREE_HSU.run_id}
+        for job in payload["jobs"]:
+            assert (campaign.results_dir() / job["manifest"]).is_file()
+        assert summary.wall > 0
+
+    def test_default_jobs_cover_the_campaign(self):
+        jobs = campaign.default_jobs()
+        pairs = {(j.family, j.abbr) for j in jobs}
+        assert len(pairs) == 21  # 9 GGNN + 5 FLANN + 5 BVH-NN + 2 B+
+        assert len(jobs) == len(set(jobs))  # deterministic and deduplicated
+        sweeps = [j for j in jobs if j.variant == "hsu"
+                  and (j.warp_buffer != 8 or j.euclid_width != 16)]
+        assert sweeps, "fig10/fig11 design points missing"
+
+    def test_smoke_jobs_span_two_groups(self):
+        groups = {job.group for job in campaign.smoke_jobs()}
+        assert len(groups) == 2
+
+
+class TestViews:
+    def test_baseline_stats_is_a_cache_view(self):
+        stats = common.baseline_stats("btree", "B+10K")
+        _clear_process_caches()
+        before = campaign.cache_stats.snapshot()
+        again = common.baseline_stats("btree", "B+10K")
+        assert again == stats
+        assert campaign.cache_stats.delta(before).hits == 1
+
+    def test_simulate_recorded_hits_on_identical_input(self):
+        kernel = KernelTrace(
+            warps=[WarpTrace(instructions=[WarpInstr("alu", repeat=8)])],
+            name="view-probe",
+        )
+        config = GpuConfig(num_sms=1)
+        first = common.simulate_recorded("probe", "X", "v", config, kernel)
+        before = campaign.cache_stats.snapshot()
+        second = common.simulate_recorded("probe", "X", "v", config, kernel)
+        assert second == first
+        assert campaign.cache_stats.delta(before).hits == 1
+
+
+class TestRunAllSummary:
+    def test_light_run_reports_per_experiment_rows(self, capsys):
+        from repro.experiments import run_all
+
+        run_all.main(["--light"])
+        out = capsys.readouterr().out
+        assert "run_all summary (per experiment)" in out
+        assert "repro.experiments.table1_isa" in out
+        assert "Cache hits" in out and "Cache misses" in out

@@ -1,0 +1,120 @@
+"""Experiment modules and campaign docs must not drift from the code.
+
+Same pattern as ``test_metrics_doc.py``: the contract is enforced, not
+aspirational.  Every ``fig*``/``table*`` experiment module must open its
+docstring by naming the paper figure/table it reproduces and must state a
+paper claim (a ``§`` section reference or an explicit "paper" sentence);
+``docs/CAMPAIGN.md`` must exist, be cross-linked, and document the
+``--jobs``/``--no-cache``/``--rebuild`` flags everywhere they're promised.
+"""
+
+import importlib
+import re
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parent.parent
+CAMPAIGN_DOC = ROOT / "docs" / "CAMPAIGN.md"
+
+#: module name -> token its docstring must lead with.
+EXPERIMENT_TOKENS = {
+    "fig07_hsu_fraction": "Fig. 7",
+    "fig08_roofline": "Fig. 8",
+    "fig09_speedup": "Fig. 9",
+    "fig10_width": "Fig. 10",
+    "fig11_warp_buffer": "Fig. 11",
+    "fig12_l1_accesses": "Fig. 12",
+    "fig13_miss_rate": "Fig. 13",
+    "fig14_row_locality": "Fig. 14",
+    "fig15_area": "Fig. 15",
+    "fig16_power": "Fig. 16",
+    "table1_isa": "Table I",
+    "table2_datasets": "Table II",
+    "table3_config": "Table III",
+    "rtindex_comparison": "§VI-G",
+    "ablations": "§VI",
+}
+
+_CLAIM = re.compile(r"§|[Pp]aper")
+
+
+def test_token_table_matches_the_module_listing():
+    """A new fig*/table* module must be added to the audit table above."""
+    present = {
+        p.stem
+        for p in (ROOT / "src" / "repro" / "experiments").glob("*.py")
+        if p.stem.startswith(("fig", "table"))
+    }
+    expected = {k for k in EXPERIMENT_TOKENS if k.startswith(("fig", "table"))}
+    assert present == expected
+
+
+@pytest.mark.parametrize("name,token", sorted(EXPERIMENT_TOKENS.items()))
+def test_module_docstring_states_figure_and_claim(name, token):
+    module = importlib.import_module(f"repro.experiments.{name}")
+    doc = module.__doc__ or ""
+    assert doc, f"{name} has no module docstring"
+    first_line = doc.strip().splitlines()[0]
+    assert token in (first_line if name.startswith(("fig", "table"))
+                     else doc), (
+        f"{name}: docstring must reference {token!r}"
+    )
+    assert _CLAIM.search(doc), (
+        f"{name}: docstring must state the paper claim it reproduces "
+        "(a § reference or an explicit 'paper' sentence)"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(EXPERIMENT_TOKENS))
+def test_module_exposes_the_standard_surface(name):
+    module = importlib.import_module(f"repro.experiments.{name}")
+    for attr in ("compute", "render", "main"):
+        assert callable(getattr(module, attr, None)), f"{name}.{attr} missing"
+
+
+class TestCampaignDoc:
+    def test_doc_exists_and_is_cross_linked(self):
+        assert CAMPAIGN_DOC.is_file()
+        for linker in ("docs/ARCHITECTURE.md", "docs/METRICS.md", "README.md"):
+            text = (ROOT / linker).read_text()
+            assert "CAMPAIGN.md" in text, f"{linker} does not link CAMPAIGN.md"
+
+    def test_doc_covers_keying_layout_and_invalidation(self):
+        text = CAMPAIGN_DOC.read_text()
+        for required in (
+            "results/cache",
+            "sims/",
+            "traces/",
+            "fingerprint",
+            "CACHE_SCHEMA_VERSION",
+            "invalidat",
+        ):
+            assert required in text, f"CAMPAIGN.md must document {required!r}"
+
+    @pytest.mark.parametrize("flag", ["--jobs", "--no-cache", "--rebuild"])
+    @pytest.mark.parametrize(
+        "doc", ["docs/CAMPAIGN.md", "EXPERIMENTS.md", "README.md"]
+    )
+    def test_cli_flags_documented(self, doc, flag):
+        assert flag in (ROOT / doc).read_text(), f"{doc} must document {flag}"
+
+    def test_documented_flags_exist(self):
+        """The docs can't promise flags the parsers don't accept."""
+        from repro.experiments import campaign, run_all
+
+        for main in (campaign.main, run_all.main):
+            with pytest.raises(SystemExit) as exit_info:
+                main(["--help"])
+            assert exit_info.value.code == 0
+
+        import contextlib
+        import io
+
+        for main in (campaign.main, run_all.main):
+            buffer = io.StringIO()
+            with contextlib.redirect_stdout(buffer), pytest.raises(SystemExit):
+                main(["--help"])
+            text = buffer.getvalue()
+            for flag in ("--jobs", "--no-cache", "--rebuild"):
+                assert flag in text
