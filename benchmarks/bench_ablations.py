@@ -31,6 +31,36 @@ def test_ablation_rt_fetch_paths(once):
         assert shared["hsu_cycles"] > 0
 
 
+def test_ablation_scheduler_policies(once):
+    rows = once(ablations.scheduler_policies)
+    by_policy = {r["policy"]: r for r in rows}
+    assert set(by_policy) == {"gto", "lrr", "oldest"}
+    # Every policy retires the same trace; only the issue order differs,
+    # so all runs complete and touch the same L1 working set size-wise.
+    for row in rows:
+        assert row["hsu_cycles"] > 0
+        assert row["l1_misses"] > 0
+    # GTO is the paper's (tuned) default: the alternatives shouldn't beat
+    # it by a wide margin on this workload.
+    gto = by_policy["gto"]["hsu_cycles"]
+    for policy in ("lrr", "oldest"):
+        assert by_policy[policy]["hsu_cycles"] >= gto * 0.8, policy
+
+
+def test_ablation_memory_idealization(once):
+    rows = once(ablations.memory_idealization)
+    by_model = {r["memory"]: r for r in rows}
+    real = by_model["real"]
+    perfect_l1 = by_model["perfect_l1"]
+    perfect_dram = by_model["perfect_dram"]
+    # A perfect L1 starves the rest of the hierarchy entirely.
+    assert perfect_l1["dram_accesses"] == 0
+    # Idealizing a level never makes the workload slower (small tolerance
+    # for issue-order perturbation).
+    assert perfect_l1["hsu_cycles"] <= real["hsu_cycles"] * 1.02
+    assert perfect_dram["hsu_cycles"] <= real["hsu_cycles"] * 1.02
+
+
 def test_ablation_build_quality(once):
     quality = once(ablations.build_quality)
     # §VI-E: the SAH build yields a better tree than the fast LBVH.

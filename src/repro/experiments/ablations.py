@@ -14,6 +14,16 @@ Three studies, each anchored to a specific passage of §VI:
   configurations.
 * **Build quality** (§VI-E) — SAH-vs-LBVH tree quality (SAH cost and box
   tests per query), the structural reason behind the first study.
+
+Two more studies exercise the simulator's pluggable components on the same
+workload (the paper evaluates GTO scheduling on real memory only, Table
+III; these bound how much those choices matter):
+
+* **Scheduler policy** — the HSU trace under GTO (paper), loose
+  round-robin, and oldest-instruction-first warp scheduling.
+* **Memory idealization** — the HSU trace against a perfect
+  (always-hitting) L1 and against contention-free DRAM, isolating
+  cache-miss stalls from DRAM-scheduling stalls.
 """
 
 from __future__ import annotations
@@ -136,12 +146,72 @@ def build_quality(abbr: str = "R10K", num_queries: int = 256) -> dict[str, objec
     return {"dataset": abbr, "radius": radius, **stats}
 
 
+#: (family, dataset) the scheduler/memory ablations run on.
+_COMPONENT_WORKLOAD = ("bvhnn", "R10K")
+
+
+@lru_cache(maxsize=1)
+def scheduler_policies() -> list[dict[str, object]]:
+    """Component study: HSU cycles per warp-scheduler policy."""
+    from repro.gpusim.config import SCHEDULER_POLICIES
+
+    family, abbr = _COMPONENT_WORKLOAD
+    run = run_bvhnn(abbr, num_queries=_QUERIES)
+    hsu_trace = to_traces(run).hsu
+    base_config = config_for(family)
+    rows = []
+    for policy in SCHEDULER_POLICIES:
+        config = base_config.with_scheduler(policy)
+        stats = simulate_recorded(
+            family, abbr, f"sched-{policy}", config, hsu_trace
+        )
+        rows.append(
+            {
+                "dataset": abbr,
+                "policy": policy,
+                "hsu_cycles": stats.cycles,
+                "l1_misses": stats.l1_misses,
+            }
+        )
+    return rows
+
+
+@lru_cache(maxsize=1)
+def memory_idealization() -> list[dict[str, object]]:
+    """Component study: HSU cycles under idealized memory models."""
+    from repro.gpusim.config import MEMORY_MODELS
+
+    family, abbr = _COMPONENT_WORKLOAD
+    run = run_bvhnn(abbr, num_queries=_QUERIES)
+    hsu_trace = to_traces(run).hsu
+    base_config = config_for(family)
+    rows = []
+    for model in MEMORY_MODELS:
+        config = base_config.with_memory(model)
+        stats = simulate_recorded(
+            family, abbr, f"mem-{model}", config, hsu_trace
+        )
+        rows.append(
+            {
+                "dataset": abbr,
+                "memory": model,
+                "hsu_cycles": stats.cycles,
+                "l1_misses": stats.l1_misses,
+                "dram_accesses": stats.dram_accesses,
+            }
+        )
+    return rows
+
+
 def compute() -> dict[str, object]:
-    """All three ablation studies (A: BVH arity, B: fetch path, C: build)."""
+    """All five ablation studies (BVH arity, fetch path, build quality,
+    scheduler policy, memory idealization)."""
     return {
         "bvh_variants": bvh_variants(),
         "rt_fetch_paths": rt_fetch_paths(),
         "build_quality": build_quality(),
+        "scheduler_policies": scheduler_policies(),
+        "memory_idealization": memory_idealization(),
     }
 
 
@@ -162,6 +232,14 @@ def render() -> str:
          quality[label]["dist_tests_per_query"])
         for label in ("lbvh", "sah")
     ]
+    sched_rows = [
+        (r["dataset"], r["policy"], r["hsu_cycles"], r["l1_misses"])
+        for r in scheduler_policies()
+    ]
+    memory_rows = [
+        (r["dataset"], r["memory"], r["hsu_cycles"], r["dram_accesses"])
+        for r in memory_idealization()
+    ]
     return "\n\n".join(
         [
             format_table(
@@ -180,6 +258,19 @@ def render() -> str:
                 ["Builder", "SAH cost", "Box tests/query", "Dist tests/query"],
                 quality_rows,
                 title="Ablation C (§VI-E): build quality (LBVH vs binned SAH)",
+            ),
+            format_table(
+                ["Dataset", "Scheduler policy", "HSU cycles", "L1 misses"],
+                sched_rows,
+                title="Ablation D: warp-scheduler policy (Table III uses GTO)",
+                float_format="{:.0f}",
+            ),
+            format_table(
+                ["Dataset", "Memory model", "HSU cycles", "DRAM accesses"],
+                memory_rows,
+                title="Ablation E: idealized memory (perfect L1 / "
+                "contention-free DRAM)",
+                float_format="{:.0f}",
             ),
         ]
     )

@@ -63,7 +63,11 @@ from repro.gpusim.trace import KernelTrace
 #: Bump to invalidate every cache entry (stored in, and hashed into, every
 #: key).  Bump it whenever simulator/workload code changes results without
 #: changing the emitted trace or the config (e.g. a timing-model fix).
-CACHE_SCHEMA_VERSION = 1
+#: v2: timestamps normalized to integer cycles at component boundaries
+#: (fractional L2/DRAM port budgets now accumulate inside
+#: ``repro.gpusim.resource.Port``), which shifts cycle counts slightly;
+#: ``GpuConfig`` also gained the ``scheduler``/``memory`` fields.
+CACHE_SCHEMA_VERSION = 2
 
 #: Default per-job timeout (seconds) for pool execution; a group's budget
 #: is ``timeout * len(group)``.
@@ -134,6 +138,10 @@ class Job:
     euclid_width: int = 16
     #: Override the family's default query count (smoke/test campaigns).
     queries: int | None = None
+    #: Warp-scheduler policy and memory model (the ablation-family axes);
+    #: validated by ``GpuConfig`` when the job's config is built.
+    scheduler: str = "gto"
+    memory: str = "real"
 
     def __post_init__(self) -> None:
         if self.variant not in _VARIANTS:
@@ -148,9 +156,16 @@ class Job:
 
     @property
     def variant_label(self) -> str:
-        if self.variant == "baseline":
-            return "baseline"
-        return f"hsu-wb{self.warp_buffer}-ew{self.euclid_width}"
+        label = (
+            "baseline"
+            if self.variant == "baseline"
+            else f"hsu-wb{self.warp_buffer}-ew{self.euclid_width}"
+        )
+        if self.scheduler != "gto":
+            label += f"-sched_{self.scheduler}"
+        if self.memory != "real":
+            label += f"-{self.memory}"
+        return label
 
     @property
     def run_id(self) -> str:
@@ -413,6 +428,7 @@ def run_job(job: Job, mode: str | None = None) -> JobOutcome:
     config = common.config_for(job.family)
     if job.variant == "hsu":
         config = config.with_warp_buffer(job.warp_buffer)
+    config = config.with_scheduler(job.scheduler).with_memory(job.memory)
     config_sha = config.stable_hash()
     tkey = trace_key(params, job.variant, job.euclid_width)
     if mode == "on":
@@ -455,13 +471,44 @@ def run_job(job: Job, mode: str | None = None) -> JobOutcome:
 # ---------------------------------------------------------------------------
 
 
+def ablation_jobs(smoke: bool = False) -> list[Job]:
+    """The scheduler-policy + memory-idealization ablation family.
+
+    One HSU workload (BVH-NN R10K) swept over every warp-scheduler policy
+    and both idealized memory models, against the same GTO/real reference
+    point the main campaign already produces.  ``smoke=True`` shrinks the
+    query budget to the CI size.
+    """
+    from repro.gpusim.config import MEMORY_MODELS, SCHEDULER_POLICIES
+
+    queries = 64 if smoke else None
+    jobs = [
+        Job("bvhnn", "R10K", "hsu", queries=queries, scheduler=policy)
+        for policy in SCHEDULER_POLICIES
+    ]
+    jobs += [
+        Job("bvhnn", "R10K", "hsu", queries=queries, memory=model)
+        for model in MEMORY_MODELS
+        if model != "real"
+    ]
+    return jobs
+
+
 def default_jobs(families: tuple[str, ...] | None = None) -> list[Job]:
-    """The §V campaign: every pair plus the Fig. 10/11 design-point sweeps."""
+    """The §V campaign: every pair plus the Fig. 10/11 design-point sweeps.
+
+    ``"ablations"`` is accepted as a pseudo-family selecting the
+    scheduler/memory ablation jobs (:func:`ablation_jobs`) alongside any
+    real workload families.
+    """
     from repro.experiments import fig10_width, fig11_warp_buffer
     from repro.experiments.common import FAMILIES, datasets_for
 
     families = tuple(families) if families else FAMILIES
     jobs: list[Job] = []
+    if "ablations" in families:
+        jobs.extend(ablation_jobs())
+        families = tuple(f for f in families if f != "ablations")
     for family in families:
         for abbr in datasets_for(family):
             jobs.append(Job(family, abbr, "baseline"))
@@ -809,7 +856,8 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--families", nargs="+", metavar="FAM",
-        help="restrict to these workload families",
+        help="restrict to these workload families ('ablations' selects "
+        "the scheduler/memory ablation jobs)",
     )
     parser.add_argument(
         "--smoke", action="store_true",
@@ -829,9 +877,14 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
     mode = "off" if args.no_cache else ("rebuild" if args.rebuild else "on")
-    jobs = smoke_jobs() if args.smoke else default_jobs(
-        tuple(args.families) if args.families else None
-    )
+    if args.smoke:
+        jobs = smoke_jobs()
+        # --smoke --families ablations: ride the scheduler/memory ablation
+        # points along at the CI query budget.
+        if args.families and "ablations" in args.families:
+            jobs += ablation_jobs(smoke=True)
+    else:
+        jobs = default_jobs(tuple(args.families) if args.families else None)
     label = args.label or ("smoke" if args.smoke else "default")
     summary = execute(
         jobs,

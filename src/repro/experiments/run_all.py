@@ -77,6 +77,8 @@ def smoke() -> str:
     from repro.gpusim.report import diff_manifests, load_manifest, render_report
     from repro.workloads import run_bvhnn, to_traces
 
+    from repro.gpusim.config import MEMORY_MODELS, SCHEDULER_POLICIES
+
     bundle = to_traces(run_bvhnn("R10K", num_queries=64))
     config = config_for("bvhnn")
     base = simulate_recorded("smoke", "R10K", "baseline", config, bundle.baseline)
@@ -85,7 +87,23 @@ def smoke() -> str:
         f"baseline cycles: {base.cycles}",
         f"hsu cycles:      {hsu.cycles}",
         f"speedup:         {base.cycles / hsu.cycles:.3f}",
+        "",
+        "component ablations (HSU trace):",
     ]
+    for policy in SCHEDULER_POLICIES:
+        stats = simulate_recorded(
+            "smoke", "R10K", f"sched-{policy}",
+            config.with_scheduler(policy), bundle.hsu,
+        )
+        lines.append(f"  scheduler {policy:<12} cycles: {stats.cycles}")
+    for model in MEMORY_MODELS:
+        if model == "real":
+            continue
+        stats = simulate_recorded(
+            "smoke", "R10K", f"mem-{model}",
+            config.with_memory(model), bundle.hsu,
+        )
+        lines.append(f"  memory    {model:<12} cycles: {stats.cycles}")
     if manifests_enabled():
         old = load_manifest(results_dir() / "smoke-r10k-baseline.json")
         new = load_manifest(results_dir() / "smoke-r10k-hsu.json")

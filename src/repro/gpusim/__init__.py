@@ -2,10 +2,19 @@
 
 Stands in for Accel-Sim + GPGPU-Sim 4.0 (§V-C).  The model is warp-level and
 resource-constrained rather than strictly cycle-stepped: each warp executes
-its trace in order; contention is modeled with per-resource next-free-cycle
-bookkeeping for sub-core issue ports, the L1 port (time-shared between the
-LSU and the RT unit, §VI-H), MSHRs, L2, DRAM banks with open-row state, the
-RT unit's warp buffer, and the single-lane datapath pipeline.
+its trace in order; contention is modeled with the shared occupancy
+primitives in :mod:`repro.gpusim.resource` for sub-core issue ports, the L1
+port (time-shared between the LSU and the RT unit, §VI-H), MSHRs, L2, DRAM
+banks with open-row state, the RT unit's warp buffer, and the single-lane
+datapath pipeline.
+
+The simulator is composed from pluggable components (see
+``docs/ARCHITECTURE.md``): a :mod:`~repro.gpusim.scheduler` warp-scheduler
+policy (GTO / LRR / oldest-instruction-first), a
+:mod:`~repro.gpusim.memory` memory system (real L2+DRAM, or perfect-L1 /
+perfect-DRAM idealizations for ablations), and one
+:class:`~repro.gpusim.gpu.SmCore` execution unit per SM.  ``GpuConfig``
+selects the scheduler and memory model by name.
 
 What it reproduces faithfully: relative cycle counts between a baseline
 (non-RT) trace and an HSU trace of the same execution, memory-level
@@ -15,12 +24,33 @@ roofline (Fig. 8).  What it abstracts: SASS semantics, intra-warp operand
 collection, sector replays.
 """
 
-from repro.gpusim.config import GpuConfig, VOLTA_V100
-from repro.gpusim.gpu import GpuSimulator, simulate
+from repro.gpusim.config import (
+    GpuConfig,
+    MEMORY_MODELS,
+    SCHEDULER_POLICIES,
+    VOLTA_V100,
+)
+from repro.gpusim.gpu import GpuSimulator, SmCore, simulate
+from repro.gpusim.memory import (
+    IdealDram,
+    MemorySystem,
+    PerfectCache,
+    PerfectDramMemory,
+    PerfectL1Memory,
+    build_memory,
+)
 from repro.gpusim.observability import (
     MetricsRegistry,
     RunManifest,
     TimelineTracer,
+)
+from repro.gpusim.resource import PipelinedLane, Port, SlotPool, Timeline
+from repro.gpusim.scheduler import (
+    GtoScheduler,
+    LrrScheduler,
+    OldestFirstScheduler,
+    WarpScheduler,
+    build_scheduler,
 )
 from repro.gpusim.stats import SimStats
 from repro.gpusim.trace import KernelTrace, WarpInstr, WarpTrace
@@ -28,13 +58,31 @@ from repro.gpusim.trace import KernelTrace, WarpInstr, WarpTrace
 __all__ = [
     "GpuConfig",
     "GpuSimulator",
+    "GtoScheduler",
+    "IdealDram",
     "KernelTrace",
+    "LrrScheduler",
+    "MEMORY_MODELS",
+    "MemorySystem",
     "MetricsRegistry",
+    "OldestFirstScheduler",
+    "PerfectCache",
+    "PerfectDramMemory",
+    "PerfectL1Memory",
+    "PipelinedLane",
+    "Port",
     "RunManifest",
+    "SCHEDULER_POLICIES",
     "SimStats",
+    "SlotPool",
+    "SmCore",
     "TimelineTracer",
+    "Timeline",
     "VOLTA_V100",
     "WarpInstr",
+    "WarpScheduler",
     "WarpTrace",
+    "build_memory",
+    "build_scheduler",
     "simulate",
 ]

@@ -15,6 +15,17 @@ import heapq
 from typing import Callable
 
 from repro.errors import ConfigError
+from repro.gpusim.resource import Port
+
+#: Unit per cache probe; the same probe set serves every cache level.
+_PROBE_UNITS = {
+    "accesses": "lines",
+    "hits": "lines",
+    "misses": "lines",
+    "mshr_merges": "lines",
+    "mshr_stalls": "events",
+    "miss_rate": "ratio",
+}
 
 
 class CacheStats:
@@ -77,7 +88,7 @@ class Cache:
         # Min-heap of (completion_time, line_addr) mirroring _pending.
         self._pending_heap: list[tuple[int, int]] = []
         self.port_interval = port_interval
-        self._port_next_free = 0.0
+        self._port = Port(port_interval)
         # Optional timeline tracer: per-bucket peak of outstanding MSHRs.
         self._tracer = tracer
         self._trace_channel = None
@@ -115,9 +126,10 @@ class Cache:
     def access(self, line_addr: int, time: int) -> tuple[int, bool]:
         """Access one cache line; returns (data_ready_time, hit)."""
         self.stats.accesses += 1
-        # Port: one access per port_interval cycles.
-        start = max(time, self._port_next_free)
-        self._port_next_free = start + self.port_interval
+        # Tag port: one access per port_interval cycles.  The Port keeps
+        # the fractional bandwidth budget internally and grants integer
+        # start cycles (timestamps are ints at component boundaries).
+        start = self._port.acquire(time)
         self._drain_pending(start)
 
         tag_set = self._tags[self._set_index(line_addr)]
@@ -156,3 +168,29 @@ class Cache:
                 self._trace_channel, start, len(self._pending)
             )
         return fill_time, False
+
+    def register_metrics(
+        self, scope, docs: dict[str, tuple[str, str]]
+    ) -> None:
+        """Expose this cache's counters as registry probes under ``scope``.
+
+        The probe set is identical for every cache level; ``docs`` maps
+        each probe name to its ``(doc, figure)`` pair, since an L1 and the
+        L2 describe the same counter differently (zero entries default to
+        undocumented).  Probes read the live ``stats`` object, so the hot
+        path stays free of registry overhead.
+        """
+        stats = self.stats
+        readers: dict[str, Callable[[], float]] = {
+            "accesses": lambda: stats.accesses,
+            "hits": lambda: stats.hits,
+            "misses": lambda: stats.misses,
+            "mshr_merges": lambda: stats.mshr_merges,
+            "mshr_stalls": lambda: stats.mshr_stalls,
+            "miss_rate": stats.miss_rate,
+        }
+        for name, fn in readers.items():
+            doc, figure = docs.get(name, ("", ""))
+            scope.probe(
+                name, fn, unit=_PROBE_UNITS[name], doc=doc, figure=figure
+            )

@@ -16,6 +16,20 @@ from dataclasses import dataclass, replace
 
 from repro.errors import ConfigError
 
+#: Valid ``GpuConfig.scheduler`` policy names.  The classes live in
+#: :mod:`repro.gpusim.scheduler`; the names are declared here so the config
+#: can validate without importing the component layer (no import cycle).
+SCHEDULER_POLICIES = ("gto", "lrr", "oldest")
+
+#: Valid ``GpuConfig.memory`` model names (:mod:`repro.gpusim.memory`).
+MEMORY_MODELS = ("real", "perfect_l1", "perfect_dram")
+
+_SCHEDULER_LABELS = {
+    "gto": "GTO (greedy-then-oldest)",
+    "lrr": "LRR (loose round-robin)",
+    "oldest": "Oldest-instruction-first",
+}
+
 
 @dataclass(frozen=True)
 class GpuConfig:
@@ -43,6 +57,12 @@ class GpuConfig:
     # design; the ablation benches flip these.
     rt_fetch_bypass_l1: bool = False
     rt_private_cache_bytes: int = 0
+
+    # Pluggable components: warp-scheduler policy (Table III uses GTO) and
+    # memory model ("real", or an idealized drop-in for ablations).  See
+    # :data:`SCHEDULER_POLICIES` / :data:`MEMORY_MODELS`.
+    scheduler: str = "gto"
+    memory: str = "real"
 
     # Chip-wide bandwidths (lines/cycle at the full SM count).  V100:
     # ~2.7 TB/s L2 and ~900 GB/s HBM at 1.4 GHz are ~15 and ~5 cache lines
@@ -79,6 +99,16 @@ class GpuConfig:
             raise ConfigError("euclid_width must be a positive even number")
         if self.line_bytes & (self.line_bytes - 1):
             raise ConfigError("line_bytes must be a power of two")
+        if self.scheduler not in SCHEDULER_POLICIES:
+            raise ConfigError(
+                f"unknown scheduler policy {self.scheduler!r} "
+                f"(want one of {SCHEDULER_POLICIES})"
+            )
+        if self.memory not in MEMORY_MODELS:
+            raise ConfigError(
+                f"unknown memory model {self.memory!r} "
+                f"(want one of {MEMORY_MODELS})"
+            )
 
     @property
     def l2_port_interval(self) -> float:
@@ -144,6 +174,14 @@ class GpuConfig:
             self, rt_private_cache_bytes=size_bytes, rt_fetch_bypass_l1=False
         )
 
+    def with_scheduler(self, policy: str) -> "GpuConfig":
+        """Config variant running a different warp-scheduler policy."""
+        return replace(self, scheduler=policy)
+
+    def with_memory(self, model: str) -> "GpuConfig":
+        """Config variant running an idealized memory model."""
+        return replace(self, memory=model)
+
     def stable_hash(self) -> str:
         """SHA-256 over the sorted JSON form of this configuration.
 
@@ -162,7 +200,7 @@ class GpuConfig:
         return [
             ("# SMs", str(self.num_sms)),
             ("Sub-cores / SM", str(self.subcores_per_sm)),
-            ("Warp Scheduler Policy", "GTO (greedy-then-oldest)"),
+            ("Warp Scheduler Policy", _SCHEDULER_LABELS[self.scheduler]),
             ("Max Warps / SM", str(self.max_warps_per_sm)),
             ("RT Units / SM", str(self.rt_units_per_sm)),
             ("Warp Buffer Size", str(self.warp_buffer_size)),

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import ConfigError
+from repro.gpusim.resource import Port, Timeline
 
 
 @dataclass
@@ -65,8 +66,8 @@ class DramModel:
         self.bus_interval = bus_interval
         self.access_latency = access_latency
         self._open_row = [-1] * self.banks
-        self._bank_next_free = [0.0] * self.banks
-        self._bus_next_free = 0.0
+        self._bank_timelines = [Timeline() for _ in range(self.banks)]
+        self._bus = Port(bus_interval)
         self._record = record_streams
         # Per-bank recorded (arrival_time, row) streams for the replay.
         self._streams: list[list[tuple[int, int]]] = [
@@ -100,9 +101,12 @@ class DramModel:
         if self._record:
             self._streams[bank].append((time, row))
         # The shared data bus caps aggregate bandwidth; banks overlap
-        # their row activity but line transfers serialize on the bus.
-        start = max(time, self._bank_next_free[bank], self._bus_next_free)
-        self._bus_next_free = start + self.bus_interval
+        # their row activity but line transfers serialize on the bus.  The
+        # Port keeps the fractional bus budget internally and grants
+        # integer start cycles (timestamps are ints at component
+        # boundaries).
+        req = self._bank_timelines[bank].begin(time)
+        start = self._bus.acquire(req)
         if self._open_row[bank] == row:
             self.stats.row_hits += 1
             service = self.row_hit_cycles
@@ -117,7 +121,7 @@ class DramModel:
                 1.0 if service == self.row_hit_cycles else 0.0,
             )
         done = start + service
-        self._bank_next_free[bank] = done
+        self._bank_timelines[bank].hold_until(done)
         return done + self.access_latency
 
     def frfcfs_row_locality(self, window: int = 16) -> float:

@@ -1,25 +1,33 @@
-"""The top-level GPU simulator: SMs, sub-cores, schedulers, memory glue.
+"""The top-level GPU simulator: pure orchestration over pluggable parts.
 
-Execution model: each warp runs its trace in order.  A global event queue
-ordered by (ready-cycle, warp age) approximates GTO scheduling — a ready
-warp keeps issuing (greedy) until it blocks, and among blocked-then-ready
-warps the oldest goes first.  Sub-core issue ports, the per-SM L1 port
-(shared by LSU and RT unit), MSHRs, the shared L2, DRAM banks, the RT-unit
-warp buffer and the single-lane pipeline are all modeled as contended
-resources with next-free-cycle bookkeeping.
+Execution model: each warp runs its trace in order.  A
+:class:`~repro.gpusim.scheduler.WarpScheduler` (GTO by default) owns the
+ready-warp event queue and dictates issue order; each
+:class:`SmCore` models one SM's execution resources (sub-core issue ports,
+the private L1 shared by LSU and RT unit, the RT/HSU unit); a
+:class:`~repro.gpusim.memory.MemorySystem` composes the shared L2 and DRAM
+(or an idealized drop-in for ablations).  Every contended structure is
+built from the :mod:`repro.gpusim.resource` occupancy primitives, so
+next-free-cycle bookkeeping lives in one tested place and all timestamps
+crossing component boundaries are integers.
 
 Warps beyond the per-SM residency limit (``max_warps_per_sm``) start when a
 resident warp on the same SM retires, modeling wave scheduling.
 
-Observability: every component's counters are registered into a hierarchical
+Observability: every component registers its own metrics into the
+simulator's hierarchical
 :class:`~repro.gpusim.observability.MetricsRegistry` under scoped names
-(``sm0/l1/misses``, ``dram/activations``, ``derived/l1_miss_rate``); the
-legacy :class:`SimStats` returned by :meth:`GpuSimulator.run` is built as an
-aggregation of that registry, and per-SM/per-component values stay
-queryable on the simulator afterwards (``sim.registry.value(...)``).  An
-optional :class:`~repro.gpusim.observability.TimelineTracer` collects
-cycle-sampled warp-occupancy / HSU-busy / MSHR-pressure / DRAM-row-hit
-series.  See ``docs/METRICS.md`` for the glossary.
+(``sm0/l1/misses``, ``dram/activations``, ``derived/l1_miss_rate``) — the
+:class:`SmCore` constructor registers the per-SM families, the memory
+system registers ``l2/*`` and ``dram/*``, and the simulator itself keeps
+the ``gpu/*`` and ``derived/*`` roots.  The legacy :class:`SimStats`
+returned by :meth:`GpuSimulator.run` is an aggregation of that registry,
+and per-SM/per-component values stay queryable on the simulator afterwards
+(``sim.registry.value(...)``).  An optional
+:class:`~repro.gpusim.observability.TimelineTracer` collects cycle-sampled
+warp-occupancy / HSU-busy / MSHR-pressure / DRAM-row-hit series.  See
+``docs/METRICS.md`` for the glossary and ``docs/ARCHITECTURE.md`` for the
+component diagram.
 """
 
 from __future__ import annotations
@@ -27,12 +35,13 @@ from __future__ import annotations
 import heapq
 
 from repro.errors import TraceError
-from repro.gpusim.cache import Cache
 from repro.gpusim.config import GpuConfig
-from repro.gpusim.dram import DramModel
+from repro.gpusim.memory import MemorySystem, build_memory
 from repro.gpusim.observability import MetricsRegistry, TimelineTracer
 from repro.gpusim.observability.tracer import MODE_LAST
+from repro.gpusim.resource import Timeline
 from repro.gpusim.rtunit import RtUnit
+from repro.gpusim.scheduler import build_scheduler
 from repro.gpusim.stats import SimStats
 from repro.gpusim.trace import (
     KIND_ALU,
@@ -45,42 +54,164 @@ from repro.gpusim.trace import (
 
 _KINDS = (KIND_ALU, KIND_SFU, KIND_LDS, KIND_LDG, KIND_HSU)
 
+#: Doc/figure strings for an SM's L1 probe set (see Cache.register_metrics).
+_L1_DOCS = {
+    "accesses": ("L1D line accesses (LSU + RT-unit fetch port).", "Fig. 12"),
+    "hits": ("L1D hits (MSHR merges count as hits, §VI-J).", ""),
+    "misses": ("L1D true misses (MSHR allocated).", "Fig. 13"),
+    "mshr_merges": ("Accesses merged into an outstanding L1 MSHR.", ""),
+    "mshr_stalls": (
+        "Accesses stalled waiting for a free L1 MSHR.",
+        "Fig. 11",
+    ),
+    "miss_rate": ("This SM's L1D miss rate (misses / accesses).", "Fig. 13"),
+}
 
-class _Sm:
-    """One streaming multiprocessor's private resources."""
 
-    __slots__ = ("l1", "rt_unit", "subcore_next_free", "resident", "retire_heap")
+class SmCore:
+    """One streaming multiprocessor: the execution-unit component.
+
+    Owns the SM's private resources (sub-core issue ports as
+    :class:`~repro.gpusim.resource.Timeline` instances, the L1 built by the
+    memory system, the RT/HSU unit) and the per-instruction issue logic.
+    Scheduler attribution counters accumulate in plain slots for event-loop
+    speed; :meth:`publish` flushes them into the registry counters this
+    constructor registered.
+    """
+
+    __slots__ = (
+        "config",
+        "l1",
+        "rt_unit",
+        "subcores",
+        "resident",
+        "retire_heap",
+        "sched_wi",
+        "sched_able",
+        "sched_other",
+        "sched_kinds",
+        "_m_wi",
+        "_m_able",
+        "_m_other",
+        "_m_kinds",
+    )
 
     def __init__(
         self,
+        index: int,
         config: GpuConfig,
-        l2: Cache,
+        memory: MemorySystem,
+        registry: MetricsRegistry,
         tracer: TimelineTracer | None = None,
     ) -> None:
-        def l2_fill(line_addr: int, time: int) -> int:
-            ready, _hit = l2.access(line_addr, time)
-            return ready
-
-        self.l1 = Cache(
-            name="L1D",
-            sets=config.l1_sets,
-            ways=config.l1_ways,
-            line_bytes=config.line_bytes,
-            hit_latency=config.l1_hit_latency,
-            mshr_entries=config.l1_mshr_entries,
-            next_level=l2_fill,
-            tracer=tracer,
-            trace_channel="l1/mshr_pending",
+        self.config = config
+        self.l1 = memory.make_l1(tracer)
+        self.rt_unit = RtUnit(
+            config, self.l1, fill_path=memory.l1_fill_path, tracer=tracer
         )
-        self.rt_unit = RtUnit(config, self.l1, l2_fill=l2_fill, tracer=tracer)
-        self.subcore_next_free = [0] * config.subcores_per_sm
+        # Sub-core issue ports: one instruction per cycle each.
+        self.subcores = [Timeline() for _ in range(config.subcores_per_sm)]
         self.resident = 0
         # Completion times of resident warps (for wave admission).
         self.retire_heap: list[int] = []
+        self.sched_wi = 0
+        self.sched_able = 0
+        self.sched_other = 0
+        self.sched_kinds = dict.fromkeys(_KINDS, 0)
+        self._register_metrics(registry.scope(f"sm{index}"))
+
+    def _register_metrics(self, scope) -> None:
+        sched = scope.scope("sched")
+        self._m_wi = sched.counter(
+            "warp_instructions",
+            unit="instructions",
+            doc="Warp-level instructions issued on this SM "
+            "(repeat-expanded).",
+        )
+        self._m_able = sched.counter(
+            "hsu_able_busy_cycles",
+            unit="cycles",
+            doc="Warp-busy cycles spent on HSU-able instructions.",
+            figure="Fig. 7",
+        )
+        self._m_other = sched.counter(
+            "other_busy_cycles",
+            unit="cycles",
+            doc="Warp-busy cycles spent on non-HSU-able instructions.",
+            figure="Fig. 7",
+        )
+        kinds_scope = sched.scope("instructions")
+        self._m_kinds = {
+            kind: kinds_scope.counter(
+                kind,
+                unit="instructions",
+                doc=f"Issued {kind} warp instructions "
+                "(HSU chains count once).",
+            )
+            for kind in _KINDS
+        }
+        self.l1.register_metrics(scope.scope("l1"), _L1_DOCS)
+        self.rt_unit.register_metrics(scope.scope("rt"))
+
+    def issue(self, instr, subcore: int, ready: int) -> int:
+        """Issue one warp instruction on a sub-core; returns its done cycle."""
+        config = self.config
+        port = self.subcores[subcore]
+        issue = port.begin(ready)
+        self.sched_kinds[instr.kind] += (
+            instr.repeat if instr.kind != KIND_HSU else 1
+        )
+        self.sched_wi += instr.repeat
+
+        if instr.kind == KIND_ALU:
+            port.hold_until(issue + instr.repeat)
+            done = issue + instr.repeat - 1 + instr.chain * config.alu_latency
+        elif instr.kind == KIND_SFU:
+            port.hold_until(issue + instr.repeat)
+            done = issue + instr.repeat - 1 + instr.chain * config.sfu_latency
+        elif instr.kind == KIND_LDS:
+            port.hold_until(issue + instr.repeat)
+            done = (
+                issue + instr.repeat - 1 + instr.chain * config.shared_latency
+            )
+        elif instr.kind == KIND_LDG:
+            port.hold_until(issue + instr.repeat)
+            done = issue
+            for line in _coalesce(
+                instr.addrs, instr.bytes_per_thread, config.line_bytes
+            ):
+                fill, _hit = self.l1.access(line, issue)
+                if fill > done:
+                    done = fill
+        elif instr.kind == KIND_HSU:
+            port.hold_until(issue + 1)
+            done = self.rt_unit.execute(instr, issue)
+        else:  # pragma: no cover - trace validation rejects this
+            raise TraceError(f"unknown kind {instr.kind!r}")
+
+        busy = done - issue + 1
+        if instr.hsu_able or instr.kind == KIND_HSU:
+            self.sched_able += busy
+        else:
+            self.sched_other += busy
+        return done
+
+    def publish(self) -> None:
+        """Flush the plain-slot attribution counters into the registry."""
+        self._m_wi.add(self.sched_wi)
+        self._m_able.add(self.sched_able)
+        self._m_other.add(self.sched_other)
+        for kind, count in self.sched_kinds.items():
+            self._m_kinds[kind].add(count)
 
 
 class GpuSimulator:
-    """Simulate one kernel trace on one GPU configuration."""
+    """Simulate one kernel trace on one GPU configuration.
+
+    Composition root: builds the memory system and scheduler named by the
+    config, one :class:`SmCore` per SM, and the metrics registry they all
+    register into; :meth:`run` is the policy-agnostic event loop.
+    """
 
     def __init__(
         self,
@@ -92,41 +223,34 @@ class GpuSimulator:
         self.config = config
         self.kernel = kernel
         self.tracer = tracer
-        self.dram = DramModel(
-            channels=config.dram_channels,
-            banks_per_channel=config.dram_banks_per_channel,
-            row_bytes=config.dram_row_bytes,
-            row_hit_cycles=config.dram_row_hit_cycles,
-            row_miss_cycles=config.dram_row_miss_cycles,
-            bus_interval=config.dram_bus_interval,
-            access_latency=config.dram_access_latency,
-            tracer=tracer,
-        )
-        self.l2 = Cache(
-            name="L2",
-            sets=config.l2_sets,
-            ways=config.l2_ways,
-            line_bytes=config.line_bytes,
-            hit_latency=config.l2_hit_latency,
-            mshr_entries=config.l2_mshr_entries,
-            next_level=self.dram.access,
-            port_interval=config.l2_port_interval,
-            tracer=tracer,
-            trace_channel="l2/mshr_pending",
-        )
-        self.sms = [_Sm(config, self.l2, tracer) for _ in range(config.num_sms)]
         self.registry = MetricsRegistry()
+        self.memory = build_memory(config, tracer)
+        self.memory.register_metrics(self.registry)
+        self.sms = [
+            SmCore(index, config, self.memory, self.registry, tracer)
+            for index in range(config.num_sms)
+        ]
+        self.scheduler = build_scheduler(config.scheduler)
         self._register_metrics()
+
+    @property
+    def l2(self):
+        """The memory system's shared L2 (convenience passthrough)."""
+        return self.memory.l2
+
+    @property
+    def dram(self):
+        """The memory system's DRAM model (convenience passthrough)."""
+        return self.memory.dram
 
     # -- metric registration ----------------------------------------------
 
     def _register_metrics(self) -> None:
-        """Register every component's metrics under scoped names.
+        """Register the simulator-owned ``gpu/*`` and ``derived/*`` roots.
 
-        Components keep their fast ``__slots__`` counters; the registry
-        exposes them as probes (zero hot-path overhead) plus owned
-        counters/gauges for scheduler-level attribution and derived ratios
-        for everything the paper's figures read out.
+        Component metrics (``sm*/...``, ``l2/...``, ``dram/...``) are
+        registered by the components' own constructors; only kernel-level
+        gauges and the cross-component derived ratios live here.
         """
         reg = self.registry
         gpu = reg.scope("gpu")
@@ -141,193 +265,14 @@ class GpuSimulator:
             unit="warps",
             doc="Warps in the kernel trace (resident + wave-scheduled).",
         )
-
-        self._m_sched_wi: list = []
-        self._m_sched_able: list = []
-        self._m_sched_other: list = []
-        self._m_sched_kinds: list[dict[str, object]] = []
-        for index, sm in enumerate(self.sms):
-            scope = reg.scope(f"sm{index}")
-            sched = scope.scope("sched")
-            self._m_sched_wi.append(
-                sched.counter(
-                    "warp_instructions",
-                    unit="instructions",
-                    doc="Warp-level instructions issued on this SM "
-                    "(repeat-expanded).",
-                )
-            )
-            self._m_sched_able.append(
-                sched.counter(
-                    "hsu_able_busy_cycles",
-                    unit="cycles",
-                    doc="Warp-busy cycles spent on HSU-able instructions.",
-                    figure="Fig. 7",
-                )
-            )
-            self._m_sched_other.append(
-                sched.counter(
-                    "other_busy_cycles",
-                    unit="cycles",
-                    doc="Warp-busy cycles spent on non-HSU-able instructions.",
-                    figure="Fig. 7",
-                )
-            )
-            kinds_scope = sched.scope("instructions")
-            self._m_sched_kinds.append(
-                {
-                    kind: kinds_scope.counter(
-                        kind,
-                        unit="instructions",
-                        doc=f"Issued {kind} warp instructions "
-                        "(HSU chains count once).",
-                    )
-                    for kind in _KINDS
-                }
-            )
-
-            l1 = scope.scope("l1")
-            stats = sm.l1.stats
-            l1.probe(
-                "accesses",
-                lambda s=stats: s.accesses,
-                unit="lines",
-                doc="L1D line accesses (LSU + RT-unit fetch port).",
-                figure="Fig. 12",
-            )
-            l1.probe(
-                "hits",
-                lambda s=stats: s.hits,
-                unit="lines",
-                doc="L1D hits (MSHR merges count as hits, §VI-J).",
-            )
-            l1.probe(
-                "misses",
-                lambda s=stats: s.misses,
-                unit="lines",
-                doc="L1D true misses (MSHR allocated).",
-                figure="Fig. 13",
-            )
-            l1.probe(
-                "mshr_merges",
-                lambda s=stats: s.mshr_merges,
-                unit="lines",
-                doc="Accesses merged into an outstanding L1 MSHR.",
-            )
-            l1.probe(
-                "mshr_stalls",
-                lambda s=stats: s.mshr_stalls,
-                unit="events",
-                doc="Accesses stalled waiting for a free L1 MSHR.",
-                figure="Fig. 11",
-            )
-            l1.probe(
-                "miss_rate",
-                stats.miss_rate,
-                unit="ratio",
-                doc="This SM's L1D miss rate (misses / accesses).",
-                figure="Fig. 13",
-            )
-
-            rt = scope.scope("rt")
-            rstats = sm.rt_unit.stats
-            rt.probe(
-                "warp_instructions",
-                lambda s=rstats: s.warp_instructions,
-                unit="instructions",
-                doc="HSU CISC warp instructions executed by this RT unit.",
-            )
-            rt.probe(
-                "thread_beats",
-                lambda s=rstats: s.thread_beats,
-                unit="thread-beats",
-                doc="Single-lane datapath beats consumed (active x beats).",
-                figure="Fig. 8",
-            )
-            rt.probe(
-                "fetch_line_accesses",
-                lambda s=rstats: s.fetch_line_accesses,
-                unit="lines",
-                doc="Operand lines fetched by the RT unit (post-coalescing).",
-                figure="Fig. 12",
-            )
-            rt.probe(
-                "entry_stall_cycles",
-                lambda s=rstats: s.entry_stall_cycles,
-                unit="cycles",
-                doc="Dispatch cycles lost waiting for a warp-buffer entry.",
-                figure="Fig. 11",
-            )
-
-        l2 = reg.scope("l2")
-        l2.probe(
-            "accesses",
-            lambda s=self.l2.stats: s.accesses,
-            unit="lines",
-            doc="L2 line accesses from all SMs' L1 misses.",
-            figure="Fig. 8",
-        )
-        l2.probe(
-            "hits",
-            lambda s=self.l2.stats: s.hits,
-            unit="lines",
-            doc="L2 hits (MSHR merges count as hits, §VI-J).",
-        )
-        l2.probe(
-            "misses",
-            lambda s=self.l2.stats: s.misses,
-            unit="lines",
-            doc="L2 true misses forwarded to DRAM.",
-            figure="Fig. 13",
-        )
-        l2.probe(
-            "mshr_merges",
-            lambda s=self.l2.stats: s.mshr_merges,
-            unit="lines",
-            doc="Accesses merged into an outstanding L2 MSHR.",
-        )
-        l2.probe(
-            "mshr_stalls",
-            lambda s=self.l2.stats: s.mshr_stalls,
-            unit="events",
-            doc="Accesses stalled waiting for a free L2 MSHR.",
-        )
-        l2.probe(
-            "miss_rate",
-            self.l2.stats.miss_rate,
-            unit="ratio",
-            doc="L2 miss rate (misses / accesses).",
-            figure="Fig. 13",
-        )
-
-        dram = reg.scope("dram")
-        dram.probe(
-            "accesses",
-            lambda s=self.dram.stats: s.accesses,
-            unit="lines",
-            doc="DRAM line fills served.",
-            figure="Fig. 14",
-        )
-        dram.probe(
-            "row_hits",
-            lambda s=self.dram.stats: s.row_hits,
-            unit="lines",
-            doc="Accesses hitting a bank's open row (arrival order).",
-        )
-        dram.probe(
-            "activations",
-            lambda s=self.dram.stats: s.activations,
-            unit="activations",
-            doc="Row activations under arrival-order service.",
-            figure="Fig. 14",
-        )
-        self._m_frfcfs_activations = dram.gauge(
-            "frfcfs_activations",
-            unit="activations",
-            doc="Row activations under the FR-FCFS replay (§VI-J); "
-            "set when the run finishes.",
-            figure="Fig. 14",
-        )
+        gpu.gauge(
+            "scheduler_policy",
+            doc="Active warp-scheduler policy name (string-valued).",
+        ).set(self.config.scheduler)
+        gpu.gauge(
+            "memory_model",
+            doc="Active memory model name (string-valued).",
+        ).set(self.config.memory)
 
         derived = reg.scope("derived")
 
@@ -394,19 +339,13 @@ class GpuSimulator:
     def run(self) -> SimStats:
         config = self.config
         tracer = self.tracer
+        scheduler = self.scheduler
         occupancy_channel = None
         if tracer is not None:
             occupancy_channel = tracer.channel(
                 "gpu/warps_inflight", mode=MODE_LAST, unit="warps"
             )
         num_sms = config.num_sms
-        line_bytes = config.line_bytes
-        # Per-SM scheduler attribution, accumulated in plain locals for
-        # event-loop speed and published into the registry afterwards.
-        sched_wi = [0] * num_sms
-        sched_able = [0] * num_sms
-        sched_other = [0] * num_sms
-        sched_kinds = [dict.fromkeys(_KINDS, 0) for _ in range(num_sms)]
 
         # Static warp placement: round-robin over SMs, then sub-cores.
         placements: list[tuple[int, int]] = []
@@ -417,70 +356,33 @@ class GpuSimulator:
 
         # Wave admission: a warp starts at cycle 0 if a residency slot is
         # free, else when the earliest resident warp on its SM retires.
-        # Event queue entries: (ready_cycle, warp_age, warp_index, position).
-        events: list[tuple[int, int, int, int]] = []
         deferred: list[list[int]] = [[] for _ in range(num_sms)]
         for index in range(self.kernel.num_warps):
             sm_index, _ = placements[index]
             sm = self.sms[sm_index]
             if sm.resident < config.max_warps_per_sm:
                 sm.resident += 1
-                heapq.heappush(events, (0, index, index, 0))
+                scheduler.push(0, index, 0)
             else:
                 deferred[sm_index].append(index)
 
-        inflight = len(events)
+        inflight = len(scheduler)
         if occupancy_channel is not None:
             tracer.record(occupancy_channel, 0, inflight)
 
         finish = 0
-        while events:
-            ready, age, windex, position = heapq.heappop(events)
+        while scheduler:
+            ready, windex, position = scheduler.pop()
             warp = self.kernel.warps[windex]
             instr = warp.instructions[position]
             sm_index, subcore = placements[windex]
             sm = self.sms[sm_index]
 
-            # Sub-core issue port: one instruction per cycle.
-            issue = max(ready, sm.subcore_next_free[subcore])
-            sched_kinds[sm_index][instr.kind] += (
-                instr.repeat if instr.kind != KIND_HSU else 1
-            )
-            sched_wi[sm_index] += instr.repeat
-
-            if instr.kind == KIND_ALU:
-                sm.subcore_next_free[subcore] = issue + instr.repeat
-                done = issue + instr.repeat - 1 + instr.chain * config.alu_latency
-            elif instr.kind == KIND_SFU:
-                sm.subcore_next_free[subcore] = issue + instr.repeat
-                done = issue + instr.repeat - 1 + instr.chain * config.sfu_latency
-            elif instr.kind == KIND_LDS:
-                sm.subcore_next_free[subcore] = issue + instr.repeat
-                done = issue + instr.repeat - 1 + instr.chain * config.shared_latency
-            elif instr.kind == KIND_LDG:
-                sm.subcore_next_free[subcore] = issue + instr.repeat
-                done = issue
-                for line in _coalesce(
-                    instr.addrs, instr.bytes_per_thread, line_bytes
-                ):
-                    fill, _hit = sm.l1.access(line, issue)
-                    if fill > done:
-                        done = fill
-            elif instr.kind == KIND_HSU:
-                sm.subcore_next_free[subcore] = issue + 1
-                done = sm.rt_unit.execute(instr, issue)
-            else:  # pragma: no cover - trace validation rejects this
-                raise TraceError(f"unknown kind {instr.kind!r}")
-
-            busy = done - issue + 1
-            if instr.hsu_able or instr.kind == KIND_HSU:
-                sched_able[sm_index] += busy
-            else:
-                sched_other[sm_index] += busy
+            done = sm.issue(instr, subcore, ready)
 
             position += 1
             if position < warp.length:
-                heapq.heappush(events, (done, age, windex, position))
+                scheduler.push(done, windex, position)
             else:
                 finish = max(finish, done)
                 heapq.heappush(sm.retire_heap, done)
@@ -490,21 +392,16 @@ class GpuSimulator:
                 if deferred[sm_index]:
                     successor = deferred[sm_index].pop(0)
                     start = heapq.heappop(sm.retire_heap)
-                    heapq.heappush(events, (start, successor, successor, 0))
+                    scheduler.push(start, successor, 0)
                     inflight += 1
                     if occupancy_channel is not None:
                         tracer.record(occupancy_channel, start, inflight)
 
         self._m_cycles.set(finish)
         self._m_warps.set(self.kernel.num_warps)
-        for index in range(num_sms):
-            self._m_sched_wi[index].add(sched_wi[index])
-            self._m_sched_able[index].add(sched_able[index])
-            self._m_sched_other[index].add(sched_other[index])
-            for kind, count in sched_kinds[index].items():
-                self._m_sched_kinds[index][kind].add(count)
-        _accesses, frfcfs_activations = self.dram.frfcfs_replay()
-        self._m_frfcfs_activations.set(frfcfs_activations)
+        for sm in self.sms:
+            sm.publish()
+        self.memory.finish()
 
         stats = SimStats.from_registry(self.registry)
         stats.check_dram_consistency()

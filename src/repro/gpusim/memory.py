@@ -1,0 +1,216 @@
+"""The memory system behind every SM's L1: L2, DRAM, and idealized variants.
+
+:class:`MemorySystem` is the facade the simulator composes with: it owns
+the shared L2 and the DRAM model, builds each SM's private L1 wired to
+:meth:`MemorySystem.l1_fill_path` (the *single* L1-miss path — every L1 and
+the RT unit's bypass/private-cache fetches all refill through it), registers
+the chip-level memory metrics, and runs the end-of-run FR-FCFS replay.
+
+Two idealized drop-ins support ablations (selected via
+``GpuConfig.memory``):
+
+* :class:`PerfectL1Memory` (``"perfect_l1"``) — every L1 access hits
+  (port contention and hit latency still apply), so the L2 and DRAM see
+  zero traffic.  Isolates how much of a workload's time is memory stalls
+  below the L1.
+* :class:`PerfectDramMemory` (``"perfect_dram"``) — DRAM serves every
+  fill at a fixed row-hit latency with no bus, bank, or row-conflict
+  contention.  Isolates DRAM scheduling effects from pure miss volume.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.gpusim.cache import Cache
+from repro.gpusim.config import MEMORY_MODELS as MEMORY_MODEL_NAMES
+from repro.gpusim.config import GpuConfig
+from repro.gpusim.dram import DramModel, DramStats
+
+#: Doc/figure strings for the L2's probe set (see Cache.register_metrics).
+_L2_DOCS = {
+    "accesses": ("L2 line accesses from all SMs' L1 misses.", "Fig. 8"),
+    "hits": ("L2 hits (MSHR merges count as hits, §VI-J).", ""),
+    "misses": ("L2 true misses forwarded to DRAM.", "Fig. 13"),
+    "mshr_merges": ("Accesses merged into an outstanding L2 MSHR.", ""),
+    "mshr_stalls": ("Accesses stalled waiting for a free L2 MSHR.", ""),
+    "miss_rate": ("L2 miss rate (misses / accesses).", "Fig. 13"),
+}
+
+
+class PerfectCache(Cache):
+    """Always-hit cache: port contention and hit latency, never a miss."""
+
+    def access(self, line_addr: int, time: int) -> tuple[int, bool]:
+        self.stats.accesses += 1
+        self.stats.hits += 1
+        start = self._port.acquire(time)
+        return start + self.hit_latency, True
+
+
+class IdealDram:
+    """Fixed-latency DRAM: no bus, bank, or row-conflict contention.
+
+    Keeps the same ``stats``/:meth:`frfcfs_replay` surface as
+    :class:`~repro.gpusim.dram.DramModel` so metric registration and the
+    :meth:`~repro.gpusim.stats.SimStats.check_dram_consistency` invariants
+    hold unchanged: the first access records one activation (an open row
+    has to come from somewhere) and every later access is a row hit.
+    """
+
+    def __init__(self, latency: int) -> None:
+        if latency < 0:
+            raise ConfigError("latency must be >= 0")
+        self.latency = latency
+        self.stats = DramStats()
+
+    def access(self, line_addr: int, time: int) -> int:
+        self.stats.accesses += 1
+        if self.stats.activations == 0:
+            self.stats.activations = 1
+        else:
+            self.stats.row_hits += 1
+        return time + self.latency
+
+    def frfcfs_replay(self, window: int = 16) -> tuple[int, int]:
+        """Trivial replay: an ideal DRAM has nothing to reorder."""
+        return self.stats.accesses, min(1, self.stats.accesses)
+
+
+class MemorySystem:
+    """Real memory system: shared L2 in front of the open-row DRAM."""
+
+    #: Model name, matching :data:`repro.gpusim.config.MEMORY_MODELS`.
+    name = "real"
+    #: Cache class instantiated by :meth:`make_l1` (idealized variants swap it).
+    _l1_class = Cache
+
+    def __init__(self, config: GpuConfig, tracer=None) -> None:
+        self.config = config
+        self.dram = self._build_dram(config, tracer)
+        self.l2 = Cache(
+            name="L2",
+            sets=config.l2_sets,
+            ways=config.l2_ways,
+            line_bytes=config.line_bytes,
+            hit_latency=config.l2_hit_latency,
+            mshr_entries=config.l2_mshr_entries,
+            next_level=self.dram.access,
+            port_interval=config.l2_port_interval,
+            tracer=tracer,
+            trace_channel="l2/mshr_pending",
+        )
+
+    def _build_dram(self, config: GpuConfig, tracer):
+        return DramModel(
+            channels=config.dram_channels,
+            banks_per_channel=config.dram_banks_per_channel,
+            row_bytes=config.dram_row_bytes,
+            row_hit_cycles=config.dram_row_hit_cycles,
+            row_miss_cycles=config.dram_row_miss_cycles,
+            bus_interval=config.dram_bus_interval,
+            access_latency=config.dram_access_latency,
+            tracer=tracer,
+        )
+
+    def l1_fill_path(self, line_addr: int, time: int) -> int:
+        """The one L1-miss refill path: an L2 access, completion time only.
+
+        Every SM's L1 uses this as its ``next_level``, and the RT unit's
+        §VI-I bypass/private-cache fetch alternatives go through it too.
+        """
+        ready, _hit = self.l2.access(line_addr, time)
+        return ready
+
+    def make_l1(self, tracer=None) -> Cache:
+        """Build one SM's private L1, wired to :meth:`l1_fill_path`."""
+        config = self.config
+        return self._l1_class(
+            name="L1D",
+            sets=config.l1_sets,
+            ways=config.l1_ways,
+            line_bytes=config.line_bytes,
+            hit_latency=config.l1_hit_latency,
+            mshr_entries=config.l1_mshr_entries,
+            next_level=self.l1_fill_path,
+            tracer=tracer,
+            trace_channel="l1/mshr_pending",
+        )
+
+    def register_metrics(self, registry) -> None:
+        """Register the chip-level ``l2/*`` and ``dram/*`` metrics."""
+        self.l2.register_metrics(registry.scope("l2"), _L2_DOCS)
+        dram = registry.scope("dram")
+        stats = self.dram.stats
+        dram.probe(
+            "accesses",
+            lambda s=stats: s.accesses,
+            unit="lines",
+            doc="DRAM line fills served.",
+            figure="Fig. 14",
+        )
+        dram.probe(
+            "row_hits",
+            lambda s=stats: s.row_hits,
+            unit="lines",
+            doc="Accesses hitting a bank's open row (arrival order).",
+        )
+        dram.probe(
+            "activations",
+            lambda s=stats: s.activations,
+            unit="activations",
+            doc="Row activations under arrival-order service.",
+            figure="Fig. 14",
+        )
+        self._m_frfcfs_activations = dram.gauge(
+            "frfcfs_activations",
+            unit="activations",
+            doc="Row activations under the FR-FCFS replay (§VI-J); "
+            "set when the run finishes.",
+            figure="Fig. 14",
+        )
+
+    def finish(self) -> None:
+        """End-of-run bookkeeping: run the FR-FCFS replay and publish it."""
+        _accesses, activations = self.dram.frfcfs_replay()
+        self._m_frfcfs_activations.set(activations)
+
+
+class PerfectL1Memory(MemorySystem):
+    """Idealized memory: every L1 access hits (``memory="perfect_l1"``)."""
+
+    name = "perfect_l1"
+    _l1_class = PerfectCache
+
+
+class PerfectDramMemory(MemorySystem):
+    """Idealized memory: contention-free DRAM (``memory="perfect_dram"``)."""
+
+    name = "perfect_dram"
+
+    def _build_dram(self, config: GpuConfig, tracer):
+        return IdealDram(
+            config.dram_row_hit_cycles + config.dram_access_latency
+        )
+
+
+#: Model name -> memory-system class (the names validated by GpuConfig).
+MEMORY_SYSTEMS: dict[str, type[MemorySystem]] = {
+    cls.name: cls
+    for cls in (MemorySystem, PerfectL1Memory, PerfectDramMemory)
+}
+
+assert set(MEMORY_SYSTEMS) == set(MEMORY_MODEL_NAMES), (
+    "memory registry out of sync with config.MEMORY_MODELS"
+)
+
+
+def build_memory(config: GpuConfig, tracer=None) -> MemorySystem:
+    """Instantiate the memory system for a ``GpuConfig.memory`` name."""
+    try:
+        cls = MEMORY_SYSTEMS[config.memory]
+    except KeyError:
+        raise ConfigError(
+            f"unknown memory model {config.memory!r} "
+            f"(want one of {sorted(MEMORY_SYSTEMS)})"
+        ) from None
+    return cls(config, tracer)

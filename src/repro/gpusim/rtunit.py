@@ -11,14 +11,20 @@ Multi-beat chains (§IV-F) arrive as a single instruction record with
 ``beats > 1``; the chain occupies the datapath for ``active * beats``
 consecutive cycles, which is exactly the atomicity the accumulate-bit
 arbiter lock enforces in hardware.
+
+Occupancy is modeled with the shared resource primitives: the warp buffer
+is a :class:`~repro.gpusim.resource.SlotPool` (bounded entries, freed at
+pipeline-issue completion) and the datapath a
+:class:`~repro.gpusim.resource.PipelinedLane` (work-conserving gap
+backfill, since entries issue as their data arrives, not in dispatch
+order).
 """
 
 from __future__ import annotations
 
-import heapq
-
 from repro.gpusim.cache import Cache
 from repro.gpusim.config import GpuConfig
+from repro.gpusim.resource import PipelinedLane, SlotPool
 from repro.gpusim.trace import WarpInstr
 
 
@@ -46,21 +52,23 @@ class RtUnit:
 
     By default operand fetches time-share the SM's L1D port with the LSU
     (§VI-H).  The §VI-I alternatives are also modeled: with
-    ``config.rt_fetch_bypass_l1`` fetches go straight to the L2
-    (``l2_fill``); with ``config.rt_private_cache_bytes`` they go through a
-    dedicated cache in front of the L2.
+    ``config.rt_fetch_bypass_l1`` fetches skip the L1 and refill through
+    ``fill_path`` (the memory system's
+    :meth:`~repro.gpusim.memory.MemorySystem.l1_fill_path`); with
+    ``config.rt_private_cache_bytes`` they go through a dedicated cache in
+    front of that same path.
     """
 
     def __init__(
         self,
         config: GpuConfig,
         l1: Cache,
-        l2_fill=None,
+        fill_path=None,
         tracer=None,
     ) -> None:
         self.config = config
         self.l1 = l1
-        self._l2_fill = l2_fill
+        self._fill_path = fill_path
         # Optional timeline tracer: per-bucket sum of datapath busy beats.
         self._tracer = tracer
         self._trace_channel = None
@@ -71,7 +79,7 @@ class RtUnit:
                 "hsu/busy_beats", mode=MODE_SUM, unit="thread-beats"
             )
         self._private: Cache | None = None
-        if config.rt_private_cache_bytes and l2_fill is not None:
+        if config.rt_private_cache_bytes and fill_path is not None:
             ways = 4
             sets = max(
                 1, config.rt_private_cache_bytes // (config.line_bytes * ways)
@@ -83,62 +91,33 @@ class RtUnit:
                 line_bytes=config.line_bytes,
                 hit_latency=config.l1_hit_latency,
                 mshr_entries=config.l1_mshr_entries,
-                next_level=l2_fill,
+                next_level=fill_path,
             )
         self.stats = RtUnitStats()
-        # Min-heap of in-flight warp-buffer entry release times.
-        self._entries: list[int] = []
-        # Work-conserving pipeline allocator: entries are scheduled to the
-        # datapath as they become ready (valid mask == active mask), not in
-        # dispatch order, so an entry whose fetch stalls on DRAM must not
-        # block a later entry whose data already arrived.  We keep a bounded
-        # list of idle gaps that late-ready entries left behind and let
-        # early-ready entries backfill them.
-        self._pipe_tail = 0.0
-        self._pipe_gaps: list[tuple[float, float]] = []
+        # Warp buffer: a bounded slot pool whose entries free at pipeline
+        # issue completion (§IV-B), and the single-lane datapath: entries
+        # are scheduled as they become ready (valid mask == active mask),
+        # not in dispatch order, so an entry whose fetch stalls on DRAM
+        # must not block a later entry whose data already arrived.
+        self._buffer = SlotPool(config.warp_buffer_size)
+        self._pipe = PipelinedLane()
 
-    _MAX_GAPS = 64
-
-    def _alloc_pipeline(self, ready: float, busy: int) -> float:
-        """Earliest start cycle giving the datapath ``busy`` back-to-back
-        single-lane slots at or after ``ready``."""
-        for index, (gap_start, gap_end) in enumerate(self._pipe_gaps):
-            start = max(gap_start, ready)
-            if start + busy <= gap_end:
-                replacement = []
-                if start > gap_start:
-                    replacement.append((gap_start, start))
-                if start + busy < gap_end:
-                    replacement.append((start + busy, gap_end))
-                self._pipe_gaps[index : index + 1] = replacement
-                return start
-        start = max(self._pipe_tail, ready)
-        if start > self._pipe_tail:
-            self._pipe_gaps.append((self._pipe_tail, start))
-            if len(self._pipe_gaps) > self._MAX_GAPS:
-                self._pipe_gaps.pop(0)
-        self._pipe_tail = start + busy
-        return start
-
-    def _fetch_line(self, line: int, time: int) -> float:
+    def _fetch_line(self, line: int, time: int) -> int:
         """Fetch one operand line through the configured path."""
         if self._private is not None:
             ready, _hit = self._private.access(line, time)
             return ready
-        if self.config.rt_fetch_bypass_l1 and self._l2_fill is not None:
-            return self._l2_fill(line, time)
+        if self.config.rt_fetch_bypass_l1 and self._fill_path is not None:
+            return self._fill_path(line, time)
         ready, _hit = self.l1.access(line, time)
         return ready
 
     def execute(self, instr: WarpInstr, issue_time: int) -> int:
         """Run one HSU warp instruction; returns result-ready cycle."""
         # Warp buffer admission: wait for a free entry when full.
-        dispatch = issue_time
-        if len(self._entries) >= self.config.warp_buffer_size:
-            earliest = heapq.heappop(self._entries)
-            if earliest > dispatch:
-                self.stats.entry_stall_cycles += earliest - dispatch
-                dispatch = earliest
+        dispatch = self._buffer.acquire(issue_time)
+        if dispatch > issue_time:
+            self.stats.entry_stall_cycles += dispatch - issue_time
         # Per-thread node-data fetch through the shared L1 port.  Duplicate
         # lines across threads merge into one request in the memory access
         # FIFO — the CISC coalescing behind Fig. 12.
@@ -158,17 +137,48 @@ class RtUnit:
                 fetch_done = ready
         # Single-lane datapath: one thread-beat per cycle.
         busy = instr.active * instr.beats
-        pipe_start = self._alloc_pipeline(fetch_done, busy)
+        pipe_start = self._pipe.allocate(fetch_done, busy)
         pipe_end = pipe_start + busy + self.config.pipeline_depth
         # "After all of the active threads within the warp buffer entry have
         # been issued to the datapath pipeline the warp buffer entry is
         # cleared" (§IV-B) — the entry frees at issue completion, not
         # retirement, which is what lets 8 entries sustain memory-level
         # parallelism.
-        heapq.heappush(self._entries, pipe_start + busy)
+        self._buffer.occupy(pipe_start + busy)
         if self._trace_channel is not None:
             self._tracer.record(self._trace_channel, pipe_start, busy)
         self.stats.warp_instructions += 1
         self.stats.thread_beats += busy
         self.stats.busy_until = max(self.stats.busy_until, pipe_end)
         return pipe_end
+
+    def register_metrics(self, scope) -> None:
+        """Expose this unit's counters as registry probes under ``scope``."""
+        stats = self.stats
+        scope.probe(
+            "warp_instructions",
+            lambda s=stats: s.warp_instructions,
+            unit="instructions",
+            doc="HSU CISC warp instructions executed by this RT unit.",
+        )
+        scope.probe(
+            "thread_beats",
+            lambda s=stats: s.thread_beats,
+            unit="thread-beats",
+            doc="Single-lane datapath beats consumed (active x beats).",
+            figure="Fig. 8",
+        )
+        scope.probe(
+            "fetch_line_accesses",
+            lambda s=stats: s.fetch_line_accesses,
+            unit="lines",
+            doc="Operand lines fetched by the RT unit (post-coalescing).",
+            figure="Fig. 12",
+        )
+        scope.probe(
+            "entry_stall_cycles",
+            lambda s=stats: s.entry_stall_cycles,
+            unit="cycles",
+            doc="Dispatch cycles lost waiting for a warp-buffer entry.",
+            figure="Fig. 11",
+        )

@@ -1,0 +1,129 @@
+"""Pluggable warp-scheduler policies for the timing model.
+
+The simulator's event loop is policy-agnostic: it pushes
+``(ready_cycle, warp_index, position)`` events into a
+:class:`WarpScheduler` and pops them in whatever order the policy
+dictates.  Because every warp executes its trace in order, at most one
+event per warp is ever queued, so a policy is fully described by the sort
+key it assigns to ready warps.
+
+Three policies are provided:
+
+* :class:`GtoScheduler` — greedy-then-oldest, the paper's Table III
+  baseline.  Orders by ``(ready_cycle, warp_index)``: a ready warp keeps
+  issuing until it blocks (greediness emerges from its completion times),
+  and among warps that become ready together the oldest (lowest launch
+  index) goes first.  This reproduces the pre-refactor event ordering
+  bit-exactly (the legacy heap tuples were
+  ``(ready, warp_age, warp_index, position)`` with ``age == index``).
+* :class:`LrrScheduler` — loose round-robin.  Among warps ready at the
+  same cycle, the one that *blocked earliest* issues first, so issue
+  opportunities rotate through the warp pool instead of favouring old
+  warps.
+* :class:`OldestFirstScheduler` — oldest-instruction-first: the warp with
+  the least trace progress (lowest instruction position) wins ties, a
+  fairness-oriented policy that drags all warps forward together.
+
+:func:`build_scheduler` maps a :attr:`GpuConfig.scheduler` policy name to
+an instance; the valid names are declared in
+:data:`repro.gpusim.config.SCHEDULER_POLICIES` (the config validates
+against them so an invalid name fails at construction, not mid-run).
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.errors import ConfigError
+from repro.gpusim.config import SCHEDULER_POLICIES
+
+
+class WarpScheduler:
+    """Owns the ready-warp event queue; subclasses define the issue order.
+
+    Entries are stored as ``key + (ready, windex, position)`` so the heap
+    orders by the policy key while :meth:`pop` recovers the event.  Keys
+    must totally order concurrent events (every provided policy breaks
+    ties on the unique warp index).
+    """
+
+    #: Policy name, matching :data:`repro.gpusim.config.SCHEDULER_POLICIES`.
+    name = ""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple] = []
+
+    def _key(self, ready: int, windex: int, position: int) -> tuple:
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    def push(self, ready: int, windex: int, position: int) -> None:
+        """Queue warp ``windex``, ready at ``ready``, at trace ``position``."""
+        heapq.heappush(
+            self._heap,
+            (*self._key(ready, windex, position), ready, windex, position),
+        )
+
+    def pop(self) -> tuple[int, int, int]:
+        """Next ``(ready, windex, position)`` event in policy order."""
+        entry = heapq.heappop(self._heap)
+        return entry[-3], entry[-2], entry[-1]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+class GtoScheduler(WarpScheduler):
+    """Greedy-then-oldest (Table III): oldest ready warp first."""
+
+    name = "gto"
+
+    def _key(self, ready: int, windex: int, position: int) -> tuple:
+        return (ready, windex)
+
+
+class LrrScheduler(WarpScheduler):
+    """Loose round-robin: issue opportunities rotate through the pool."""
+
+    name = "lrr"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._seq = 0
+
+    def _key(self, ready: int, windex: int, position: int) -> tuple:
+        # FIFO among same-cycle warps: whoever blocked first goes first,
+        # which cycles the pool instead of re-favouring low warp indices.
+        self._seq += 1
+        return (ready, self._seq)
+
+
+class OldestFirstScheduler(WarpScheduler):
+    """Oldest-instruction-first: least trace progress wins the tie."""
+
+    name = "oldest"
+
+    def _key(self, ready: int, windex: int, position: int) -> tuple:
+        return (ready, position, windex)
+
+
+#: Policy name -> scheduler class (the names validated by GpuConfig).
+SCHEDULERS: dict[str, type[WarpScheduler]] = {
+    cls.name: cls
+    for cls in (GtoScheduler, LrrScheduler, OldestFirstScheduler)
+}
+
+assert set(SCHEDULERS) == set(SCHEDULER_POLICIES), (
+    "scheduler registry out of sync with config.SCHEDULER_POLICIES"
+)
+
+
+def build_scheduler(policy: str) -> WarpScheduler:
+    """Instantiate the scheduler for a ``GpuConfig.scheduler`` name."""
+    try:
+        cls = SCHEDULERS[policy]
+    except KeyError:
+        raise ConfigError(
+            f"unknown scheduler policy {policy!r} "
+            f"(want one of {sorted(SCHEDULERS)})"
+        ) from None
+    return cls()

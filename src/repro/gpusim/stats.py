@@ -65,12 +65,13 @@ class SimStats:
 
         Per-SM families (``sm*/...``) roll up by summation; chip-level
         metrics (``l2/...``, ``dram/...``, ``gpu/...``) copy through.
-        Cycle-valued fields stay floats — event times carry the fractional
-        L2/DRAM port intervals — so the aggregation is bit-exact with the
-        pre-registry direct-attribute accounting.
+        Every cycle-valued field is an ``int``: timestamps are normalized
+        to integer cycles at component boundaries (the fractional L2/DRAM
+        port budgets accumulate inside the :class:`~repro.gpusim.resource.Port`
+        primitive), so the rollups here are exact integer sums.
         """
         return cls(
-            cycles=registry.value("gpu/cycles"),
+            cycles=int(registry.value("gpu/cycles")),
             num_warps=int(registry.value("gpu/warps_launched")),
             warp_instructions=int(registry.sum("sm*/sched/warp_instructions")),
             instructions_by_kind={
@@ -82,7 +83,9 @@ class SimStats:
             hsu_fetch_line_accesses=int(
                 registry.sum("sm*/rt/fetch_line_accesses")
             ),
-            hsu_entry_stall_cycles=registry.sum("sm*/rt/entry_stall_cycles"),
+            hsu_entry_stall_cycles=int(
+                registry.sum("sm*/rt/entry_stall_cycles")
+            ),
             l1_accesses=int(registry.sum("sm*/l1/accesses")),
             l1_hits=int(registry.sum("sm*/l1/hits")),
             l1_misses=int(registry.sum("sm*/l1/misses")),
@@ -96,8 +99,8 @@ class SimStats:
             dram_frfcfs_activations=int(
                 registry.value("dram/frfcfs_activations")
             ),
-            hsu_able_busy=registry.sum("sm*/sched/hsu_able_busy_cycles"),
-            other_busy=registry.sum("sm*/sched/other_busy_cycles"),
+            hsu_able_busy=int(registry.sum("sm*/sched/hsu_able_busy_cycles")),
+            other_busy=int(registry.sum("sm*/sched/other_busy_cycles")),
         )
 
     def to_json_dict(self) -> dict[str, object]:

@@ -21,7 +21,6 @@ import numpy as np
 from repro.bvh.lbvh import build_lbvh
 from repro.bvh.traversal import (
     EVENT_BOX_NODE,
-    EVENT_LEAF_DIST,
     EVENT_STACK_OP,
     TraversalStats,
     point_query,

@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.isa import Opcode
 from repro.errors import TraceError
-from repro.gpusim import GpuSimulator, KernelTrace, VOLTA_V100, WarpInstr, WarpTrace, simulate
+from repro.gpusim import KernelTrace, VOLTA_V100, WarpInstr, WarpTrace, simulate
 from repro.gpusim.trace import (
     KIND_ALU,
     KIND_HSU,

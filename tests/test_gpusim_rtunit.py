@@ -1,7 +1,5 @@
 """RT/HSU unit model: warp buffer, fetch coalescing, pipeline allocation."""
 
-import pytest
-
 from repro.core.isa import Opcode
 from repro.gpusim.cache import Cache
 from repro.gpusim.config import VOLTA_V100
