@@ -1,0 +1,175 @@
+"""Wall-clock benchmark for the simulation core: the cold smoke campaign.
+
+Measures the end-to-end cost of ``campaign.execute(smoke_jobs(), jobs_n=1)``
+against empty cache/results directories — workload execution, trace
+lowering, and four simulator runs — the exact work the CI smoke campaign
+performs on a cold cache.  Each sample runs in a **fresh subprocess** with
+its own temporary ``REPRO_CACHE_DIR``/``REPRO_RESULTS_DIR`` (manifests
+off), so no process-local or on-disk cache can leak between samples; the
+recorded number is the best of N samples (the minimum is the noise-free
+estimate of a deterministic workload).
+
+Results land in ``BENCH_simcore.json`` at the repo root::
+
+    python benchmarks/bench_simcore.py              # 3 samples, write JSON
+    python benchmarks/bench_simcore.py --smoke      # CI: 2 samples + gate
+    python benchmarks/bench_simcore.py --check      # gate only (see below)
+
+``--check`` compares the fresh measurement against the *committed*
+``BENCH_simcore.json`` (falling back to :data:`BASELINE_COLD_SECONDS`) and
+exits non-zero when cold wall-clock regressed more than ``--tolerance``
+(default 20%).  ``BASELINE_COLD_SECONDS`` is the same benchmark measured
+at the commit before the skip-to-next-event engine and the vectorized
+workload kernels landed; ``speedup_vs_baseline`` in the JSON tracks the
+cumulative win (the acceptance bar is >= 2x).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+#: Cold smoke-campaign wall-clock (best of 5, this benchmark's protocol)
+#: measured immediately before the event-horizon engine / vectorization
+#: work, on the reference container.  The regression gate prefers the
+#: committed BENCH_simcore.json; this constant is the fallback anchor and
+#: the denominator of ``speedup_vs_baseline``.
+BASELINE_COLD_SECONDS = 0.553
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_simcore.json"
+
+
+def _child(jobs_n: int) -> None:
+    """One cold sample: time the smoke campaign inside this process.
+
+    Imports happen before the clock starts — the benchmark targets the
+    simulation core, not interpreter startup.
+    """
+    from repro.experiments import campaign
+
+    jobs = campaign.smoke_jobs()
+    start = time.perf_counter()
+    summary = campaign.execute(jobs, jobs_n=jobs_n, mode="on")
+    wall = time.perf_counter() - start
+    if not summary.ok:
+        failures = "; ".join(r.error or "?" for r in summary.failed)
+        print(json.dumps({"error": failures}))
+        raise SystemExit(1)
+    print(json.dumps({"seconds": wall, "jobs": len(jobs)}))
+
+
+def _run_cold_sample(jobs_n: int) -> float:
+    """Spawn one fresh-process, fresh-cache sample; returns seconds."""
+    with tempfile.TemporaryDirectory(prefix="bench-simcore-") as tmp:
+        env = os.environ.copy()
+        env["REPRO_CACHE_DIR"] = str(Path(tmp) / "cache")
+        env["REPRO_RESULTS_DIR"] = str(Path(tmp) / "results")
+        env["REPRO_MANIFESTS"] = "0"
+        src = str(REPO_ROOT / "src")
+        extra = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = src + (os.pathsep + extra if extra else "")
+        proc = subprocess.run(
+            [sys.executable, __file__, "--child", "--jobs", str(jobs_n)],
+            env=env,
+            capture_output=True,
+            text=True,
+        )
+        if proc.returncode != 0:
+            raise RuntimeError(
+                f"cold sample failed:\n{proc.stdout}\n{proc.stderr}"
+            )
+        payload = json.loads(proc.stdout.strip().splitlines()[-1])
+        return float(payload["seconds"])
+
+
+def measure(runs: int, jobs_n: int) -> dict[str, object]:
+    samples = []
+    for index in range(runs):
+        seconds = _run_cold_sample(jobs_n)
+        samples.append(seconds)
+        print(f"  sample {index + 1}/{runs}: {seconds:.3f}s", flush=True)
+    cold = min(samples)
+    return {
+        "benchmark": "simcore-smoke-campaign-cold",
+        "protocol": "best-of-N fresh-subprocess, fresh-cache, jobs_n=%d"
+        % jobs_n,
+        "samples": [round(s, 4) for s in samples],
+        "cold_seconds": round(cold, 4),
+        "baseline_cold_seconds": BASELINE_COLD_SECONDS,
+        "speedup_vs_baseline": round(BASELINE_COLD_SECONDS / cold, 3),
+    }
+
+
+def _reference_cold_seconds(output: Path) -> float:
+    """The committed number the regression gate compares against."""
+    try:
+        committed = json.loads(output.read_text())
+        return float(committed["cold_seconds"])
+    except (OSError, ValueError, KeyError, TypeError):
+        return BASELINE_COLD_SECONDS
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--runs", type=int, default=3, metavar="N",
+                        help="cold samples to take (default 3)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="campaign worker processes per sample")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI mode: 2 samples and the regression gate")
+    parser.add_argument("--check", action="store_true",
+                        help="fail when cold wall-clock regresses beyond "
+                        "--tolerance vs the committed BENCH_simcore.json")
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="allowed fractional regression (default 0.20)")
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
+                        help="result JSON path (default: repo root)")
+    parser.add_argument("--child", action="store_true",
+                        help=argparse.SUPPRESS)
+    args = parser.parse_args(argv)
+
+    if args.child:
+        _child(args.jobs)
+        return 0
+
+    runs = 2 if args.smoke and args.runs == 3 else args.runs
+    check = args.check or args.smoke
+    reference = _reference_cold_seconds(args.output)
+
+    print(f"cold smoke campaign, {runs} fresh-process samples:")
+    result = measure(runs, args.jobs)
+    cold = float(result["cold_seconds"])
+    print(
+        f"cold {cold:.3f}s — {result['speedup_vs_baseline']}x vs "
+        f"pre-event-engine baseline ({BASELINE_COLD_SECONDS}s)"
+    )
+
+    args.output.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.output}")
+
+    if check:
+        budget = reference * (1.0 + args.tolerance)
+        if cold > budget:
+            print(
+                f"REGRESSION: cold {cold:.3f}s exceeds "
+                f"{budget:.3f}s ({reference:.3f}s committed "
+                f"+{args.tolerance:.0%})",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"gate ok: {cold:.3f}s within {budget:.3f}s "
+            f"({reference:.3f}s committed +{args.tolerance:.0%})"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

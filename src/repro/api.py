@@ -1,0 +1,294 @@
+"""The supported programmatic entry point: ``repro.api.simulate``.
+
+Historically the experiment layer grew a grab-bag of entry points in
+:mod:`repro.experiments.common` — ``workload_run`` / ``baseline_stats`` /
+``hsu_stats`` / ``simulate_recorded`` — each wiring a slightly different
+slice of the workload → trace → simulator pipeline.  This module replaces
+them with one facade:
+
+    from repro import api
+
+    stats = api.simulate(("bvhnn", "R10K"), variant="baseline")
+    stats = api.simulate("ggnn/S10K", variant="hsu", euclid_width=32)
+    stats = api.simulate(recorded_trace, variant="sched-lrr",
+                         config=config, label=("bvhnn", "R10K"))
+
+``simulate`` accepts every input shape the experiments produce:
+
+* a **named workload** — a ``(family, abbr)`` tuple, a ``"family/abbr"``
+  string, or a :class:`Workload` — routed through the campaign runner's
+  two-tier persistent cache (:mod:`repro.experiments.campaign`), so warm
+  calls skip workload execution entirely;
+* a :class:`~repro.workloads.base.WorkloadRun` — lowered with
+  :func:`~repro.workloads.base.to_traces` and simulated under an explicit
+  ``config``;
+* a :class:`~repro.workloads.base.TraceBundle` or a bare
+  :class:`~repro.gpusim.trace.KernelTrace` — simulated as recorded (the
+  ablation/figure path for pre-lowered traces).
+
+Results are :class:`~repro.gpusim.stats.SimStats` and are bit-exact with
+the legacy entry points: the facade builds the same campaign cache keys,
+run ids, and manifests, so existing ``results/cache/`` contents keep
+hitting.  The legacy names remain importable as thin shims that emit
+:class:`DeprecationWarning`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.compiler.lowering import HsuWidths
+from repro.errors import ConfigError
+from repro.experiments import campaign
+from repro.gpusim import GpuConfig
+from repro.gpusim.stats import SimStats
+from repro.gpusim.trace import KernelTrace
+from repro.workloads import (
+    run_btree,
+    run_bvhnn,
+    run_flann,
+    run_ggnn,
+    to_traces,
+)
+from repro.workloads.base import TraceBundle, WorkloadRun
+
+__all__ = [
+    "Workload",
+    "simulate",
+    "run_workload",
+    "trace_bundle",
+    "clear_caches",
+]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A named workload of the evaluation campaign.
+
+    ``queries=None`` means the family's default query budget
+    (:func:`repro.experiments.common.resolved_queries`).
+    """
+
+    family: str
+    abbr: str
+    queries: int | None = None
+
+
+def _parse_workload(spec: object) -> Workload:
+    """Normalize a named-workload spec (Workload | "family/abbr" | tuple)."""
+    if isinstance(spec, Workload):
+        return spec
+    if isinstance(spec, str):
+        family, sep, abbr = spec.partition("/")
+        if not sep or not family or not abbr:
+            raise ConfigError(
+                f"workload string must look like 'family/abbr', got {spec!r}"
+            )
+        return Workload(family, abbr)
+    if isinstance(spec, tuple) and len(spec) in (2, 3):
+        return Workload(*spec)
+    raise ConfigError(
+        f"cannot interpret {spec!r} as a workload: want a (family, abbr) "
+        "tuple, a 'family/abbr' string, a Workload, a WorkloadRun, a "
+        "TraceBundle, or a KernelTrace"
+    )
+
+
+def _parse_label(label: object, kernel: KernelTrace) -> tuple[str, str]:
+    """(family, abbr) identity a recorded trace simulates under."""
+    if label is None:
+        return ("adhoc", kernel.name or "trace")
+    if isinstance(label, str):
+        family, sep, abbr = label.partition("/")
+        if sep and family and abbr:
+            return (family, abbr)
+        return ("adhoc", label)
+    if isinstance(label, tuple) and len(label) == 2:
+        return (str(label[0]), str(label[1]))
+    raise ConfigError(
+        f"label must be a (family, abbr) tuple or 'family/abbr', got {label!r}"
+    )
+
+
+@lru_cache(maxsize=64)
+def run_workload(
+    family: str, abbr: str, queries: int | None = None
+) -> WorkloadRun:
+    """Execute one named workload once per process (memoized).
+
+    The supported replacement for the deprecated
+    ``repro.experiments.common.workload_run``.
+    """
+    from repro.experiments import common  # deferred: registry lives there
+
+    count = common.resolved_queries(family, abbr, queries)
+    if family == "ggnn":
+        return run_ggnn(abbr, num_queries=count)
+    if family == "flann":
+        return run_flann(abbr, num_queries=count)
+    if family == "bvhnn":
+        return run_bvhnn(abbr, num_queries=count)
+    if family == "btree":
+        return run_btree(abbr, num_queries=count)
+    raise ConfigError(f"unknown workload family {family!r}")
+
+
+@lru_cache(maxsize=2)
+def trace_bundle(
+    family: str,
+    abbr: str,
+    queries: int | None = None,
+    euclid_width: int = 16,
+) -> TraceBundle:
+    """Lowered paired traces for one named workload (small per-process
+    cache — GGNN bundles are large)."""
+    run = run_workload(family, abbr, queries)
+    return to_traces(run, widths=HsuWidths(euclid=euclid_width))
+
+
+@lru_cache(maxsize=256)
+def _job_stats(job: campaign.Job) -> SimStats:
+    """Process-level memoization of named-workload simulations (the lru
+    tier the deprecated ``baseline_stats``/``hsu_stats`` provided)."""
+    return campaign.run_job(job).stats
+
+
+def clear_caches() -> None:
+    """Drop the process-level memoization (workload runs, trace bundles,
+    job stats).  The persistent on-disk campaign cache is unaffected."""
+    run_workload.cache_clear()
+    trace_bundle.cache_clear()
+    _job_stats.cache_clear()
+
+
+def simulate(
+    workload: object,
+    *,
+    variant: str = "hsu",
+    config: GpuConfig | None = None,
+    cache: str | None = None,
+    queries: int | None = None,
+    warp_buffer: int = 8,
+    euclid_width: int = 16,
+    scheduler: str = "gto",
+    memory: str = "real",
+    label: object = None,
+) -> SimStats:
+    """Simulate one workload variant and return its :class:`SimStats`.
+
+    ``workload`` selects the pipeline entry point (see the module
+    docstring): a named workload runs end-to-end through the campaign
+    cache; a ``WorkloadRun`` is lowered here; a ``TraceBundle`` or
+    ``KernelTrace`` is simulated as recorded.
+
+    ``variant`` is ``"baseline"`` or ``"hsu"`` for named workloads and
+    bundles; for recorded traces it is a free-form slug naming the design
+    point in manifests and cache keys (``"sched-lrr"``, ``"mem-ideal"``).
+
+    ``config`` overrides the per-family Table III configuration.  It is
+    required when simulating a recorded trace (there is no family to
+    derive a config from) and optional for named workloads, where the
+    design-point knobs (``warp_buffer``, ``euclid_width``, ``scheduler``,
+    ``memory``) otherwise shape the config exactly like a campaign
+    :class:`~repro.experiments.campaign.Job`.
+
+    ``cache`` temporarily overrides the campaign cache mode for this call
+    (``"on"`` / ``"off"`` / ``"rebuild"``; default: inherit the mode set
+    via :func:`repro.experiments.campaign.set_cache_mode`).
+
+    ``label`` names a recorded trace's (family, abbr) identity for
+    manifests and cache keys; ignored for named workloads.
+    """
+    prior = campaign.cache_mode()
+    if cache is not None:
+        campaign.set_cache_mode(cache)
+    try:
+        if isinstance(workload, KernelTrace):
+            return _simulate_trace(workload, variant, config, label)
+        if isinstance(workload, TraceBundle):
+            kernel = (
+                workload.baseline if variant == "baseline" else workload.hsu
+            )
+            return _simulate_trace(kernel, variant, config, label)
+        if isinstance(workload, WorkloadRun):
+            bundle = to_traces(
+                workload, widths=HsuWidths(euclid=euclid_width)
+            )
+            kernel = bundle.baseline if variant == "baseline" else bundle.hsu
+            if label is None:
+                label = ("adhoc", workload.name)
+            return _simulate_trace(kernel, variant, config, label)
+        return _simulate_named(
+            _parse_workload(workload),
+            variant=variant,
+            config=config,
+            queries=queries,
+            warp_buffer=warp_buffer,
+            euclid_width=euclid_width,
+            scheduler=scheduler,
+            memory=memory,
+        )
+    finally:
+        if cache is not None:
+            campaign.set_cache_mode(prior)
+
+
+def _simulate_trace(
+    kernel: KernelTrace,
+    variant: str,
+    config: GpuConfig | None,
+    label: object,
+) -> SimStats:
+    if config is None:
+        raise ConfigError(
+            "simulating a recorded trace requires an explicit config="
+        )
+    family, abbr = _parse_label(label, kernel)
+    return campaign.cached_simulate(family, abbr, variant, config, kernel)
+
+
+def _simulate_named(
+    spec: Workload,
+    *,
+    variant: str,
+    config: GpuConfig | None,
+    queries: int | None,
+    warp_buffer: int,
+    euclid_width: int,
+    scheduler: str,
+    memory: str,
+) -> SimStats:
+    job = campaign.Job(
+        spec.family,
+        spec.abbr,
+        variant,
+        warp_buffer=warp_buffer,
+        euclid_width=euclid_width,
+        queries=queries if queries is not None else spec.queries,
+        scheduler=scheduler,
+        memory=memory,
+    )
+    if config is not None:
+        # Explicit config: resolve the trace through the bundle cache and
+        # simulate it verbatim (the design-point knobs that shape a Job's
+        # config do not apply — the caller owns the config).
+        from repro.experiments import common  # deferred: registry lives there
+
+        params = common.workload_params(job.family, job.abbr, job.queries)
+        bundle = trace_bundle(
+            job.family, job.abbr, job.queries, job.euclid_width
+        )
+        kernel = bundle.baseline if variant == "baseline" else bundle.hsu
+        return campaign.cached_simulate(
+            job.family,
+            job.abbr,
+            job.variant_label,
+            config,
+            kernel,
+            run_id=job.run_id,
+            workload=params | {"variant": job.variant_label},
+        )
+    if campaign.cache_mode() == "on":
+        return _job_stats(job)
+    return campaign.run_job(job).stats

@@ -8,15 +8,24 @@ then compute node boxes bottom-up from the leaf boxes.
 
 Duplicate Morton codes are disambiguated by falling back to splitting the
 range in half, as Karras suggests (conceptually appending the index bits).
+
+The numeric work is vectorized: primitive boxes, centroids, leaf boxes and
+the bottom-up refit all run as whole-array numpy operations, with the
+Python loop reduced to the topology walk.  Every array expression mirrors
+the scalar per-box arithmetic operation-for-operation (``0.5 * (lo + hi)``
+centroids, per-component min/max unions), so the produced tree — node
+indices, Morton order, and box coordinates — is bit-identical to the
+original per-object build; the trace goldens depend on this.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from bisect import bisect_left
+from collections.abc import Sequence
 
 import numpy as np
 
-from repro.bvh.node import Bvh, BvhNode
+from repro.bvh.node import Bvh, PackedBoxes, PackedNodes
 from repro.errors import BuildError
 from repro.geometry.aabb import Aabb
 from repro.geometry.morton import morton_encode_points
@@ -35,20 +44,12 @@ def _find_split(codes: np.ndarray, first: int, last: int) -> int:
     last_code = int(codes[last])
     if first_code == last_code:
         return (first + last) >> 1
-    # Length of the common prefix between the extreme codes.
-    common_prefix = _CODE_BITS - int(first_code ^ last_code).bit_length()
-    # Binary-search the highest index sharing that prefix with first_code.
-    split = first
-    step = last - first
-    while step > 1:
-        step = (step + 1) >> 1
-        candidate = split + step
-        if candidate < last:
-            candidate_code = int(codes[candidate])
-            prefix = _CODE_BITS - int(first_code ^ candidate_code).bit_length()
-            if prefix > common_prefix:
-                split = candidate
-    return split
+    # Codes are sorted, so the highest differing bit flips 0 -> 1 exactly
+    # once inside the range: the split is just before the first code with
+    # that bit set (equivalent to Karras's common-prefix binary search).
+    diff_bit = (first_code ^ last_code).bit_length() - 1
+    pivot = ((first_code >> diff_bit) | 1) << diff_bit
+    return bisect_left(codes, pivot, first, last + 1) - 1
 
 
 def build_lbvh(
@@ -62,69 +63,123 @@ def build_lbvh(
     contains exactly one point", §VI-C).  ``arity`` must be 2 here; use
     :func:`repro.bvh.collapse.collapse_to_bvh4` for BVH4.
     """
+    if len(prim_boxes) == 0:
+        raise BuildError("cannot build a BVH over zero primitives")
+    # Vec3 is a NamedTuple, so a box's corners convert to array rows directly.
+    lo = np.array([box.lo for box in prim_boxes], dtype=np.float64)
+    hi = np.array([box.hi for box in prim_boxes], dtype=np.float64)
+    return _build_from_corners(
+        lo, hi, list(prim_boxes), leaf_size=leaf_size, arity=arity
+    )
+
+
+def _build_from_corners(
+    lo: np.ndarray,
+    hi: np.ndarray,
+    prim_boxes: Sequence[Aabb],
+    leaf_size: int,
+    arity: int,
+) -> Bvh:
+    """The array-based build core shared by both entry points."""
     if arity != 2:
         raise BuildError("build_lbvh builds binary trees; collapse for BVH4")
     if leaf_size < 1:
         raise BuildError(f"leaf_size must be >= 1, got {leaf_size}")
-    count = len(prim_boxes)
-    if count == 0:
-        raise BuildError("cannot build a BVH over zero primitives")
+    count = lo.shape[0]
 
-    centroids = np.array(
-        [[box.centroid().x, box.centroid().y, box.centroid().z] for box in prim_boxes],
-        dtype=np.float64,
-    )
+    # Same arithmetic as Aabb.centroid(): 0.5 * (lo + hi) per component.
+    centroids = 0.5 * (lo + hi)
     codes = morton_encode_points(centroids)
     order = np.argsort(codes, kind="stable").astype(np.int64)
     sorted_codes = codes[order]
+    sorted_lo = lo[order]
+    sorted_hi = hi[order]
+    # bisect over a plain int list beats per-node numpy searchsorted calls.
+    code_list = sorted_codes.tolist()
 
-    nodes: list[BvhNode] = []
-
-    def new_leaf(first: int, last: int) -> int:
-        box = Aabb.empty()
-        for sorted_pos in range(first, last + 1):
-            box = box.union(prim_boxes[int(order[sorted_pos])])
-        nodes.append(
-            BvhNode(aabb=box, first_prim=first, prim_count=last - first + 1)
-        )
-        return len(nodes) - 1
-
-    def new_internal() -> int:
-        nodes.append(BvhNode(aabb=Aabb.empty()))
-        return len(nodes) - 1
-
-    # Iterative top-down build with an explicit stack of (first, last, slot).
-    # slot = (parent_index, child_position) or None for the root.
+    # Topology walk: an explicit stack of (first, last, parent, child slot),
+    # preserving the legacy creation order (parent, then right subtree,
+    # then left) — node indices feed trace addresses, so they must not move.
+    firsts: list[int] = []
+    counts: list[int] = []
+    childs: list[list[int] | None] = []
+    parents: list[int] = []
+    depths: list[int] = []
     root = -1
-    stack: list[tuple[int, int, tuple[int, int] | None]] = [
-        (0, count - 1, None)
-    ]
+    stack: list[tuple[int, int, int, int, int]] = [(0, count - 1, -1, 0, 0)]
     while stack:
-        first, last, slot = stack.pop()
+        first, last, parent, child_pos, depth = stack.pop()
+        index = len(firsts)
+        firsts.append(first)
+        counts.append(last - first + 1)
+        parents.append(parent)
+        depths.append(depth)
         if last - first + 1 <= leaf_size:
-            index = new_leaf(first, last)
+            childs.append(None)
         else:
-            index = new_internal()
-            split = _find_split(sorted_codes, first, last)
-            stack.append((first, split, (index, 0)))
-            stack.append((split + 1, last, (index, 1)))
-            nodes[index].children = [-1, -1]
-        if slot is None:
+            childs.append([-1, -1])
+            split = _find_split_fast(code_list, first, last)
+            stack.append((first, split, index, 0, depth + 1))
+            stack.append((split + 1, last, index, 1, depth + 1))
+        if parent < 0:
             root = index
         else:
-            parent, position = slot
-            nodes[parent].children[position] = index
-            nodes[index].parent = parent
+            childs[parent][child_pos] = index  # type: ignore[index]
 
-    bvh = Bvh(
-        nodes=nodes,
+    num_nodes = len(firsts)
+    node_lo = np.empty((num_nodes, 3), dtype=np.float64)
+    node_hi = np.empty((num_nodes, 3), dtype=np.float64)
+
+    # Leaf boxes: the union of each leaf's contiguous sorted-primitive range
+    # (a pure per-component min/max — exact, order-independent).  Leaf
+    # ranges partition [0, count), so a segmented reduce covers them all.
+    leaf_ids = np.array(
+        [i for i, c in enumerate(childs) if c is None], dtype=np.int64
+    )
+    leaf_firsts = np.array([firsts[i] for i in leaf_ids], dtype=np.int64)
+    by_first = np.argsort(leaf_firsts)
+    starts = leaf_firsts[by_first]
+    ordered_leaves = leaf_ids[by_first]
+    node_lo[ordered_leaves] = np.minimum.reduceat(sorted_lo, starts, axis=0)
+    node_hi[ordered_leaves] = np.maximum.reduceat(sorted_hi, starts, axis=0)
+
+    # Internal boxes bottom-up, one vectorized min/max per depth level
+    # (children are always deeper than their parent).
+    internal_ids = np.array(
+        [i for i, c in enumerate(childs) if c is not None], dtype=np.int64
+    )
+    if internal_ids.size:
+        child_arr = np.array(
+            [childs[i] for i in internal_ids], dtype=np.int64
+        )
+        level = np.array([depths[i] for i in internal_ids], dtype=np.int64)
+        deep_first = np.argsort(-level, kind="stable")
+        bounds = np.nonzero(np.diff(level[deep_first]))[0] + 1
+        for group in np.split(deep_first, bounds):
+            ids = internal_ids[group]
+            left = child_arr[group, 0]
+            right = child_arr[group, 1]
+            node_lo[ids] = np.minimum(node_lo[left], node_lo[right])
+            node_hi[ids] = np.maximum(node_hi[left], node_hi[right])
+
+    return Bvh(
+        nodes=PackedNodes(node_lo, node_hi, firsts, counts, childs, parents),
         prim_indices=order,
-        prim_boxes=list(prim_boxes),
+        prim_boxes=prim_boxes,
         arity=2,
         root=root,
     )
-    _refit_boxes(bvh)
-    return bvh
+
+
+def _find_split_fast(code_list: list[int], first: int, last: int) -> int:
+    """:func:`_find_split` over a pre-converted Python int list."""
+    first_code = code_list[first]
+    last_code = code_list[last]
+    if first_code == last_code:
+        return (first + last) >> 1
+    diff_bit = (first_code ^ last_code).bit_length() - 1
+    pivot = ((first_code >> diff_bit) | 1) << diff_bit
+    return bisect_left(code_list, pivot, first, last + 1) - 1
 
 
 def _refit_boxes(bvh: Bvh) -> None:
@@ -159,5 +214,9 @@ def build_lbvh_for_points(
         raise BuildError(f"expected (N,3) points, got {points.shape}")
     if search_radius <= 0.0:
         raise BuildError("search_radius must be positive")
-    boxes = [Aabb.around_point(point, search_radius) for point in points]
-    return build_lbvh(boxes, leaf_size=leaf_size)
+    # Same arithmetic as Aabb.around_point: center +/- radius per component.
+    lo = points - search_radius
+    hi = points + search_radius
+    return _build_from_corners(
+        lo, hi, PackedBoxes(lo, hi), leaf_size=leaf_size, arity=2
+    )

@@ -8,13 +8,15 @@ trees the hardware's four-wide box test prefers (``arity == 4``).
 
 from __future__ import annotations
 
+from collections.abc import Sequence as _SequenceBase
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import Iterator, Sequence
 
 import numpy as np
 
 from repro.errors import BuildError
 from repro.geometry.aabb import Aabb
+from repro.geometry.vec3 import Vec3
 
 
 @dataclass
@@ -35,18 +37,127 @@ class BvhNode:
         return not self.children
 
 
+class PackedBoxes(_SequenceBase):
+    """Per-primitive ``Aabb`` objects materialized from corner arrays.
+
+    Box coordinates live in packed ``(N, 3)`` float arrays; an ``Aabb`` is
+    created (and cached) only when an index is first touched.  Traversal
+    visits a small fraction of a tree's boxes, so skipping the up-front
+    object construction removes most of the build cost without changing a
+    single coordinate: ``tolist()`` rows convert each float64 exactly.
+    """
+
+    __slots__ = ("lo", "hi", "_cache")
+
+    def __init__(self, lo: np.ndarray, hi: np.ndarray) -> None:
+        self.lo = lo
+        self.hi = hi
+        self._cache: list[Aabb | None] = [None] * lo.shape[0]
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            span = range(*index.indices(len(self._cache)))
+            return [self[i] for i in span]
+        box = self._cache[index]
+        if box is None:
+            box = Aabb(
+                Vec3(*self.lo[index].tolist()),
+                Vec3(*self.hi[index].tolist()),
+            )
+            self._cache[index] = box
+        return box
+
+
+class PackedNodes(_SequenceBase):
+    """``BvhNode`` objects materialized on first access from packed arrays.
+
+    The cache guarantees index ``i`` always yields the *same* node object,
+    so in-place mutation (refits, collapse orphaning) behaves exactly as it
+    would on an eager list.  Traversal fast paths may read the packed
+    topology (``child_lists``/``firsts``/``counts``) and the corner rows
+    directly instead of materializing nodes; a materialized node aliases
+    its ``child_lists`` entry, never a copy.
+    """
+
+    __slots__ = (
+        "lo",
+        "hi",
+        "firsts",
+        "counts",
+        "child_lists",
+        "parents",
+        "_cache",
+        "_rows",
+    )
+
+    def __init__(self, lo, hi, firsts, counts, child_lists, parents) -> None:
+        self.lo = lo
+        self.hi = hi
+        self.firsts = firsts
+        self.counts = counts
+        #: Per node: list of child indices, or None for a leaf.
+        self.child_lists = child_lists
+        self.parents = parents
+        self._cache: list[BvhNode | None] = [None] * len(parents)
+        self._rows: tuple[list, list] | None = None
+
+    def corner_rows(self) -> tuple[list, list]:
+        """Corner coordinates as cached plain-float row lists.
+
+        ``tolist()`` converts every float64 exactly; traversal inner loops
+        compare plain floats instead of paying numpy scalar overhead.
+        """
+        if self._rows is None:
+            self._rows = (self.lo.tolist(), self.hi.tolist())
+        return self._rows
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            span = range(*index.indices(len(self._cache)))
+            return [self[i] for i in span]
+        node = self._cache[index]
+        if node is None:
+            box = Aabb(
+                Vec3(*self.lo[index].tolist()),
+                Vec3(*self.hi[index].tolist()),
+            )
+            children = self.child_lists[index]
+            if children is None:
+                node = BvhNode(
+                    aabb=box,
+                    first_prim=self.firsts[index],
+                    prim_count=self.counts[index],
+                    parent=self.parents[index],
+                )
+            else:
+                node = BvhNode(
+                    aabb=box, children=children, parent=self.parents[index]
+                )
+            self._cache[index] = node
+        return node
+
+
 @dataclass
 class Bvh:
     """A flat-array bounding volume hierarchy.
 
     ``prim_boxes`` are the per-primitive bounding boxes in *original*
     primitive order; ``prim_indices`` is the Morton-sorted permutation leaf
-    ranges index into.
+    ranges index into.  Both ``nodes`` and ``prim_boxes`` may be lazy
+    sequences that materialize objects on first access (the LBVH builder
+    uses these); indexing is stable — the same index always returns the
+    same object, so in-place node mutation behaves like a plain list.
     """
 
-    nodes: list[BvhNode]
+    nodes: Sequence[BvhNode]
     prim_indices: np.ndarray
-    prim_boxes: list[Aabb]
+    prim_boxes: Sequence[Aabb]
     arity: int = 2
     root: int = 0
 

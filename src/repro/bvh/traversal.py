@@ -15,8 +15,8 @@ from typing import Callable
 
 import numpy as np
 
-from repro.bvh.node import Bvh
-from repro.core.ops import euclid_dist
+from repro.bvh.node import Bvh, PackedNodes
+from repro.core.ops import batch_euclid_dist
 from repro.geometry.intersect_box import intersect_ray_box
 from repro.geometry.intersect_tri import TriangleHit, intersect_ray_triangle
 from repro.geometry.ray import Ray
@@ -86,6 +86,8 @@ def point_query(
     every axis (a candidate for the real distance test).
     """
     stats = stats if stats is not None else TraversalStats()
+    if isinstance(bvh.nodes, PackedNodes):
+        return _point_query_packed(bvh, query, stats)
     q = Vec3(float(query[0]), float(query[1]), float(query[2]))
     candidates: list[int] = []
     stack = [bvh.root]
@@ -101,6 +103,53 @@ def point_query(
         pushes = 0
         for child_index in node.children:
             if bvh.nodes[child_index].aabb.contains_point(q):
+                stack.append(child_index)
+                pushes += 1
+        stats.stack_op(pushes)
+    return candidates
+
+
+def _point_query_packed(
+    bvh: Bvh, query: np.ndarray, stats: TraversalStats
+) -> list[int]:
+    """:func:`point_query` over a :class:`PackedNodes` tree.
+
+    Identical visit order, stats, and events — the loop reads the packed
+    topology and plain-float corner rows instead of materializing node
+    objects (``Aabb.contains_point`` is the same chained ``<=`` compare).
+    """
+    nodes = bvh.nodes
+    lo_rows, hi_rows = nodes.corner_rows()
+    child_lists = nodes.child_lists
+    firsts = nodes.firsts
+    counts = nodes.counts
+    prim_indices = bvh.prim_indices
+    qx = float(query[0])
+    qy = float(query[1])
+    qz = float(query[2])
+    candidates: list[int] = []
+    stack = [bvh.root]
+    while stack:
+        stats.note_stack_depth(len(stack))
+        index = stack.pop()
+        children = child_lists[index]
+        if children is None:
+            stats.visit_leaf(index)
+            first = firsts[index]
+            candidates.extend(
+                int(p) for p in prim_indices[first : first + counts[index]]
+            )
+            continue
+        stats.visit_box_node(index, len(children))
+        pushes = 0
+        for child_index in children:
+            lo = lo_rows[child_index]
+            hi = hi_rows[child_index]
+            if (
+                lo[0] <= qx <= hi[0]
+                and lo[1] <= qy <= hi[1]
+                and lo[2] <= qz <= hi[2]
+            ):
                 stack.append(child_index)
                 pushes += 1
         stats.stack_op(pushes)
@@ -125,11 +174,16 @@ def radius_search(
     candidates = point_query(bvh, query, stats)
     radius_sq = radius * radius
     hits: list[tuple[int, float]] = []
-    for prim in candidates:
-        stats.test_prim_dist(prim, dim=3)
-        d2 = euclid_dist(query, points[prim])
-        if d2 <= radius_sq:
-            hits.append((prim, d2))
+    if candidates:
+        # One batched HSU distance kernel over the whole candidate set
+        # (bit-identical per row to the scalar euclid_dist); the event
+        # stream still records one POINT_EUCLID test per candidate in
+        # traversal order.
+        d2s = batch_euclid_dist(query, points[candidates])
+        for prim, d2 in zip(candidates, d2s.tolist()):
+            stats.test_prim_dist(prim, dim=3)
+            if d2 <= radius_sq:
+                hits.append((prim, d2))
     hits.sort(key=lambda pair: pair[1])
     return hits
 

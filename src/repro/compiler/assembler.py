@@ -12,7 +12,6 @@ exactly the sparse-mask regime the single-lane HSU datapath is built for
 
 from __future__ import annotations
 
-from collections import defaultdict
 from typing import Sequence
 
 from repro.compiler.ops import (
@@ -120,16 +119,19 @@ def _zip_group(group: Sequence[Sequence[ThreadOp]]) -> list[WarpOp]:
     warp_ops: list[WarpOp] = []
     longest = max(len(stream) for stream in group)
     for position in range(longest):
-        buckets: dict[tuple, list[ThreadOp]] = defaultdict(list)
+        buckets: dict[tuple, list[ThreadOp]] = {}
         order: list[tuple] = []
         for stream in group:
             if position >= len(stream):
                 continue  # thread has exited: inactive lane
             op = stream[position]
             key = _shape_key(op)
-            if key not in buckets:
+            bucket = buckets.get(key)
+            if bucket is None:
+                buckets[key] = [op]
                 order.append(key)
-            buckets[key].append(op)
+            else:
+                bucket.append(op)
         # Serialized execution of divergent paths, deterministic order.
         for key in order:
             warp_ops.append(_to_warp_op(key, buckets[key]))

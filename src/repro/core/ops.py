@@ -51,6 +51,38 @@ def euclid_dist(
     return float(total)
 
 
+def batch_euclid_dist(
+    a: Sequence[float] | np.ndarray,
+    candidates: np.ndarray,
+    width: int = EUCLID_WIDTH,
+) -> np.ndarray:
+    """Squared Euclidean distance from one query to many candidates.
+
+    Vectorized counterpart of :func:`euclid_dist` over an ``(M, dim)``
+    candidate block; row ``i`` of the result bit-matches
+    ``euclid_dist(a, candidates[i], width)``.  The beat structure is
+    preserved — each beat's lanes square-and-reduce in float32 along a
+    C-contiguous axis (the same pairwise reduction the scalar path takes)
+    and beats accumulate in float32 — so swapping the scalar loop for this
+    kernel cannot move a single bit in any trace.
+    """
+    q = _as_f32_vector(a, "a")
+    block = np.ascontiguousarray(candidates, dtype=np.float32)
+    if block.ndim != 2:
+        raise IsaError(
+            f"candidates must be a 2-D block, got shape {block.shape}"
+        )
+    if block.shape[1] != q.size:
+        raise IsaError(
+            f"dimension mismatch: {q.size} vs {block.shape[1]} per row"
+        )
+    total = np.zeros(block.shape[0], dtype=np.float32)
+    for lo, hi, _accumulate in iter_beat_slices(q.size, width):
+        diff = q[lo:hi] - block[:, lo:hi]
+        total = total + np.sum(diff * diff, axis=1, dtype=np.float32)
+    return total
+
+
 def angular_dist(
     a: Sequence[float] | np.ndarray,
     b: Sequence[float] | np.ndarray,

@@ -38,11 +38,8 @@ from repro.bvh.quality import sah_cost
 from repro.bvh.sah import build_sah
 from repro.bvh.traversal import TraversalStats, radius_search
 from repro.datasets.registry import load_dataset
-from repro.experiments.common import (
-    config_for,
-    default_config,
-    simulate_recorded,
-)
+from repro import api
+from repro.experiments.common import config_for, default_config
 from repro.workloads import run_bvhnn, run_ggnn, to_traces
 from repro.workloads.bvhnn import choose_radius
 
@@ -69,8 +66,9 @@ def bvh_variants(datasets: tuple[str, ...] = BVH_DATASETS) -> list[dict[str, obj
             slug = "ablation-" + "".join(
                 c if c.isalnum() else "-" for c in label
             ).strip("-")
-            stats = simulate_recorded(
-                "bvhnn", abbr, slug, config, to_traces(run).hsu
+            stats = api.simulate(
+                to_traces(run).hsu, variant=slug, config=config,
+                label=("bvhnn", abbr),
             )
             rows.append(
                 {
@@ -104,7 +102,9 @@ def rt_fetch_paths() -> list[dict[str, object]]:
             slug = "fetch-" + "".join(
                 c if c.isalnum() else "-" for c in label
             ).strip("-")
-            stats = simulate_recorded(family, abbr, slug, config, hsu_trace)
+            stats = api.simulate(
+                hsu_trace, variant=slug, config=config, label=(family, abbr)
+            )
             rows.append(
                 {
                     "app": family,
@@ -162,8 +162,9 @@ def scheduler_policies() -> list[dict[str, object]]:
     rows = []
     for policy in SCHEDULER_POLICIES:
         config = base_config.with_scheduler(policy)
-        stats = simulate_recorded(
-            family, abbr, f"sched-{policy}", config, hsu_trace
+        stats = api.simulate(
+            hsu_trace, variant=f"sched-{policy}", config=config,
+            label=(family, abbr),
         )
         rows.append(
             {
@@ -188,8 +189,9 @@ def memory_idealization() -> list[dict[str, object]]:
     rows = []
     for model in MEMORY_MODELS:
         config = base_config.with_memory(model)
-        stats = simulate_recorded(
-            family, abbr, f"mem-{model}", config, hsu_trace
+        stats = api.simulate(
+            hsu_trace, variant=f"mem-{model}", config=config,
+            label=(family, abbr),
         )
         rows.append(
             {

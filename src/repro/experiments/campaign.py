@@ -417,7 +417,8 @@ def run_job(job: Job, mode: str | None = None) -> JobOutcome:
     (process-local ``lru_cache`` shares it across the group's jobs),
     lower, fingerprint, simulate, and populate both tiers.
     """
-    from repro.experiments import common  # deferred: common wires onto us
+    from repro import api  # deferred: the facade wires onto us
+    from repro.experiments import common  # deferred: the registry
 
     if mode is not None:
         set_cache_mode(mode)
@@ -444,7 +445,7 @@ def run_job(job: Job, mode: str | None = None) -> JobOutcome:
                 return JobOutcome(
                     job, stats, True, time.perf_counter() - start, skey
                 )
-    bundle = common.trace_bundle(
+    bundle = api.trace_bundle(
         job.family, job.abbr, job.queries, job.euclid_width
     )
     kernel = bundle.baseline if job.variant == "baseline" else bundle.hsu

@@ -10,33 +10,31 @@ GGNN runs with a 16-warp residency cap: its shared-memory priority cache
 bounds occupancy well below the architectural 64 warps (§V-A describes the
 per-query cache; our cap models the resulting occupancy limit).
 
-Since the campaign runner landed, :func:`baseline_stats`, :func:`hsu_stats`
-and :func:`simulate_recorded` are thin views over the persistent result
-cache in :mod:`repro.experiments.campaign` (``results/cache/``; see
-``docs/CAMPAIGN.md``): the per-process ``lru_cache`` decorators only
-short-circuit repeated calls within one process, while the disk cache
-carries results across processes and invocations.
+.. deprecated::
+    The historical entry points — :func:`workload_run`,
+    :func:`baseline_stats`, :func:`hsu_stats`, :func:`simulate_recorded` —
+    are now thin shims over :func:`repro.api.simulate` /
+    :func:`repro.api.run_workload` and emit :class:`DeprecationWarning`.
+    New code should call the :mod:`repro.api` facade directly; the shims
+    produce bit-identical results (same campaign cache keys, run ids, and
+    manifests) and will be removed in a future release.
+
+What remains supported here is the campaign *registry*: the family/dataset
+tables, query budgets, and per-family configurations that
+:mod:`repro.experiments.campaign` and :mod:`repro.api` key their caches on.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, replace
-from functools import lru_cache
 
-from repro.compiler.lowering import HsuWidths
+from repro import api
 from repro.errors import ConfigError
-from repro.experiments import campaign
 from repro.gpusim import GpuConfig, VOLTA_V100
 from repro.gpusim.stats import SimStats
 from repro.gpusim.trace import KernelTrace
-from repro.workloads import (
-    run_btree,
-    run_bvhnn,
-    run_flann,
-    run_ggnn,
-    to_traces,
-)
-from repro.workloads.base import TraceBundle, WorkloadRun
+from repro.workloads.base import WorkloadRun
 
 #: Datasets per workload family, matching Fig. 9's grouping.
 GGNN_DATASETS = (
@@ -123,37 +121,26 @@ def workload_params(
     }
 
 
-@lru_cache(maxsize=64)
+#: Non-deprecated infrastructure alias: the campaign runner and the golden
+#: tests lower through this exact memoized function (same lru cache as
+#: :func:`repro.api.trace_bundle` — they are the same object).
+trace_bundle = api.trace_bundle
+
+
+def _warn_deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"repro.experiments.common.{old} is deprecated; use {new}",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
 def workload_run(
     family: str, abbr: str, queries: int | None = None
 ) -> WorkloadRun:
-    """Execute one workload over one dataset (cached per process)."""
-    count = resolved_queries(family, abbr, queries)
-    if family == "ggnn":
-        return run_ggnn(abbr, num_queries=count)
-    if family == "flann":
-        return run_flann(abbr, num_queries=count)
-    if family == "bvhnn":
-        return run_bvhnn(abbr, num_queries=count)
-    if family == "btree":
-        return run_btree(abbr, num_queries=count)
-    raise ConfigError(f"unknown workload family {family!r}")
-
-
-@lru_cache(maxsize=2)
-def trace_bundle(
-    family: str,
-    abbr: str,
-    queries: int | None = None,
-    euclid_width: int = 16,
-) -> TraceBundle:
-    """Lowered paired traces for one workload (small per-process cache).
-
-    Keeps a campaign group's lowering cost to once per design point; the
-    ``maxsize`` stays tiny because GGNN bundles are large.
-    """
-    run = workload_run(family, abbr, queries)
-    return to_traces(run, widths=HsuWidths(euclid=euclid_width))
+    """Deprecated shim: use :func:`repro.api.run_workload`."""
+    _warn_deprecated("workload_run", "repro.api.run_workload")
+    return api.run_workload(family, abbr, queries)
 
 
 def simulate_recorded(
@@ -163,38 +150,33 @@ def simulate_recorded(
     config: GpuConfig,
     kernel: KernelTrace,
 ) -> SimStats:
-    """Simulate through the campaign cache and stamp a run manifest.
-
-    Every experiment simulation routes through here, so each figure run
-    leaves a machine-readable ``results/<run-id>.json`` artifact behind
-    *and* lands in the persistent result cache: a re-run with an identical
-    trace and config returns the cached ``SimStats`` (bit-exact) instead
-    of simulating again.  The run id is deterministic per (workload,
-    variant, config), so re-running overwrites rather than accumulates.
-    ``REPRO_MANIFESTS=0`` disables manifest stamping;
-    ``campaign.set_cache_mode`` controls the cache.
-    """
-    return campaign.cached_simulate(family, abbr, variant, config, kernel)
+    """Deprecated shim: use :func:`repro.api.simulate` with ``label=``."""
+    _warn_deprecated("simulate_recorded", "repro.api.simulate")
+    return api.simulate(
+        kernel, variant=variant, config=config, label=(family, abbr)
+    )
 
 
-@lru_cache(maxsize=128)
 def baseline_stats(family: str, abbr: str) -> SimStats:
-    """Simulate the non-RT baseline trace (thin view over the campaign cache)."""
-    return campaign.run_job(campaign.Job(family, abbr, "baseline")).stats
+    """Deprecated shim: use :func:`repro.api.simulate`."""
+    _warn_deprecated("baseline_stats", "repro.api.simulate")
+    return api.simulate((family, abbr), variant="baseline")
 
 
-@lru_cache(maxsize=256)
 def hsu_stats(
     family: str,
     abbr: str,
     warp_buffer: int = 8,
     euclid_width: int = 16,
 ) -> SimStats:
-    """Simulate the HSU trace at a design point (view over the campaign cache)."""
-    job = campaign.Job(
-        family, abbr, "hsu", warp_buffer=warp_buffer, euclid_width=euclid_width
+    """Deprecated shim: use :func:`repro.api.simulate`."""
+    _warn_deprecated("hsu_stats", "repro.api.simulate")
+    return api.simulate(
+        (family, abbr),
+        variant="hsu",
+        warp_buffer=warp_buffer,
+        euclid_width=euclid_width,
     )
-    return campaign.run_job(job).stats
 
 
 @dataclass(frozen=True)
@@ -220,8 +202,8 @@ def run_pair(family: str, abbr: str) -> PairResult:
     return PairResult(
         family=family,
         abbr=abbr,
-        baseline=baseline_stats(family, abbr),
-        hsu=hsu_stats(family, abbr),
+        baseline=api.simulate((family, abbr), variant="baseline"),
+        hsu=api.simulate((family, abbr), variant="hsu"),
     )
 
 

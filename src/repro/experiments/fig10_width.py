@@ -8,8 +8,9 @@ the larger effective warp-buffer footprint hurts cache behaviour.
 
 from __future__ import annotations
 
+from repro import api
 from repro.analysis.tables import format_table
-from repro.experiments.common import baseline_stats, datasets_for, hsu_stats
+from repro.experiments.common import datasets_for
 
 #: Widths swept (Euclidean lanes; angular = half).
 WIDTHS = (8, 16, 32)
@@ -25,9 +26,11 @@ def compute(
             raise ValueError(f"{abbr} is not a GGNN dataset")
     rows = []
     for abbr in datasets:
-        base = baseline_stats("ggnn", abbr)
+        base = api.simulate(("ggnn", abbr), variant="baseline")
         for width in widths:
-            hsu = hsu_stats("ggnn", abbr, euclid_width=width)
+            hsu = api.simulate(
+                ("ggnn", abbr), variant="hsu", euclid_width=width
+            )
             rows.append(
                 {
                     "dataset": abbr,

@@ -9,8 +9,8 @@ sixteen can regress on datasets whose HSU fetches crowd the MSHRs.
 
 from __future__ import annotations
 
+from repro import api
 from repro.analysis.tables import format_table
-from repro.experiments.common import baseline_stats, hsu_stats
 
 #: Buffer sizes swept.
 SIZES = (1, 4, 8, 16)
@@ -31,9 +31,11 @@ def compute(
     rows = []
     for family, datasets in panels.items():
         for abbr in datasets:
-            base = baseline_stats(family, abbr)
+            base = api.simulate((family, abbr), variant="baseline")
             for size in sizes:
-                hsu = hsu_stats(family, abbr, warp_buffer=size)
+                hsu = api.simulate(
+                    (family, abbr), variant="hsu", warp_buffer=size
+                )
                 rows.append(
                     {
                         "app": family,

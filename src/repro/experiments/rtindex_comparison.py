@@ -11,7 +11,8 @@ from __future__ import annotations
 
 from repro.analysis.tables import format_table
 from repro.compiler.lowering import HsuWidths
-from repro.experiments.common import default_config, simulate_recorded
+from repro import api
+from repro.experiments.common import default_config
 from repro.workloads.base import to_traces
 from repro.workloads.rtindex import run_rtindex
 
@@ -26,13 +27,13 @@ def compute(num_keys: int = 8192, num_lookups: int = 2048) -> dict[str, object]:
     config = default_config()
     widths = HsuWidths()
     abbr = f"K{num_keys}"
-    triangle_stats = simulate_recorded(
-        "rtindex", abbr, "triangle-keys", config,
+    triangle_stats = api.simulate(
         to_traces(triangle_run, widths=widths).hsu,
+        variant="triangle-keys", config=config, label=("rtindex", abbr),
     )
-    point_stats = simulate_recorded(
-        "rtindex", abbr, "point-keys", config,
+    point_stats = api.simulate(
         to_traces(point_run, widths=widths).hsu,
+        variant="point-keys", config=config, label=("rtindex", abbr),
     )
     return {
         "triangle_cycles": triangle_stats.cycles,

@@ -72,17 +72,23 @@ HEAVY = (
 
 def smoke() -> str:
     """One tiny paired simulation through the full observability path."""
-    from repro.experiments.common import config_for, simulate_recorded
+    from repro import api
+    from repro.experiments.common import config_for
     from repro.gpusim.observability import manifests_enabled, results_dir
     from repro.gpusim.report import diff_manifests, load_manifest, render_report
     from repro.workloads import run_bvhnn, to_traces
 
     from repro.gpusim.config import MEMORY_MODELS, SCHEDULER_POLICIES
 
+    smoke_label = ("smoke", "R10K")
     bundle = to_traces(run_bvhnn("R10K", num_queries=64))
     config = config_for("bvhnn")
-    base = simulate_recorded("smoke", "R10K", "baseline", config, bundle.baseline)
-    hsu = simulate_recorded("smoke", "R10K", "hsu", config, bundle.hsu)
+    base = api.simulate(
+        bundle.baseline, variant="baseline", config=config, label=smoke_label
+    )
+    hsu = api.simulate(
+        bundle.hsu, variant="hsu", config=config, label=smoke_label
+    )
     lines = [
         f"baseline cycles: {base.cycles}",
         f"hsu cycles:      {hsu.cycles}",
@@ -91,17 +97,17 @@ def smoke() -> str:
         "component ablations (HSU trace):",
     ]
     for policy in SCHEDULER_POLICIES:
-        stats = simulate_recorded(
-            "smoke", "R10K", f"sched-{policy}",
-            config.with_scheduler(policy), bundle.hsu,
+        stats = api.simulate(
+            bundle.hsu, variant=f"sched-{policy}",
+            config=config.with_scheduler(policy), label=smoke_label,
         )
         lines.append(f"  scheduler {policy:<12} cycles: {stats.cycles}")
     for model in MEMORY_MODELS:
         if model == "real":
             continue
-        stats = simulate_recorded(
-            "smoke", "R10K", f"mem-{model}",
-            config.with_memory(model), bundle.hsu,
+        stats = api.simulate(
+            bundle.hsu, variant=f"mem-{model}",
+            config=config.with_memory(model), label=smoke_label,
         )
         lines.append(f"  memory    {model:<12} cycles: {stats.cycles}")
     if manifests_enabled():

@@ -124,41 +124,51 @@ class Cache:
             self._pending.pop(line, None)
 
     def access(self, line_addr: int, time: int) -> tuple[int, bool]:
-        """Access one cache line; returns (data_ready_time, hit)."""
-        self.stats.accesses += 1
+        """Access one cache line; returns (data_ready_time, hit).
+
+        The tag-hit path is the simulator's hottest loop, so the LRU touch
+        and set-index arithmetic are inlined here (semantically identical
+        to :meth:`_touch`/:meth:`_set_index`, which remain the reference).
+        """
+        stats = self.stats
+        stats.accesses += 1
         # Tag port: one access per port_interval cycles.  The Port keeps
         # the fractional bandwidth budget internally and grants integer
         # start cycles (timestamps are ints at component boundaries).
         start = self._port.acquire(time)
-        self._drain_pending(start)
+        if self._pending_heap and self._pending_heap[0][0] <= start:
+            self._drain_pending(start)
 
-        tag_set = self._tags[self._set_index(line_addr)]
+        tag_set = self._tags[(line_addr // self.line_bytes) % self.sets]
         if line_addr in tag_set:
-            self._touch(line_addr)
-            self.stats.hits += 1
+            self._use_counter += 1
+            tag_set[line_addr] = self._use_counter
+            stats.hits += 1
             ready = start + self.hit_latency
-            pending_fill = self._pending.get(line_addr)
-            if pending_fill is not None:
-                # The line is tagged but its fill is still in flight: merge
-                # into the outstanding MSHR — counted as a hit (§VI-J) but
-                # the data arrives no earlier than the fill.
-                self.stats.mshr_merges += 1
-                ready = max(ready, pending_fill)
+            if self._pending:
+                pending_fill = self._pending.get(line_addr)
+                if pending_fill is not None:
+                    # The line is tagged but its fill is still in flight:
+                    # merge into the outstanding MSHR — counted as a hit
+                    # (§VI-J) but the data arrives no earlier than the fill.
+                    stats.mshr_merges += 1
+                    if pending_fill > ready:
+                        ready = pending_fill
             return ready, True
 
         if line_addr in self._pending:
             # Pending but evicted from the tags: still merge into the MSHR.
-            self.stats.hits += 1
-            self.stats.mshr_merges += 1
+            stats.hits += 1
+            stats.mshr_merges += 1
             return max(self._pending[line_addr], start + self.hit_latency), True
 
         # True miss: need a free MSHR.
         if len(self._pending) >= self.mshr_entries:
-            self.stats.mshr_stalls += 1
+            stats.mshr_stalls += 1
             earliest, _line = self._pending_heap[0]
             start = max(start, earliest)
             self._drain_pending(start)
-        self.stats.misses += 1
+        stats.misses += 1
         fill_time = self.next_level(line_addr, start + self.hit_latency)
         self._pending[line_addr] = fill_time
         heapq.heappush(self._pending_heap, (fill_time, line_addr))
@@ -168,6 +178,13 @@ class Cache:
                 self._trace_channel, start, len(self._pending)
             )
         return fill_time, False
+
+    def next_event_cycle(self) -> int:
+        """Earliest cycle this cache's state next changes on its own: the
+        earliest outstanding fill completing, else the tag port freeing."""
+        if self._pending_heap:
+            return self._pending_heap[0][0]
+        return self._port.next_event_cycle()
 
     def register_metrics(
         self, scope, docs: dict[str, tuple[str, str]]

@@ -124,6 +124,15 @@ class DramModel:
         self._bank_timelines[bank].hold_until(done)
         return done + self.access_latency
 
+    def next_event_cycle(self) -> int:
+        """Earliest cycle a bank or the data bus next frees up."""
+        horizon = self._bus.next_event_cycle()
+        for timeline in self._bank_timelines:
+            busy = timeline.busy_until
+            if busy < horizon:
+                horizon = busy
+        return horizon
+
     def frfcfs_row_locality(self, window: int = 16) -> float:
         """Mean accesses per activation under an FR-FCFS replay."""
         accesses, activations = self.frfcfs_replay(window)

@@ -196,6 +196,20 @@ class SmCore:
             self.sched_other += busy
         return done
 
+    def next_event_cycle(self) -> int:
+        """Earliest cycle any of this SM's resources next changes state:
+        a sub-core issue port freeing, the L1's next fill (or tag-port
+        grant), or the RT unit releasing a buffer/datapath slot."""
+        horizon = self.l1.next_event_cycle()
+        rt = self.rt_unit.next_event_cycle()
+        if rt < horizon:
+            horizon = rt
+        for port in self.subcores:
+            busy = port.busy_until
+            if busy < horizon:
+                horizon = busy
+        return horizon
+
     def publish(self) -> None:
         """Flush the plain-slot attribution counters into the registry."""
         self._m_wi.add(self.sched_wi)
@@ -264,6 +278,19 @@ class GpuSimulator:
             "warps_launched",
             unit="warps",
             doc="Warps in the kernel trace (resident + wave-scheduled).",
+        )
+        engine = gpu.scope("engine")
+        self._m_events = engine.gauge(
+            "events",
+            unit="events",
+            doc="Scheduler events processed by the skip-to-next-event "
+            "engine (one per warp-instruction issue).",
+        )
+        self._m_idle_skipped = engine.gauge(
+            "idle_cycles_skipped",
+            unit="cycles",
+            doc="Idle cycles the event engine jumped over (cycles a "
+            "per-cycle stepper would have ticked with nothing to issue).",
         )
         gpu.gauge(
             "scheduler_policy",
@@ -336,7 +363,30 @@ class GpuSimulator:
 
     # -- simulation -------------------------------------------------------
 
+    def next_event_cycle(self) -> int | None:
+        """The device-wide event horizon: the scheduler's next ready cycle.
+
+        Every state change in the model is driven by a warp becoming
+        issueable — component resources (``SmCore``, caches, DRAM) only
+        advance when an instruction issues into them — so the scheduler's
+        horizon is the global one.  Component horizons
+        (:meth:`SmCore.next_event_cycle` and friends) bound when each
+        resource next frees and are exposed for introspection and tests.
+        Returns ``None`` when no work remains.
+        """
+        return self.scheduler.next_event_cycle()
+
     def run(self) -> SimStats:
+        """Skip-to-next-event engine.
+
+        The clock advances directly to the scheduler's event horizon
+        (:meth:`next_event_cycle`) instead of ticking every cycle; all
+        events due at the current clock drain in policy order before the
+        next jump.  Two invariants make this exact: every scheduler
+        policy key leads with the ready cycle (the heap top is always the
+        minimum-ready event), and issuing an instruction can only push
+        events at ``done >= issue >= clock`` (time never flows backward).
+        """
         config = self.config
         tracer = self.tracer
         scheduler = self.scheduler
@@ -370,13 +420,29 @@ class GpuSimulator:
         if occupancy_channel is not None:
             tracer.record(occupancy_channel, 0, inflight)
 
+        warps = self.kernel.warps
+        sms = self.sms
         finish = 0
-        while scheduler:
+        clock = 0
+        events = 0
+        idle_skipped = 0
+        horizon = scheduler.next_event_cycle()
+        while horizon is not None:
+            if horizon > clock:
+                # Jump the clock straight to the next issueable warp; a
+                # per-cycle stepper would have ticked the gap idly.
+                idle_skipped += horizon - clock - 1
+                clock = horizon
+            # Drain every event due now, in policy order.  New events
+            # pushed by an issue land at done >= clock, so a push due at
+            # the current clock is drained in this same pass — identical
+            # to popping the heap to exhaustion.
             ready, windex, position = scheduler.pop()
-            warp = self.kernel.warps[windex]
+            events += 1
+            warp = warps[windex]
             instr = warp.instructions[position]
             sm_index, subcore = placements[windex]
-            sm = self.sms[sm_index]
+            sm = sms[sm_index]
 
             done = sm.issue(instr, subcore, ready)
 
@@ -384,7 +450,8 @@ class GpuSimulator:
             if position < warp.length:
                 scheduler.push(done, windex, position)
             else:
-                finish = max(finish, done)
+                if done > finish:
+                    finish = done
                 heapq.heappush(sm.retire_heap, done)
                 inflight -= 1
                 if occupancy_channel is not None:
@@ -396,9 +463,12 @@ class GpuSimulator:
                     inflight += 1
                     if occupancy_channel is not None:
                         tracer.record(occupancy_channel, start, inflight)
+            horizon = scheduler.next_event_cycle()
 
         self._m_cycles.set(finish)
         self._m_warps.set(self.kernel.num_warps)
+        self._m_events.set(events)
+        self._m_idle_skipped.set(idle_skipped)
         for sm in self.sms:
             sm.publish()
         self.memory.finish()
@@ -414,11 +484,22 @@ def _coalesce(
     """Unique cache-line addresses touched by a warp load, sorted."""
     span = max(1, bytes_per_thread)
     lines = set()
-    for base in addrs:
-        first = (base // line_bytes) * line_bytes
-        last = ((base + span - 1) // line_bytes) * line_bytes
-        for line in range(first, last + 1, line_bytes):
-            lines.add(line)
+    add = lines.add
+    if span <= line_bytes:
+        # Common case: each thread's access straddles at most two lines.
+        for base in addrs:
+            first = base - base % line_bytes
+            add(first)
+            last = base + span - 1
+            last_line = last - last % line_bytes
+            if last_line != first:
+                add(last_line)
+    else:
+        for base in addrs:
+            first = (base // line_bytes) * line_bytes
+            last = ((base + span - 1) // line_bytes) * line_bytes
+            for line in range(first, last + 1, line_bytes):
+                add(line)
     return sorted(lines)
 
 

@@ -75,6 +75,10 @@ class IdealDram:
         """Trivial replay: an ideal DRAM has nothing to reorder."""
         return self.stats.accesses, min(1, self.stats.accesses)
 
+    def next_event_cycle(self) -> int:
+        """Contention-free: an ideal DRAM is never self-busy."""
+        return 0
+
 
 class MemorySystem:
     """Real memory system: shared L2 in front of the open-row DRAM."""
@@ -173,6 +177,12 @@ class MemorySystem:
         """End-of-run bookkeeping: run the FR-FCFS replay and publish it."""
         _accesses, activations = self.dram.frfcfs_replay()
         self._m_frfcfs_activations.set(activations)
+
+    def next_event_cycle(self) -> int:
+        """Earliest cycle the shared memory system next changes state."""
+        l2 = self.l2.next_event_cycle()
+        dram = self.dram.next_event_cycle()
+        return l2 if l2 < dram else dram
 
 
 class PerfectL1Memory(MemorySystem):

@@ -24,6 +24,14 @@ semantics live (and are tested) in exactly one place:
 
 All primitives take and return **integer** cycles; :class:`Port` is the
 only one that carries fractional state, and it never leaks it.
+
+Every primitive also exposes ``next_event_cycle()``: the earliest cycle at
+which its occupancy state can next change an acquirer's outcome (a grant
+becoming available, a reservation expiring, a slot releasing).  Components
+compose their children's horizons the same way, and the
+skip-to-next-event engine in :meth:`GpuSimulator.run` advances the clock
+directly to the minimum horizon instead of ticking every cycle.  Horizons
+are *observational*: calling ``next_event_cycle()`` never mutates state.
 """
 
 from __future__ import annotations
@@ -60,6 +68,10 @@ class Port:
         self._next_free = base + self.interval
         return math.ceil(base)
 
+    def next_event_cycle(self) -> int:
+        """Earliest integer cycle the next grant could start."""
+        return math.ceil(self._next_free)
+
 
 class Timeline:
     """Single-slot resource reserved through explicit busy-until times."""
@@ -77,6 +89,10 @@ class Timeline:
     def hold_until(self, time: int) -> None:
         """Reserve the resource until ``time``."""
         self.busy_until = time
+
+    def next_event_cycle(self) -> int:
+        """Cycle the current reservation expires (0 when never reserved)."""
+        return self.busy_until
 
 
 class SlotPool:
@@ -110,6 +126,10 @@ class SlotPool:
         """Record one acquired slot's release time."""
         heapq.heappush(self._releases, release)
 
+    def next_event_cycle(self) -> int:
+        """Earliest in-flight release (0 when the pool is idle)."""
+        return self._releases[0] if self._releases else 0
+
     @property
     def outstanding(self) -> int:
         return len(self._releases)
@@ -125,34 +145,61 @@ class PipelinedLane:
     datapath.  The gap list is bounded so allocation stays O(1) amortized.
     """
 
-    __slots__ = ("_tail", "_gaps")
+    __slots__ = ("_tail", "_gaps", "_max_gap_len")
 
     _MAX_GAPS = 64
 
     def __init__(self) -> None:
         self._tail = 0
         self._gaps: list[tuple[int, int]] = []
+        # Upper bound on the longest gap (splits only shrink gaps, so a
+        # stale bound is safe); lets allocate() skip the scan outright when
+        # no gap could possibly hold ``busy`` slots.
+        self._max_gap_len = 0
 
     def allocate(self, ready: int, busy: int) -> int:
         """Earliest start giving ``busy`` back-to-back single-lane slots at
         or after ``ready``."""
-        for index, (gap_start, gap_end) in enumerate(self._gaps):
-            start = max(gap_start, ready)
-            if start + busy <= gap_end:
+        gaps = self._gaps
+        if gaps and busy <= self._max_gap_len:
+            longest = 0
+            fitted = False
+            for index, (gap_start, gap_end) in enumerate(gaps):
+                length = gap_end - gap_start
+                if length > longest:
+                    longest = length
+                if length < busy:
+                    continue
+                start = gap_start if gap_start >= ready else ready
+                if start + busy <= gap_end:
+                    fitted = True
+                    break
+            if fitted:
                 replacement = []
                 if start > gap_start:
                     replacement.append((gap_start, start))
                 if start + busy < gap_end:
                     replacement.append((start + busy, gap_end))
-                self._gaps[index : index + 1] = replacement
+                gaps[index : index + 1] = replacement
                 return start
+            # Full scan with no fit: ``longest`` is now the exact maximum.
+            self._max_gap_len = longest
         start = max(self._tail, ready)
         if start > self._tail:
-            self._gaps.append((self._tail, start))
-            if len(self._gaps) > self._MAX_GAPS:
-                self._gaps.pop(0)
+            gaps.append((self._tail, start))
+            if start - self._tail > self._max_gap_len:
+                self._max_gap_len = start - self._tail
+            if len(gaps) > self._MAX_GAPS:
+                gaps.pop(0)
         self._tail = start + busy
         return start
+
+    def next_event_cycle(self) -> int:
+        """Earliest cycle new work could start: the first backfillable gap
+        if one exists, else the pipeline tail."""
+        if self._gaps:
+            return self._gaps[0][0]
+        return self._tail
 
     @property
     def tail(self) -> int:

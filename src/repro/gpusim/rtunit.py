@@ -152,6 +152,20 @@ class RtUnit:
         self.stats.busy_until = max(self.stats.busy_until, pipe_end)
         return pipe_end
 
+    def next_event_cycle(self) -> int:
+        """Earliest cycle this unit next frees a contended resource: a warp
+        buffer entry releasing, a datapath slot opening, or (when
+        configured) the private cache's next fill."""
+        horizon = self._buffer.next_event_cycle()
+        pipe = self._pipe.next_event_cycle()
+        if pipe < horizon:
+            horizon = pipe
+        if self._private is not None:
+            private = self._private.next_event_cycle()
+            if private < horizon:
+                horizon = private
+        return horizon
+
     def register_metrics(self, scope) -> None:
         """Expose this unit's counters as registry probes under ``scope``."""
         stats = self.stats

@@ -45,6 +45,15 @@ class WarpScheduler:
     orders by the policy key while :meth:`pop` recovers the event.  Keys
     must totally order concurrent events (every provided policy breaks
     ties on the unique warp index).
+
+    **Horizon invariant**: every policy key must *lead with the ready
+    cycle* (``key[0] == ready``).  That makes the heap top carry the
+    minimum ready cycle across all queued events, which is what
+    :meth:`next_event_cycle` reports and what lets the skip-to-next-event
+    engine in ``GpuSimulator.run`` advance the clock straight to the next
+    issueable warp.  A policy whose key did not lead with ``ready`` could
+    issue a warp before its operands are ready — that is a correctness
+    bug, not just a horizon bug, so the invariant costs nothing.
     """
 
     #: Policy name, matching :data:`repro.gpusim.config.SCHEDULER_POLICIES`.
@@ -67,6 +76,18 @@ class WarpScheduler:
         """Next ``(ready, windex, position)`` event in policy order."""
         entry = heapq.heappop(self._heap)
         return entry[-3], entry[-2], entry[-1]
+
+    def next_event_cycle(self) -> int | None:
+        """Ready cycle of the next event in policy order, ``None`` if empty.
+
+        Because every policy key leads with the ready cycle (see the class
+        docstring), the heap top is simultaneously the next event in
+        policy order *and* the event with the minimum ready cycle — so
+        this is the engine's global event horizon.
+        """
+        if not self._heap:
+            return None
+        return self._heap[0][-3]
 
     def __len__(self) -> int:
         return len(self._heap)

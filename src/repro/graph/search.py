@@ -102,8 +102,9 @@ def search(
             break
         _dist, node = popped
         stats.visit(node)
-        nbrs = [n for n in graph.neighbors(0, node) if cache.mark_visited(n)]
-        stats.queue(len(graph.neighbors(0, node)))  # visited-filter checks
+        adjacency = graph.neighbors(0, node)
+        nbrs = [n for n in adjacency if cache.mark_visited(n)]
+        stats.queue(len(adjacency))  # visited-filter checks
         if not nbrs:
             continue
         dists = batch_distances(query, graph.points[nbrs], graph.metric)

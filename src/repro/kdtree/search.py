@@ -19,7 +19,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.ops import euclid_dist
+from repro.core.ops import batch_euclid_dist
 from repro.kdtree.build import KdTree
 
 #: Event kinds consumed by the trace compiler.
@@ -105,9 +105,12 @@ def knn_search(
             node_id = near
         stats.leaf_visits += 1
         leaf = tree.nodes[node_id]
-        for point_id in tree.leaf_points(leaf):
+        point_ids = tree.leaf_points(leaf)
+        # One batched HSU distance kernel per leaf (bit-identical per row
+        # to the scalar euclid_dist); heap updates keep leaf-point order.
+        d2s = batch_euclid_dist(query, tree.points[point_ids])
+        for point_id, d2 in zip(point_ids, d2s.tolist()):
             stats.dist_test(int(point_id), tree.dim)
-            d2 = euclid_dist(query, tree.points[point_id])
             checks += 1
             if len(best) < k:
                 heapq.heappush(best, (-d2, int(point_id)))
@@ -149,9 +152,10 @@ def radius_search(
         node = tree.nodes[node_id]
         if node.is_leaf:
             stats.leaf_visits += 1
-            for point_id in tree.leaf_points(node):
+            point_ids = tree.leaf_points(node)
+            d2s = batch_euclid_dist(query, tree.points[point_ids])
+            for point_id, d2 in zip(point_ids, d2s.tolist()):
                 stats.dist_test(int(point_id), tree.dim)
-                d2 = euclid_dist(query, tree.points[point_id])
                 if d2 <= radius_sq:
                     hits.append((d2, int(point_id)))
             continue

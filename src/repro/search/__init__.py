@@ -1,0 +1,29 @@
+"""Unified search-index surface over the paper's hierarchical structures.
+
+:class:`~repro.search.base.SearchIndex` is the ``build`` / ``query`` /
+``stats`` protocol every substrate satisfies; the adapters wrap the
+structure-specific modules so workload generators import exactly one
+package:
+
+* :class:`BvhRadiusIndex` — RTNN-style BVH radius search (BVH-NN, §V-A);
+* :class:`KdTreeIndex` — bounded-backtracking k-d tree kNN (FLANN);
+* :class:`HnswIndex` — hierarchical-graph best-first ANN (GGNN).
+
+Each adapter also publishes its instrumented event-kind constants
+(``EVENT_*`` class attributes) and the layout hooks (sorted point orders,
+node counts) the trace compiler addresses memory through.
+"""
+
+from repro.search.base import Event, Neighbor, SearchIndex
+from repro.search.bvh_index import BvhRadiusIndex
+from repro.search.hnsw_index import HnswIndex
+from repro.search.kdtree_index import KdTreeIndex
+
+__all__ = [
+    "Event",
+    "Neighbor",
+    "SearchIndex",
+    "BvhRadiusIndex",
+    "HnswIndex",
+    "KdTreeIndex",
+]

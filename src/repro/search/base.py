@@ -1,0 +1,49 @@
+"""The structure-agnostic search-index contract the workloads program to.
+
+Every hierarchical search substrate the paper evaluates — the LBVH
+(:mod:`repro.bvh`), the k-d tree (:mod:`repro.kdtree`), and the HNSW-style
+graph (:mod:`repro.graph`) — answers the same three questions: *build* an
+index over a point set, *query* it for neighbors, and report *stats* about
+the structure and the work queries performed.  :class:`SearchIndex` pins
+that contract down so workload generators depend on the protocol rather
+than on structure-specific modules.
+
+Adapters additionally expose the instrumented per-query **event stream**
+(``last_events`` after ``query(..., record_events=True)``): the ordered
+(kind, ident, payload) tuples the trace compiler lowers into instructions.
+Event kinds are structure-specific and published as class attributes on
+each adapter (e.g. ``BvhRadiusIndex.EVENT_BOX_NODE``), keeping even the
+event vocabulary importable from :mod:`repro.search`.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+#: One query answer: (point id, distance measure).  BVH radius queries and
+#: k-d tree kNN report squared Euclidean distance; graph search reports
+#: the configured metric's distance.
+Neighbor = tuple[int, float]
+
+#: One instrumented traversal event: (kind, ident, payload).
+Event = tuple[str, int, int]
+
+
+@runtime_checkable
+class SearchIndex(Protocol):
+    """Build / query / stats — the unified hierarchical-search surface."""
+
+    def build(self, points: np.ndarray, **params: object) -> "SearchIndex":
+        """Build the index over ``points``; returns ``self`` for chaining."""
+        ...
+
+    def query(self, q: np.ndarray, **params: object) -> list[Neighbor]:
+        """Answer one query; ``record_events=True`` captures the event
+        stream in ``last_events``."""
+        ...
+
+    def stats(self) -> dict[str, object]:
+        """Structure shape plus cumulative query-work counters."""
+        ...

@@ -1,0 +1,122 @@
+"""BVH adapter: RTNN-style radius search behind :class:`SearchIndex`."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bvh.collapse import collapse_to_bvh4
+from repro.bvh.lbvh import build_lbvh_for_points
+from repro.bvh.sah import build_sah
+from repro.bvh.traversal import (
+    EVENT_BOX_NODE,
+    EVENT_LEAF_DIST,
+    EVENT_STACK_OP,
+    TraversalStats,
+    radius_search,
+)
+from repro.errors import BuildError
+from repro.search.base import Event, Neighbor
+
+
+class BvhRadiusIndex:
+    """Radius search over a point BVH (the BVH-NN substrate, §V-A).
+
+    ``builder`` selects the construction algorithm (``"lbvh"`` — the
+    paper's fast Morton/Karras build — or ``"sah"``, the binned-SAH
+    quality build of the §VI-E ablation); ``arity=4`` collapses the binary
+    tree into the BVH4 the RT unit tests four boxes per instruction
+    against.
+    """
+
+    EVENT_BOX_NODE = EVENT_BOX_NODE
+    EVENT_LEAF_DIST = EVENT_LEAF_DIST
+    EVENT_STACK_OP = EVENT_STACK_OP
+
+    def __init__(self, builder: str = "lbvh", arity: int = 2,
+                 leaf_size: int = 1) -> None:
+        if builder not in ("lbvh", "sah"):
+            raise BuildError(f"unknown builder {builder!r}")
+        if arity not in (2, 4):
+            raise BuildError(f"arity must be 2 or 4, got {arity}")
+        self.builder = builder
+        self.arity = arity
+        self.leaf_size = leaf_size
+        self._bvh = None
+        self._points: np.ndarray | None = None
+        self.radius = 0.0
+        self.last_events: list[Event] = []
+        self._queries = 0
+        self._box_tests = 0
+        self._dist_tests = 0
+
+    def build(self, points: np.ndarray, radius: float) -> "BvhRadiusIndex":
+        """Index ``points`` with leaf boxes of half-width ``radius``."""
+        points = np.asarray(points, dtype=np.float64)
+        if self.builder == "lbvh":
+            bvh = build_lbvh_for_points(points, radius,
+                                        leaf_size=self.leaf_size)
+        else:
+            from repro.geometry.aabb import Aabb
+
+            boxes = [Aabb.around_point(p, radius) for p in points]
+            bvh = build_sah(boxes, leaf_size=self.leaf_size)
+        if self.arity == 4:
+            bvh = collapse_to_bvh4(bvh)
+        self._bvh = bvh
+        self._points = points
+        self.radius = radius
+        return self
+
+    def query(self, q: np.ndarray, record_events: bool = False
+              ) -> list[Neighbor]:
+        """All (point id, squared distance) within ``radius`` of ``q``,
+        ascending by distance."""
+        if self._bvh is None:
+            raise BuildError("query before build")
+        stats = TraversalStats(record_events=record_events)
+        hits = radius_search(self._bvh, self._points, q, self.radius,
+                             stats=stats)
+        self.last_events = stats.events
+        self._queries += 1
+        self._box_tests += stats.box_tests
+        self._dist_tests += stats.prim_tests
+        return hits
+
+    def stats(self) -> dict[str, object]:
+        return {
+            "structure": "bvh",
+            "builder": self.builder,
+            "arity": self.arity,
+            "radius": self.radius,
+            "num_nodes": self.num_nodes,
+            "num_points": 0 if self._points is None else len(self._points),
+            "queries": self._queries,
+            "box_tests": self._box_tests,
+            "dist_tests": self._dist_tests,
+        }
+
+    # -- layout hooks the trace compiler addresses memory through ---------
+
+    @property
+    def num_nodes(self) -> int:
+        return 0 if self._bvh is None else self._bvh.num_nodes
+
+    @property
+    def node_arity(self) -> int:
+        """The built tree's arity (equals the configured ``arity``)."""
+        if self._bvh is None:
+            raise BuildError("node_arity before build")
+        return self._bvh.arity
+
+    @property
+    def prim_indices(self) -> np.ndarray:
+        """Morton-sorted primitive order (the leaf-data memory layout)."""
+        if self._bvh is None:
+            raise BuildError("prim_indices before build")
+        return self._bvh.prim_indices
+
+    @property
+    def points(self) -> np.ndarray:
+        if self._points is None:
+            raise BuildError("points before build")
+        return self._points

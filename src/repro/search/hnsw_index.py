@@ -1,0 +1,93 @@
+"""HNSW adapter: hierarchical-graph ANN behind :class:`SearchIndex`."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import BuildError
+from repro.graph.hnsw import METRIC_EUCLID, build_hnsw
+from repro.graph.search import (
+    EVENT_DIST,
+    EVENT_QUEUE,
+    EVENT_VISIT,
+    GraphSearchStats,
+    search,
+)
+from repro.search.base import Event, Neighbor
+
+
+class HnswIndex:
+    """Best-first search over an HNSW-style graph (the GGNN substrate)."""
+
+    EVENT_DIST = EVENT_DIST
+    EVENT_QUEUE = EVENT_QUEUE
+    EVENT_VISIT = EVENT_VISIT
+
+    def __init__(
+        self,
+        m: int = 12,
+        ef_construction: int = 48,
+        metric: str = METRIC_EUCLID,
+        seed: int = 0,
+    ) -> None:
+        self.m = m
+        self.ef_construction = ef_construction
+        self.metric = metric
+        self.seed = seed
+        self._graph = None
+        self.last_events: list[Event] = []
+        self._queries = 0
+        self._dist_tests = 0
+        self._nodes_expanded = 0
+
+    def build(self, points: np.ndarray) -> "HnswIndex":
+        self._graph = build_hnsw(
+            points,
+            m=self.m,
+            ef_construction=self.ef_construction,
+            metric=self.metric,
+            seed=self.seed,
+        )
+        return self
+
+    def query(
+        self,
+        q: np.ndarray,
+        k: int = 10,
+        ef: int = 32,
+        record_events: bool = False,
+    ) -> list[Neighbor]:
+        """Approximate ``k`` nearest (node id, distance), ascending."""
+        if self._graph is None:
+            raise BuildError("query before build")
+        stats = GraphSearchStats(record_events=record_events)
+        result = search(self._graph, q, k=k, ef=ef, stats=stats)
+        self.last_events = stats.events
+        self._queries += 1
+        self._dist_tests += stats.dist_tests
+        self._nodes_expanded += stats.nodes_expanded
+        return result
+
+    def stats(self) -> dict[str, object]:
+        return {
+            "structure": "hnsw",
+            "m": self.m,
+            "ef_construction": self.ef_construction,
+            "metric": self.metric,
+            "num_points": self.num_points,
+            "queries": self._queries,
+            "dist_tests": self._dist_tests,
+            "nodes_expanded": self._nodes_expanded,
+        }
+
+    # -- layout hooks -----------------------------------------------------
+
+    @property
+    def num_points(self) -> int:
+        return 0 if self._graph is None else self._graph.num_points
+
+    @property
+    def points(self) -> np.ndarray:
+        if self._graph is None:
+            raise BuildError("points before build")
+        return self._graph.points

@@ -1,0 +1,90 @@
+"""k-d tree adapter: FLANN-style bounded kNN behind :class:`SearchIndex`."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import BuildError
+from repro.kdtree.build import build_kdtree
+from repro.kdtree.search import (
+    EVENT_LEAF_DIST,
+    EVENT_PLANE_TEST,
+    KdSearchStats,
+    knn_search,
+)
+from repro.search.base import Event, Neighbor
+
+
+class KdTreeIndex:
+    """Bounded-backtracking kNN over a k-d tree (the FLANN substrate)."""
+
+    EVENT_PLANE_TEST = EVENT_PLANE_TEST
+    EVENT_LEAF_DIST = EVENT_LEAF_DIST
+
+    def __init__(self, leaf_size: int = 8) -> None:
+        self.leaf_size = leaf_size
+        self._tree = None
+        self.last_events: list[Event] = []
+        self._queries = 0
+        self._plane_tests = 0
+        self._dist_tests = 0
+
+    def build(self, points: np.ndarray) -> "KdTreeIndex":
+        self._tree = build_kdtree(points, leaf_size=self.leaf_size)
+        return self
+
+    def query(
+        self,
+        q: np.ndarray,
+        k: int = 5,
+        max_checks: int = 64,
+        record_events: bool = False,
+    ) -> list[Neighbor]:
+        """``k`` nearest (point id, squared distance) under the FLANN
+        ``max_checks`` backtracking budget."""
+        if self._tree is None:
+            raise BuildError("query before build")
+        stats = KdSearchStats(record_events=record_events)
+        result = knn_search(self._tree, q, k=k, max_checks=max_checks,
+                            stats=stats)
+        self.last_events = stats.events
+        self._queries += 1
+        self._plane_tests += stats.plane_tests
+        self._dist_tests += stats.dist_tests
+        return result
+
+    def stats(self) -> dict[str, object]:
+        return {
+            "structure": "kdtree",
+            "leaf_size": self.leaf_size,
+            "num_nodes": self.num_nodes,
+            "num_points": 0 if self._tree is None else self._tree.num_points,
+            "queries": self._queries,
+            "plane_tests": self._plane_tests,
+            "dist_tests": self._dist_tests,
+        }
+
+    # -- layout hooks -----------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        return 0 if self._tree is None else len(self._tree.nodes)
+
+    @property
+    def num_points(self) -> int:
+        if self._tree is None:
+            raise BuildError("num_points before build")
+        return self._tree.num_points
+
+    @property
+    def point_indices(self) -> np.ndarray:
+        """Leaf-ordered point layout (contiguous leaf scans)."""
+        if self._tree is None:
+            raise BuildError("point_indices before build")
+        return self._tree.point_indices
+
+    @property
+    def points(self) -> np.ndarray:
+        if self._tree is None:
+            raise BuildError("points before build")
+        return self._tree.points

@@ -14,24 +14,19 @@ from functools import lru_cache
 
 import numpy as np
 
-from repro.bvh.collapse import collapse_to_bvh4
-from repro.bvh.lbvh import build_lbvh_for_points
-from repro.bvh.sah import build_sah
-from repro.bvh.traversal import (
-    EVENT_BOX_NODE,
-    EVENT_LEAF_DIST,
-    EVENT_STACK_OP,
-    TraversalStats,
-    radius_search,
-)
 from repro.compiler.assembler import assemble_warps
 from repro.compiler.layout import AddressSpace
 from repro.compiler.lowering import STYLE_PARALLEL
 from repro.compiler.ops import METRIC_EUCLID, TAlu, TBox, TDist, TShared
 from repro.datasets.registry import load_dataset
+from repro.search import BvhRadiusIndex
 
 #: Bytes per stored child record in a box node (6 box floats + pointer).
 _CHILD_BYTES = 32
+
+EVENT_BOX_NODE = BvhRadiusIndex.EVENT_BOX_NODE
+EVENT_LEAF_DIST = BvhRadiusIndex.EVENT_LEAF_DIST
+EVENT_STACK_OP = BvhRadiusIndex.EVENT_STACK_OP
 
 
 def choose_radius(
@@ -46,10 +41,23 @@ def choose_radius(
     rng = np.random.default_rng(seed)
     count = points.shape[0]
     chosen = rng.choice(count, size=min(sample, count), replace=False)
-    radii = []
-    for index in chosen:
-        d2 = np.sum((points - points[index]) ** 2, axis=1)
-        radii.append(np.sqrt(np.partition(d2, neighbor_rank)[neighbor_rank]))
+    sample_points = points[chosen]
+    radii = np.empty(len(chosen), dtype=np.float64)
+    # Whole-sample distance matrix, chunked so the (chunk, N) temporaries
+    # stay bounded on million-point datasets.  Accumulating per axis keeps
+    # the arithmetic identical to the rowwise ``sum((points - p)**2)`` —
+    # a 3-element axis sum reduces left-to-right — while avoiding the
+    # (chunk, N, 3) broadcast temporary.
+    chunk = max(1, 4_000_000 // max(1, count))
+    for start in range(0, len(chosen), chunk):
+        block = sample_points[start : start + chunk]
+        diff = points[:, 0][None, :] - block[:, 0][:, None]
+        d2 = diff * diff
+        for axis in (1, 2):
+            diff = points[:, axis][None, :] - block[:, axis][:, None]
+            d2 += diff * diff
+        ranked = np.partition(d2, neighbor_rank, axis=1)[:, neighbor_rank]
+        radii[start : start + chunk] = np.sqrt(ranked)
     return float(np.median(radii))
 
 
@@ -58,20 +66,8 @@ def _build(abbr: str, scale: float, seed: int, builder: str, arity: int):
     dataset = load_dataset(abbr, num_queries=512, scale=scale, seed=seed)
     points = dataset.points.astype(np.float64)
     radius = choose_radius(points, seed=seed)
-    if builder == "lbvh":
-        bvh = build_lbvh_for_points(points, radius)
-    elif builder == "sah":
-        from repro.geometry.aabb import Aabb
-
-        boxes = [Aabb.around_point(p, radius) for p in points]
-        bvh = build_sah(boxes, leaf_size=1)
-    else:
-        raise ValueError(f"unknown builder {builder!r}")
-    if arity == 4:
-        bvh = collapse_to_bvh4(bvh)
-    elif arity != 2:
-        raise ValueError(f"arity must be 2 or 4, got {arity}")
-    return dataset, points, radius, bvh
+    index = BvhRadiusIndex(builder=builder, arity=arity).build(points, radius)
+    return dataset, index
 
 
 def run_bvhnn(
@@ -96,7 +92,9 @@ def run_bvhnn(
     """
     from repro.workloads.base import WorkloadRun
 
-    dataset, points, radius, bvh = _build(abbr, scale, seed, builder, arity)
+    dataset, index = _build(abbr, scale, seed, builder, arity)
+    points = index.points
+    radius = index.radius
     # Queries near the data manifold: perturbed dataset points, so traversal
     # reaches leaves (pure generator queries can fall far off the surface).
     rng = np.random.default_rng(seed + 1)
@@ -107,27 +105,32 @@ def run_bvhnn(
 
         queries = queries[np.argsort(morton_encode_points(queries))]
 
+    node_arity = index.node_arity
     space = AddressSpace()
-    nodes = space.alloc_array("bvh_nodes", bvh.num_nodes, bvh.arity * _CHILD_BYTES)
+    nodes = space.alloc_array(
+        "bvh_nodes", index.num_nodes, node_arity * _CHILD_BYTES
+    )
     point_mem = space.alloc_array("points", points.shape[0], 3 * 4)
     # Points are stored Morton-sorted (the order the LBVH build produced),
     # so leaf data for nearby queries shares cache lines.
-    position_of = {int(pid): pos for pos, pid in enumerate(bvh.prim_indices)}
+    position_of = {int(pid): pos for pos, pid in enumerate(index.prim_indices)}
 
     thread_streams = []
     total_hits = 0
     total_dist_tests = 0
     for query in queries:
-        stats = TraversalStats(record_events=True)
-        hits = radius_search(bvh, points, query, radius, stats=stats)
+        hits = index.query(query, record_events=True)
+        events = index.last_events
         total_hits += len(hits)
-        total_dist_tests += stats.prim_tests
+        total_dist_tests += sum(
+            1 for kind, _i, _p in events if kind == EVENT_LEAF_DIST
+        )
         stream = []
-        for kind, ident, payload in stats.events:
+        for kind, ident, payload in events:
             if kind == EVENT_BOX_NODE:
                 stream.append(
                     TBox(
-                        nodes.element(ident, bvh.arity * _CHILD_BYTES),
+                        nodes.element(ident, node_arity * _CHILD_BYTES),
                         payload,
                         payload * _CHILD_BYTES,
                     )

@@ -18,13 +18,10 @@ from repro.compiler.layout import AddressSpace
 from repro.compiler.lowering import STYLE_PARALLEL
 from repro.compiler.ops import METRIC_EUCLID, TAlu, TDist, TLoad, TShared
 from repro.datasets.registry import load_dataset, perturbed_queries
-from repro.kdtree.build import build_kdtree
-from repro.kdtree.search import (
-    EVENT_LEAF_DIST,
-    EVENT_PLANE_TEST,
-    KdSearchStats,
-    knn_search,
-)
+from repro.search import KdTreeIndex
+
+EVENT_PLANE_TEST = KdTreeIndex.EVENT_PLANE_TEST
+EVENT_LEAF_DIST = KdTreeIndex.EVENT_LEAF_DIST
 
 #: Bytes per k-d split node (dim, value, two child pointers).
 _NODE_BYTES = 16
@@ -38,8 +35,8 @@ _HEAP_OPS = 5
 @lru_cache(maxsize=16)
 def _build_tree(abbr: str, leaf_size: int, scale: float, seed: int):
     dataset = load_dataset(abbr, num_queries=512, scale=scale, seed=seed)
-    tree = build_kdtree(dataset.points, leaf_size=leaf_size)
-    return dataset, tree
+    index = KdTreeIndex(leaf_size=leaf_size).build(dataset.points)
+    return dataset, index
 
 
 def run_flann(
@@ -55,24 +52,25 @@ def run_flann(
     """Execute FLANN-style search over one dataset; returns a WorkloadRun."""
     from repro.workloads.base import WorkloadRun
 
-    dataset, tree = _build_tree(abbr, leaf_size, scale, seed)
+    dataset, index = _build_tree(abbr, leaf_size, scale, seed)
     queries = perturbed_queries(dataset, num_queries, seed=seed)
     dim = dataset.dim
 
     space = AddressSpace()
-    nodes = space.alloc_array("kd_nodes", len(tree.nodes), _NODE_BYTES)
-    points = space.alloc_array("points", tree.num_points, dim * 4)
+    nodes = space.alloc_array("kd_nodes", index.num_nodes, _NODE_BYTES)
+    points = space.alloc_array("points", index.num_points, dim * 4)
     # FLANN stores a leaf-ordered copy of the points, so leaf scans touch
     # contiguous memory; address by sorted position, not original id.
-    position_of = {int(pid): pos for pos, pid in enumerate(tree.point_indices)}
+    position_of = {int(pid): pos for pos, pid in enumerate(index.point_indices)}
 
     thread_streams = []
     results = []
     for query in queries:
-        stats = KdSearchStats(record_events=True)
-        results.append(knn_search(tree, query, k=k, max_checks=max_checks, stats=stats))
+        results.append(
+            index.query(query, k=k, max_checks=max_checks, record_events=True)
+        )
         stream = []
-        for kind, ident, _payload in stats.events:
+        for kind, ident, _payload in index.last_events:
             if kind == EVENT_PLANE_TEST:
                 stream.append(TLoad(nodes.element(ident, _NODE_BYTES), _NODE_BYTES))
                 stream.append(TAlu(_PLANE_ALU))
@@ -90,7 +88,7 @@ def run_flann(
 
     extras = {"dataset": abbr, "dim": dim, "num_queries": len(queries)}
     if check_recall:
-        truth = brute_force_knn(tree.points, queries, k)
+        truth = brute_force_knn(index.points, queries, k)
         extras["recall"] = recall_at_k([[i for i, _ in r] for r in results], truth)
     return WorkloadRun(
         name=f"flann-{abbr}",

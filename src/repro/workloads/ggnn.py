@@ -20,14 +20,12 @@ from repro.compiler.layout import AddressSpace
 from repro.compiler.lowering import STYLE_COOPERATIVE
 from repro.compiler.ops import WarpOp
 from repro.datasets.registry import Dataset, load_dataset, perturbed_queries
-from repro.graph.hnsw import METRIC_ANGULAR, METRIC_EUCLID, build_hnsw
-from repro.graph.search import (
-    EVENT_DIST,
-    EVENT_QUEUE,
-    EVENT_VISIT,
-    GraphSearchStats,
-    search,
-)
+from repro.graph.hnsw import METRIC_ANGULAR, METRIC_EUCLID
+from repro.search import HnswIndex
+
+EVENT_DIST = HnswIndex.EVENT_DIST
+EVENT_QUEUE = HnswIndex.EVENT_QUEUE
+EVENT_VISIT = HnswIndex.EVENT_VISIT
 
 #: Warp width — one TDist batch covers at most this many candidates.
 _CHUNK = 32
@@ -47,14 +45,13 @@ def _metric_name(dataset: Dataset) -> str:
 @lru_cache(maxsize=16)
 def _build_graph(abbr: str, m: int, ef_construction: int, scale: float, seed: int):
     dataset = load_dataset(abbr, scale=scale, seed=seed)
-    graph = build_hnsw(
-        dataset.points,
+    index = HnswIndex(
         m=m,
         ef_construction=ef_construction,
         metric=_metric_name(dataset),
         seed=seed,
-    )
-    return dataset, graph
+    ).build(dataset.points)
+    return dataset, index
 
 
 def run_ggnn(
@@ -71,24 +68,25 @@ def run_ggnn(
     """Execute GGNN search over one dataset; returns a WorkloadRun."""
     from repro.workloads.base import WorkloadRun
 
-    dataset, graph = _build_graph(abbr, m, ef_construction, scale, seed)
+    dataset, index = _build_graph(abbr, m, ef_construction, scale, seed)
     queries = perturbed_queries(dataset, num_queries, seed=seed)
     dim = dataset.dim
     metric = _metric_name(dataset)
 
     space = AddressSpace()
-    points = space.alloc_array("points", graph.num_points, dim * 4)
+    points = space.alloc_array("points", index.num_points, dim * 4)
     adjacency = space.alloc_array(
-        "adjacency", graph.num_points, 2 * m * _EDGE_BYTES
+        "adjacency", index.num_points, 2 * m * _EDGE_BYTES
     )
 
     warp_ops: list[list[WarpOp]] = []
     results = []
     for query in queries:
-        stats = GraphSearchStats(record_events=True)
-        results.append(search(graph, query, k=k, ef=ef, stats=stats))
+        results.append(index.query(query, k=k, ef=ef, record_events=True))
         warp_ops.append(
-            _events_to_warp_ops(stats.events, points, adjacency, dim, metric, m)
+            _events_to_warp_ops(
+                index.last_events, points, adjacency, dim, metric, m
+            )
         )
 
     extras = {
@@ -98,7 +96,7 @@ def run_ggnn(
         "num_queries": len(queries),
     }
     if check_recall:
-        truth = brute_force_knn(graph.points, queries, k, metric)
+        truth = brute_force_knn(index.points, queries, k, metric)
         extras["recall"] = recall_at_k([[i for i, _ in r] for r in results], truth)
     return WorkloadRun(
         name=f"ggnn-{abbr}",

@@ -11,8 +11,8 @@ import json
 
 import pytest
 
+from repro import api
 from repro.experiments import campaign
-from repro.experiments import common
 from repro.gpusim import GpuConfig, KernelTrace, VOLTA_V100, WarpInstr, WarpTrace
 from repro.gpusim.observability import config_hash
 from repro.gpusim.stats import SimStats
@@ -36,10 +36,7 @@ def isolated_cache(tmp_path, monkeypatch):
 
 
 def _clear_process_caches():
-    common.workload_run.cache_clear()
-    common.trace_bundle.cache_clear()
-    common.baseline_stats.cache_clear()
-    common.hsu_stats.cache_clear()
+    api.clear_caches()
 
 
 class TestKeys:
@@ -92,7 +89,7 @@ class TestCache:
         campaign.run_job(BTREE_BASE)
         _clear_process_caches()
         campaign.run_job(BTREE_BASE)
-        assert common.workload_run.cache_info().misses == 0
+        assert api.run_workload.cache_info().misses == 0
 
     def test_config_change_busts_cache(self):
         campaign.run_job(BTREE_HSU)
@@ -139,7 +136,7 @@ class TestCache:
         # Trace tier was corrupt, so the workload re-ran; the sims tier
         # still hit because the recomputed fingerprint matches.
         assert warm.cached
-        assert common.workload_run.cache_info().misses == 1
+        assert api.run_workload.cache_info().misses == 1
 
     def test_no_cache_mode_neither_reads_nor_writes(self):
         campaign.run_job(BTREE_BASE, mode="off")
@@ -222,23 +219,27 @@ class TestExecute:
 
 
 class TestViews:
-    def test_baseline_stats_is_a_cache_view(self):
-        stats = common.baseline_stats("btree", "B+10K")
+    def test_named_simulate_is_a_cache_view(self):
+        stats = api.simulate(("btree", "B+10K"), variant="baseline")
         _clear_process_caches()
         before = campaign.cache_stats.snapshot()
-        again = common.baseline_stats("btree", "B+10K")
+        again = api.simulate(("btree", "B+10K"), variant="baseline")
         assert again == stats
         assert campaign.cache_stats.delta(before).hits == 1
 
-    def test_simulate_recorded_hits_on_identical_input(self):
+    def test_recorded_simulate_hits_on_identical_input(self):
         kernel = KernelTrace(
             warps=[WarpTrace(instructions=[WarpInstr("alu", repeat=8)])],
             name="view-probe",
         )
         config = GpuConfig(num_sms=1)
-        first = common.simulate_recorded("probe", "X", "v", config, kernel)
+        first = api.simulate(
+            kernel, variant="v", config=config, label=("probe", "X")
+        )
         before = campaign.cache_stats.snapshot()
-        second = common.simulate_recorded("probe", "X", "v", config, kernel)
+        second = api.simulate(
+            kernel, variant="v", config=config, label=("probe", "X")
+        )
         assert second == first
         assert campaign.cache_stats.delta(before).hits == 1
 

@@ -8,7 +8,7 @@ manifest stamping, and the DRAM row-locality consistency invariants.
 
 import pytest
 
-from repro.experiments.common import simulate_recorded
+from repro import api
 from repro.gpusim import GpuSimulator, SimStats, TimelineTracer, VOLTA_V100
 from repro.gpusim.observability import load_manifest
 from repro.workloads.base import to_traces
@@ -161,7 +161,9 @@ class TestManifestFromExperiments:
     def test_fig_experiment_manifest_matches_simstats(self, bundle, tmp_path,
                                                       monkeypatch):
         monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
-        stats = simulate_recorded("rtindex", "T512", "hsu", CFG, bundle.hsu)
+        stats = api.simulate(
+            bundle.hsu, variant="hsu", config=CFG, label=("rtindex", "T512")
+        )
         manifest = load_manifest(tmp_path / "rtindex-t512-hsu.json")
         for field_name in (
             "cycles", "l1_accesses", "l1_misses", "l2_accesses",
@@ -181,5 +183,7 @@ class TestManifestFromExperiments:
     def test_manifests_can_be_disabled(self, bundle, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
         monkeypatch.setenv("REPRO_MANIFESTS", "0")
-        simulate_recorded("rtindex", "T512", "off", CFG, bundle.hsu)
+        api.simulate(
+            bundle.hsu, variant="off", config=CFG, label=("rtindex", "T512")
+        )
         assert not list(tmp_path.glob("*.json"))

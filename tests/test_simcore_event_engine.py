@@ -1,0 +1,275 @@
+"""The skip-to-next-event engine against a per-cycle reference stepper.
+
+``GpuSimulator.run`` jumps the clock straight to the scheduler's event
+horizon.  The reference stepper below executes the *same* issue logic but
+ticks the clock one cycle at a time — the implementation the engine
+replaced.  Equality of the resulting :class:`SimStats` on randomized
+traces, across every scheduler policy and memory model, is the exactness
+property the engine claims; unit tests pin the ``next_event_cycle()``
+contract of each occupancy primitive the horizons compose from.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import replace
+
+import pytest
+
+from repro.core.isa import Opcode
+from repro.gpusim.config import (
+    MEMORY_MODELS,
+    SCHEDULER_POLICIES,
+    GpuConfig,
+)
+from repro.gpusim.gpu import GpuSimulator
+from repro.gpusim.resource import PipelinedLane, Port, SlotPool, Timeline
+from repro.gpusim.stats import SimStats
+from repro.gpusim.trace import KernelTrace, WarpInstr, WarpTrace
+
+#: Small structure so traces overflow residency (exercising wave
+#: admission) and contend on sub-cores, warp buffer, and MSHRs.
+SMALL = GpuConfig(
+    num_sms=2,
+    subcores_per_sm=2,
+    max_warps_per_sm=3,
+    warp_buffer_size=2,
+    l1_size_bytes=4 * 1024,
+    l2_size_bytes=16 * 1024,
+    l2_ways=4,
+    l1_mshr_entries=4,
+    l2_mshr_entries=8,
+)
+
+_OPCODES = (
+    Opcode.RAY_INTERSECT,
+    Opcode.POINT_EUCLID,
+    Opcode.POINT_ANGULAR,
+    Opcode.KEY_COMPARE,
+)
+
+
+def random_kernel(rng: random.Random, num_warps: int) -> KernelTrace:
+    """A small trace touching every instruction kind with clustered
+    addresses (so loads hit, miss, merge in MSHRs, and conflict)."""
+    warps = []
+    for windex in range(num_warps):
+        instrs = []
+        for _ in range(rng.randint(1, 8)):
+            kind = rng.choice(("alu", "sfu", "lds", "ldg", "hsu"))
+            if kind == "ldg":
+                active = rng.randint(1, 8)
+                addrs = tuple(
+                    rng.randrange(0, 1 << 13) for _ in range(active)
+                )
+                instrs.append(
+                    WarpInstr(
+                        "ldg",
+                        active=active,
+                        addrs=addrs,
+                        bytes_per_thread=rng.choice((4, 8, 12)),
+                    )
+                )
+            elif kind == "hsu":
+                active = rng.randint(1, 6)
+                addrs = tuple(
+                    rng.randrange(0, 1 << 13) for _ in range(active)
+                )
+                instrs.append(
+                    WarpInstr(
+                        "hsu",
+                        active=active,
+                        addrs=addrs,
+                        bytes_per_thread=rng.choice((0, 8, 32)),
+                        opcode=rng.choice(_OPCODES),
+                        beats=rng.randint(1, 3),
+                    )
+                )
+            else:
+                instrs.append(
+                    WarpInstr(
+                        kind,
+                        active=rng.randint(1, 32),
+                        repeat=rng.randint(1, 4),
+                        chain=rng.randint(1, 3),
+                        hsu_able=rng.random() < 0.3,
+                    )
+                )
+        warps.append(WarpTrace(instructions=instrs, label=f"w{windex}"))
+    return KernelTrace(warps=warps, name="event-engine-property")
+
+
+def per_cycle_run(sim: GpuSimulator) -> SimStats:
+    """Reference stepper: `GpuSimulator.run` with the jump removed.
+
+    Identical warp placement, wave admission, issue, and retirement
+    logic, but the clock advances one cycle per iteration and each cycle
+    drains exactly the events ready at that cycle, in policy order.
+    """
+    config = sim.config
+    scheduler = sim.scheduler
+    num_sms = config.num_sms
+
+    placements = []
+    for index in range(sim.kernel.num_warps):
+        sm = index % num_sms
+        subcore = (index // num_sms) % config.subcores_per_sm
+        placements.append((sm, subcore))
+
+    deferred = [[] for _ in range(num_sms)]
+    for index in range(sim.kernel.num_warps):
+        sm_index, _ = placements[index]
+        sm = sim.sms[sm_index]
+        if sm.resident < config.max_warps_per_sm:
+            sm.resident += 1
+            scheduler.push(0, index, 0)
+        else:
+            deferred[sm_index].append(index)
+
+    warps = sim.kernel.warps
+    finish = 0
+    clock = 0
+    ticks = 0
+    while len(scheduler):
+        while scheduler.next_event_cycle() == clock:
+            ready, windex, position = scheduler.pop()
+            warp = warps[windex]
+            instr = warp.instructions[position]
+            sm_index, subcore = placements[windex]
+            sm = sim.sms[sm_index]
+
+            done = sm.issue(instr, subcore, ready)
+
+            position += 1
+            if position < warp.length:
+                scheduler.push(done, windex, position)
+            else:
+                if done > finish:
+                    finish = done
+                heapq.heappush(sm.retire_heap, done)
+                if deferred[sm_index]:
+                    successor = deferred[sm_index].pop(0)
+                    start = heapq.heappop(sm.retire_heap)
+                    scheduler.push(start, successor, 0)
+        clock += 1
+        ticks += 1
+        assert ticks < 5_000_000, "reference stepper runaway"
+
+    sim._m_cycles.set(finish)
+    sim._m_warps.set(sim.kernel.num_warps)
+    for sm in sim.sms:
+        sm.publish()
+    sim.memory.finish()
+    stats = SimStats.from_registry(sim.registry)
+    stats.check_dram_consistency()
+    return stats
+
+
+class TestEngineMatchesReference:
+    @pytest.mark.parametrize("policy", SCHEDULER_POLICIES)
+    @pytest.mark.parametrize("memory", MEMORY_MODELS)
+    def test_identical_stats_on_random_traces(self, policy, memory):
+        config = replace(SMALL, scheduler=policy, memory=memory)
+        base = 1000 * SCHEDULER_POLICIES.index(policy)
+        base += 100 * MEMORY_MODELS.index(memory)
+        for seed in range(4):
+            rng = random.Random(base + seed)
+            kernel = random_kernel(rng, num_warps=rng.randint(1, 12))
+            event_stats = GpuSimulator(config, kernel).run()
+            reference = per_cycle_run(GpuSimulator(config, kernel))
+            assert event_stats == reference, (
+                f"policy={policy} memory={memory} seed={base + seed}"
+            )
+
+    def test_engine_gauges_account_for_every_issue(self):
+        rng = random.Random(42)
+        kernel = random_kernel(rng, num_warps=9)
+        sim = GpuSimulator(SMALL, kernel)
+        stats = sim.run()
+        # One engine event per warp-instruction issue, even for warps
+        # admitted by wave scheduling after a residency slot frees.
+        assert sim.registry.value("gpu/engine/events") == (
+            kernel.total_instructions()
+        )
+        skipped = sim.registry.value("gpu/engine/idle_cycles_skipped")
+        assert 0 <= skipped < stats.cycles
+
+    def test_single_warp_single_instruction(self):
+        kernel = KernelTrace(
+            warps=[WarpTrace(instructions=[WarpInstr("alu")])], name="tiny"
+        )
+        event_stats = GpuSimulator(SMALL, kernel).run()
+        reference = per_cycle_run(GpuSimulator(SMALL, kernel))
+        assert event_stats == reference
+        assert event_stats.warp_instructions == 1
+
+
+class TestPrimitiveHorizons:
+    """``next_event_cycle()``: observational, and the integer cycle at
+    which each primitive's occupancy next changes an acquirer's outcome."""
+
+    def test_port_horizon_tracks_fractional_budget(self):
+        port = Port(interval=2.5)
+        assert port.next_event_cycle() == 0
+        assert port.acquire(0) == 0
+        assert port.next_event_cycle() == 3  # ceil(2.5)
+        assert port.acquire(0) == 3
+        assert port.next_event_cycle() == 5  # ceil(5.0)
+        before = port.next_event_cycle()
+        assert port.next_event_cycle() == before  # observational
+
+    def test_timeline_horizon_is_the_reservation_expiry(self):
+        line = Timeline()
+        assert line.next_event_cycle() == 0
+        line.hold_until(7)
+        assert line.next_event_cycle() == 7
+        assert line.begin(3) == 7  # begin() does not mutate the horizon
+        assert line.next_event_cycle() == 7
+
+    def test_slot_pool_horizon_is_the_earliest_release(self):
+        pool = SlotPool(capacity=2)
+        assert pool.next_event_cycle() == 0
+        pool.occupy(9)
+        pool.occupy(5)
+        assert pool.next_event_cycle() == 5
+        assert pool.next_event_cycle() == 5  # observational
+        # Full pool: acquiring waits for exactly the advertised horizon.
+        assert pool.acquire(0) == 5
+        assert pool.next_event_cycle() == 9
+
+    def test_pipelined_lane_horizon_prefers_backfillable_gaps(self):
+        lane = PipelinedLane()
+        assert lane.next_event_cycle() == 0
+        assert lane.allocate(0, 3) == 0
+        assert lane.next_event_cycle() == 3  # tail, no gaps
+        assert lane.allocate(10, 2) == 10  # leaves gap [3, 10)
+        assert lane.next_event_cycle() == 3  # gap start wins over tail
+        assert lane.allocate(0, 4) == 3  # backfills the gap
+        assert lane.next_event_cycle() == 7  # remaining gap [7, 10)
+
+    def test_sm_core_horizon_composes_children(self):
+        kernel = KernelTrace(
+            warps=[
+                WarpTrace(
+                    instructions=[
+                        WarpInstr("alu", repeat=4),
+                        WarpInstr(
+                            "ldg",
+                            active=2,
+                            addrs=(0, 4096),
+                            bytes_per_thread=4,
+                        ),
+                    ]
+                )
+            ],
+            name="horizon",
+        )
+        sim = GpuSimulator(SMALL, kernel)
+        assert sim.next_event_cycle() is None  # nothing queued before run
+        sim.run()
+        sm = sim.sms[0]
+        # After the run, the SM horizon is the max of nothing pending:
+        # still a plain integer, never None (components always answer).
+        assert isinstance(sm.next_event_cycle(), int)
+        assert sim.next_event_cycle() is None  # drained

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.errors import BuildError
 from repro.workloads.bvhnn import run_bvhnn
 
 
@@ -56,7 +57,7 @@ class TestVariants:
         assert mean_addr_spread(sorted_run) < mean_addr_spread(unsorted)
 
     def test_invalid_knobs_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(BuildError):
             run_bvhnn("R10K", num_queries=8, builder="magic")
-        with pytest.raises(ValueError):
+        with pytest.raises(BuildError):
             run_bvhnn("R10K", num_queries=8, arity=3)
