@@ -15,13 +15,23 @@ Results land in ``BENCH_simcore.json`` at the repo root::
     python benchmarks/bench_simcore.py --smoke      # CI: 2 samples + gate
     python benchmarks/bench_simcore.py --check      # gate only (see below)
 
+Each sample also records the campaign's *phase split* — trace generation
+(workload execution + lowering + fingerprinting) vs simulation
+(``GpuSimulator.run``) — as accumulated by
+:data:`repro.experiments.campaign.phase_stats`.  The phases are gated
+independently: a trace-gen regression can't hide inside a simulator win.
+
 ``--check`` compares the fresh measurement against the *committed*
-``BENCH_simcore.json`` (falling back to :data:`BASELINE_COLD_SECONDS`) and
-exits non-zero when cold wall-clock regressed more than ``--tolerance``
-(default 20%).  ``BASELINE_COLD_SECONDS`` is the same benchmark measured
-at the commit before the skip-to-next-event engine and the vectorized
-workload kernels landed; ``speedup_vs_baseline`` in the JSON tracks the
-cumulative win (the acceptance bar is >= 2x).
+``BENCH_simcore.json`` (falling back to :data:`BASELINE_COLD_SECONDS` and
+the per-phase baseline constants) and exits non-zero when cold wall-clock
+— or either phase — regressed more than ``--tolerance`` (default 20%).
+``BASELINE_COLD_SECONDS`` is the same benchmark measured at the commit
+before the skip-to-next-event engine and the vectorized workload kernels
+landed; ``speedup_vs_baseline`` in the JSON tracks the cumulative win
+(the acceptance bar is >= 2x).  ``BASELINE_TRACEGEN_SECONDS`` /
+``BASELINE_SIMULATE_SECONDS`` anchor the phase split at the commit before
+the batched query engine; ``tracegen_speedup_vs_baseline`` tracks that
+win (acceptance bar >= 3x on trace generation).
 """
 
 from __future__ import annotations
@@ -41,6 +51,15 @@ from pathlib import Path
 #: committed BENCH_simcore.json; this constant is the fallback anchor and
 #: the denominator of ``speedup_vs_baseline``.
 BASELINE_COLD_SECONDS = 0.553
+
+#: Phase split of the cold smoke campaign measured immediately before the
+#: batched query engine landed (same protocol, reference container): the
+#: trace-generation phase dominated the cold wall-clock.  These anchor the
+#: per-phase regression gates when no committed JSON carries phase fields,
+#: and ``BASELINE_TRACEGEN_SECONDS`` is the denominator of
+#: ``tracegen_speedup_vs_baseline``.
+BASELINE_TRACEGEN_SECONDS = 0.157
+BASELINE_SIMULATE_SECONDS = 0.066
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_simcore.json"
@@ -62,11 +81,16 @@ def _child(jobs_n: int) -> None:
         failures = "; ".join(r.error or "?" for r in summary.failed)
         print(json.dumps({"error": failures}))
         raise SystemExit(1)
-    print(json.dumps({"seconds": wall, "jobs": len(jobs)}))
+    print(json.dumps({
+        "seconds": wall,
+        "tracegen_seconds": summary.tracegen_seconds,
+        "simulate_seconds": summary.simulate_seconds,
+        "jobs": len(jobs),
+    }))
 
 
-def _run_cold_sample(jobs_n: int) -> float:
-    """Spawn one fresh-process, fresh-cache sample; returns seconds."""
+def _run_cold_sample(jobs_n: int) -> dict[str, float]:
+    """Spawn one fresh-process, fresh-cache sample; returns phase timings."""
     with tempfile.TemporaryDirectory(prefix="bench-simcore-") as tmp:
         env = os.environ.copy()
         env["REPRO_CACHE_DIR"] = str(Path(tmp) / "cache")
@@ -86,34 +110,68 @@ def _run_cold_sample(jobs_n: int) -> float:
                 f"cold sample failed:\n{proc.stdout}\n{proc.stderr}"
             )
         payload = json.loads(proc.stdout.strip().splitlines()[-1])
-        return float(payload["seconds"])
+        return {
+            "seconds": float(payload["seconds"]),
+            "tracegen_seconds": float(payload.get("tracegen_seconds", 0.0)),
+            "simulate_seconds": float(payload.get("simulate_seconds", 0.0)),
+        }
 
 
 def measure(runs: int, jobs_n: int) -> dict[str, object]:
     samples = []
     for index in range(runs):
-        seconds = _run_cold_sample(jobs_n)
-        samples.append(seconds)
-        print(f"  sample {index + 1}/{runs}: {seconds:.3f}s", flush=True)
-    cold = min(samples)
+        sample = _run_cold_sample(jobs_n)
+        samples.append(sample)
+        print(
+            f"  sample {index + 1}/{runs}: {sample['seconds']:.3f}s "
+            f"(tracegen {sample['tracegen_seconds']:.3f}s, "
+            f"simulate {sample['simulate_seconds']:.3f}s)",
+            flush=True,
+        )
+    best = min(samples, key=lambda s: s["seconds"])
+    cold = best["seconds"]
+    tracegen = best["tracegen_seconds"]
+    simulate = best["simulate_seconds"]
     return {
         "benchmark": "simcore-smoke-campaign-cold",
         "protocol": "best-of-N fresh-subprocess, fresh-cache, jobs_n=%d"
         % jobs_n,
-        "samples": [round(s, 4) for s in samples],
+        "samples": [round(s["seconds"], 4) for s in samples],
         "cold_seconds": round(cold, 4),
+        "tracegen_seconds": round(tracegen, 4),
+        "simulate_seconds": round(simulate, 4),
         "baseline_cold_seconds": BASELINE_COLD_SECONDS,
+        "baseline_tracegen_seconds": BASELINE_TRACEGEN_SECONDS,
+        "baseline_simulate_seconds": BASELINE_SIMULATE_SECONDS,
         "speedup_vs_baseline": round(BASELINE_COLD_SECONDS / cold, 3),
+        "tracegen_speedup_vs_baseline": (
+            round(BASELINE_TRACEGEN_SECONDS / tracegen, 3) if tracegen else None
+        ),
     }
 
 
-def _reference_cold_seconds(output: Path) -> float:
-    """The committed number the regression gate compares against."""
+def _reference_numbers(output: Path) -> dict[str, float]:
+    """The committed numbers the regression gates compare against.
+
+    Falls back field-by-field to the baseline constants, so a committed
+    JSON from before the phase split still gates the total.
+    """
+    fallback = {
+        "cold_seconds": BASELINE_COLD_SECONDS,
+        "tracegen_seconds": BASELINE_TRACEGEN_SECONDS,
+        "simulate_seconds": BASELINE_SIMULATE_SECONDS,
+    }
     try:
         committed = json.loads(output.read_text())
-        return float(committed["cold_seconds"])
-    except (OSError, ValueError, KeyError, TypeError):
-        return BASELINE_COLD_SECONDS
+    except (OSError, ValueError):
+        return fallback
+    reference = {}
+    for name, default in fallback.items():
+        try:
+            reference[name] = float(committed[name])
+        except (KeyError, TypeError, ValueError):
+            reference[name] = default
+    return reference
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -125,8 +183,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--smoke", action="store_true",
                         help="CI mode: 2 samples and the regression gate")
     parser.add_argument("--check", action="store_true",
-                        help="fail when cold wall-clock regresses beyond "
-                        "--tolerance vs the committed BENCH_simcore.json")
+                        help="fail when cold wall-clock or either phase "
+                        "(trace-gen / simulate) regresses beyond --tolerance "
+                        "vs the committed BENCH_simcore.json")
     parser.add_argument("--tolerance", type=float, default=0.20,
                         help="allowed fractional regression (default 0.20)")
     parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
@@ -141,7 +200,7 @@ def main(argv: list[str] | None = None) -> int:
 
     runs = 2 if args.smoke and args.runs == 3 else args.runs
     check = args.check or args.smoke
-    reference = _reference_cold_seconds(args.output)
+    reference = _reference_numbers(args.output)
 
     print(f"cold smoke campaign, {runs} fresh-process samples:")
     result = measure(runs, args.jobs)
@@ -150,24 +209,48 @@ def main(argv: list[str] | None = None) -> int:
         f"cold {cold:.3f}s — {result['speedup_vs_baseline']}x vs "
         f"pre-event-engine baseline ({BASELINE_COLD_SECONDS}s)"
     )
+    print(
+        f"phases: tracegen {result['tracegen_seconds']}s "
+        f"({result['tracegen_speedup_vs_baseline']}x vs pre-batch "
+        f"{BASELINE_TRACEGEN_SECONDS}s), "
+        f"simulate {result['simulate_seconds']}s"
+    )
 
     args.output.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
     print(f"wrote {args.output}")
 
     if check:
-        budget = reference * (1.0 + args.tolerance)
-        if cold > budget:
-            print(
-                f"REGRESSION: cold {cold:.3f}s exceeds "
-                f"{budget:.3f}s ({reference:.3f}s committed "
-                f"+{args.tolerance:.0%})",
-                file=sys.stderr,
-            )
-            return 1
-        print(
-            f"gate ok: {cold:.3f}s within {budget:.3f}s "
-            f"({reference:.3f}s committed +{args.tolerance:.0%})"
+        gates = (
+            ("cold", cold, reference["cold_seconds"]),
+            (
+                "tracegen",
+                float(result["tracegen_seconds"]),
+                reference["tracegen_seconds"],
+            ),
+            (
+                "simulate",
+                float(result["simulate_seconds"]),
+                reference["simulate_seconds"],
+            ),
         )
+        failed = False
+        for name, measured, committed in gates:
+            budget = committed * (1.0 + args.tolerance)
+            if measured > budget:
+                print(
+                    f"REGRESSION: {name} {measured:.3f}s exceeds "
+                    f"{budget:.3f}s ({committed:.3f}s committed "
+                    f"+{args.tolerance:.0%})",
+                    file=sys.stderr,
+                )
+                failed = True
+            else:
+                print(
+                    f"gate ok [{name}]: {measured:.3f}s within {budget:.3f}s "
+                    f"({committed:.3f}s committed +{args.tolerance:.0%})"
+                )
+        if failed:
+            return 1
     return 0
 
 

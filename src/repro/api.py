@@ -44,14 +44,7 @@ from repro.experiments import campaign
 from repro.gpusim import GpuConfig
 from repro.gpusim.stats import SimStats
 from repro.gpusim.trace import KernelTrace
-from repro.workloads import (
-    run_btree,
-    run_bvhnn,
-    run_flann,
-    run_ggnn,
-    to_traces,
-)
-from repro.workloads.base import TraceBundle, WorkloadRun
+from repro.workloads.base import TraceBundle, WorkloadRun, to_traces
 
 __all__ = [
     "Workload",
@@ -124,12 +117,20 @@ def run_workload(
 
     count = common.resolved_queries(family, abbr, queries)
     if family == "ggnn":
+        from repro.workloads.ggnn import run_ggnn
+
         return run_ggnn(abbr, num_queries=count)
     if family == "flann":
+        from repro.workloads.flann import run_flann
+
         return run_flann(abbr, num_queries=count)
     if family == "bvhnn":
+        from repro.workloads.bvhnn import run_bvhnn
+
         return run_bvhnn(abbr, num_queries=count)
     if family == "btree":
+        from repro.workloads.btree_kv import run_btree
+
         return run_btree(abbr, num_queries=count)
     raise ConfigError(f"unknown workload family {family!r}")
 

@@ -78,6 +78,11 @@ class BTree:
     nodes: list[BTreeNode]
     root: int
     branch: int
+    #: Global sorted key/value arrays (set by :func:`bulk_load`); the leaf
+    #: chunks view these in order.  ``lookup_batch`` uses them for one
+    #: whole-batch membership probe instead of per-leaf scans.
+    sorted_keys: np.ndarray | None = None
+    sorted_values: np.ndarray | None = None
 
     @property
     def num_nodes(self) -> int:
@@ -120,6 +125,68 @@ class BTree:
         if position < len(node.keys) and node.keys[position] == key:
             return float(node.values[position])
         return None
+
+    def lookup_batch(
+        self, keys: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, list[tuple[np.ndarray, np.ndarray]]]:
+        """Vectorized point lookups: all probes descend level-synchronously.
+
+        Returns ``(values, found, trail)``: per-probe values (meaningful
+        where ``found``), the hit mask, and ``trail`` — one
+        ``(node_ids, payloads)`` array pair per tree level in
+        root-to-leaf order, the last pair being the leaf scans.  Probe
+        ``i``'s trail column equals, event for event, what
+        :meth:`lookup` records into :class:`BTreeStats` — the child
+        selected per internal node is ``searchsorted(separators, key,
+        side="right")``, which for sorted separators is exactly the
+        KEY_COMPARE popcount.  Bulk-loaded trees have uniform leaf
+        depth, so every probe walks the same number of levels.
+        """
+        probes = np.asarray(keys, dtype=np.float64)
+        count = probes.shape[0]
+        trail: list[tuple[np.ndarray, np.ndarray]] = []
+        if count == 0:
+            empty = np.empty(0, dtype=np.float64)
+            return empty, np.zeros(0, dtype=bool), trail
+        current = np.full(count, self.root, dtype=np.int64)
+        while not self.nodes[int(current[0])].is_leaf:
+            payloads = np.empty(count, dtype=np.int64)
+            nxt = np.empty(count, dtype=np.int64)
+            # Few distinct nodes per level (the branch factor is 256).
+            for node_id in sorted(set(current.tolist())):
+                node = self.nodes[node_id]
+                seps = node.separators
+                assert seps is not None
+                mask = current == node_id
+                payloads[mask] = seps.size
+                child = np.searchsorted(seps, probes[mask], side="right")
+                nxt[mask] = np.asarray(node.children, dtype=np.int64)[child]
+            trail.append((current, payloads))
+            current = nxt
+        # Leaf level.  Leaves are nodes 0..n_leaves-1 in key order (the
+        # bulk loader appends them first), chunking the global sorted key
+        # array — so one whole-batch searchsorted resolves membership:
+        # a key exists iff it exists in its descent leaf.
+        if self.sorted_keys is None:
+            leaves = [n for n in self.nodes if n.is_leaf]
+            self.sorted_keys = np.concatenate([n.keys for n in leaves])
+            self.sorted_values = np.concatenate([n.values for n in leaves])
+        leaf_sizes = np.array(
+            [
+                n.keys.size if n.keys is not None else 0
+                for n in self.nodes[: int(current.max()) + 1]
+            ],
+            dtype=np.int64,
+        )
+        trail.append((current, leaf_sizes[current]))
+        position = np.searchsorted(self.sorted_keys, probes)
+        clipped = np.minimum(position, self.sorted_keys.size - 1)
+        found = (position < self.sorted_keys.size) & (
+            self.sorted_keys[clipped] == probes
+        )
+        assert self.sorted_values is not None
+        values = self.sorted_values[clipped]
+        return values, found, trail
 
     def range_scan(
         self, lo: float, hi: float, stats: BTreeStats | None = None
@@ -197,7 +264,10 @@ def bulk_load(
     keys = np.asarray(keys, dtype=np.float64)
     if keys.ndim != 1 or keys.size == 0:
         raise BuildError("keys must be a non-empty 1-D array")
-    if np.unique(keys).size != keys.size:
+    # Duplicate check via sort instead of np.unique (whose first call
+    # lazily imports numpy.ma — a measurable cold-start cost).
+    sorted_keys = np.sort(keys)
+    if keys.size > 1 and bool(np.any(sorted_keys[1:] == sorted_keys[:-1])):
         raise BuildError("keys must be unique")
     if values is None:
         values = keys.copy()
@@ -235,4 +305,10 @@ def bulk_load(
         level = next_level
         level_min_keys = next_min_keys
 
-    return BTree(nodes=nodes, root=level[0], branch=branch)
+    return BTree(
+        nodes=nodes,
+        root=level[0],
+        branch=branch,
+        sorted_keys=keys,
+        sorted_values=values,
+    )

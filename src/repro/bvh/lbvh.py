@@ -94,49 +94,104 @@ def _build_from_corners(
     sorted_codes = codes[order]
     sorted_lo = lo[order]
     sorted_hi = hi[order]
-    # bisect over a plain int list beats per-node numpy searchsorted calls.
-    code_list = sorted_codes.tolist()
 
-    # Topology walk: an explicit stack of (first, last, parent, child slot),
-    # preserving the legacy creation order (parent, then right subtree,
-    # then left) — node indices feed trace addresses, so they must not move.
-    firsts: list[int] = []
-    counts: list[int] = []
-    childs: list[list[int] | None] = []
-    parents: list[int] = []
-    depths: list[int] = []
-    root = -1
-    stack: list[tuple[int, int, int, int, int]] = [(0, count - 1, -1, 0, 0)]
-    while stack:
-        first, last, parent, child_pos, depth = stack.pop()
-        index = len(firsts)
-        firsts.append(first)
-        counts.append(last - first + 1)
-        parents.append(parent)
-        depths.append(depth)
-        if last - first + 1 <= leaf_size:
-            childs.append(None)
-        else:
-            childs.append([-1, -1])
-            split = _find_split_fast(code_list, first, last)
-            stack.append((first, split, index, 0, depth + 1))
-            stack.append((split + 1, last, index, 1, depth + 1))
-        if parent < 0:
-            root = index
-        else:
-            childs[parent][child_pos] = index  # type: ignore[index]
+    # Level-synchronous topology: split every internal range of a level in
+    # one vectorized pass.  Node *indices* must reproduce the legacy stack
+    # walk's creation order — preorder over (node, right subtree, left
+    # subtree) — because they feed trace addresses.  That order is
+    # analytical: a node's right child sits at ``index + 1`` and its left
+    # child at ``index + 1 + size(right subtree)``, so indices are assigned
+    # top-down once subtree sizes are known.
+    lv_first = [np.zeros(1, dtype=np.int64)]
+    lv_last = [np.full(1, count - 1, dtype=np.int64)]
+    lv_internal: list[np.ndarray] = []  # positions of split ranges per level
+    while True:
+        first = lv_first[-1]
+        last = lv_last[-1]
+        internal = np.flatnonzero(last - first + 1 > leaf_size)
+        lv_internal.append(internal)
+        if internal.size == 0:
+            break
+        fi = first[internal]
+        la = last[internal]
+        fc = sorted_codes[fi]
+        lc = sorted_codes[la]
+        split = (fi + la) >> 1  # equal-code fallback: midpoint
+        differ = np.flatnonzero(fc != lc)
+        if differ.size:
+            # Highest differing bit via the float64 exponent (codes are 30
+            # bits, exactly representable), then the same pivot arithmetic
+            # as _find_split.  Each range is a slice of the globally sorted
+            # code array — everything before ``first`` is <= first_code <
+            # pivot and codes[last] >= pivot — so a single global
+            # searchsorted equals the range-bounded bisect_left.
+            xor = (fc[differ] ^ lc[differ]).astype(np.float64)
+            diff_bit = np.frexp(xor)[1].astype(np.int64) - 1
+            pivot = ((fc[differ] >> diff_bit) | np.int64(1)) << diff_bit
+            split[differ] = (
+                np.searchsorted(sorted_codes, pivot, side="left") - 1
+            )
+        next_first = np.empty(2 * internal.size, dtype=np.int64)
+        next_last = np.empty(2 * internal.size, dtype=np.int64)
+        next_first[0::2] = fi  # left half of range j at position 2j,
+        next_last[0::2] = split
+        next_first[1::2] = split + 1  # right half at 2j + 1
+        next_last[1::2] = la
+        lv_first.append(next_first)
+        lv_last.append(next_last)
 
-    num_nodes = len(firsts)
+    depth_count = len(lv_first)
+    # Subtree sizes bottom-up, then preorder node indices top-down.
+    sizes: list[np.ndarray] = [np.empty(0, dtype=np.int64)] * depth_count
+    for k in range(depth_count - 1, -1, -1):
+        sz = np.ones(lv_first[k].shape[0], dtype=np.int64)
+        internal = lv_internal[k]
+        if internal.size:
+            child_sz = sizes[k + 1]
+            sz[internal] = 1 + child_sz[0::2] + child_sz[1::2]
+        sizes[k] = sz
+    indices: list[np.ndarray] = [np.zeros(1, dtype=np.int64)]
+    for k in range(depth_count - 1):
+        internal = lv_internal[k]
+        own = indices[k][internal]
+        child_sz = sizes[k + 1]
+        nxt = np.empty(2 * internal.size, dtype=np.int64)
+        nxt[1::2] = own + 1  # right subtree first,
+        nxt[0::2] = own + 1 + child_sz[1::2]  # then the left subtree
+        indices.append(nxt)
+
+    num_nodes = int(sizes[0][0])
+    firsts_arr = np.empty(num_nodes, dtype=np.int64)
+    counts_arr = np.empty(num_nodes, dtype=np.int64)
+    depths_arr = np.empty(num_nodes, dtype=np.int64)
+    parents_arr = np.empty(num_nodes, dtype=np.int64)
+    left_arr = np.full(num_nodes, -1, dtype=np.int64)
+    right_arr = np.full(num_nodes, -1, dtype=np.int64)
+    parents_arr[0] = -1
+    for k in range(depth_count):
+        dfs = indices[k]
+        firsts_arr[dfs] = lv_first[k]
+        counts_arr[dfs] = lv_last[k] - lv_first[k] + 1
+        depths_arr[dfs] = k
+        internal = lv_internal[k]
+        if internal.size:
+            own = dfs[internal]
+            child_dfs = indices[k + 1]
+            left_arr[own] = child_dfs[0::2]
+            right_arr[own] = child_dfs[1::2]
+            parents_arr[child_dfs[0::2]] = own
+            parents_arr[child_dfs[1::2]] = own
+    root = 0  # the preorder walk always created the root first
+
     node_lo = np.empty((num_nodes, 3), dtype=np.float64)
     node_hi = np.empty((num_nodes, 3), dtype=np.float64)
 
     # Leaf boxes: the union of each leaf's contiguous sorted-primitive range
     # (a pure per-component min/max — exact, order-independent).  Leaf
     # ranges partition [0, count), so a segmented reduce covers them all.
-    leaf_ids = np.array(
-        [i for i, c in enumerate(childs) if c is None], dtype=np.int64
-    )
-    leaf_firsts = np.array([firsts[i] for i in leaf_ids], dtype=np.int64)
+    is_leaf = left_arr < 0
+    leaf_ids = np.flatnonzero(is_leaf)
+    leaf_firsts = firsts_arr[leaf_ids]
     by_first = np.argsort(leaf_firsts)
     starts = leaf_firsts[by_first]
     ordered_leaves = leaf_ids[by_first]
@@ -145,25 +200,23 @@ def _build_from_corners(
 
     # Internal boxes bottom-up, one vectorized min/max per depth level
     # (children are always deeper than their parent).
-    internal_ids = np.array(
-        [i for i, c in enumerate(childs) if c is not None], dtype=np.int64
-    )
+    internal_ids = np.flatnonzero(~is_leaf)
     if internal_ids.size:
-        child_arr = np.array(
-            [childs[i] for i in internal_ids], dtype=np.int64
-        )
-        level = np.array([depths[i] for i in internal_ids], dtype=np.int64)
+        level = depths_arr[internal_ids]
         deep_first = np.argsort(-level, kind="stable")
         bounds = np.nonzero(np.diff(level[deep_first]))[0] + 1
         for group in np.split(deep_first, bounds):
             ids = internal_ids[group]
-            left = child_arr[group, 0]
-            right = child_arr[group, 1]
+            left = left_arr[ids]
+            right = right_arr[ids]
             node_lo[ids] = np.minimum(node_lo[left], node_lo[right])
             node_hi[ids] = np.maximum(node_hi[left], node_hi[right])
 
     return Bvh(
-        nodes=PackedNodes(node_lo, node_hi, firsts, counts, childs, parents),
+        nodes=PackedNodes.from_child_arrays(
+            node_lo, node_hi, firsts_arr, counts_arr,
+            left_arr, right_arr, parents_arr,
+        ),
         prim_indices=order,
         prim_boxes=prim_boxes,
         arity=2,

@@ -87,10 +87,13 @@ class PackedNodes(_SequenceBase):
         "hi",
         "firsts",
         "counts",
-        "child_lists",
         "parents",
+        "_child_lists",
+        "_left",
+        "_right",
         "_cache",
         "_rows",
+        "_flat",
     )
 
     def __init__(self, lo, hi, firsts, counts, child_lists, parents) -> None:
@@ -98,11 +101,35 @@ class PackedNodes(_SequenceBase):
         self.hi = hi
         self.firsts = firsts
         self.counts = counts
-        #: Per node: list of child indices, or None for a leaf.
-        self.child_lists = child_lists
+        self._child_lists = child_lists
+        self._left: np.ndarray | None = None
+        self._right: np.ndarray | None = None
         self.parents = parents
         self._cache: list[BvhNode | None] = [None] * len(parents)
         self._rows: tuple[list, list] | None = None
+        self._flat: tuple | None = None
+
+    @classmethod
+    def from_child_arrays(
+        cls, lo, hi, firsts, counts, left, right, parents
+    ) -> "PackedNodes":
+        """Binary-tree constructor taking per-node child index arrays
+        (``-1`` marks a leaf) instead of a list of child lists; the list
+        form materializes lazily on first :attr:`child_lists` access."""
+        nodes = cls(lo, hi, firsts, counts, None, parents)
+        nodes._left = left
+        nodes._right = right
+        return nodes
+
+    @property
+    def child_lists(self) -> list:
+        """Per node: list of child indices, or None for a leaf."""
+        if self._child_lists is None:
+            pairs = np.stack((self._left, self._right), axis=1).tolist()
+            self._child_lists = [
+                pair if pair[0] >= 0 else None for pair in pairs
+            ]
+        return self._child_lists
 
     def corner_rows(self) -> tuple[list, list]:
         """Corner coordinates as cached plain-float row lists.
@@ -113,6 +140,54 @@ class PackedNodes(_SequenceBase):
         if self._rows is None:
             self._rows = (self.lo.tolist(), self.hi.tolist())
         return self._rows
+
+    def flat_topology(self) -> tuple:
+        """Topology as flat arrays for the batched traversal kernels.
+
+        Returns ``(is_leaf, child_off, child_cnt, child_idx, firsts,
+        counts)`` where children of internal node ``n`` occupy
+        ``child_idx[child_off[n] : child_off[n] + child_cnt[n]]`` in child
+        order.  The snapshot is taken (and cached) on first call — after
+        any build-time mutation such as ``collapse_to_bvh4``; batched
+        queries must not run concurrently with further topology edits.
+        """
+        if self._flat is None:
+            if self._child_lists is None:
+                # Array form: children come straight from the index arrays.
+                is_leaf = self._left < 0
+                internal = np.flatnonzero(~is_leaf)
+                child_cnt = np.where(is_leaf, 0, 2).astype(np.int64)
+                child_idx = np.empty(2 * internal.size, dtype=np.int64)
+                child_idx[0::2] = self._left[internal]
+                child_idx[1::2] = self._right[internal]
+            else:
+                child_lists = self._child_lists
+                child_cnt = np.array(
+                    [0 if c is None else len(c) for c in child_lists],
+                    dtype=np.int64,
+                )
+                is_leaf = np.array(
+                    [c is None for c in child_lists], dtype=bool
+                )
+                flat_children = [c for c in child_lists if c]
+                child_idx = (
+                    np.concatenate(
+                        [np.asarray(c, dtype=np.int64) for c in flat_children]
+                    )
+                    if flat_children
+                    else np.empty(0, dtype=np.int64)
+                )
+            child_off = np.zeros(len(self._cache), dtype=np.int64)
+            np.cumsum(child_cnt[:-1], out=child_off[1:])
+            self._flat = (
+                is_leaf,
+                child_off,
+                child_cnt,
+                child_idx,
+                np.asarray(self.firsts, dtype=np.int64),
+                np.asarray(self.counts, dtype=np.int64),
+            )
+        return self._flat
 
     def __len__(self) -> int:
         return len(self._cache)

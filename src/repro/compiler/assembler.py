@@ -14,7 +14,11 @@ from __future__ import annotations
 
 from typing import Sequence
 
+import numpy as np
+
 from repro.compiler.ops import (
+    METRIC_ANGULAR,
+    METRIC_EUCLID,
     TAlu,
     TBox,
     TDist,
@@ -27,8 +31,161 @@ from repro.compiler.ops import (
     WarpOp,
 )
 from repro.errors import TraceError
+from repro.search.events import segmented_arange
 
 WARP_SIZE = 32
+
+#: Kind codes of packed streams (indexes into this tuple).
+PACKED_KINDS = (
+    "TDist", "TBox", "TTri", "TKeyCmp", "TAlu", "TShared", "TSfu", "TLoad",
+)
+PACKED_TDIST = PACKED_KINDS.index("TDist")
+PACKED_TBOX = PACKED_KINDS.index("TBox")
+PACKED_TTRI = PACKED_KINDS.index("TTri")
+PACKED_TKEYCMP = PACKED_KINDS.index("TKeyCmp")
+PACKED_TALU = PACKED_KINDS.index("TAlu")
+PACKED_TSHARED = PACKED_KINDS.index("TShared")
+PACKED_TSFU = PACKED_KINDS.index("TSfu")
+PACKED_TLOAD = PACKED_KINDS.index("TLoad")
+_UNIFORM = frozenset((PACKED_TALU, PACKED_TSHARED, PACKED_TSFU))
+
+#: Metric codes for packed TDist ops (k2 indexes into this tuple).
+PACKED_METRICS = (METRIC_EUCLID, METRIC_ANGULAR)
+
+
+class PackedStreams:
+    """Array-backed thread-op streams (the batch-engine op IR).
+
+    Thread ``i``'s ops are rows ``[starts[i], starts[i + 1])`` in stream
+    order.  Per row: ``kinds`` is a :data:`PACKED_KINDS` code; ``k1``/``k2``
+    mirror the scalar assembler's shape key (TDist: dim / metric code;
+    TBox: num_boxes / node_bytes; TKeyCmp and TLoad: k1 only); ``addr`` is
+    the memory address of addressed kinds; ``cnt`` the instruction count
+    of uniform kinds (TAlu/TShared/TSfu).
+    """
+
+    __slots__ = ("starts", "kinds", "k1", "k2", "addr", "cnt")
+
+    def __init__(self, starts, kinds, k1, k2, addr, cnt) -> None:
+        self.starts = np.asarray(starts, dtype=np.int64)
+        self.kinds = kinds
+        self.k1 = k1
+        self.k2 = k2
+        self.addr = addr
+        self.cnt = cnt
+
+    @property
+    def num_threads(self) -> int:
+        return self.starts.shape[0] - 1
+
+
+def assemble_warps_packed(
+    streams: PackedStreams, warp_size: int = WARP_SIZE
+) -> list[list[WarpOp]]:
+    """:func:`assemble_warps` over packed streams — identical output.
+
+    Grouping runs as one composite sort per warp instead of a Python scan
+    per op: ops sort by (position, shape key, lane); groups order by
+    (position, first member lane), reproducing the scalar bucketer's
+    first-appearance order; members stay in lane order.  The equivalence
+    tests and the trace goldens pin the output WarpOp streams bit-for-bit
+    against the scalar assembler.
+    """
+    num_threads = streams.num_threads
+    if num_threads == 0:
+        raise TraceError("no thread streams to assemble")
+    if not 1 <= warp_size <= WARP_SIZE:
+        raise TraceError(f"warp_size {warp_size} outside [1, {WARP_SIZE}]")
+    starts = streams.starts
+    warps: list[list[WarpOp]] = []
+    for base in range(0, num_threads, warp_size):
+        top = min(base + warp_size, num_threads)
+        lo, hi = int(starts[base]), int(starts[top])
+        count = hi - lo
+        if count == 0:
+            warps.append([])
+            continue
+        lengths = np.diff(starts[base : top + 1])
+        lane = np.repeat(np.arange(top - base, dtype=np.int64), lengths)
+        pos = segmented_arange(lengths, count)
+        span = slice(lo, hi)
+        kind_v = streams.kinds[span]
+        k1_v = streams.k1[span]
+        k2_v = streams.k2[span]
+        order = np.lexsort((lane, k2_v, k1_v, kind_v, pos))
+        kind_s = kind_v[order]
+        k1_s = k1_v[order]
+        k2_s = k2_v[order]
+        pos_s = pos[order]
+        new_group = np.empty(count, dtype=bool)
+        new_group[0] = True
+        new_group[1:] = (
+            (pos_s[1:] != pos_s[:-1])
+            | (kind_s[1:] != kind_s[:-1])
+            | (k1_s[1:] != k1_s[:-1])
+            | (k2_s[1:] != k2_s[:-1])
+        )
+        group_lo = np.flatnonzero(new_group)
+        group_hi = np.append(group_lo[1:], count)
+        first_lane = lane[order][group_lo]
+        # (position, first lane) uniquely orders groups: a lane holds one
+        # op per position, so no two groups at a position share a lane.
+        group_order = np.argsort(
+            pos_s[group_lo] * (WARP_SIZE + 1) + first_lane
+        )
+        addr_list = streams.addr[span][order].tolist()
+        cnt_list = streams.cnt[span][order].tolist()
+        k1_list = k1_s.tolist()
+        k2_list = k2_s.tolist()
+        kind_list = kind_s.tolist()
+        lo_list = group_lo.tolist()
+        hi_list = group_hi.tolist()
+        warp_ops: list[WarpOp] = []
+        for g in group_order.tolist():
+            g_lo = lo_list[g]
+            g_hi = hi_list[g]
+            code = kind_list[g_lo]
+            kind = PACKED_KINDS[code]
+            active = g_hi - g_lo
+            if code in _UNIFORM:
+                warp_ops.append(
+                    WarpOp(kind, (), active, a=max(cnt_list[g_lo:g_hi]))
+                )
+            elif code == PACKED_TDIST:
+                warp_ops.append(
+                    WarpOp(
+                        kind,
+                        tuple(addr_list[g_lo:g_hi]),
+                        active,
+                        a=k1_list[g_lo],
+                        meta=PACKED_METRICS[k2_list[g_lo]],
+                    )
+                )
+            elif code == PACKED_TBOX:
+                warp_ops.append(
+                    WarpOp(
+                        kind,
+                        tuple(addr_list[g_lo:g_hi]),
+                        active,
+                        a=k1_list[g_lo],
+                        b=k2_list[g_lo],
+                    )
+                )
+            elif code == PACKED_TTRI:
+                warp_ops.append(
+                    WarpOp(kind, tuple(addr_list[g_lo:g_hi]), active)
+                )
+            else:  # TKeyCmp and TLoad share the (addrs, a=k1) shape.
+                warp_ops.append(
+                    WarpOp(
+                        kind,
+                        tuple(addr_list[g_lo:g_hi]),
+                        active,
+                        a=k1_list[g_lo],
+                    )
+                )
+        warps.append(warp_ops)
+    return warps
 
 
 def _shape_key(op: ThreadOp) -> tuple:

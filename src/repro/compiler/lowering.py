@@ -376,7 +376,7 @@ def _emit_split_loads(
             WarpInstr(
                 KIND_LDG,
                 active=active,
-                addrs=addrs if offset == 0 else tuple(a + offset for a in addrs),
+                addrs=addrs if offset == 0 else tuple(map(offset.__add__, addrs)),
                 bytes_per_thread=size,
                 hsu_able=True,
             )

@@ -83,6 +83,38 @@ def batch_euclid_dist(
     return total
 
 
+def rowwise_euclid_dist(
+    qrows: np.ndarray,
+    crows: np.ndarray,
+    width: int = EUCLID_WIDTH,
+) -> np.ndarray:
+    """Per-row squared Euclidean distance between paired point rows.
+
+    Row ``i`` of the result bit-matches ``euclid_dist(qrows[i], crows[i],
+    width)`` — and therefore also row ``i`` of ``batch_euclid_dist`` with
+    ``qrows[i]`` as the query.  This is the merged-pool form the batched
+    query engine uses: candidate pools from many queries concatenate into
+    one ``(M, dim)`` block with a matching block of per-row query points,
+    and because every reduction in :func:`batch_euclid_dist` is already
+    row-independent, merging pools cannot move a single bit in any row.
+    """
+    q = np.ascontiguousarray(qrows, dtype=np.float32)
+    c = np.ascontiguousarray(crows, dtype=np.float32)
+    if q.ndim != 2 or c.ndim != 2:
+        raise IsaError(
+            f"rowwise blocks must be 2-D, got {q.shape} and {c.shape}"
+        )
+    if q.shape != c.shape:
+        raise IsaError(f"row-block mismatch: {q.shape} vs {c.shape}")
+    if q.shape[1] == 0:
+        raise IsaError("points must have at least one coordinate")
+    total = np.zeros(q.shape[0], dtype=np.float32)
+    for lo, hi, _accumulate in iter_beat_slices(q.shape[1], width):
+        diff = q[:, lo:hi] - c[:, lo:hi]
+        total = total + np.sum(diff * diff, axis=1, dtype=np.float32)
+    return total
+
+
 def angular_dist(
     a: Sequence[float] | np.ndarray,
     b: Sequence[float] | np.ndarray,

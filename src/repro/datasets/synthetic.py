@@ -16,6 +16,8 @@ between instructions").
 from __future__ import annotations
 
 import numpy as np
+import numpy.random  # noqa: F401 -- numpy loads it lazily; force it at
+# import time so dataset generation inside a timed phase doesn't pay it.
 
 from repro.errors import DatasetError
 

@@ -127,6 +127,36 @@ class CacheStats:
 cache_stats = CacheStats()
 
 
+@dataclass
+class PhaseStats:
+    """Process-local wall-clock split between the two campaign phases.
+
+    ``tracegen`` is time spent producing simulator input — workload
+    execution, trace lowering, and fingerprinting; ``simulate`` is time
+    spent inside :meth:`GpuSimulator.run`.  Cache bookkeeping, manifest
+    I/O, and pool overhead are in neither bucket, so the phases do not sum
+    to the campaign wall-clock.  ``benchmarks/bench_simcore.py`` records
+    both numbers and gates regressions per phase.
+    """
+
+    tracegen: float = 0.0
+    simulate: float = 0.0
+
+    def snapshot(self) -> "PhaseStats":
+        return PhaseStats(self.tracegen, self.simulate)
+
+    def delta(self, since: "PhaseStats") -> "PhaseStats":
+        return PhaseStats(
+            self.tracegen - since.tracegen,
+            self.simulate - since.simulate,
+        )
+
+
+#: Global phase timers for this process (workers report theirs through the
+#: per-job records, like the cache counters).
+phase_stats = PhaseStats()
+
+
 @dataclass(frozen=True)
 class Job:
     """One deterministically keyed simulation of the evaluation campaign."""
@@ -198,6 +228,10 @@ class JobRecord:
     attempts: int = 1
     error: str | None = None
     simstats: dict[str, object] | None = None
+    #: Phase split for this job (see :class:`PhaseStats`): zero on warm
+    #: cache hits, where neither phase executes.
+    tracegen_wall: float = 0.0
+    sim_wall: float = 0.0
 
 
 # ---------------------------------------------------------------------------
@@ -340,6 +374,52 @@ def store_trace_entry(
     )
 
 
+def artifact_key(kind: str, params: dict[str, object]) -> str:
+    """Key of a build-artifact entry (e.g. a tuned search radius)."""
+    return _sha(
+        {"schema": CACHE_SCHEMA_VERSION, "artifact": kind, "params": params}
+    )
+
+
+def _artifact_path(key: str) -> Path:
+    return cache_dir() / "traces" / f"artifact-{key}.json"
+
+
+def load_artifact(kind: str, params: dict[str, object]) -> object | None:
+    """Cached build artifact for ``params``, or None on miss/cache-off.
+
+    Artifacts are small derived values of an index build (a tuned radius,
+    a sampled parameter) that are expensive to recompute but cheap to
+    store; they live in the ``traces/`` tier so every variant of a
+    workload — and every worker process of a parallel campaign — shares
+    one computation.
+    """
+    if cache_mode() == "off":
+        return None
+    key = artifact_key(kind, params)
+    payload = _load_entry(_artifact_path(key), key, ("value",))
+    if payload is None:
+        return None
+    cache_stats.hits += 1
+    return payload["value"]
+
+
+def store_artifact(kind: str, params: dict[str, object], value: object) -> None:
+    if cache_mode() == "off":
+        return
+    key = artifact_key(kind, params)
+    _write_entry(
+        _artifact_path(key),
+        {
+            "schema": CACHE_SCHEMA_VERSION,
+            "key": key,
+            "artifact": kind,
+            "params": params,
+            "value": value,
+        },
+    )
+
+
 # ---------------------------------------------------------------------------
 # Cached simulation
 # ---------------------------------------------------------------------------
@@ -353,6 +433,7 @@ def cached_simulate(
     kernel: KernelTrace,
     run_id: str | None = None,
     workload: dict[str, object] | None = None,
+    trace_sha: str | None = None,
 ) -> SimStats:
     """Simulate through the persistent cache (the ``simulate_recorded`` core).
 
@@ -361,14 +442,19 @@ def cached_simulate(
     simulation input.  On a hit the cached run-manifest snapshot is
     re-stamped to ``results/`` (original timestamp and git SHA — it
     documents the run that actually computed the numbers); on a miss the
-    simulation runs, stamps its manifest, and stores the entry.
+    simulation runs, stamps its manifest, and stores the entry.  Callers
+    that already fingerprinted the kernel pass ``trace_sha`` to skip the
+    (non-trivial) re-hash.
     """
     mode = cache_mode()
     wkey = dict(workload) if workload is not None else {
         "family": family, "dataset": abbr, "variant": variant,
     }
     run_id = run_id or f"{family}-{abbr.replace('+', '')}-{variant}".lower()
-    trace_sha = kernel.fingerprint()
+    if trace_sha is None:
+        fp_start = time.perf_counter()
+        trace_sha = kernel.fingerprint()
+        phase_stats.tracegen += time.perf_counter() - fp_start
     config_sha = config.stable_hash()
     key = stats_key(wkey, trace_sha, config_sha)
     if mode == "on":
@@ -381,7 +467,9 @@ def cached_simulate(
             return stats
     cache_stats.misses += 1
     sim = GpuSimulator(config, kernel)
+    sim_start = time.perf_counter()
     stats = sim.run()
+    phase_stats.simulate += time.perf_counter() - sim_start
     manifest = build_manifest(
         run_id=run_id,
         config=config,
@@ -408,6 +496,25 @@ def _restamp_manifest(snapshot: dict[str, object]) -> None:
         pass  # the manifest is an audit artifact; a hit must not fail on it
 
 
+#: Workload family -> defining module (lazy since repro.workloads uses
+#: PEP 562); imported up front so the tracegen phase times generation, not
+#: module loading.
+_FAMILY_MODULES = {
+    "bvhnn": "repro.workloads.bvhnn",
+    "flann": "repro.workloads.flann",
+    "ggnn": "repro.workloads.ggnn",
+    "btree": "repro.workloads.btree_kv",
+}
+
+
+def _warm_workload_module(family: str) -> None:
+    module = _FAMILY_MODULES.get(family)
+    if module is not None:
+        import importlib
+
+        importlib.import_module(module)
+
+
 def run_job(job: Job, mode: str | None = None) -> JobOutcome:
     """Run one campaign job, consulting both cache tiers.
 
@@ -420,6 +527,7 @@ def run_job(job: Job, mode: str | None = None) -> JobOutcome:
     from repro import api  # deferred: the facade wires onto us
     from repro.experiments import common  # deferred: the registry
 
+    _warm_workload_module(job.family)
     if mode is not None:
         set_cache_mode(mode)
     mode = cache_mode()
@@ -445,11 +553,13 @@ def run_job(job: Job, mode: str | None = None) -> JobOutcome:
                 return JobOutcome(
                     job, stats, True, time.perf_counter() - start, skey
                 )
+    gen_start = time.perf_counter()
     bundle = api.trace_bundle(
         job.family, job.abbr, job.queries, job.euclid_width
     )
     kernel = bundle.baseline if job.variant == "baseline" else bundle.hsu
     trace_sha = kernel.fingerprint()
+    phase_stats.tracegen += time.perf_counter() - gen_start
     if mode != "off":
         store_trace_entry(tkey, params, job.variant, kernel, trace_sha)
     skey = stats_key(wkey, trace_sha, config_sha)
@@ -462,6 +572,7 @@ def run_job(job: Job, mode: str | None = None) -> JobOutcome:
         kernel,
         run_id=job.run_id,
         workload=wkey,
+        trace_sha=trace_sha,
     )
     hit = cache_stats.hits > before.hits
     return JobOutcome(job, stats, hit, time.perf_counter() - start, skey)
@@ -574,6 +685,7 @@ def _worker(
 
 def _run_recorded(job: Job) -> JobRecord:
     start = time.perf_counter()
+    phases_before = phase_stats.snapshot()
     try:
         outcome = run_job(job)
     except Exception as exc:  # noqa: BLE001 - a job failure must not abort the campaign
@@ -583,6 +695,7 @@ def _run_recorded(job: Job) -> JobRecord:
             wall=time.perf_counter() - start,
             error=f"{type(exc).__name__}: {exc}",
         )
+    phases = phase_stats.delta(phases_before)
     return JobRecord(
         job,
         ok=True,
@@ -590,6 +703,8 @@ def _run_recorded(job: Job) -> JobRecord:
         wall=outcome.wall,
         key=outcome.key,
         simstats=outcome.stats.to_json_dict(),
+        tracegen_wall=phases.tracegen,
+        sim_wall=phases.simulate,
     )
 
 
@@ -613,6 +728,16 @@ class CampaignSummary:
     @property
     def failed(self) -> list[JobRecord]:
         return [r for r in self.records if not r.ok]
+
+    @property
+    def tracegen_seconds(self) -> float:
+        """Total workload-generation phase time across all job records."""
+        return sum(r.tracegen_wall for r in self.records)
+
+    @property
+    def simulate_seconds(self) -> float:
+        """Total simulator-run phase time across all job records."""
+        return sum(r.sim_wall for r in self.records)
 
     @property
     def ok(self) -> bool:
@@ -669,6 +794,8 @@ def write_campaign_manifest(summary: CampaignSummary) -> Path:
         "wall_seconds": summary.wall,
         "cache_hits": summary.hits,
         "cache_misses": summary.misses,
+        "tracegen_seconds": summary.tracegen_seconds,
+        "simulate_seconds": summary.simulate_seconds,
         "failed": len(summary.failed),
         "jobs": [
             {

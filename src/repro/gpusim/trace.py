@@ -104,9 +104,14 @@ class WarpInstr:
         return f"<{self.kind} active={self.active} repeat={self.repeat}{extra}>"
 
 
-@dataclass
+@dataclass(slots=True)
 class WarpTrace:
-    """One warp's instruction stream plus bookkeeping."""
+    """One warp's instruction stream plus bookkeeping.
+
+    ``slots=True``: a smoke campaign materializes thousands per run, and a
+    full sweep millions; skipping per-instance ``__dict__`` keeps them
+    compact without changing pickling or equality.
+    """
 
     instructions: list[WarpInstr] = field(default_factory=list)
     #: Identifier for debugging (e.g. query index range).
@@ -120,7 +125,7 @@ class WarpTrace:
         return len(self.instructions)
 
 
-@dataclass
+@dataclass(slots=True)
 class KernelTrace:
     """A full kernel launch: all warps of all thread blocks."""
 
@@ -153,21 +158,20 @@ class KernelTrace:
         fingerprint and therefore busts the cache.
         """
         digest = hashlib.blake2b(digest_size=20)
-        digest.update(self.name.encode("utf-8"))
+        parts = [self.name.encode("utf-8")]
+        append = parts.append
         for warp in self.warps:
-            digest.update(b"\x00warp\x00")
-            digest.update(warp.label.encode("utf-8"))
-            for instr in warp.instructions:
-                record = (
-                    instr.kind,
-                    instr.active,
-                    instr.repeat,
-                    instr.addrs,
-                    instr.bytes_per_thread,
-                    instr.opcode.value if instr.opcode is not None else None,
-                    instr.beats,
-                    instr.hsu_able,
-                    instr.chain,
+            append(b"\x00warp\x00")
+            append(warp.label.encode("utf-8"))
+            for i in warp.instructions:
+                # Formatted inline (each field through !r), byte-identical
+                # to repr() of the 9-field record tuple the digest has
+                # always covered — tests pin the hex digests.
+                opcode = i.opcode.value if i.opcode is not None else None
+                append(
+                    f"({i.kind!r}, {i.active!r}, {i.repeat!r}, {i.addrs!r},"
+                    f" {i.bytes_per_thread!r}, {opcode!r}, {i.beats!r},"
+                    f" {i.hsu_able!r}, {i.chain!r})".encode("utf-8")
                 )
-                digest.update(repr(record).encode("utf-8"))
+        digest.update(b"".join(parts))
         return digest.hexdigest()

@@ -14,9 +14,12 @@ import numpy as np
 from repro.errors import BuildError
 
 
-@dataclass
+@dataclass(slots=True)
 class KdNode:
     """One k-d tree node: either a split plane or a leaf range."""
+
+    # slots=True: a 10K-point tree allocates ~20K nodes per build; skipping
+    # per-instance __dict__ both shrinks and speeds up construction.
 
     split_dim: int = -1
     split_value: float = 0.0
@@ -43,10 +46,40 @@ class KdTree:
     point_indices: np.ndarray = field(default_factory=lambda: np.empty(0, np.int64))
     root: int = 0
     leaf_size: int = 8
+    _flat: tuple | None = field(default=None, repr=False, compare=False)
 
     @property
     def dim(self) -> int:
         return int(self.points.shape[1])
+
+    def flat_arrays(self) -> tuple:
+        """Topology as parallel arrays for the batched frontier kernels.
+
+        Returns ``(split_dim, split_value, left, right, first_point,
+        point_count)`` indexed by node id; leaves have ``split_dim < 0``.
+        Built lazily on first use (node objects are still being filled in
+        during construction) and cached — builders never mutate nodes after
+        :func:`build_kdtree` returns.
+        """
+        if self._flat is None:
+            count = len(self.nodes)
+            self._flat = (
+                np.fromiter(
+                    (n.split_dim for n in self.nodes), np.int64, count
+                ),
+                np.fromiter(
+                    (n.split_value for n in self.nodes), np.float64, count
+                ),
+                np.fromiter((n.left for n in self.nodes), np.int64, count),
+                np.fromiter((n.right for n in self.nodes), np.int64, count),
+                np.fromiter(
+                    (n.first_point for n in self.nodes), np.int64, count
+                ),
+                np.fromiter(
+                    (n.point_count for n in self.nodes), np.int64, count
+                ),
+            )
+        return self._flat
 
     @property
     def num_points(self) -> int:

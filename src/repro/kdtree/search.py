@@ -19,12 +19,23 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.ops import batch_euclid_dist
+from repro.core.ops import batch_euclid_dist, rowwise_euclid_dist
 from repro.kdtree.build import KdTree
+from repro.search.events import (
+    BatchResult,
+    EventBuffer,
+    EventLog,
+    segmented_arange,
+)
 
 #: Event kinds consumed by the trace compiler.
 EVENT_PLANE_TEST = "plane_test"
 EVENT_LEAF_DIST = "leaf_dist"
+
+#: Event-kind vocabulary of the array-backed log (codes index this tuple).
+KD_EVENT_KINDS = (EVENT_PLANE_TEST, EVENT_LEAF_DIST)
+_PLANE = KD_EVENT_KINDS.index(EVENT_PLANE_TEST)
+_DIST = KD_EVENT_KINDS.index(EVENT_LEAF_DIST)
 
 
 @dataclass
@@ -126,6 +137,142 @@ def knn_search(
 
     results = sorted(((-negd2, pid) for negd2, pid in best))
     return [(pid, d2) for d2, pid in results]
+
+
+def knn_search_batch(
+    tree: KdTree,
+    queries: np.ndarray,
+    k: int,
+    max_checks: int = 128,
+    record_events: bool = False,
+    stats: KdSearchStats | None = None,
+) -> BatchResult:
+    """Batched :func:`knn_search` over a ``(Q, dim)`` query block.
+
+    Level-synchronous lockstep descent: every active query advances one
+    node per step, so plane tests gather/compare as one vectorized block
+    and all leaf visits of a step merge into a single
+    :func:`rowwise_euclid_dist` kernel call.  Per query, the neighbors and
+    the event log are bit-identical to the scalar search — the priority
+    bookkeeping (pending-branch and best-k heaps) intentionally reruns the
+    scalar arithmetic on the vectorized kernels' outputs.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    stats = stats if stats is not None else KdSearchStats()
+    queries = np.asarray(queries, dtype=np.float64)
+    if queries.ndim != 2 or queries.shape[1] != tree.dim:
+        raise ValueError(
+            f"expected (Q, {tree.dim}) queries, got shape {queries.shape}"
+        )
+    num_q = queries.shape[0]
+    if num_q == 0:
+        return BatchResult([], EventLog.empty(KD_EVENT_KINDS, 0))
+    split_dim, split_value, left, right, first_point, point_count = (
+        tree.flat_arrays()
+    )
+    dim = tree.dim
+    buffer = EventBuffer() if record_events else None
+
+    best: list[list[tuple[float, int]]] = [[] for _ in range(num_q)]
+    pending: list[list] = [[] for _ in range(num_q)]
+    checks = [0] * num_q
+    ties = [0] * num_q
+    cur_min: list[float] = [0.0] * num_q
+    contribs: list[tuple] = [(0.0,) * dim] * num_q
+    node = np.full(num_q, tree.root, dtype=np.int64)
+    active = np.arange(num_q, dtype=np.int64)
+
+    def pop_next(i: int) -> bool:
+        """Scalar backtrack: pop until a viable branch; True to descend."""
+        b = best[i]
+        p = pending[i]
+        worst = -b[0][0] if len(b) == k else np.inf
+        while p and checks[i] < max_checks:
+            min_d2, _tie, node_id, ctr = heapq.heappop(p)
+            if min_d2 >= worst:
+                continue
+            node[i] = node_id
+            cur_min[i] = min_d2
+            contribs[i] = ctr
+            return True
+        return False
+
+    while active.size:
+        at = node[active]
+        is_leaf = split_dim[at] < 0
+        internal = active[~is_leaf]
+        leaves = active[is_leaf]
+        next_active = []
+        if internal.size:
+            ni = node[internal]
+            axes = split_dim[ni]
+            diff = queries[internal, axes] - split_value[ni]
+            stats.plane_tests += int(internal.size)
+            if buffer is not None:
+                buffer.append_block(_PLANE, internal, ni, 0)
+            far_contrib = diff * diff
+            goes_left = diff < 0.0
+            node[internal] = np.where(goes_left, left[ni], right[ni])
+            far = np.where(goes_left, right[ni], left[ni])
+            far_list = far.tolist()
+            axis_list = axes.tolist()
+            for j, i in enumerate(internal.tolist()):
+                axis = axis_list[j]
+                fc = far_contrib[j]
+                ctr = contribs[i]
+                far_min = cur_min[i] - ctr[axis] + fc
+                ties[i] += 1
+                heapq.heappush(
+                    pending[i],
+                    (
+                        far_min,
+                        ties[i],
+                        far_list[j],
+                        ctr[:axis] + (fc,) + ctr[axis + 1 :],
+                    ),
+                )
+            next_active.append(internal)
+        if leaves.size:
+            ln = node[leaves]
+            counts = point_count[ln]
+            total = int(counts.sum())
+            stats.leaf_visits += int(leaves.size)
+            offsets = np.repeat(first_point[ln], counts) + segmented_arange(
+                counts, total
+            )
+            pids = tree.point_indices[offsets]
+            qids = np.repeat(leaves, counts)
+            d2s = rowwise_euclid_dist(queries[qids], tree.points[pids])
+            stats.dist_tests += total
+            if buffer is not None:
+                buffer.append_block(_DIST, qids, pids, dim)
+            for pid, d2, i in zip(pids.tolist(), d2s.tolist(), qids.tolist()):
+                checks[i] += 1
+                b = best[i]
+                if len(b) < k:
+                    heapq.heappush(b, (-d2, pid))
+                elif d2 < -b[0][0]:
+                    heapq.heapreplace(b, (-d2, pid))
+            resumed = [i for i in leaves.tolist() if pop_next(i)]
+            if resumed:
+                next_active.append(np.asarray(resumed, dtype=np.int64))
+        active = (
+            np.concatenate(next_active)
+            if next_active
+            else np.empty(0, dtype=np.int64)
+        )
+
+    neighbors = []
+    for i in range(num_q):
+        results = sorted((-negd2, pid) for negd2, pid in best[i])
+        neighbors.append([(pid, d2) for d2, pid in results])
+    log = (
+        buffer.to_log(KD_EVENT_KINDS, num_q)
+        if buffer is not None
+        else EventLog.empty(KD_EVENT_KINDS, num_q)
+    )
+    return BatchResult(neighbors, log)
 
 
 def radius_search(

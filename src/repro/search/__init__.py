@@ -1,9 +1,9 @@
 """Unified search-index surface over the paper's hierarchical structures.
 
 :class:`~repro.search.base.SearchIndex` is the ``build`` / ``query`` /
-``stats`` protocol every substrate satisfies; the adapters wrap the
-structure-specific modules so workload generators import exactly one
-package:
+``query_batch`` / ``stats`` protocol every substrate satisfies; the
+adapters wrap the structure-specific modules so workload generators
+import exactly one package:
 
 * :class:`BvhRadiusIndex` — RTNN-style BVH radius search (BVH-NN, §V-A);
 * :class:`KdTreeIndex` — bounded-backtracking k-d tree kNN (FLANN);
@@ -11,19 +11,47 @@ package:
 
 Each adapter also publishes its instrumented event-kind constants
 (``EVENT_*`` class attributes) and the layout hooks (sorted point orders,
-node counts) the trace compiler addresses memory through.
+node counts) the trace compiler addresses memory through.  Batched
+queries return :class:`~repro.search.events.BatchResult` — per-query
+neighbor lists plus an array-backed :class:`~repro.search.events.EventLog`.
+
+The adapter classes are resolved lazily (PEP 562): the structure modules
+import :mod:`repro.search.events` for their batched kernels, and an eager
+adapter import here would close that loop into a cycle.
 """
 
 from repro.search.base import Event, Neighbor, SearchIndex
-from repro.search.bvh_index import BvhRadiusIndex
-from repro.search.hnsw_index import HnswIndex
-from repro.search.kdtree_index import KdTreeIndex
+from repro.search.events import BatchResult, EventBuffer, EventLog
+
+_LAZY = {
+    "BvhRadiusIndex": "repro.search.bvh_index",
+    "HnswIndex": "repro.search.hnsw_index",
+    "KdTreeIndex": "repro.search.kdtree_index",
+}
 
 __all__ = [
+    "BatchResult",
     "Event",
+    "EventBuffer",
+    "EventLog",
     "Neighbor",
     "SearchIndex",
     "BvhRadiusIndex",
     "HnswIndex",
     "KdTreeIndex",
 ]
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(__all__)

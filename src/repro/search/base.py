@@ -14,13 +14,23 @@ Adapters additionally expose the instrumented per-query **event stream**
 Event kinds are structure-specific and published as class attributes on
 each adapter (e.g. ``BvhRadiusIndex.EVENT_BOX_NODE``), keeping even the
 event vocabulary importable from :mod:`repro.search`.
+
+``query_batch`` is the batched counterpart the workloads generate traces
+through: it answers a whole ``(Q, dim)`` query block with vectorized
+frontier kernels and returns a :class:`~repro.search.events.BatchResult`
+whose per-query neighbors and array-backed event log are bit-identical to
+``Q`` scalar ``query`` calls (the scalar path stays as the reference
+implementation, enforced by ``tests/test_batch_equivalence.py``).
 """
 
 from __future__ import annotations
 
-from typing import Protocol, runtime_checkable
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (events imports us)
+    from repro.search.events import BatchResult
 
 #: One query answer: (point id, distance measure).  BVH radius queries and
 #: k-d tree kNN report squared Euclidean distance; graph search reports
@@ -42,6 +52,14 @@ class SearchIndex(Protocol):
     def query(self, q: np.ndarray, **params: object) -> list[Neighbor]:
         """Answer one query; ``record_events=True`` captures the event
         stream in ``last_events``."""
+        ...
+
+    def query_batch(
+        self, queries: np.ndarray, **params: object
+    ) -> "BatchResult":
+        """Answer a ``(Q, dim)`` query block through the batched frontier
+        kernels; per query, results and (with ``record_events=True``) the
+        event log match ``query`` bit for bit."""
         ...
 
     def stats(self) -> dict[str, object]:

@@ -13,9 +13,11 @@ from repro.bvh.traversal import (
     EVENT_STACK_OP,
     TraversalStats,
     radius_search,
+    radius_search_batch,
 )
 from repro.errors import BuildError
 from repro.search.base import Event, Neighbor
+from repro.search.events import BatchResult
 
 
 class BvhRadiusIndex:
@@ -81,6 +83,26 @@ class BvhRadiusIndex:
         self._box_tests += stats.box_tests
         self._dist_tests += stats.prim_tests
         return hits
+
+    def query_batch(
+        self, queries: np.ndarray, record_events: bool = False
+    ) -> BatchResult:
+        """Batched radius search over a ``(Q, 3)`` query block.
+
+        Per query, neighbors and events are bit-identical to ``query``;
+        the lockstep kernels advance the whole front per step.
+        """
+        if self._bvh is None:
+            raise BuildError("query_batch before build")
+        stats = TraversalStats()
+        result = radius_search_batch(
+            self._bvh, self._points, queries, self.radius,
+            record_events=record_events, stats=stats,
+        )
+        self._queries += len(result)
+        self._box_tests += stats.box_tests
+        self._dist_tests += stats.prim_tests
+        return result
 
     def stats(self) -> dict[str, object]:
         return {

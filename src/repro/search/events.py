@@ -1,0 +1,223 @@
+"""Array-backed event logs for batched query execution.
+
+The scalar search paths record one Python tuple per traversal event; at
+batch scale that object stream dominates trace-generation time.  The
+batched kernels instead tag events with their query id as they advance the
+whole front and store them in flat integer arrays:
+
+* :class:`EventBuffer` — the append-side: geometrically grown parallel
+  arrays of ``(qid, code, ident, payload)`` rows, filled a *block* at a
+  time (one vectorized append per lockstep step, not one per event);
+* :class:`EventLog` — the finalized, query-major CSR view the workloads
+  consume: events of query ``q`` are the contiguous slice
+  ``[starts[q], starts[q + 1])``, in exactly the order the scalar
+  reference path would have emitted them (the equivalence tests enforce
+  this per event).
+
+Event *kinds* stay strings at the API boundary (the trace compiler's
+vocabulary); each log carries its kind table and stores small integer
+codes internally.  ``query_events`` materializes the familiar
+``(kind, ident, payload)`` tuples for any consumer that still wants the
+scalar view.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.search.base import Event
+
+_INT = np.int64
+
+
+class EventBuffer:
+    """Growable tagged-event storage filled by lockstep batch kernels.
+
+    Rows arrive in *step order* (all of one step's events for the whole
+    front, then the next step's).  Because each query contributes at most
+    one homogeneous block per append, a stable sort by query id at
+    finalize time recovers every query's scalar event order.
+    """
+
+    __slots__ = ("qids", "codes", "idents", "payloads", "size")
+
+    def __init__(self, capacity: int = 256) -> None:
+        self.qids = np.empty(capacity, dtype=_INT)
+        self.codes = np.empty(capacity, dtype=_INT)
+        self.idents = np.empty(capacity, dtype=_INT)
+        self.payloads = np.empty(capacity, dtype=_INT)
+        self.size = 0
+
+    def _reserve(self, extra: int) -> None:
+        need = self.size + extra
+        capacity = self.qids.shape[0]
+        if need <= capacity:
+            return
+        while capacity < need:
+            capacity *= 2
+        for name in ("qids", "codes", "idents", "payloads"):
+            old = getattr(self, name)
+            grown = np.empty(capacity, dtype=_INT)
+            grown[: self.size] = old[: self.size]
+            setattr(self, name, grown)
+
+    def append_block(self, code: int, qids, idents, payloads) -> None:
+        """Append one homogeneous event block (scalars broadcast)."""
+        qids = np.asarray(qids, dtype=_INT)
+        count = qids.shape[0]
+        if count == 0:
+            return
+        self._reserve(count)
+        lo, hi = self.size, self.size + count
+        self.qids[lo:hi] = qids
+        self.codes[lo:hi] = code
+        self.idents[lo:hi] = idents
+        self.payloads[lo:hi] = payloads
+        self.size = hi
+
+    def to_log(self, kinds: tuple[str, ...], num_queries: int) -> "EventLog":
+        """Finalize into a query-major :class:`EventLog`."""
+        size = self.size
+        qids = self.qids[:size]
+        order = np.argsort(qids, kind="stable")
+        counts = np.bincount(qids, minlength=num_queries)
+        starts = np.zeros(num_queries + 1, dtype=_INT)
+        np.cumsum(counts, out=starts[1:])
+        return EventLog(
+            kinds,
+            self.codes[:size][order],
+            self.idents[:size][order],
+            self.payloads[:size][order],
+            starts,
+        )
+
+
+class EventLog:
+    """Query-major CSR event log over a batch (the finalized view)."""
+
+    __slots__ = ("kinds", "codes", "idents", "payloads", "starts")
+
+    def __init__(self, kinds, codes, idents, payloads, starts) -> None:
+        self.kinds = tuple(kinds)
+        self.codes = codes
+        self.idents = idents
+        self.payloads = payloads
+        self.starts = starts
+
+    @classmethod
+    def empty(cls, kinds: tuple[str, ...], num_queries: int) -> "EventLog":
+        zero = np.empty(0, dtype=_INT)
+        return cls(kinds, zero, zero, zero,
+                   np.zeros(num_queries + 1, dtype=_INT))
+
+    @classmethod
+    def from_sorted(cls, kinds, codes, idents, payloads, qids,
+                    num_queries: int) -> "EventLog":
+        """Build from arrays already grouped by ascending query id."""
+        counts = np.bincount(qids, minlength=num_queries)
+        starts = np.zeros(num_queries + 1, dtype=_INT)
+        np.cumsum(counts, out=starts[1:])
+        return cls(kinds, codes, idents, payloads, starts)
+
+    @classmethod
+    def concat(cls, logs: list["EventLog"]) -> "EventLog":
+        """Per-query concatenation: query ``q``'s stream is ``logs[0]``'s
+        block for ``q`` followed by ``logs[1]``'s, and so on."""
+        head = logs[0]
+        if len(logs) == 1:
+            return head
+        num_queries = head.num_queries
+        per_log_counts = [np.diff(log.starts) for log in logs]
+        counts = np.sum(per_log_counts, axis=0)
+        starts = np.zeros(num_queries + 1, dtype=_INT)
+        np.cumsum(counts, out=starts[1:])
+        total = int(starts[-1])
+        codes = np.empty(total, dtype=_INT)
+        idents = np.empty(total, dtype=_INT)
+        payloads = np.empty(total, dtype=_INT)
+        # Destination offset of each log's per-query block: the merged
+        # query start plus the lengths of the earlier logs' blocks.
+        prior = np.zeros(num_queries, dtype=_INT)
+        for log, log_counts in zip(logs, per_log_counts):
+            if log.kinds != head.kinds:
+                raise ValueError("cannot concat logs with different kinds")
+            size = int(log.starts[-1])
+            if size:
+                block_base = starts[:-1] + prior
+                dest = (
+                    np.repeat(block_base - log.starts[:-1], log_counts)
+                    + np.arange(size, dtype=_INT)
+                )
+                codes[dest] = log.codes
+                idents[dest] = log.idents
+                payloads[dest] = log.payloads
+            prior += log_counts
+        return cls(head.kinds, codes, idents, payloads, starts)
+
+    @property
+    def num_queries(self) -> int:
+        return self.starts.shape[0] - 1
+
+    @property
+    def num_events(self) -> int:
+        return int(self.starts[-1])
+
+    def counts(self) -> np.ndarray:
+        """Events per query."""
+        return np.diff(self.starts)
+
+    def query_slice(self, qi: int) -> slice:
+        return slice(int(self.starts[qi]), int(self.starts[qi + 1]))
+
+    def query_events(self, qi: int) -> list[Event]:
+        """Query ``qi``'s events as scalar-style tuples."""
+        span = self.query_slice(qi)
+        kinds = self.kinds
+        return [
+            (kinds[code], ident, payload)
+            for code, ident, payload in zip(
+                self.codes[span].tolist(),
+                self.idents[span].tolist(),
+                self.payloads[span].tolist(),
+            )
+        ]
+
+    def all_events(self) -> list[list[Event]]:
+        """Every query's tuple view (test/diagnostic convenience)."""
+        return [self.query_events(qi) for qi in range(self.num_queries)]
+
+
+class BatchResult:
+    """What ``SearchIndex.query_batch`` returns: per-query neighbor lists
+    plus the batch's event log (``None`` unless events were recorded)."""
+
+    __slots__ = ("neighbors", "events")
+
+    def __init__(self, neighbors, events: EventLog | None = None) -> None:
+        self.neighbors = neighbors
+        self.events = events
+
+    def __len__(self) -> int:
+        return len(self.neighbors)
+
+    def events_for(self, qi: int) -> list[Event]:
+        if self.events is None:
+            raise ValueError("events were not recorded for this batch")
+        return self.events.query_events(qi)
+
+
+def segmented_arange(counts: np.ndarray, total: int | None = None) -> np.ndarray:
+    """``[0..counts[0]), [0..counts[1]), ...`` concatenated.
+
+    The workhorse of CSR expansion: with segment starts ``s`` this turns
+    per-segment counts into flat element indices ``repeat(s, counts) +
+    segmented_arange(counts)``.
+    """
+    counts = np.asarray(counts, dtype=_INT)
+    if total is None:
+        total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=_INT)
+    starts = np.zeros(counts.shape[0], dtype=_INT)
+    np.cumsum(counts[:-1], out=starts[1:])
+    return np.arange(total, dtype=_INT) - np.repeat(starts, counts)

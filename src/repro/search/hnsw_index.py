@@ -12,8 +12,10 @@ from repro.graph.search import (
     EVENT_VISIT,
     GraphSearchStats,
     search,
+    search_batch,
 )
 from repro.search.base import Event, Neighbor
+from repro.search.events import BatchResult
 
 
 class HnswIndex:
@@ -64,6 +66,27 @@ class HnswIndex:
         result = search(self._graph, q, k=k, ef=ef, stats=stats)
         self.last_events = stats.events
         self._queries += 1
+        self._dist_tests += stats.dist_tests
+        self._nodes_expanded += stats.nodes_expanded
+        return result
+
+    def query_batch(
+        self,
+        queries: np.ndarray,
+        k: int = 10,
+        ef: int = 32,
+        record_events: bool = False,
+    ) -> BatchResult:
+        """Batched ANN over a ``(Q, dim)`` query block; per query the
+        neighbors and events are bit-identical to ``query``."""
+        if self._graph is None:
+            raise BuildError("query_batch before build")
+        stats = GraphSearchStats()
+        result = search_batch(
+            self._graph, queries, k=k, ef=ef,
+            record_events=record_events, stats=stats,
+        )
+        self._queries += len(result)
         self._dist_tests += stats.dist_tests
         self._nodes_expanded += stats.nodes_expanded
         return result

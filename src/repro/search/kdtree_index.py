@@ -11,8 +11,10 @@ from repro.kdtree.search import (
     EVENT_PLANE_TEST,
     KdSearchStats,
     knn_search,
+    knn_search_batch,
 )
 from repro.search.base import Event, Neighbor
+from repro.search.events import BatchResult
 
 
 class KdTreeIndex:
@@ -49,6 +51,27 @@ class KdTreeIndex:
                             stats=stats)
         self.last_events = stats.events
         self._queries += 1
+        self._plane_tests += stats.plane_tests
+        self._dist_tests += stats.dist_tests
+        return result
+
+    def query_batch(
+        self,
+        queries: np.ndarray,
+        k: int = 5,
+        max_checks: int = 64,
+        record_events: bool = False,
+    ) -> BatchResult:
+        """Batched kNN over a ``(Q, dim)`` query block; per query the
+        neighbors and events are bit-identical to ``query``."""
+        if self._tree is None:
+            raise BuildError("query_batch before build")
+        stats = KdSearchStats()
+        result = knn_search_batch(
+            self._tree, queries, k=k, max_checks=max_checks,
+            record_events=record_events, stats=stats,
+        )
+        self._queries += len(result)
         self._plane_tests += stats.plane_tests
         self._dist_tests += stats.dist_tests
         return result

@@ -17,10 +17,15 @@ simulator consumes.
 """
 
 from repro.workloads.base import TraceBundle, WorkloadRun, to_traces
-from repro.workloads.btree_kv import run_btree
-from repro.workloads.bvhnn import run_bvhnn
-from repro.workloads.flann import run_flann
-from repro.workloads.ggnn import run_ggnn
+
+#: Runner attribute -> defining module, resolved on first access (PEP 562).
+#: A campaign only pays the import cost of the workloads it actually runs.
+_LAZY = {
+    "run_btree": "repro.workloads.btree_kv",
+    "run_bvhnn": "repro.workloads.bvhnn",
+    "run_flann": "repro.workloads.flann",
+    "run_ggnn": "repro.workloads.ggnn",
+}
 
 __all__ = [
     "TraceBundle",
@@ -31,3 +36,18 @@ __all__ = [
     "run_ggnn",
     "to_traces",
 ]
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(__all__)

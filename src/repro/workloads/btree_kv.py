@@ -66,40 +66,46 @@ def run_btree(
     inner = space.alloc_array("btree_inner", tree.num_nodes, _NODE_BYTES)
     leaves = space.alloc_array("btree_leaves", tree.num_nodes, _LEAF_BYTES)
 
+    # Level-synchronous batched descent; per probe the trail columns are
+    # the exact event stream the scalar ``tree.lookup`` records (the
+    # equivalence tests pin this), so the lowered ops are unchanged.
+    _, found_mask, trail = tree.lookup_batch(probes)
+    found = int(np.count_nonzero(found_mask))
+    internal_levels = [
+        (ids.tolist(), payloads.tolist()) for ids, payloads in trail[:-1]
+    ]
+    leaf_ids, leaf_counts = trail[-1]
+    leaf_ids = leaf_ids.tolist()
+    leaf_counts = leaf_counts.tolist()
+
     warp_ops: list[list[WarpOp]] = []
-    found = 0
-    for probe in probes:
-        stats = BTreeStats(record_events=True)
-        if tree.lookup(float(probe), stats) is not None:
-            found += 1
+    for qi in range(len(probes)):
         ops: list[WarpOp] = []
-        for kind, ident, payload in stats.events:
-            if kind == EVENT_KEY_COMPARE:
-                # One cooperative compare of `payload` separators; the HSU
-                # issues it from a single lane (addrs length 1).
-                ops.append(
-                    WarpOp(
-                        "TKeyCmp",
-                        (inner.element(ident, _NODE_BYTES),),
-                        32,
-                        a=max(1, payload),
-                    )
+        for ids, payloads in internal_levels:
+            # One cooperative compare of `payload` separators; the HSU
+            # issues it from a single lane (addrs length 1).
+            ops.append(
+                WarpOp(
+                    "TKeyCmp",
+                    (inner.element(ids[qi], _NODE_BYTES),),
+                    32,
+                    a=max(1, payloads[qi]),
                 )
-                # Child-pointer select + chase (not HSU-able).
-                ops.append(WarpOp("TAlu", (), 32, a=2))
-            elif kind == EVENT_LEAF_SCAN:
-                # Binary search touches ~log2(keys) entries — a few cache
-                # lines of the leaf, not the whole 2 KB block.
-                touched = min(_LEAF_BYTES, max(64, payload))
-                ops.append(
-                    WarpOp(
-                        "TLoad",
-                        (leaves.element(ident, _LEAF_BYTES),),
-                        32,
-                        a=touched,
-                    )
-                )
-                ops.append(WarpOp("TAlu", (), 32, a=_LEAF_ALU))
+            )
+            # Child-pointer select + chase (not HSU-able).
+            ops.append(WarpOp("TAlu", (), 32, a=2))
+        # Binary search touches ~log2(keys) entries — a few cache
+        # lines of the leaf, not the whole 2 KB block.
+        touched = min(_LEAF_BYTES, max(64, leaf_counts[qi]))
+        ops.append(
+            WarpOp(
+                "TLoad",
+                (leaves.element(leaf_ids[qi], _LEAF_BYTES),),
+                32,
+                a=touched,
+            )
+        )
+        ops.append(WarpOp("TAlu", (), 32, a=_LEAF_ALU))
         warp_ops.append(ops)
 
     extras = {

@@ -11,12 +11,20 @@ from __future__ import annotations
 
 from functools import lru_cache
 
+import numpy as np
+
 from repro.ann.ground_truth import brute_force_knn
 from repro.ann.recall import recall_at_k
-from repro.compiler.assembler import assemble_warps
+from repro.compiler.assembler import (
+    PACKED_TALU,
+    PACKED_TDIST,
+    PACKED_TLOAD,
+    PACKED_TSHARED,
+    PackedStreams,
+    assemble_warps_packed,
+)
 from repro.compiler.layout import AddressSpace
 from repro.compiler.lowering import STYLE_PARALLEL
-from repro.compiler.ops import METRIC_EUCLID, TAlu, TDist, TLoad, TShared
 from repro.datasets.registry import load_dataset, perturbed_queries
 from repro.search import KdTreeIndex
 
@@ -61,38 +69,64 @@ def run_flann(
     points = space.alloc_array("points", index.num_points, dim * 4)
     # FLANN stores a leaf-ordered copy of the points, so leaf scans touch
     # contiguous memory; address by sorted position, not original id.
-    position_of = {int(pid): pos for pos, pid in enumerate(index.point_indices)}
+    position_of = np.empty(index.num_points, dtype=np.int64)
+    position_of[index.point_indices] = np.arange(index.num_points)
 
-    thread_streams = []
-    results = []
-    for query in queries:
-        results.append(
-            index.query(query, k=k, max_checks=max_checks, record_events=True)
-        )
-        stream = []
-        for kind, ident, _payload in index.last_events:
-            if kind == EVENT_PLANE_TEST:
-                stream.append(TLoad(nodes.element(ident, _NODE_BYTES), _NODE_BYTES))
-                stream.append(TAlu(_PLANE_ALU))
-                # Far-branch bookkeeping on the backtracking heap.
-                stream.append(TShared(_HEAP_OPS))
-            elif kind == EVENT_LEAF_DIST:
-                stream.append(
-                    TDist(
-                        points.element(position_of[ident], dim * 4),
-                        dim,
-                        METRIC_EUCLID,
-                    )
-                )
-        thread_streams.append(stream)
+    result = index.query_batch(
+        queries, k=k, max_checks=max_checks, record_events=True
+    )
+    log = result.events
+
+    codes = log.codes
+    idents = log.idents
+    plane_c = log.kinds.index(EVENT_PLANE_TEST)
+    dist_c = log.kinds.index(EVENT_LEAF_DIST)
+
+    # Expand events into packed thread ops: plane test -> node load + the
+    # scalar compare ALU work + far-branch bookkeeping on the backtracking
+    # heap; leaf visit -> one HSU-able distance test per point.
+    nops = np.where(codes == plane_c, 3, 1).astype(np.int64)
+    ops_cum = np.concatenate(
+        [np.zeros(1, dtype=np.int64), np.cumsum(nops)]
+    )
+    total_ops = int(ops_cum[-1])
+    first = ops_cum[:-1]
+
+    op_kind = np.zeros(total_ops, dtype=np.int64)
+    op_k1 = np.zeros(total_ops, dtype=np.int64)
+    op_k2 = np.zeros(total_ops, dtype=np.int64)
+    op_addr = np.zeros(total_ops, dtype=np.int64)
+    op_cnt = np.zeros(total_ops, dtype=np.int64)
+
+    plane = np.flatnonzero(codes == plane_c)
+    at = first[plane]
+    op_kind[at] = PACKED_TLOAD
+    op_k1[at] = _NODE_BYTES
+    op_addr[at] = nodes.base + idents[plane] * _NODE_BYTES
+    op_kind[at + 1] = PACKED_TALU
+    op_cnt[at + 1] = _PLANE_ALU
+    op_kind[at + 2] = PACKED_TSHARED
+    op_cnt[at + 2] = _HEAP_OPS
+
+    dist = np.flatnonzero(codes == dist_c)
+    at = first[dist]
+    op_kind[at] = PACKED_TDIST
+    op_k1[at] = dim  # k2 stays 0 == euclid metric code
+    op_addr[at] = points.base + position_of[idents[dist]] * (dim * 4)
+
+    streams = PackedStreams(
+        ops_cum[log.starts], op_kind, op_k1, op_k2, op_addr, op_cnt
+    )
 
     extras = {"dataset": abbr, "dim": dim, "num_queries": len(queries)}
     if check_recall:
         truth = brute_force_knn(index.points, queries, k)
-        extras["recall"] = recall_at_k([[i for i, _ in r] for r in results], truth)
+        extras["recall"] = recall_at_k(
+            [[i for i, _ in r] for r in result.neighbors], truth
+        )
     return WorkloadRun(
         name=f"flann-{abbr}",
         style=STYLE_PARALLEL,
-        warp_ops=assemble_warps(thread_streams),
+        warp_ops=assemble_warps_packed(streams),
         extras=extras,
     )

@@ -79,15 +79,15 @@ def run_ggnn(
         "adjacency", index.num_points, 2 * m * _EDGE_BYTES
     )
 
-    warp_ops: list[list[WarpOp]] = []
-    results = []
-    for query in queries:
-        results.append(index.query(query, k=k, ef=ef, record_events=True))
-        warp_ops.append(
-            _events_to_warp_ops(
-                index.last_events, points, adjacency, dim, metric, m
-            )
+    # One batched search for the whole query block; the conversion below
+    # walks each query's slice of the array-backed event log.
+    result = index.query_batch(queries, k=k, ef=ef, record_events=True)
+    warp_ops: list[list[WarpOp]] = [
+        _events_to_warp_ops(
+            result.events.query_events(qi), points, adjacency, dim, metric, m
         )
+        for qi in range(len(result))
+    ]
 
     extras = {
         "dataset": abbr,
@@ -97,7 +97,9 @@ def run_ggnn(
     }
     if check_recall:
         truth = brute_force_knn(index.points, queries, k, metric)
-        extras["recall"] = recall_at_k([[i for i, _ in r] for r in results], truth)
+        extras["recall"] = recall_at_k(
+            [[i for i, _ in r] for r in result.neighbors], truth
+        )
     return WorkloadRun(
         name=f"ggnn-{abbr}",
         style=STYLE_COOPERATIVE,

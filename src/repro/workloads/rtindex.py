@@ -22,13 +22,19 @@ from repro.bvh.lbvh import build_lbvh
 from repro.bvh.traversal import (
     EVENT_BOX_NODE,
     EVENT_STACK_OP,
-    TraversalStats,
-    point_query,
+    point_query_batch,
 )
-from repro.compiler.assembler import assemble_warps
+from repro.compiler.assembler import (
+    PACKED_TALU,
+    PACKED_TBOX,
+    PACKED_TDIST,
+    PACKED_TSHARED,
+    PACKED_TTRI,
+    PackedStreams,
+    assemble_warps_packed,
+)
 from repro.compiler.layout import AddressSpace
 from repro.compiler.lowering import STYLE_PARALLEL
-from repro.compiler.ops import METRIC_EUCLID, TAlu, TBox, TDist, TShared, TTri
 from repro.geometry.aabb import Aabb
 
 #: Bytes per stored child record in a box node.
@@ -91,51 +97,89 @@ def run_rtindex(
     )
     pt_leaves = pt_space.alloc_array("point_keys", len(keys), _POINT_KEY_BYTES)
 
-    tri_streams = []
-    pt_streams = []
-    found = 0
-    for probe in probes:
-        stats = TraversalStats(record_events=True)
-        candidates = point_query(bvh, np.array([probe, 0.0, 0.0]), stats)
-        if any(keys[c] == probe for c in candidates):
-            found += 1
-        tri_stream = []
-        pt_stream = []
-        for kind, ident, payload in stats.events:
-            if kind == EVENT_BOX_NODE:
-                tri_stream.append(
-                    TBox(
-                        tri_nodes.element(ident, bvh.arity * _CHILD_BYTES),
-                        payload,
-                        payload * _CHILD_BYTES,
-                    )
-                )
-                pt_stream.append(
-                    TBox(
-                        pt_nodes.element(ident, bvh.arity * _CHILD_BYTES),
-                        payload,
-                        payload * _CHILD_BYTES,
-                    )
-                )
-            elif kind == EVENT_STACK_OP:
-                tri_stream.append(TShared(max(1, payload)))
-                pt_stream.append(TShared(max(1, payload)))
-        for candidate in candidates:
-            tri_stream.append(
-                TTri(tri_leaves.element(candidate, _TRIANGLE_KEY_BYTES + 12))
-            )
-            pt_stream.append(
-                TDist(
-                    pt_leaves.element(candidate, _POINT_KEY_BYTES),
-                    1,
-                    METRIC_EUCLID,
-                )
-            )
-        # Result select (hit id extraction) in both variants.
-        tri_stream.append(TAlu(2))
-        pt_stream.append(TAlu(2))
-        tri_streams.append(tri_stream)
-        pt_streams.append(pt_stream)
+    # One batched traversal answers every probe; candidate and event order
+    # per probe is identical to the scalar loop.
+    num_lookups = probes.shape[0]
+    qblock = np.zeros((num_lookups, 3), dtype=np.float64)
+    qblock[:, 0] = probes
+    cand_starts, cand_prims, log = point_query_batch(
+        bvh, qblock, record_events=True
+    )
+    cand_counts = np.diff(cand_starts)
+    qid_of_cand = np.repeat(
+        np.arange(num_lookups, dtype=np.int64), cand_counts
+    )
+    exact = keys[cand_prims] == probes[qid_of_cand]
+    found = int(
+        np.count_nonzero(np.bincount(qid_of_cand[exact],
+                                     minlength=num_lookups))
+    )
+
+    # Expand events + candidates into the two variants' packed op streams:
+    # per probe the ops are the traversal events (box -> TBox, stack ->
+    # TShared) in log order, then one leaf op per candidate (ray-triangle
+    # test vs 1-D distance test), then the result-select ALU work.
+    ev_counts = np.diff(log.starts)
+    num_events = log.num_events
+    num_cands = int(cand_prims.shape[0])
+    thread_starts = (
+        log.starts + cand_starts
+        + np.arange(num_lookups + 1, dtype=np.int64)
+    )
+    ts = thread_starts[:-1]
+    ev_dest = np.repeat(ts - log.starts[:-1], ev_counts) + np.arange(
+        num_events, dtype=np.int64
+    )
+    cand_dest = np.repeat(
+        ts + ev_counts - cand_starts[:-1], cand_counts
+    ) + np.arange(num_cands, dtype=np.int64)
+    alu_dest = ts + ev_counts + cand_counts
+    total_ops = int(thread_starts[-1])
+
+    box_c = log.kinds.index(EVENT_BOX_NODE)
+    stack_c = log.kinds.index(EVENT_STACK_OP)
+    box = log.codes == box_c
+    stack = log.codes == stack_c
+
+    op_kind = np.zeros(total_ops, dtype=np.int64)
+    op_k1 = np.zeros(total_ops, dtype=np.int64)
+    op_k2 = np.zeros(total_ops, dtype=np.int64)
+    op_cnt = np.zeros(total_ops, dtype=np.int64)
+    tri_addr = np.zeros(total_ops, dtype=np.int64)
+    pt_addr = np.zeros(total_ops, dtype=np.int64)
+
+    at = ev_dest[box]
+    op_kind[at] = PACKED_TBOX
+    op_k1[at] = log.payloads[box]
+    op_k2[at] = log.payloads[box] * _CHILD_BYTES
+    node_off = log.idents[box] * (bvh.arity * _CHILD_BYTES)
+    tri_addr[at] = tri_nodes.base + node_off
+    pt_addr[at] = pt_nodes.base + node_off
+
+    at = ev_dest[stack]
+    op_kind[at] = PACKED_TSHARED
+    op_cnt[at] = np.maximum(1, log.payloads[stack])
+
+    op_kind[alu_dest] = PACKED_TALU
+    op_cnt[alu_dest] = 2
+
+    tri_kind = op_kind.copy()
+    tri_kind[cand_dest] = PACKED_TTRI
+    tri_addr[cand_dest] = tri_leaves.base + cand_prims * (
+        _TRIANGLE_KEY_BYTES + 12
+    )
+    pt_kind = op_kind
+    pt_kind[cand_dest] = PACKED_TDIST
+    pt_k1 = op_k1.copy()
+    pt_k1[cand_dest] = 1  # dim; k2 stays 0 == euclid metric code
+    pt_addr[cand_dest] = pt_leaves.base + cand_prims * _POINT_KEY_BYTES
+
+    tri_streams = PackedStreams(
+        thread_starts, tri_kind, op_k1, op_k2, tri_addr, op_cnt
+    )
+    pt_streams = PackedStreams(
+        thread_starts, pt_kind, pt_k1, op_k2, pt_addr, op_cnt
+    )
 
     extras = {
         "num_keys": len(keys),
@@ -147,13 +191,13 @@ def run_rtindex(
     triangle_run = WorkloadRun(
         name="rtindex-triangles",
         style=STYLE_PARALLEL,
-        warp_ops=assemble_warps(tri_streams),
+        warp_ops=assemble_warps_packed(tri_streams),
         extras=dict(extras),
     )
     point_run = WorkloadRun(
         name="rtindex-points",
         style=STYLE_PARALLEL,
-        warp_ops=assemble_warps(pt_streams),
+        warp_ops=assemble_warps_packed(pt_streams),
         extras=dict(extras),
     )
     return triangle_run, point_run
