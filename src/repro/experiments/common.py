@@ -127,9 +127,13 @@ def workload_params(
 trace_bundle = api.trace_bundle
 
 
-def _warn_deprecated(old: str, new: str) -> None:
+def _warn_deprecated(old: str, replacement_call: str) -> None:
+    """Emit the shim's :class:`DeprecationWarning`, naming the **exact**
+    ``repro.api`` call that replaces it (copy-pasteable, not a module
+    pointer)."""
     warnings.warn(
-        f"repro.experiments.common.{old} is deprecated; use {new}",
+        f"repro.experiments.common.{old} is deprecated; "
+        f"call {replacement_call} instead",
         DeprecationWarning,
         stacklevel=3,
     )
@@ -138,8 +142,13 @@ def _warn_deprecated(old: str, new: str) -> None:
 def workload_run(
     family: str, abbr: str, queries: int | None = None
 ) -> WorkloadRun:
-    """Deprecated shim: use :func:`repro.api.run_workload`."""
-    _warn_deprecated("workload_run", "repro.api.run_workload")
+    """Deprecated shim for :func:`repro.api.run_workload`.
+
+    Replacement call: ``repro.api.run_workload(family, abbr, queries)``.
+    """
+    _warn_deprecated(
+        "workload_run", "repro.api.run_workload(family, abbr, queries)"
+    )
     return api.run_workload(family, abbr, queries)
 
 
@@ -149,18 +158,39 @@ def simulate_recorded(
     variant: str,
     config: GpuConfig,
     kernel: KernelTrace,
+    cache: str | None = None,
 ) -> SimStats:
-    """Deprecated shim: use :func:`repro.api.simulate` with ``label=``."""
-    _warn_deprecated("simulate_recorded", "repro.api.simulate")
+    """Deprecated shim for :func:`repro.api.simulate` on a recorded trace.
+
+    Replacement call: ``repro.api.simulate(kernel, variant=variant,
+    config=config, label=(family, abbr))``.  ``cache=`` ("on" / "off" /
+    "rebuild") is forwarded unchanged, identical to passing it to the
+    facade directly.
+    """
+    _warn_deprecated(
+        "simulate_recorded",
+        "repro.api.simulate(kernel, variant=variant, config=config, "
+        "label=(family, abbr))",
+    )
     return api.simulate(
-        kernel, variant=variant, config=config, label=(family, abbr)
+        kernel, variant=variant, config=config, cache=cache,
+        label=(family, abbr),
     )
 
 
-def baseline_stats(family: str, abbr: str) -> SimStats:
-    """Deprecated shim: use :func:`repro.api.simulate`."""
-    _warn_deprecated("baseline_stats", "repro.api.simulate")
-    return api.simulate((family, abbr), variant="baseline")
+def baseline_stats(
+    family: str, abbr: str, cache: str | None = None
+) -> SimStats:
+    """Deprecated shim for the paired baseline measurement.
+
+    Replacement call: ``repro.api.simulate((family, abbr),
+    variant="baseline")``.  ``cache=`` is forwarded unchanged.
+    """
+    _warn_deprecated(
+        "baseline_stats",
+        'repro.api.simulate((family, abbr), variant="baseline")',
+    )
+    return api.simulate((family, abbr), variant="baseline", cache=cache)
 
 
 def hsu_stats(
@@ -168,14 +198,25 @@ def hsu_stats(
     abbr: str,
     warp_buffer: int = 8,
     euclid_width: int = 16,
+    cache: str | None = None,
 ) -> SimStats:
-    """Deprecated shim: use :func:`repro.api.simulate`."""
-    _warn_deprecated("hsu_stats", "repro.api.simulate")
+    """Deprecated shim for the paired HSU measurement.
+
+    Replacement call: ``repro.api.simulate((family, abbr), variant="hsu",
+    warp_buffer=warp_buffer, euclid_width=euclid_width)``.  ``cache=`` is
+    forwarded unchanged.
+    """
+    _warn_deprecated(
+        "hsu_stats",
+        'repro.api.simulate((family, abbr), variant="hsu", '
+        "warp_buffer=warp_buffer, euclid_width=euclid_width)",
+    )
     return api.simulate(
         (family, abbr),
         variant="hsu",
         warp_buffer=warp_buffer,
         euclid_width=euclid_width,
+        cache=cache,
     )
 
 

@@ -7,7 +7,8 @@ import exactly one package:
 
 * :class:`BvhRadiusIndex` — RTNN-style BVH radius search (BVH-NN, §V-A);
 * :class:`KdTreeIndex` — bounded-backtracking k-d tree kNN (FLANN);
-* :class:`HnswIndex` — hierarchical-graph best-first ANN (GGNN).
+* :class:`HnswIndex` — hierarchical-graph best-first ANN (GGNN);
+* :class:`BTreeKvIndex` — Rodinia-style B+ tree key-value lookups.
 
 Each adapter also publishes its instrumented event-kind constants
 (``EVENT_*`` class attributes) and the layout hooks (sorted point orders,
@@ -24,6 +25,7 @@ from repro.search.base import Event, Neighbor, SearchIndex
 from repro.search.events import BatchResult, EventBuffer, EventLog
 
 _LAZY = {
+    "BTreeKvIndex": "repro.search.btree_index",
     "BvhRadiusIndex": "repro.search.bvh_index",
     "HnswIndex": "repro.search.hnsw_index",
     "KdTreeIndex": "repro.search.kdtree_index",
@@ -36,6 +38,7 @@ __all__ = [
     "EventLog",
     "Neighbor",
     "SearchIndex",
+    "BTreeKvIndex",
     "BvhRadiusIndex",
     "HnswIndex",
     "KdTreeIndex",

@@ -1,0 +1,114 @@
+"""Simulated-GPU service-time model, calibrated through ``repro.api``.
+
+Batched numpy kernels answer a serving batch in microseconds of host
+time, but the *device the paper models* would spend a measurable number
+of cycles on it — and that cost is what shapes the batch-size vs.
+tail-latency tradeoff on real hardware.  :class:`GpuCostModel` charges
+each batch an affine simulated service time
+
+    ``cycles(n) = base_cycles + cycles_per_query * n``
+
+whose two coefficients are **calibrated against the simulator itself**:
+:func:`calibrate` runs :func:`repro.api.simulate` at two query counts for
+the endpoint's (family, dataset, variant) and fits the line through the
+two measured cycle totals.  Both simulations route through the campaign's
+persistent result cache, so a warm calibration costs two cache reads.
+
+The batcher charges ``seconds(n)`` (cycles over the configured clock)
+as a pacing sleep before resolving a batch, which makes a saturated
+endpoint accumulate queue depth exactly as a busy device would; the
+per-endpoint ``gpu_cycles`` / ``gpu_busy_ms`` metrics account the total.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+#: The V100's boost clock the Table III configuration models (GHz); the
+#: config file's bandwidth shares are stated at ~1.4 GHz.
+DEFAULT_CLOCK_GHZ = 1.4
+
+
+@dataclass(frozen=True)
+class GpuCostModel:
+    """Affine simulated-GPU cost of one endpoint's batches.
+
+    ``base_cycles`` is the batch-size-independent launch/ramp cost;
+    ``cycles_per_query`` the marginal per-query cost; ``clock_ghz``
+    converts cycles into service seconds.  ``family``/``abbr``/``variant``
+    record the calibration identity for reports and manifests.
+    """
+
+    cycles_per_query: float
+    base_cycles: float = 0.0
+    clock_ghz: float = DEFAULT_CLOCK_GHZ
+    family: str = "adhoc"
+    abbr: str = ""
+    variant: str = "hsu"
+
+    def __post_init__(self) -> None:
+        if self.cycles_per_query < 0.0 or self.base_cycles < 0.0:
+            raise ConfigError("cost coefficients must be non-negative")
+        if self.clock_ghz <= 0.0:
+            raise ConfigError(f"clock_ghz must be > 0, got {self.clock_ghz}")
+
+    def cycles(self, batch_size: int) -> float:
+        """Simulated cycles one batch of ``batch_size`` queries occupies."""
+        if batch_size <= 0:
+            return 0.0
+        return self.base_cycles + self.cycles_per_query * batch_size
+
+    def seconds(self, batch_size: int) -> float:
+        """Simulated service seconds for one batch (cycles / clock)."""
+        return self.cycles(batch_size) / (self.clock_ghz * 1e9)
+
+    def to_json_dict(self) -> dict[str, object]:
+        """JSON row for benchmark reports."""
+        return {
+            "family": self.family,
+            "abbr": self.abbr,
+            "variant": self.variant,
+            "cycles_per_query": round(self.cycles_per_query, 3),
+            "base_cycles": round(self.base_cycles, 3),
+            "clock_ghz": self.clock_ghz,
+        }
+
+
+def calibrate(
+    family: str,
+    abbr: str,
+    variant: str = "hsu",
+    queries: tuple[int, int] = (32, 128),
+    clock_ghz: float = DEFAULT_CLOCK_GHZ,
+) -> GpuCostModel:
+    """Fit a :class:`GpuCostModel` from two simulated design points.
+
+    Simulates the named workload at ``queries[0]`` and ``queries[1]``
+    queries through :func:`repro.api.simulate` (campaign-cache backed —
+    warm calls are two cache reads) and fits the affine model through the
+    two cycle totals.  The fit is clamped to non-negative coefficients:
+    sublinear scaling (batching amortizing fixed cost) yields a positive
+    ``base_cycles``; superlinear scaling degenerates to a proportional
+    model rather than a negative intercept.
+    """
+    from repro import api  # deferred: the facade pulls the campaign tier
+
+    lo, hi = queries
+    if not 0 < lo < hi:
+        raise ConfigError(f"need 0 < queries[0] < queries[1], got {queries}")
+    cycles_lo = api.simulate((family, abbr), variant=variant, queries=lo).cycles
+    cycles_hi = api.simulate((family, abbr), variant=variant, queries=hi).cycles
+    per_query = max(0.0, (cycles_hi - cycles_lo) / (hi - lo))
+    base = max(0.0, cycles_lo - per_query * lo)
+    if per_query == 0.0 and base == 0.0:
+        base = float(cycles_lo)
+    return GpuCostModel(
+        cycles_per_query=per_query,
+        base_cycles=base,
+        clock_ghz=clock_ghz,
+        family=family,
+        abbr=abbr,
+        variant=variant,
+    )

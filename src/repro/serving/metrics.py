@@ -1,0 +1,233 @@
+"""Serving-side observability: per-endpoint scopes on a MetricsRegistry.
+
+The online serving layer reports through the same
+:class:`~repro.gpusim.observability.MetricsRegistry` the simulator uses —
+one registry per :class:`~repro.serving.service.QueryService`, with every
+endpoint registering its counters under ``serving/<endpoint>/...``.  Tail
+latency needs percentiles, which the registry's ``Histogram`` (count /
+sum / min / max) cannot answer; :class:`LatencyReservoir` keeps a bounded,
+deterministically down-sampled latency sample and backs the
+``latency_p50_ms`` / ``latency_p95_ms`` / ``latency_p99_ms`` **probes**,
+so percentile reads stay zero-cost on the request hot path.
+
+Documentation contract: every metric registered here has a row in the
+"Serving metrics" table of ``docs/METRICS.md`` (endpoint instances fold to
+``serving/*/...``), enforced in both directions by
+``tests/test_metrics_doc.py`` — the same drift test that guards the
+simulator glossary.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.gpusim.observability import MetricsRegistry
+from repro.gpusim.observability.registry import SEPARATOR
+
+#: Scope prefix every serving metric lives under.
+SERVING_PREFIX = "serving"
+
+#: The tail percentiles every endpoint exposes as probes.
+PERCENTILES = (50, 95, 99)
+
+
+def canonical_serving_name(name: str) -> str:
+    """Fold the endpoint-instance segment: ``serving/bvhnn/qps`` →
+    ``serving/*/qps``.
+
+    The serving analog of
+    :func:`repro.gpusim.observability.canonical_name`: docs/METRICS.md
+    documents the per-endpoint family once; the live registry holds one
+    metric per endpoint.  Scope-level metrics (``serving/endpoints``) are
+    returned unchanged.
+    """
+    segments = name.split(SEPARATOR)
+    if len(segments) >= 3 and segments[0] == SERVING_PREFIX:
+        return SEPARATOR.join([segments[0], "*", *segments[2:]])
+    return name
+
+
+class LatencyReservoir:
+    """Bounded latency sample with deterministic down-sampling.
+
+    Stores up to ``capacity`` samples; once full, every new sample
+    replaces a pseudo-random slot (deterministic generator, so repeated
+    runs report identical percentiles).  Percentiles are computed over
+    whatever the reservoir holds — exact until ``capacity`` is exceeded,
+    a uniform subsample after.
+    """
+
+    __slots__ = ("_samples", "_count", "_rng", "_capacity")
+
+    def __init__(self, capacity: int = 8192, seed: int = 0) -> None:
+        self._samples: list[float] = []
+        self._count = 0
+        self._rng = np.random.default_rng(seed)
+        self._capacity = capacity
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def observe(self, sample: float) -> None:
+        self._count += 1
+        if len(self._samples) < self._capacity:
+            self._samples.append(sample)
+            return
+        slot = int(self._rng.integers(0, self._count))
+        if slot < self._capacity:
+            self._samples[slot] = sample
+
+    def percentile(self, pct: float) -> float:
+        """The ``pct``-th percentile of the retained sample (0 if empty)."""
+        if not self._samples:
+            return 0.0
+        return float(np.percentile(np.asarray(self._samples), pct))
+
+    def __len__(self) -> int:
+        return self._count
+
+
+class EndpointMetrics:
+    """All metrics of one serving endpoint, registered under
+    ``serving/<endpoint>/``.
+
+    The batcher and service call the ``on_*`` hooks; everything else —
+    percentiles, sustained QPS, simulated-GPU busy time — is exposed as
+    probes computed at read time.
+    """
+
+    def __init__(self, registry: MetricsRegistry, endpoint: str,
+                 clock: object = time.monotonic) -> None:
+        self.endpoint = endpoint
+        self._clock = clock
+        self._reservoir = LatencyReservoir()
+        self._first_submit: float | None = None
+        self._last_answer: float | None = None
+        self._gpu_busy_s = 0.0
+        scope = registry.scope(SERVING_PREFIX).scope(endpoint)
+        self.submitted = scope.counter(
+            "submitted", unit="requests",
+            doc="Queries offered to this endpoint (admitted + rejected).")
+        self.rejected = scope.counter(
+            "rejected", unit="requests",
+            doc="Queries refused by admission control (queue full).")
+        self.answered = scope.counter(
+            "answered", unit="requests",
+            doc="Queries answered (their futures resolved).")
+        self.batches = scope.counter(
+            "batches", unit="batches",
+            doc="Batch executions flushed by the admission controller.")
+        self.batch_size = scope.histogram(
+            "batch_size", unit="requests",
+            doc="Queries per executed batch (count/sum/min/max/mean).")
+        self.queue_depth = scope.gauge(
+            "queue_depth", unit="requests",
+            doc="Pending queue length observed at the last flush.")
+        self.latency_ms = scope.histogram(
+            "latency_ms", unit="ms",
+            doc="Submit-to-answer latency of answered queries.")
+        for pct in PERCENTILES:
+            scope.probe(
+                f"latency_p{pct}_ms",
+                (lambda p: lambda: self._reservoir.percentile(p))(pct),
+                unit="ms",
+                doc=f"p{pct} submit-to-answer latency over the bounded "
+                    "latency reservoir.")
+        scope.probe(
+            "qps", self.sustained_qps, unit="queries/s",
+            doc="Sustained throughput: answered queries over the "
+                "first-submit → last-answer window.")
+        self.gpu_cycles = scope.counter(
+            "gpu_cycles", unit="cycles",
+            doc="Simulated-GPU cycles attributed to this endpoint's "
+                "batches by the calibrated cost model (0 without one).")
+        scope.probe(
+            "gpu_busy_ms", lambda: self._gpu_busy_s * 1e3, unit="ms",
+            doc="Simulated-GPU busy time accumulated by the cost model.")
+
+    # -- hot-path hooks ---------------------------------------------------
+
+    def on_submit(self) -> None:
+        """One query offered (counted whether or not it is admitted)."""
+        if self._first_submit is None:
+            self._first_submit = self._clock()
+        self.submitted.add()
+
+    def on_reject(self) -> None:
+        """One query refused by admission control."""
+        self.rejected.add()
+
+    def on_answer(self, latency_s: float) -> None:
+        """One query answered after ``latency_s`` seconds in the system."""
+        self._last_answer = self._clock()
+        self.answered.add()
+        ms = latency_s * 1e3
+        self.latency_ms.observe(ms)
+        self._reservoir.observe(ms)
+
+    def on_batch(self, size: int, queue_depth: int) -> None:
+        """One batch of ``size`` queries flushed, ``queue_depth`` left."""
+        self.batches.add()
+        self.batch_size.observe(size)
+        self.queue_depth.set(queue_depth)
+
+    def on_gpu_cost(self, cycles: float, seconds: float) -> None:
+        """Simulated-GPU time the cost model charged one batch."""
+        self.gpu_cycles.add(int(cycles))
+        self._gpu_busy_s += seconds
+
+    # -- read-side --------------------------------------------------------
+
+    def percentile(self, pct: float) -> float:
+        """Latency percentile in milliseconds."""
+        return self._reservoir.percentile(pct)
+
+    def sustained_qps(self) -> float:
+        """Answered queries per second over the active window."""
+        if self._first_submit is None or self._last_answer is None:
+            return 0.0
+        window = self._last_answer - self._first_submit
+        if window <= 0.0:
+            return 0.0
+        return self.answered.count / window
+
+
+class ServingMetrics:
+    """The service's registry plus its per-endpoint scopes.
+
+    ``endpoint(name)`` lazily creates the ``serving/<name>/`` scope; the
+    ``serving/endpoints`` gauge tracks how many are registered so the
+    registry snapshot is self-describing.
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None,
+                 clock: object = time.monotonic) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._clock = clock
+        self._endpoints: dict[str, EndpointMetrics] = {}
+        self._count = self.registry.scope(SERVING_PREFIX).gauge(
+            "endpoints", unit="endpoints",
+            doc="Endpoints registered with this query service.")
+
+    def endpoint(self, name: str) -> EndpointMetrics:
+        """The (lazily created) ``serving/<name>/`` metrics scope."""
+        metrics = self._endpoints.get(name)
+        if metrics is None:
+            metrics = EndpointMetrics(self.registry, name, clock=self._clock)
+            self._endpoints[name] = metrics
+            self._count.set(len(self._endpoints))
+        return metrics
+
+    def names(self) -> list[str]:
+        """All registered serving metric names (live, per-endpoint)."""
+        return [
+            name for name in self.registry.names()
+            if name.split(SEPARATOR, 1)[0] == SERVING_PREFIX
+        ]
+
+    def as_dict(self) -> dict[str, object]:
+        """Flat snapshot of the serving scope only."""
+        return {name: self.registry.value(name) for name in self.names()}

@@ -148,3 +148,68 @@ class TestDeprecatedShims:
             w for w in recwarn.list
             if issubclass(w.category, DeprecationWarning)
         ]
+
+    @pytest.mark.parametrize("shim,replacement_fragment", [
+        ("workload_run", "repro.api.run_workload(family, abbr, queries)"),
+        ("baseline_stats",
+         'repro.api.simulate((family, abbr), variant="baseline")'),
+        ("hsu_stats", 'repro.api.simulate((family, abbr), variant="hsu"'),
+        ("simulate_recorded", "repro.api.simulate(kernel, variant=variant"),
+    ])
+    def test_warning_names_the_exact_replacement_call(
+        self, shim, replacement_fragment
+    ):
+        """The DeprecationWarning must carry a copy-pasteable facade call,
+        not just a module pointer; the docstring must repeat it."""
+        func = getattr(common, shim)
+        flat_doc = " ".join((func.__doc__ or "").split())
+        assert replacement_fragment in flat_doc, (
+            f"{shim}: docstring must name the replacement call"
+        )
+        with pytest.warns(DeprecationWarning) as caught:
+            if shim == "workload_run":
+                func(FAMILY, ABBR, QUERIES)
+            elif shim == "simulate_recorded":
+                func("probe", "X", "v", VOLTA_V100.scaled(1), _probe_kernel())
+            else:
+                func(FAMILY, ABBR)
+        message = str(caught[0].message)
+        assert replacement_fragment in message, message
+
+
+class TestShimCacheForwarding:
+    """``cache=`` on a shim must behave identically to passing it to the
+    facade: scoped to the call, mode restored, bit-identical results."""
+
+    def test_baseline_stats_cache_off_writes_nothing(self):
+        with pytest.warns(DeprecationWarning):
+            common.baseline_stats(FAMILY, ABBR, cache="off")
+        assert campaign.cache_mode() == "on"
+        assert not list(campaign.cache_dir().rglob("*.json"))
+
+    def test_hsu_stats_cache_rebuild_recomputes_but_stores(self):
+        facade = api.simulate((FAMILY, ABBR), variant="hsu")
+        api.clear_caches()
+        before = campaign.cache_stats.snapshot()
+        with pytest.warns(DeprecationWarning):
+            legacy = common.hsu_stats(FAMILY, ABBR, cache="rebuild")
+        assert campaign.cache_stats.delta(before).hits == 0
+        assert legacy == facade
+        assert campaign.cache_mode() == "on"
+
+    def test_simulate_recorded_forwards_cache_mode(self):
+        kernel = _probe_kernel()
+        config = VOLTA_V100.scaled(1)
+        with pytest.warns(DeprecationWarning):
+            off = common.simulate_recorded(
+                "probe", "X", "v", config, kernel, cache="off"
+            )
+        assert campaign.cache_mode() == "on"
+        assert off == api.simulate(
+            kernel, variant="v", config=config, label=("probe", "X")
+        )
+
+    def test_invalid_cache_mode_rejected_through_the_shim(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ConfigError):
+                common.baseline_stats(FAMILY, ABBR, cache="sometimes")

@@ -72,6 +72,48 @@ def test_timeline_channels_documented():
     assert not missing, f"tracer channels undocumented: {missing}"
 
 
+def _documented_serving_names() -> set[str]:
+    text = DOC.read_text()
+    section = text.split("## Serving metrics", 1)[1].split("\n## ", 1)[0]
+    names = {m.group(1) for m in map(_ROW.match, section.splitlines()) if m}
+    assert names, "no serving metric rows found in docs/METRICS.md"
+    return names
+
+
+def _live_serving_names() -> set[str]:
+    from repro.serving import ServingMetrics, canonical_serving_name
+
+    metrics = ServingMetrics()
+    # Two endpoints so the instance folding is actually exercised.
+    metrics.endpoint("knn_r10k")
+    metrics.endpoint("kv_b10k")
+    return {canonical_serving_name(name) for name in metrics.names()}
+
+
+def test_every_serving_metric_is_documented():
+    missing = _live_serving_names() - _documented_serving_names()
+    assert not missing, (
+        f"serving metrics registered but absent from docs/METRICS.md: "
+        f"{sorted(missing)}"
+    )
+
+
+def test_every_documented_serving_metric_exists():
+    phantom = _documented_serving_names() - _live_serving_names()
+    assert not phantom, (
+        f"docs/METRICS.md serving rows with no registered metric: "
+        f"{sorted(phantom)}"
+    )
+
+
+def test_serving_rows_stay_out_of_the_simulator_table():
+    overlap = _documented_names() & _documented_serving_names()
+    assert not overlap, (
+        f"rows listed in both the simulator and serving tables: "
+        f"{sorted(overlap)}"
+    )
+
+
 @pytest.mark.parametrize("metric", ["sm0/l1/misses", "gpu/cycles"])
 def test_doc_examples_are_real(metric):
     kernel = KernelTrace(
