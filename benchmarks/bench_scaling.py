@@ -1,0 +1,174 @@
+"""Scaling-curve benchmark: multi-device BVH-NN, cold and warm.
+
+Runs the ``scaling`` campaign family's smoke grid (shards 1 → 8 on the
+R10K point set) through :func:`repro.sharding.simulate_sharded` — one
+campaign job per shard, the campaign process pool as the shard executor —
+and records, per sweep point, the per-shard cycle vector, the makespan,
+and the interconnect scatter/gather/merge breakdown.  Each grid is run
+**twice** against a fresh cache directory: the cold pass exercises the
+full workload → trace → simulate pipeline, the warm pass must come back
+entirely from the persistent campaign cache (the ``cache_hits`` column is
+gated to prove it).
+
+Results land in ``BENCH_scaling.json`` at the repo root::
+
+    python benchmarks/bench_scaling.py              # full curve, write JSON
+    python benchmarks/bench_scaling.py --smoke      # CI: 1→8 shards + gates
+    python benchmarks/bench_scaling.py --check      # gate only
+
+Gates (``--check`` / ``--smoke``): simulated cycle totals are
+deterministic, so against the committed ``BENCH_scaling.json`` every
+sweep point's ``total_cycles`` must stay within ``--tolerance`` (default
+20%), the warm pass must score a cache hit per shard job, and sharding
+must never *lose* cycles — the N-shard makespan may not exceed the
+single-device total (partitioning shrinks every device's BVH).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_scaling.json"
+
+#: The benchmarked grid: the 1 → 8 shard curve at native dataset scale.
+SHARD_COUNTS = (1, 2, 4, 8)
+SCALE = 1.0
+QUERIES = 96
+ABBR = "R10K"
+
+
+def _run_grid(jobs_n: int) -> tuple[list[dict[str, object]], float, float]:
+    """(rows, cold seconds, warm seconds) for the shard-count grid."""
+    from repro.sharding import simulate_sharded
+
+    rows: list[dict[str, object]] = []
+    timings = []
+    for passname in ("cold", "warm"):
+        start = time.perf_counter()
+        for shards in SHARD_COUNTS:
+            result = simulate_sharded(
+                ABBR, shards=shards, scale=SCALE, queries=QUERIES,
+                jobs_n=jobs_n,
+            )
+            row = result.to_json_dict()
+            row["pass"] = passname
+            rows.append(row)
+            print(
+                f"  {passname} n{shards}: makespan {result.makespan_cycles} "
+                f"+ ic {result.interconnect_cycles} + merge "
+                f"{result.merge_cycles} = {result.total_cycles} cycles, "
+                f"imbalance {result.load_imbalance:.3f}, "
+                f"cache hits {result.cache_hits}/{shards}",
+                flush=True,
+            )
+        timings.append(time.perf_counter() - start)
+    return rows, timings[0], timings[1]
+
+
+def _committed_rows(output: Path) -> dict[tuple[str, int], dict[str, object]]:
+    try:
+        committed = json.loads(output.read_text())
+        return {
+            (row["pass"], row["shards"]): row
+            for row in committed.get("points", [])
+        }
+    except (OSError, ValueError, KeyError, TypeError):
+        return {}
+
+
+def _gate(result: dict[str, object],
+          reference: dict[tuple[str, int], dict[str, object]],
+          tolerance: float) -> bool:
+    ok = True
+
+    def fail(message: str) -> None:
+        nonlocal ok
+        ok = False
+        print(f"REGRESSION: {message}", file=sys.stderr)
+
+    rows = result["points"]
+    single = next(
+        r for r in rows if r["pass"] == "cold" and r["shards"] == 1
+    )
+    for row in rows:
+        name = f"{row['pass']} n{row['shards']}"
+        if row["makespan_cycles"] > single["total_cycles"]:
+            fail(f"{name}: makespan {row['makespan_cycles']} exceeds the "
+                 f"single-device total {single['total_cycles']} — "
+                 "sharding lost cycles")
+        if row["pass"] == "warm" and row["cache_hits"] < row["shards"]:
+            fail(f"{name}: only {row['cache_hits']} cache hits for "
+                 f"{row['shards']} shard jobs — warm pass re-simulated")
+        committed = reference.get((row["pass"], row["shards"]))
+        if committed is None:
+            print(f"gate ok [{name}]: no committed reference (first run)")
+            continue
+        budget = float(committed["total_cycles"]) * (1.0 + tolerance)
+        if row["total_cycles"] > budget:
+            fail(f"{name}: {row['total_cycles']} cycles exceeds "
+                 f"{budget:.0f} ({committed['total_cycles']} committed "
+                 f"+{tolerance:.0%})")
+        else:
+            print(f"gate ok [{name}]: {row['total_cycles']} cycles <= "
+                  f"{budget:.0f}")
+    return ok
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI mode: run the grid plus the full gate set")
+    parser.add_argument("--check", action="store_true",
+                        help="run the gates against the committed "
+                        "BENCH_scaling.json")
+    parser.add_argument("--tolerance", type=float, default=0.2,
+                        help="allowed fractional cycle regression vs the "
+                        "committed JSON (default 0.2 — simulated cycles "
+                        "are deterministic)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="process-pool width per sweep point (default 1)")
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
+                        help="result JSON path (default: repo root)")
+    args = parser.parse_args(argv)
+
+    check = args.check or args.smoke
+    reference = _committed_rows(args.output)
+
+    with tempfile.TemporaryDirectory(prefix="bench-scaling-") as tmp:
+        os.environ["REPRO_CACHE_DIR"] = str(Path(tmp) / "cache")
+        os.environ["REPRO_RESULTS_DIR"] = str(Path(tmp) / "results")
+        print(f"scaling benchmark, shards {SHARD_COUNTS} on {ABBR} "
+              f"(cold + warm, --jobs {args.jobs}):")
+        rows, cold_s, warm_s = _run_grid(args.jobs)
+
+    result = {
+        "benchmark": "scaling-curve",
+        "protocol": "fresh cache dir; the shard grid runs twice (cold then "
+        "warm), one campaign job per shard, interconnect costs composed by "
+        "repro.sharding.simulate_sharded",
+        "dataset": ABBR,
+        "scale": SCALE,
+        "queries": QUERIES,
+        "cold_seconds": round(cold_s, 3),
+        "warm_seconds": round(warm_s, 3),
+        "points": rows,
+    }
+    args.output.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.output} (cold {cold_s:.1f}s, warm {warm_s:.1f}s)")
+
+    if check and not _gate(result, reference, args.tolerance):
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -51,6 +51,7 @@ __all__ = [
     "simulate",
     "run_workload",
     "trace_bundle",
+    "sharded_trace_bundle",
     "clear_caches",
 ]
 
@@ -148,6 +149,35 @@ def trace_bundle(
     return to_traces(run, widths=HsuWidths(euclid=euclid_width))
 
 
+@lru_cache(maxsize=4)
+def sharded_trace_bundle(
+    abbr: str,
+    queries: int | None = None,
+    euclid_width: int = 16,
+    scale: float = 1.0,
+    shards: int = 1,
+    shard: int = 0,
+) -> TraceBundle:
+    """Lowered paired traces for one shard of a multi-device BVH-NN run.
+
+    The trace models device ``shard`` of ``shards``: its BVH covers only
+    its Morton-range partition of the (optionally ``scale``-d) dataset,
+    and the full query batch is broadcast to it — see
+    :func:`repro.workloads.bvhnn.run_bvhnn_sharded` and docs/SHARDING.md.
+    The campaign runner routes sharded :class:`~repro.experiments.campaign.Job`\\ s
+    here, so the scaling sweep reuses its process pool and caches as the
+    shard executor.
+    """
+    from repro.experiments import common  # deferred: registry lives there
+    from repro.workloads.bvhnn import run_bvhnn_sharded
+
+    count = common.resolved_queries("bvhnn", abbr, queries)
+    run = run_bvhnn_sharded(
+        abbr, num_queries=count, scale=scale, shards=shards, shard=shard
+    )
+    return to_traces(run, widths=HsuWidths(euclid=euclid_width))
+
+
 @lru_cache(maxsize=256)
 def _job_stats(job: campaign.Job) -> SimStats:
     """Process-level memoization of named-workload simulations (the lru
@@ -160,6 +190,7 @@ def clear_caches() -> None:
     job stats).  The persistent on-disk campaign cache is unaffected."""
     run_workload.cache_clear()
     trace_bundle.cache_clear()
+    sharded_trace_bundle.cache_clear()
     _job_stats.cache_clear()
 
 
@@ -174,6 +205,9 @@ def simulate(
     euclid_width: int = 16,
     scheduler: str = "gto",
     memory: str = "real",
+    scale: float = 1.0,
+    shards: int = 1,
+    shard: int = 0,
     label: object = None,
 ) -> SimStats:
     """Simulate one workload variant and return its :class:`SimStats`.
@@ -197,6 +231,11 @@ def simulate(
     ``cache`` temporarily overrides the campaign cache mode for this call
     (``"on"`` / ``"off"`` / ``"rebuild"``; default: inherit the mode set
     via :func:`repro.experiments.campaign.set_cache_mode`).
+
+    ``scale`` / ``shards`` / ``shard`` select the multi-device axes for
+    named ``bvhnn`` workloads: the dataset scale factor and which shard
+    of how many to simulate (docs/SHARDING.md; defaults reproduce the
+    single-device run and its pre-existing cache keys).
 
     ``label`` names a recorded trace's (family, abbr) identity for
     manifests and cache keys; ignored for named workloads.
@@ -229,6 +268,9 @@ def simulate(
             euclid_width=euclid_width,
             scheduler=scheduler,
             memory=memory,
+            scale=scale,
+            shards=shards,
+            shard=shard,
         )
     finally:
         if cache is not None:
@@ -259,6 +301,9 @@ def _simulate_named(
     euclid_width: int,
     scheduler: str,
     memory: str,
+    scale: float = 1.0,
+    shards: int = 1,
+    shard: int = 0,
 ) -> SimStats:
     job = campaign.Job(
         spec.family,
@@ -269,6 +314,9 @@ def _simulate_named(
         queries=queries if queries is not None else spec.queries,
         scheduler=scheduler,
         memory=memory,
+        scale=scale,
+        shards=shards,
+        shard=shard,
     )
     if config is not None:
         # Explicit config: resolve the trace through the bundle cache and
@@ -276,10 +324,19 @@ def _simulate_named(
         # config do not apply — the caller owns the config).
         from repro.experiments import common  # deferred: registry lives there
 
-        params = common.workload_params(job.family, job.abbr, job.queries)
-        bundle = trace_bundle(
-            job.family, job.abbr, job.queries, job.euclid_width
+        params = common.workload_params(
+            job.family, job.abbr, job.queries,
+            scale=job.scale, shards=job.shards, shard=job.shard,
         )
+        if job.shards != 1 or job.scale != 1.0:
+            bundle = sharded_trace_bundle(
+                job.abbr, job.queries, job.euclid_width,
+                scale=job.scale, shards=job.shards, shard=job.shard,
+            )
+        else:
+            bundle = trace_bundle(
+                job.family, job.abbr, job.queries, job.euclid_width
+            )
         kernel = bundle.baseline if variant == "baseline" else bundle.hsu
         return campaign.cached_simulate(
             job.family,

@@ -172,17 +172,32 @@ class Job:
     #: validated by ``GpuConfig`` when the job's config is built.
     scheduler: str = "gto"
     memory: str = "real"
+    #: Multi-device axes (the ``scaling`` pseudo-family): dataset scale
+    #: factor and which shard of how many this job simulates.  Defaults
+    #: keep every pre-sharding cache key and run id byte-identical.
+    scale: float = 1.0
+    shards: int = 1
+    shard: int = 0
 
     def __post_init__(self) -> None:
         if self.variant not in _VARIANTS:
             raise ConfigError(
                 f"unknown variant {self.variant!r} (want one of {_VARIANTS})"
             )
+        if self.shards < 1 or not 0 <= self.shard < self.shards:
+            raise ConfigError(
+                f"shard {self.shard} out of range for {self.shards} shard(s)"
+            )
+        if self.scale <= 0:
+            raise ConfigError(f"scale must be > 0, got {self.scale}")
 
     @property
-    def group(self) -> tuple[str, str, int | None]:
+    def group(self) -> tuple:
         """Jobs sharing a group share one workload execution."""
-        return (self.family, self.abbr, self.queries)
+        return (
+            self.family, self.abbr, self.queries,
+            self.scale, self.shards, self.shard,
+        )
 
     @property
     def variant_label(self) -> str:
@@ -200,6 +215,10 @@ class Job:
     @property
     def run_id(self) -> str:
         stem = f"{self.family}-{self.abbr.replace('+', '')}-{self.variant_label}"
+        if self.scale != 1.0:
+            stem += f"-x{self.scale:g}"
+        if self.shards != 1:
+            stem += f"-s{self.shard}of{self.shards}"
         if self.queries is not None:
             stem += f"-q{self.queries}"
         return stem.lower()
@@ -532,7 +551,10 @@ def run_job(job: Job, mode: str | None = None) -> JobOutcome:
         set_cache_mode(mode)
     mode = cache_mode()
     start = time.perf_counter()
-    params = common.workload_params(job.family, job.abbr, job.queries)
+    params = common.workload_params(
+        job.family, job.abbr, job.queries,
+        scale=job.scale, shards=job.shards, shard=job.shard,
+    )
     wkey = params | {"variant": job.variant_label}
     config = common.config_for(job.family)
     if job.variant == "hsu":
@@ -554,9 +576,15 @@ def run_job(job: Job, mode: str | None = None) -> JobOutcome:
                     job, stats, True, time.perf_counter() - start, skey
                 )
     gen_start = time.perf_counter()
-    bundle = api.trace_bundle(
-        job.family, job.abbr, job.queries, job.euclid_width
-    )
+    if job.shards != 1 or job.scale != 1.0:
+        bundle = api.sharded_trace_bundle(
+            job.abbr, job.queries, job.euclid_width,
+            scale=job.scale, shards=job.shards, shard=job.shard,
+        )
+    else:
+        bundle = api.trace_bundle(
+            job.family, job.abbr, job.queries, job.euclid_width
+        )
     kernel = bundle.baseline if job.variant == "baseline" else bundle.hsu
     trace_sha = kernel.fingerprint()
     phase_stats.tracegen += time.perf_counter() - gen_start
@@ -606,12 +634,46 @@ def ablation_jobs(smoke: bool = False) -> list[Job]:
     return jobs
 
 
+#: Shard counts of the scaling-curve sweep (docs/SHARDING.md, §VI scale-out).
+SCALING_SHARD_COUNTS = (1, 2, 4, 8)
+#: Dataset scale factors of the full sweep: 10x and 100x R10K — the 10^5
+#: and 10^6 point counts the paper's datasets were scaled down from.
+SCALING_SCALES = (10.0, 100.0)
+SCALING_DATASET = "R10K"
+SCALING_QUERIES = 512
+
+
+def scaling_jobs(smoke: bool = False) -> list[Job]:
+    """The multi-device scaling-curve family: shards × dataset scale.
+
+    One HSU job per shard per sweep point — every shard is its own
+    workload group, so ``--jobs N`` genuinely simulates devices in
+    parallel (the campaign pool is the shard executor).  ``smoke=True``
+    shrinks to scale 1.0, shard counts (1, 2) and a CI query budget;
+    the full sweep covers :data:`SCALING_SHARD_COUNTS` ×
+    :data:`SCALING_SCALES` on :data:`SCALING_DATASET`.
+    """
+    shard_counts = (1, 2) if smoke else SCALING_SHARD_COUNTS
+    scales = (1.0,) if smoke else SCALING_SCALES
+    queries = 96 if smoke else SCALING_QUERIES
+    return [
+        Job(
+            "bvhnn", SCALING_DATASET, "hsu", queries=queries,
+            scale=scale, shards=shards, shard=shard,
+        )
+        for scale in scales
+        for shards in shard_counts
+        for shard in range(shards)
+    ]
+
+
 def default_jobs(families: tuple[str, ...] | None = None) -> list[Job]:
     """The §V campaign: every pair plus the Fig. 10/11 design-point sweeps.
 
-    ``"ablations"`` is accepted as a pseudo-family selecting the
-    scheduler/memory ablation jobs (:func:`ablation_jobs`) alongside any
-    real workload families.
+    ``"ablations"`` and ``"scaling"`` are accepted as pseudo-families
+    selecting the scheduler/memory ablation jobs (:func:`ablation_jobs`)
+    and the multi-device scaling sweep (:func:`scaling_jobs`) alongside
+    any real workload families.
     """
     from repro.experiments import fig10_width, fig11_warp_buffer
     from repro.experiments.common import FAMILIES, datasets_for
@@ -621,6 +683,9 @@ def default_jobs(families: tuple[str, ...] | None = None) -> list[Job]:
     if "ablations" in families:
         jobs.extend(ablation_jobs())
         families = tuple(f for f in families if f != "ablations")
+    if "scaling" in families:
+        jobs.extend(scaling_jobs())
+        families = tuple(f for f in families if f != "scaling")
     for family in families:
         for abbr in datasets_for(family):
             jobs.append(Job(family, abbr, "baseline"))
@@ -985,7 +1050,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--families", nargs="+", metavar="FAM",
         help="restrict to these workload families ('ablations' selects "
-        "the scheduler/memory ablation jobs)",
+        "the scheduler/memory ablation jobs, 'scaling' the multi-device "
+        "shard sweep)",
     )
     parser.add_argument(
         "--smoke", action="store_true",
@@ -1007,10 +1073,12 @@ def main(argv: list[str] | None = None) -> int:
     mode = "off" if args.no_cache else ("rebuild" if args.rebuild else "on")
     if args.smoke:
         jobs = smoke_jobs()
-        # --smoke --families ablations: ride the scheduler/memory ablation
+        # --smoke --families ablations/scaling: ride those pseudo-family
         # points along at the CI query budget.
         if args.families and "ablations" in args.families:
             jobs += ablation_jobs(smoke=True)
+        if args.families and "scaling" in args.families:
+            jobs += scaling_jobs(smoke=True)
     else:
         jobs = default_jobs(tuple(args.families) if args.families else None)
     label = args.label or ("smoke" if args.smoke else "default")

@@ -102,23 +102,49 @@ def resolved_queries(family: str, abbr: str, queries: int | None = None) -> int:
 
 
 def workload_params(
-    family: str, abbr: str, queries: int | None = None
+    family: str,
+    abbr: str,
+    queries: int | None = None,
+    scale: float = 1.0,
+    shards: int = 1,
+    shard: int = 0,
 ) -> dict[str, object]:
     """The fully resolved workload key the campaign cache hashes.
 
     Everything that parameterizes trace *generation* goes here — family,
     dataset, and the resolved query count — so changing a query budget in
-    this module busts the relevant cache entries.
+    this module busts the relevant cache entries.  The multi-device axes
+    (``scale``, ``shards``/``shard`` — the scaling-curve campaign,
+    docs/SHARDING.md) are appended **only when non-default**, so every
+    pre-existing cache key is byte-identical to what it was before
+    sharding existed.
     """
     if family not in FAMILIES:
         raise ConfigError(f"unknown workload family {family!r}")
     if abbr not in datasets_for(family):
         raise ConfigError(f"unknown {family} dataset {abbr!r}")
-    return {
+    if (shards != 1 or scale != 1.0) and family != "bvhnn":
+        raise ConfigError(
+            f"sharded/scaled workloads are only lowered for the bvhnn "
+            f"family (got {family!r})"
+        )
+    if shards < 1 or not 0 <= shard < shards:
+        raise ConfigError(
+            f"shard {shard} out of range for {shards} shard(s)"
+        )
+    if scale <= 0:
+        raise ConfigError(f"scale must be > 0, got {scale}")
+    params: dict[str, object] = {
         "family": family,
         "dataset": abbr,
         "num_queries": resolved_queries(family, abbr, queries),
     }
+    if scale != 1.0:
+        params["scale"] = scale
+    if shards != 1:
+        params["shards"] = shards
+        params["shard"] = shard
+    return params
 
 
 #: Non-deprecated infrastructure alias: the campaign runner and the golden

@@ -1,0 +1,93 @@
+"""Multi-device scaling curve: shards × dataset scale for BVH-NN.
+
+The paper (§VI) evaluates the HSU on one GPU; this sweep asks the natural
+scale-out question — what happens when the dataset outgrows one device?
+Each sweep point partitions the (Morton-ordered) point set across N
+simulated GPUs, runs one campaign job per shard through
+:func:`repro.sharding.simulate_sharded`, and composes the modeled batch
+time as ``max(shard cycles) + scatter/gather + merge`` (the
+:class:`~repro.sharding.Interconnect` cost model; docs/SHARDING.md).
+
+Expected shape: near-linear makespan reduction while per-shard BVHs stay
+deep enough to amortize traversal setup, with the interconnect + merge
+overhead growing as the gathered result volume and ``log2(N)`` tournament
+depth — so the speedup curve bends where partitioning stops paying.
+
+The sweep is also a campaign family: ``python -m repro.experiments.campaign
+--families scaling`` runs the same jobs (and warms the same cache) without
+the interconnect composition.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_table
+from repro.experiments.campaign import (
+    SCALING_DATASET,
+    SCALING_QUERIES,
+    SCALING_SCALES,
+    SCALING_SHARD_COUNTS,
+)
+from repro.sharding import ShardedSimResult, simulate_sharded
+
+#: Shard counts of the smoke sweep (CI budget: one scale, two points).
+SMOKE_SHARD_COUNTS = (1, 2)
+SMOKE_SCALES = (1.0,)
+SMOKE_QUERIES = 96
+
+
+def compute(
+    smoke: bool = False,
+    jobs_n: int = 1,
+    abbr: str = SCALING_DATASET,
+) -> list[ShardedSimResult]:
+    """Run the sweep; one :class:`ShardedSimResult` per (scale, shards).
+
+    ``smoke`` shrinks the grid to the CI shape (matching
+    ``campaign.scaling_jobs(smoke=True)``, so both warm the same cache
+    entries); ``jobs_n`` is the per-point process-pool width.
+    """
+    shard_counts = SMOKE_SHARD_COUNTS if smoke else SCALING_SHARD_COUNTS
+    scales = SMOKE_SCALES if smoke else SCALING_SCALES
+    queries = SMOKE_QUERIES if smoke else SCALING_QUERIES
+    return [
+        simulate_sharded(
+            abbr, shards=shards, scale=scale, queries=queries, jobs_n=jobs_n
+        )
+        for scale in scales
+        for shards in shard_counts
+    ]
+
+
+def render(smoke: bool = False, jobs_n: int = 1) -> str:
+    points = compute(smoke=smoke, jobs_n=jobs_n)
+    singles = {
+        p.scale: p.total_cycles for p in points if p.shards == 1
+    }
+    rows = []
+    for point in points:
+        single = singles.get(point.scale, point.total_cycles)
+        rows.append(
+            (
+                point.scale,
+                point.shards,
+                point.makespan_cycles,
+                point.interconnect_cycles + point.merge_cycles,
+                point.total_cycles,
+                f"{single / point.total_cycles:.2f}x",
+                f"{point.load_imbalance:.3f}",
+            )
+        )
+    return format_table(
+        ["Scale", "Shards", "Makespan", "IC+merge", "Total", "Speedup",
+         "Imbalance"],
+        rows,
+        title="Scaling curve: multi-device BVH-NN (cycles)",
+    )
+
+
+def main() -> None:
+    print(render())
+
+
+if __name__ == "__main__":
+    main()

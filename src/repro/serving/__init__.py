@@ -17,8 +17,9 @@ The pieces, one module each:
 * :mod:`~repro.serving.batcher` — :class:`Batcher`, :class:`BatchPolicy`
   (``max_batch`` / ``max_wait_s`` / ``max_queue``), :class:`AdmissionError`;
 * :mod:`~repro.serving.backends` — :class:`Endpoint` plus builders for
-  the four substrates (``point`` / ``knn`` / ``ann`` / ``kv``),
-  artifact-cache backed;
+  the four substrates (``point`` / ``knn`` / ``ann`` / ``kv``) and the
+  multi-device ``sharded`` kind (:mod:`repro.sharding`), artifact-cache
+  backed;
 * :mod:`~repro.serving.cost` — :class:`GpuCostModel` / :func:`calibrate`,
   the simulated-GPU service time charged per batch;
 * :mod:`~repro.serving.metrics` — :class:`ServingMetrics` /
@@ -52,6 +53,7 @@ from repro.serving.backends import (
     knn_endpoint,
     kv_endpoint,
     point_endpoint,
+    sharded_endpoint,
 )
 from repro.serving.batcher import AdmissionError, Batcher, BatchPolicy
 from repro.serving.cost import DEFAULT_CLOCK_GHZ, GpuCostModel, calibrate
@@ -99,5 +101,6 @@ __all__ = [
     "point_endpoint",
     "run_open_loop",
     "serve_tcp",
+    "sharded_endpoint",
     "zipf_ranks",
 ]

@@ -12,7 +12,10 @@ registry datasets:
 * :func:`point_endpoint` — BVH radius search (``bvhnn``), the RTNN shape;
 * :func:`knn_endpoint` — bounded-backtracking k-d kNN (``flann``);
 * :func:`ann_endpoint` — HNSW best-first ANN (``ggnn``);
-* :func:`kv_endpoint` — B+ tree key-value lookups (``btree``).
+* :func:`kv_endpoint` — B+ tree key-value lookups (``btree``);
+* :func:`sharded_endpoint` — the multi-device BVH path: a
+  :class:`~repro.sharding.ShardedIndex` over N simulated GPUs, answers
+  bit-identical to the unsharded ``point`` endpoint (docs/SHARDING.md).
 
 Index builds are shared two ways: a process-local ``lru_cache`` keeps one
 instance per parameterization (every concurrent client hits the same
@@ -42,6 +45,7 @@ FAMILY_BY_KIND = {
     "knn": "flann",
     "ann": "ggnn",
     "kv": "btree",
+    "sharded": "bvhnn",
 }
 
 
@@ -190,12 +194,43 @@ def kv_endpoint(abbr: str = "B+10K", branch: int = 256, scale: float = 1.0,
     )
 
 
+@lru_cache(maxsize=4)
+def sharded_endpoint(abbr: str = "R10K", shards: int = 2,
+                     scale: float = 1.0, seed: int = 0) -> Endpoint:
+    """BVH radius search partitioned across ``shards`` simulated GPUs.
+
+    The multi-device drop-in for :func:`point_endpoint`: a
+    :class:`~repro.sharding.ShardedIndex` over the same dataset, radius
+    artifact and Morton partition the sharded ``bvhnn`` campaign jobs use,
+    so served answers stay bit-identical to the unsharded endpoint while
+    the index accounts scatter/gather/merge costs per batch
+    (``index.stats()["interconnect"]``; docs/SHARDING.md).
+    """
+    from repro.sharding import ShardedIndex
+
+    dataset = load_dataset(abbr, num_queries=1, scale=scale, seed=seed)
+    points = dataset.points.astype(np.float64)
+    radius = _bvh_radius(abbr, scale, seed, points)
+    index = ShardedIndex(
+        BvhRadiusIndex, shards, name=f"point_{abbr.lower().replace('+', '')}"
+    ).build(points, radius=radius)
+    return Endpoint(
+        name=f"sharded_{abbr.lower().replace('+', '')}_n{shards}",
+        kind="sharded",
+        family=FAMILY_BY_KIND["sharded"],
+        abbr=abbr,
+        index=index,
+        _sampler=lambda n, s: perturbed_queries(dataset, n, noise=0.1, seed=s),
+    )
+
+
 #: kind -> builder, for config-driven service assembly.
 BUILDERS = {
     "point": point_endpoint,
     "knn": knn_endpoint,
     "ann": ann_endpoint,
     "kv": kv_endpoint,
+    "sharded": sharded_endpoint,
 }
 
 

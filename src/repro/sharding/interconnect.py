@@ -1,0 +1,130 @@
+"""Scatter/gather cost model for the multi-device interconnect.
+
+The sharded path adds three costs the single-device simulator never sees:
+broadcasting (or routing) the query batch to the shards (*scatter*),
+shipping per-shard candidate lists back to the host (*gather*), and the
+host-side top-k/range *merge*.  :class:`Interconnect` models all three
+with the same closed-form, deterministic style as the Scheduler /
+MemorySystem plug-ins: a frozen :class:`InterconnectConfig` fixes the
+topology and link rates, and each phase returns ``(volume, cycles)`` so
+callers can account bytes and time separately.
+
+Topologies: ``crossbar`` (every shard one hop from the host — the NVLink
+switch picture) and ``ring`` (host plus shards on a ring; shard ``k`` is
+``min(k+1, S+1-(k+1))`` hops away, so far shards pay more latency).
+Transfers to different shards proceed in parallel: a phase's cycle cost is
+the *slowest* shard's ``hops * hop_latency + ceil(bytes / link rate)``,
+while its byte volume sums over shards.  The merge is a host-side k-way
+tournament: ``total_results * ceil(log2(shards))`` compare ops at
+``merge_ops_per_cycle``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+TOPOLOGIES = ("crossbar", "ring")
+
+
+@dataclass(frozen=True)
+class InterconnectConfig:
+    """Frozen link parameters of the simulated multi-GPU fabric.
+
+    ``link_bytes_per_cycle`` is each link's payload rate;
+    ``hop_latency_cycles`` the fixed per-hop propagation cost;
+    ``merge_ops_per_cycle`` the host's merge-network throughput.
+    """
+
+    topology: str = "crossbar"
+    link_bytes_per_cycle: int = 32
+    hop_latency_cycles: int = 64
+    merge_ops_per_cycle: int = 4
+
+    def validate(self) -> "InterconnectConfig":
+        """Raise :class:`~repro.errors.ConfigError` on nonsense; return
+        self for chaining."""
+        if self.topology not in TOPOLOGIES:
+            raise ConfigError(
+                f"unknown topology {self.topology!r}; have {TOPOLOGIES}"
+            )
+        for field in ("link_bytes_per_cycle", "hop_latency_cycles",
+                      "merge_ops_per_cycle"):
+            if int(getattr(self, field)) < 1:
+                raise ConfigError(f"{field} must be >= 1")
+        return self
+
+
+class Interconnect:
+    """Deterministic scatter/gather/merge cost model over ``num_shards``.
+
+    Stateless: each method maps per-shard volumes onto ``(bytes, cycles)``
+    (or ``(ops, cycles)`` for the merge) under the frozen config.  The
+    sharded index and the scaling experiment both call it, so serving-side
+    accounting and the campaign's modeled totals cannot drift apart.
+    """
+
+    def __init__(self, num_shards: int,
+                 config: InterconnectConfig | None = None) -> None:
+        if int(num_shards) < 1:
+            raise ConfigError(f"num_shards must be >= 1, got {num_shards}")
+        self.num_shards = int(num_shards)
+        self.config = (config if config is not None
+                       else InterconnectConfig()).validate()
+
+    def hops(self, shard: int) -> int:
+        """Host-to-shard hop count under the configured topology."""
+        if not 0 <= shard < self.num_shards:
+            raise ConfigError(
+                f"shard {shard} out of range [0, {self.num_shards})"
+            )
+        if self.config.topology == "crossbar":
+            return 1
+        ring = self.num_shards + 1  # the host occupies ring slot 0
+        clockwise = shard + 1
+        return min(clockwise, ring - clockwise)
+
+    def _transfer(self, per_shard_bytes: list[int]) -> tuple[int, int]:
+        """(total bytes, cycles) of one parallel transfer phase."""
+        total = 0
+        cycles = 0
+        rate = self.config.link_bytes_per_cycle
+        latency = self.config.hop_latency_cycles
+        for shard, volume in enumerate(per_shard_bytes):
+            volume = int(volume)
+            if volume <= 0:
+                continue
+            total += volume
+            cycles = max(
+                cycles,
+                self.hops(shard) * latency + math.ceil(volume / rate),
+            )
+        return total, cycles
+
+    def scatter(self, per_shard_queries: list[int],
+                query_bytes: int) -> tuple[int, int]:
+        """(bytes, cycles) to send each shard its query block."""
+        return self._transfer(
+            [int(n) * int(query_bytes) for n in per_shard_queries]
+        )
+
+    def gather(self, per_shard_results: list[int],
+               result_bytes: int) -> tuple[int, int]:
+        """(bytes, cycles) to return each shard's candidate list."""
+        return self._transfer(
+            [int(n) * int(result_bytes) for n in per_shard_results]
+        )
+
+    def merge(self, total_results: int) -> tuple[int, int]:
+        """(compare ops, cycles) of the host-side k-way tournament merge.
+
+        One shard needs no merging; ``S`` shards cost each gathered
+        candidate ``ceil(log2(S))`` comparisons.
+        """
+        total_results = int(total_results)
+        if total_results <= 0 or self.num_shards <= 1:
+            return 0, 0
+        ops = total_results * math.ceil(math.log2(self.num_shards))
+        return ops, math.ceil(ops / self.config.merge_ops_per_cycle)

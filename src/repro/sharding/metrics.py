@@ -1,0 +1,182 @@
+"""Sharding observability: per-index scopes on a MetricsRegistry.
+
+Mirrors :mod:`repro.serving.metrics`: every sharded index registers its
+counters under ``sharding/<index>/...`` on a standard
+:class:`~repro.gpusim.observability.MetricsRegistry`, with per-shard
+subscopes ``sharding/<index>/shard<k>/...`` for device-level breakdowns
+(cycles attributed by the scaling harness, result counts from the merge
+path).  ``load_imbalance`` is a probe — max/mean per-shard work computed
+at read time, preferring attributed cycles and falling back to gathered
+result counts when no simulation has run.
+
+Documentation contract: every metric registered here has a row in the
+"Sharding metrics" table of ``docs/METRICS.md`` (index instances fold to
+``sharding/*/...``, shard instances to ``shard*``), enforced in both
+directions by ``tests/test_metrics_doc.py`` — the same drift test that
+guards the simulator and serving glossaries.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.gpusim.observability import MetricsRegistry
+from repro.gpusim.observability.registry import SEPARATOR
+
+#: Scope prefix every sharding metric lives under.
+SHARDING_PREFIX = "sharding"
+
+_SHARD_SEGMENT = re.compile(r"^shard\d+$")
+
+
+def canonical_sharding_name(name: str) -> str:
+    """Fold instance segments: ``sharding/points/shard3/cycles`` →
+    ``sharding/*/shard*/cycles``.
+
+    The sharding analog of
+    :func:`repro.serving.metrics.canonical_serving_name`: segment 1 is the
+    index-instance name (folds to ``*``), and any ``shard<k>`` segment
+    folds to ``shard*``.  Scope-level metrics (``sharding/indices``) are
+    returned unchanged.
+    """
+    segments = name.split(SEPARATOR)
+    if len(segments) >= 3 and segments[0] == SHARDING_PREFIX:
+        segments = [segments[0], "*", *segments[2:]]
+    return SEPARATOR.join(
+        "shard*" if _SHARD_SEGMENT.match(segment) else segment
+        for segment in segments
+    )
+
+
+class IndexMetrics:
+    """All metrics of one sharded index, registered under
+    ``sharding/<index>/``.
+
+    :class:`~repro.sharding.index.ShardedIndex` calls the ``on_*`` hooks
+    from its merge path; the scaling harness attributes per-shard
+    simulated cycles through :meth:`on_shard_cycles`.
+    """
+
+    def __init__(self, registry: MetricsRegistry, index: str,
+                 shards: int) -> None:
+        self.index = index
+        self.num_shards = int(shards)
+        scope = registry.scope(SHARDING_PREFIX).scope(index)
+        self.shards = scope.gauge(
+            "shards", unit="shards",
+            doc="Shard count this index is partitioned across.")
+        self.shards.set(self.num_shards)
+        self.queries = scope.counter(
+            "queries", unit="queries",
+            doc="Queries answered through the sharded merge path.")
+        self.batches = scope.counter(
+            "batches", unit="batches",
+            doc="query_batch calls fanned out to the shards.")
+        self.fanout_queries = scope.counter(
+            "fanout_queries", unit="queries",
+            doc="Per-shard query executions (broadcast counts every "
+                "shard; routed substrates count one shard per query).")
+        self.scatter_bytes = scope.counter(
+            "scatter_bytes", unit="bytes",
+            doc="Query bytes shipped host→shards by the interconnect.")
+        self.gather_bytes = scope.counter(
+            "gather_bytes", unit="bytes",
+            doc="Candidate bytes shipped shards→host by the interconnect.")
+        self.interconnect_cycles = scope.counter(
+            "interconnect_cycles", unit="cycles",
+            doc="Modeled scatter + gather cycles (slowest-link critical "
+                "path per phase).")
+        self.merge_ops = scope.counter(
+            "merge_ops", unit="ops",
+            doc="Host-side compare ops of the k-way tournament merge.")
+        self.merge_cycles = scope.counter(
+            "merge_cycles", unit="cycles",
+            doc="Modeled host-side merge time at the configured merge "
+                "throughput.")
+        scope.probe(
+            "load_imbalance", self.load_imbalance, unit="ratio",
+            doc="Max/mean per-shard work (attributed cycles when "
+                "simulated, gathered results otherwise; 0 when idle).")
+        self._shard_cycles = []
+        self._shard_results = []
+        for shard in range(self.num_shards):
+            sub = scope.scope(f"shard{shard}")
+            self._shard_cycles.append(sub.counter(
+                "cycles", unit="cycles",
+                doc="Simulated-GPU cycles attributed to this shard's "
+                    "per-shard kernel runs."))
+            self._shard_results.append(sub.counter(
+                "results", unit="results",
+                doc="Candidate results this shard contributed to merges."))
+
+    # -- hooks ------------------------------------------------------------
+
+    def on_batch(self, queries: int, fanout: int, scatter_bytes: int,
+                 gather_bytes: int, interconnect_cycles: int,
+                 merge_ops: int, merge_cycles: int) -> None:
+        """Account one fanned-out ``query_batch`` and its modeled costs."""
+        self.queries.add(int(queries))
+        self.batches.add()
+        self.fanout_queries.add(int(fanout))
+        self.scatter_bytes.add(int(scatter_bytes))
+        self.gather_bytes.add(int(gather_bytes))
+        self.interconnect_cycles.add(int(interconnect_cycles))
+        self.merge_ops.add(int(merge_ops))
+        self.merge_cycles.add(int(merge_cycles))
+
+    def on_shard_results(self, shard: int, results: int) -> None:
+        """Candidate count shard ``shard`` returned for one batch."""
+        self._shard_results[shard].add(int(results))
+
+    def on_shard_cycles(self, shard: int, cycles: int) -> None:
+        """Simulated cycles the scaling harness attributes to a shard."""
+        self._shard_cycles[shard].add(int(cycles))
+
+    # -- read side --------------------------------------------------------
+
+    def load_imbalance(self) -> float:
+        """Max/mean per-shard work; 1.0 is perfectly balanced, 0 idle."""
+        for counters in (self._shard_cycles, self._shard_results):
+            work = [c.count for c in counters]
+            total = sum(work)
+            if total > 0:
+                mean = total / len(work)
+                return max(work) / mean
+        return 0.0
+
+
+class ShardingMetrics:
+    """The sharding scope's registry plus its per-index instances.
+
+    ``index(name, shards=N)`` lazily creates the ``sharding/<name>/``
+    scope; the ``sharding/indices`` gauge tracks how many are registered
+    so the snapshot is self-describing.  Pass the serving layer's registry
+    to land sharded-backend metrics next to the ``serving/*`` scope.
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._indices: dict[str, IndexMetrics] = {}
+        self._count = self.registry.scope(SHARDING_PREFIX).gauge(
+            "indices", unit="indices",
+            doc="Sharded indices registered on this registry.")
+
+    def index(self, name: str, shards: int = 1) -> IndexMetrics:
+        """The (lazily created) ``sharding/<name>/`` metrics scope."""
+        metrics = self._indices.get(name)
+        if metrics is None:
+            metrics = IndexMetrics(self.registry, name, shards)
+            self._indices[name] = metrics
+            self._count.set(len(self._indices))
+        return metrics
+
+    def names(self) -> list[str]:
+        """All registered sharding metric names (live, per-index)."""
+        return [
+            name for name in self.registry.names()
+            if name.split(SEPARATOR, 1)[0] == SHARDING_PREFIX
+        ]
+
+    def as_dict(self) -> dict[str, object]:
+        """Flat snapshot of the sharding scope only."""
+        return {name: self.registry.value(name) for name in self.names()}

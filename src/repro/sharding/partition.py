@@ -1,0 +1,152 @@
+"""Pluggable dataset partitioners: who owns which point on which device.
+
+A partitioner splits a dataset into ``num_shards`` disjoint, covering id
+sets — one per simulated GPU — *deterministically*, so a sharded build is
+reproducible and its artifact-cache keys are stable.  Three strategies
+cover the four substrates:
+
+* :class:`MortonRangePartitioner` — contiguous ranges of the Morton-sorted
+  point order (the same space-filling curve the LBVH build sorts by), so
+  BVH/k-d shards stay spatially compact and per-shard trees keep the
+  unsharded build's locality;
+* :class:`HashPartitioner` — a stateless integer hash of the point id
+  (splitmix64 finalizer), the random split HNSW graphs want: spatial
+  clustering would starve some shards of graph connectivity;
+* :class:`KeyRangePartitioner` — contiguous ranges of the sorted key order
+  for the B-tree, with split points nudged so a run of duplicate keys
+  never straddles a shard boundary (keeps global-rank arithmetic exact).
+
+:func:`partitioner_for` picks the conventional strategy for a substrate's
+``stats()["structure"]`` tag.  All partitioners return per-shard id arrays
+in ascending-id order for hash splits and in curve/key order for range
+splits; :class:`~repro.sharding.index.ShardedIndex` treats them opaquely.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.geometry.morton import morton_encode_points
+
+_INT = np.int64
+
+#: splitmix64 multiplicative constants (public-domain mixer).
+_GOLDEN = np.uint64(0x9E3779B97F4A7C15)
+_MIX_1 = np.uint64(0xBF58476D1CE4E5B9)
+_MIX_2 = np.uint64(0x94D049BB133111EB)
+
+
+def _check_shards(num_shards: int) -> int:
+    if int(num_shards) < 1:
+        raise ConfigError(f"num_shards must be >= 1, got {num_shards}")
+    return int(num_shards)
+
+
+def _splitmix64(values: np.ndarray) -> np.ndarray:
+    """Vectorized splitmix64 finalizer: uniform uint64 mix of uint64 ids."""
+    x = values.astype(np.uint64)
+    x = (x ^ (x >> np.uint64(30))) * _MIX_1
+    x = (x ^ (x >> np.uint64(27))) * _MIX_2
+    return x ^ (x >> np.uint64(31))
+
+
+class MortonRangePartitioner:
+    """Spatial split: equal-count ranges of the Morton-sorted order.
+
+    Points are sorted by their 30-bit Morton code (stable, so coincident
+    points keep ascending-id order — exactly like the LBVH build) and cut
+    into ``num_shards`` near-equal contiguous ranges.  Each shard is a
+    compact region of the space-filling curve, which keeps per-shard
+    BVH/k-d trees as tight as the unsharded tree over the same points.
+    """
+
+    name = "morton_range"
+
+    def partition(self, points: np.ndarray,
+                  num_shards: int) -> list[np.ndarray]:
+        """Disjoint, covering per-shard id arrays (Morton order inside)."""
+        num_shards = _check_shards(num_shards)
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2 or points.shape[1] != 3:
+            raise ConfigError(
+                "MortonRangePartitioner needs (N, 3) points, got shape "
+                f"{points.shape}; use HashPartitioner for other layouts"
+            )
+        codes = morton_encode_points(points)
+        order = np.argsort(codes, kind="stable").astype(_INT)
+        bounds = np.linspace(0, points.shape[0], num_shards + 1).astype(_INT)
+        return [order[bounds[s]:bounds[s + 1]] for s in range(num_shards)]
+
+
+class HashPartitioner:
+    """Random split: a deterministic integer hash of each point id.
+
+    ``shard(i) = splitmix64(i * golden + seed) mod num_shards`` — no RNG
+    state, so the split is reproducible across processes and stable under
+    re-partitioning with the same ``seed``.  The conventional choice for
+    HNSW: a spatial split would hand each shard a disconnected fragment of
+    the graph's neighborhoods.
+    """
+
+    name = "hash"
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = int(seed)
+
+    def partition(self, points: np.ndarray,
+                  num_shards: int) -> list[np.ndarray]:
+        """Disjoint, covering per-shard id arrays (ascending ids inside)."""
+        num_shards = _check_shards(num_shards)
+        count = np.asarray(points).shape[0]
+        ids = np.arange(count, dtype=np.uint64)
+        mixed = _splitmix64(ids * _GOLDEN + np.uint64(self.seed))
+        owner = (mixed % np.uint64(num_shards)).astype(_INT)
+        return [
+            np.flatnonzero(owner == s).astype(_INT)
+            for s in range(num_shards)
+        ]
+
+
+class KeyRangePartitioner:
+    """Key-range split for 1-D key sets (the B-tree substrate).
+
+    Keys are stable-sorted and cut into near-equal contiguous ranges; each
+    tentative split point is then moved *down* to the first occurrence of
+    the key it landed on, so a run of duplicate keys lives entirely inside
+    one shard.  That invariant is what makes sharded rank arithmetic exact:
+    ``global_rank = shard_key_offset + local_rank`` for every present key.
+    """
+
+    name = "key_range"
+
+    def partition(self, points: np.ndarray,
+                  num_shards: int) -> list[np.ndarray]:
+        """Disjoint, covering per-shard id arrays (sorted-key order)."""
+        num_shards = _check_shards(num_shards)
+        keys = np.asarray(points, dtype=np.float64).reshape(-1)
+        order = np.argsort(keys, kind="stable").astype(_INT)
+        sorted_keys = keys[order]
+        count = keys.shape[0]
+        bounds = np.linspace(0, count, num_shards + 1).astype(_INT)
+        for s in range(1, num_shards):
+            b = int(bounds[s])
+            if 0 < b < count:
+                bounds[s] = np.searchsorted(sorted_keys, sorted_keys[b],
+                                            side="left")
+        return [order[bounds[s]:bounds[s + 1]] for s in range(num_shards)]
+
+
+def partitioner_for(structure: str, seed: int = 0):
+    """The conventional partitioner for a substrate's ``structure`` tag.
+
+    ``bvh``/``kdtree`` → Morton range, ``hnsw`` → hash, ``btree`` → key
+    range; anything else raises :class:`~repro.errors.ConfigError`.
+    """
+    if structure in ("bvh", "kdtree"):
+        return MortonRangePartitioner()
+    if structure == "hnsw":
+        return HashPartitioner(seed=seed)
+    if structure == "btree":
+        return KeyRangePartitioner()
+    raise ConfigError(f"no default partitioner for structure {structure!r}")

@@ -169,6 +169,37 @@ def run_bvhnn(
 
         queries = queries[np.argsort(morton_encode_points(queries))]
 
+    result = index.query_batch(queries, record_events=True)
+    log = result.events
+    total_hits = sum(len(n) for n in result.neighbors)
+    streams, total_dist_tests = _lower_radius_trace(index, log)
+
+    extras = {
+        "dataset": abbr,
+        "builder": builder,
+        "arity": arity,
+        "radius": radius,
+        "num_queries": len(queries),
+        "mean_hits": total_hits / max(1, len(queries)),
+        "mean_dist_tests": total_dist_tests / max(1, len(queries)),
+    }
+    return WorkloadRun(
+        name=f"bvhnn-{abbr}",
+        style=STYLE_PARALLEL,
+        warp_ops=assemble_warps_packed(streams),
+        extras=extras,
+    )
+
+
+def _lower_radius_trace(index: BvhRadiusIndex, log) -> tuple:
+    """Lower one radius-search event log onto packed thread-op streams.
+
+    Shared by the unsharded and per-shard trace paths: addresses are laid
+    out against *this* index's node count and Morton point order, so a
+    shard's trace models a device that holds only its partition.  Returns
+    ``(PackedStreams, total_dist_tests)``.
+    """
+    points = index.points
     node_arity = index.node_arity
     space = AddressSpace()
     nodes = space.alloc_array(
@@ -179,10 +210,6 @@ def run_bvhnn(
     # so leaf data for nearby queries shares cache lines.
     position_of = np.empty(points.shape[0], dtype=np.int64)
     position_of[index.prim_indices] = np.arange(points.shape[0])
-
-    result = index.query_batch(queries, record_events=True)
-    log = result.events
-    total_hits = sum(len(n) for n in result.neighbors)
 
     codes = log.codes
     idents = log.idents
@@ -236,19 +263,95 @@ def run_bvhnn(
     streams = PackedStreams(
         ops_cum[log.starts], op_kind, op_k1, op_k2, op_addr, op_cnt
     )
+    return streams, total_dist_tests
+
+
+@lru_cache(maxsize=16)
+def _sharded_parts(abbr: str, scale: float, seed: int, shards: int):
+    """Dataset points, shared radius and the Morton-range shard split.
+
+    One entry serves every shard of a sweep point: the radius comes from
+    the same ``bvhnn-radius`` artifact the unsharded path uses, and the
+    partition is the deterministic Morton-range split, so per-shard runs
+    agree on who owns which point without any coordination.
+    """
+    from repro.sharding.partition import MortonRangePartitioner
+
+    dataset = load_dataset(abbr, num_queries=512, scale=scale, seed=seed)
+    points = dataset.points.astype(np.float64)
+    radius = _cached_radius(abbr, scale, seed, points)
+    shard_ids = MortonRangePartitioner().partition(points, shards)
+    return points, radius, shard_ids
+
+
+def run_bvhnn_sharded(
+    abbr: str,
+    num_queries: int = 256,
+    scale: float = 1.0,
+    seed: int = 0,
+    shards: int = 2,
+    shard: int = 0,
+):
+    """One shard's slice of a multi-device BVH-NN run; returns a WorkloadRun.
+
+    Models device ``shard`` of ``shards``: the dataset is Morton-range
+    partitioned, this device's BVH covers only its partition, and the
+    *full* query batch is broadcast to it (every device sees every query —
+    the sharded radius-search fan-out).  The query stream is bit-identical
+    to :func:`run_bvhnn`'s at the same ``(abbr, num_queries, scale, seed)``,
+    so per-shard traces compose into the scaling curve the unsharded run
+    anchors.  Raises :class:`~repro.errors.ConfigError` for an invalid or
+    empty shard.
+    """
+    from repro.errors import ConfigError
+    from repro.workloads.base import WorkloadRun
+
+    if shards < 1 or not 0 <= shard < shards:
+        raise ConfigError(
+            f"shard {shard} out of range for {shards} shard(s)"
+        )
+    points, radius, shard_ids = _sharded_parts(abbr, scale, seed, shards)
+    ids = shard_ids[shard]
+    if ids.shape[0] == 0:
+        raise ConfigError(
+            f"shard {shard} of {shards} owns no points of {abbr!r} at "
+            f"scale {scale:g}; lower the shard count"
+        )
+    index = _build_shard(abbr, scale, seed, shards, shard)
+    # The same near-manifold query stream as the unsharded run: drawn from
+    # the FULL dataset, so every shard broadcasts an identical batch.
+    rng = np.random.default_rng(seed + 1)
+    picks = rng.choice(points.shape[0], size=num_queries, replace=True)
+    queries = points[picks] + rng.normal(
+        scale=radius * 0.3, size=(num_queries, 3)
+    )
+
+    result = index.query_batch(queries, record_events=True)
+    log = result.events
+    total_hits = sum(len(n) for n in result.neighbors)
+    streams, total_dist_tests = _lower_radius_trace(index, log)
 
     extras = {
         "dataset": abbr,
-        "builder": builder,
-        "arity": arity,
         "radius": radius,
+        "shards": shards,
+        "shard": shard,
+        "shard_points": int(ids.shape[0]),
         "num_queries": len(queries),
         "mean_hits": total_hits / max(1, len(queries)),
         "mean_dist_tests": total_dist_tests / max(1, len(queries)),
     }
     return WorkloadRun(
-        name=f"bvhnn-{abbr}",
+        name=f"bvhnn-{abbr}-s{shard}of{shards}",
         style=STYLE_PARALLEL,
         warp_ops=assemble_warps_packed(streams),
         extras=extras,
     )
+
+
+@lru_cache(maxsize=16)
+def _build_shard(abbr: str, scale: float, seed: int, shards: int,
+                 shard: int) -> BvhRadiusIndex:
+    """This shard's BVH over its Morton-range partition (LBVH, arity 2)."""
+    points, radius, shard_ids = _sharded_parts(abbr, scale, seed, shards)
+    return BvhRadiusIndex().build(points[shard_ids[shard]], radius)

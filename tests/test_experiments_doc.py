@@ -34,6 +34,7 @@ EXPERIMENT_TOKENS = {
     "table3_config": "Table III",
     "rtindex_comparison": "§VI-G",
     "ablations": "§VI",
+    "scaling": "§VI",
 }
 
 _CLAIM = re.compile(r"§|[Pp]aper")

@@ -114,6 +114,50 @@ def test_serving_rows_stay_out_of_the_simulator_table():
     )
 
 
+def _documented_sharding_names() -> set[str]:
+    text = DOC.read_text()
+    section = text.split("## Sharding metrics", 1)[1].split("\n## ", 1)[0]
+    names = {m.group(1) for m in map(_ROW.match, section.splitlines()) if m}
+    assert names, "no sharding metric rows found in docs/METRICS.md"
+    return names
+
+
+def _live_sharding_names() -> set[str]:
+    from repro.sharding import ShardingMetrics, canonical_sharding_name
+
+    metrics = ShardingMetrics()
+    # Two indices with different shard counts so both foldings (index
+    # instance -> *, shard instance -> shard*) are actually exercised.
+    metrics.index("points_a", shards=2)
+    metrics.index("points_b", shards=3)
+    return {canonical_sharding_name(name) for name in metrics.names()}
+
+
+def test_every_sharding_metric_is_documented():
+    missing = _live_sharding_names() - _documented_sharding_names()
+    assert not missing, (
+        f"sharding metrics registered but absent from docs/METRICS.md: "
+        f"{sorted(missing)}"
+    )
+
+
+def test_every_documented_sharding_metric_exists():
+    phantom = _documented_sharding_names() - _live_sharding_names()
+    assert not phantom, (
+        f"docs/METRICS.md sharding rows with no registered metric: "
+        f"{sorted(phantom)}"
+    )
+
+
+def test_sharding_rows_stay_in_their_own_table():
+    sharding = _documented_sharding_names()
+    overlap = sharding & (_documented_names() | _documented_serving_names())
+    assert not overlap, (
+        f"rows listed in the sharding table and another table: "
+        f"{sorted(overlap)}"
+    )
+
+
 @pytest.mark.parametrize("metric", ["sm0/l1/misses", "gpu/cycles"])
 def test_doc_examples_are_real(metric):
     kernel = KernelTrace(
