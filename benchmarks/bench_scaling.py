@@ -10,18 +10,27 @@ full workload → trace → simulate pipeline, the warm pass must come back
 entirely from the persistent campaign cache (the ``cache_hits`` column is
 gated to prove it).
 
+``--full`` additionally sweeps the scale axis — the 10x/100x dataset
+scale factors of ``campaign.scaling_jobs()`` (``SCALING_SCALES`` x
+``SCALING_SHARD_COUNTS`` at the ``SCALING_QUERIES`` budget) — the grid
+the committed scaling-curve figures come from.  It is opt-in because the
+100x points build million-point BVHs in pure Python; see docs/SHARDING.md
+for the recipe and expected cost.
+
 Results land in ``BENCH_scaling.json`` at the repo root::
 
-    python benchmarks/bench_scaling.py              # full curve, write JSON
+    python benchmarks/bench_scaling.py              # default curve, write JSON
     python benchmarks/bench_scaling.py --smoke      # CI: 1→8 shards + gates
     python benchmarks/bench_scaling.py --check      # gate only
+    python benchmarks/bench_scaling.py --full       # + the 10x/100x scale axis
 
 Gates (``--check`` / ``--smoke``): simulated cycle totals are
 deterministic, so against the committed ``BENCH_scaling.json`` every
 sweep point's ``total_cycles`` must stay within ``--tolerance`` (default
-20%), the warm pass must score a cache hit per shard job, and sharding
-must never *lose* cycles — the N-shard makespan may not exceed the
-single-device total (partitioning shrinks every device's BVH).
+20%), the warm pass must come back from the cache with a hit per shard
+job, and sharding must never *lose* cycles — an N-shard makespan may not
+exceed its scale's single-device total (partitioning shrinks every
+device's BVH).
 """
 
 from __future__ import annotations
@@ -39,34 +48,55 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_scaling.json"
 
-#: The benchmarked grid: the 1 → 8 shard curve at native dataset scale.
+#: The default grid: the 1 → 8 shard curve at native dataset scale.
 SHARD_COUNTS = (1, 2, 4, 8)
 SCALE = 1.0
 QUERIES = 96
 ABBR = "R10K"
 
 
-def _run_grid(jobs_n: int) -> tuple[list[dict[str, object]], float, float]:
-    """(rows, cold seconds, warm seconds) for the shard-count grid."""
+def _grid_points(full: bool) -> list[tuple[float, int, int]]:
+    """(scale, shards, queries) sweep points; ``--full`` appends the
+    10x/100x scale axis exactly as ``campaign.scaling_jobs()`` sweeps it."""
+    points = [(SCALE, shards, QUERIES) for shards in SHARD_COUNTS]
+    if full:
+        from repro.experiments.campaign import (
+            SCALING_QUERIES,
+            SCALING_SCALES,
+            SCALING_SHARD_COUNTS,
+        )
+
+        points += [
+            (scale, shards, SCALING_QUERIES)
+            for scale in SCALING_SCALES
+            for shards in SCALING_SHARD_COUNTS
+        ]
+    return points
+
+
+def _run_grid(
+    points: list[tuple[float, int, int]], jobs_n: int
+) -> tuple[list[dict[str, object]], float, float]:
+    """(rows, cold seconds, warm seconds) for the sweep-point grid."""
     from repro.sharding import simulate_sharded
 
     rows: list[dict[str, object]] = []
     timings = []
     for passname in ("cold", "warm"):
         start = time.perf_counter()
-        for shards in SHARD_COUNTS:
+        for scale, shards, queries in points:
             result = simulate_sharded(
-                ABBR, shards=shards, scale=SCALE, queries=QUERIES,
+                ABBR, shards=shards, scale=scale, queries=queries,
                 jobs_n=jobs_n,
             )
             row = result.to_json_dict()
             row["pass"] = passname
             rows.append(row)
             print(
-                f"  {passname} n{shards}: makespan {result.makespan_cycles} "
-                f"+ ic {result.interconnect_cycles} + merge "
-                f"{result.merge_cycles} = {result.total_cycles} cycles, "
-                f"imbalance {result.load_imbalance:.3f}, "
+                f"  {passname} x{scale:g} n{shards}: makespan "
+                f"{result.makespan_cycles} + ic {result.interconnect_cycles} "
+                f"+ merge {result.merge_cycles} = {result.total_cycles} "
+                f"cycles, imbalance {result.load_imbalance:.3f}, "
                 f"cache hits {result.cache_hits}/{shards}",
                 flush=True,
             )
@@ -74,19 +104,23 @@ def _run_grid(jobs_n: int) -> tuple[list[dict[str, object]], float, float]:
     return rows, timings[0], timings[1]
 
 
-def _committed_rows(output: Path) -> dict[tuple[str, int], dict[str, object]]:
+def _row_key(row: dict[str, object]) -> tuple[str, float, int]:
+    return (str(row["pass"]), float(row.get("scale", SCALE)),
+            int(row["shards"]))
+
+
+def _committed_rows(
+    output: Path,
+) -> dict[tuple[str, float, int], dict[str, object]]:
     try:
         committed = json.loads(output.read_text())
-        return {
-            (row["pass"], row["shards"]): row
-            for row in committed.get("points", [])
-        }
+        return {_row_key(row): row for row in committed.get("points", [])}
     except (OSError, ValueError, KeyError, TypeError):
         return {}
 
 
 def _gate(result: dict[str, object],
-          reference: dict[tuple[str, int], dict[str, object]],
+          reference: dict[tuple[str, float, int], dict[str, object]],
           tolerance: float) -> bool:
     ok = True
 
@@ -96,19 +130,23 @@ def _gate(result: dict[str, object],
         print(f"REGRESSION: {message}", file=sys.stderr)
 
     rows = result["points"]
-    single = next(
-        r for r in rows if r["pass"] == "cold" and r["shards"] == 1
-    )
+    singles = {
+        float(r.get("scale", SCALE)): r
+        for r in rows
+        if r["pass"] == "cold" and r["shards"] == 1
+    }
     for row in rows:
-        name = f"{row['pass']} n{row['shards']}"
-        if row["makespan_cycles"] > single["total_cycles"]:
+        scale = float(row.get("scale", SCALE))
+        name = f"{row['pass']} x{scale:g} n{row['shards']}"
+        single = singles.get(scale)
+        if single and row["makespan_cycles"] > single["total_cycles"]:
             fail(f"{name}: makespan {row['makespan_cycles']} exceeds the "
                  f"single-device total {single['total_cycles']} — "
                  "sharding lost cycles")
         if row["pass"] == "warm" and row["cache_hits"] < row["shards"]:
             fail(f"{name}: only {row['cache_hits']} cache hits for "
                  f"{row['shards']} shard jobs — warm pass re-simulated")
-        committed = reference.get((row["pass"], row["shards"]))
+        committed = reference.get(_row_key(row))
         if committed is None:
             print(f"gate ok [{name}]: no committed reference (first run)")
             continue
@@ -130,6 +168,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--check", action="store_true",
                         help="run the gates against the committed "
                         "BENCH_scaling.json")
+    parser.add_argument("--full", action="store_true",
+                        help="also sweep the 10x/100x scale axis "
+                        "(campaign.scaling_jobs(); expensive — see "
+                        "docs/SHARDING.md)")
     parser.add_argument("--tolerance", type=float, default=0.2,
                         help="allowed fractional cycle regression vs the "
                         "committed JSON (default 0.2 — simulated cycles "
@@ -142,28 +184,40 @@ def main(argv: list[str] | None = None) -> int:
 
     check = args.check or args.smoke
     reference = _committed_rows(args.output)
+    points = _grid_points(args.full)
 
     with tempfile.TemporaryDirectory(prefix="bench-scaling-") as tmp:
         os.environ["REPRO_CACHE_DIR"] = str(Path(tmp) / "cache")
         os.environ["REPRO_RESULTS_DIR"] = str(Path(tmp) / "results")
-        print(f"scaling benchmark, shards {SHARD_COUNTS} on {ABBR} "
+        label = "default + 10x/100x scale axis" if args.full else "default"
+        print(f"scaling benchmark, {label} grid on {ABBR} "
               f"(cold + warm, --jobs {args.jobs}):")
-        rows, cold_s, warm_s = _run_grid(args.jobs)
+        rows, cold_s, warm_s = _run_grid(points, args.jobs)
 
+    # A default run must not drop committed --full rows from the JSON:
+    # carry forward committed points the current grid did not re-measure.
+    measured = {_row_key(row) for row in rows}
+    carried = [
+        row for key, row in sorted(reference.items(), key=repr)
+        if key not in measured
+    ]
     result = {
         "benchmark": "scaling-curve",
-        "protocol": "fresh cache dir; the shard grid runs twice (cold then "
+        "protocol": "fresh cache dir; the sweep grid runs twice (cold then "
         "warm), one campaign job per shard, interconnect costs composed by "
-        "repro.sharding.simulate_sharded",
+        "repro.sharding.simulate_sharded; --full adds the 10x/100x scale "
+        "axis of campaign.scaling_jobs()",
         "dataset": ABBR,
         "scale": SCALE,
         "queries": QUERIES,
         "cold_seconds": round(cold_s, 3),
         "warm_seconds": round(warm_s, 3),
-        "points": rows,
+        "points": rows + carried,
     }
     args.output.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
-    print(f"wrote {args.output} (cold {cold_s:.1f}s, warm {warm_s:.1f}s)")
+    print(f"wrote {args.output} (cold {cold_s:.1f}s, warm {warm_s:.1f}s"
+          + (f", carried {len(carried)} committed rows" if carried else "")
+          + ")")
 
     if check and not _gate(result, reference, args.tolerance):
         return 1

@@ -32,6 +32,14 @@ landed; ``speedup_vs_baseline`` in the JSON tracks the cumulative win
 ``BASELINE_SIMULATE_SECONDS`` anchor the phase split at the commit before
 the batched query engine; ``tracegen_speedup_vs_baseline`` tracks that
 win (acceptance bar >= 3x on trace generation).
+
+The JSON also carries a ``backends`` section: the same cold phase split
+measured once per kernel backend (``REPRO_KERNEL_BACKEND`` exported into
+the sample subprocess — see docs/KERNELS.md).  ``numba_available``
+records whether the ``jit`` rows exercised compiled kernels; without
+numba the jit backend degrades to the reference implementation, so its
+rows then mirror the reference timings.  The regression gates compare
+only the reference-backend numbers.
 """
 
 from __future__ import annotations
@@ -62,7 +70,11 @@ BASELINE_TRACEGEN_SECONDS = 0.157
 BASELINE_SIMULATE_SECONDS = 0.066
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_simcore.json"
+
+#: Kernel backends the per-backend section measures (docs/KERNELS.md).
+BACKENDS = ("reference", "jit")
 
 
 def _child(jobs_n: int) -> None:
@@ -89,13 +101,17 @@ def _child(jobs_n: int) -> None:
     }))
 
 
-def _run_cold_sample(jobs_n: int) -> dict[str, float]:
+def _run_cold_sample(
+    jobs_n: int, backend: str | None = None
+) -> dict[str, float]:
     """Spawn one fresh-process, fresh-cache sample; returns phase timings."""
     with tempfile.TemporaryDirectory(prefix="bench-simcore-") as tmp:
         env = os.environ.copy()
         env["REPRO_CACHE_DIR"] = str(Path(tmp) / "cache")
         env["REPRO_RESULTS_DIR"] = str(Path(tmp) / "results")
         env["REPRO_MANIFESTS"] = "0"
+        if backend is not None:
+            env["REPRO_KERNEL_BACKEND"] = backend
         src = str(REPO_ROOT / "src")
         extra = env.get("PYTHONPATH")
         env["PYTHONPATH"] = src + (os.pathsep + extra if extra else "")
@@ -148,6 +164,37 @@ def measure(runs: int, jobs_n: int) -> dict[str, object]:
             round(BASELINE_TRACEGEN_SECONDS / tracegen, 3) if tracegen else None
         ),
     }
+
+
+def measure_backends(runs: int, jobs_n: int) -> dict[str, object]:
+    """Cold phase split per kernel backend (``backends`` JSON section).
+
+    Best-of-N per backend, same fresh-subprocess protocol; with numba
+    installed the first jit sample pays the one-time ``@njit(cache=True)``
+    compile, which best-of-N then discounts.
+    """
+    from repro.kernels import jit_available
+
+    per_backend: dict[str, object] = {}
+    for backend in BACKENDS:
+        samples = []
+        for index in range(runs):
+            sample = _run_cold_sample(jobs_n, backend=backend)
+            samples.append(sample)
+            print(
+                f"  [{backend}] sample {index + 1}/{runs}: "
+                f"{sample['seconds']:.3f}s "
+                f"(tracegen {sample['tracegen_seconds']:.3f}s, "
+                f"simulate {sample['simulate_seconds']:.3f}s)",
+                flush=True,
+            )
+        best = min(samples, key=lambda s: s["seconds"])
+        per_backend[backend] = {
+            "cold_seconds": round(best["seconds"], 4),
+            "tracegen_seconds": round(best["tracegen_seconds"], 4),
+            "simulate_seconds": round(best["simulate_seconds"], 4),
+        }
+    return {"numba_available": jit_available(), "backends": per_backend}
 
 
 def _reference_numbers(output: Path) -> dict[str, float]:
@@ -204,6 +251,16 @@ def main(argv: list[str] | None = None) -> int:
 
     print(f"cold smoke campaign, {runs} fresh-process samples:")
     result = measure(runs, args.jobs)
+    print("per-backend phase split:")
+    result.update(measure_backends(runs, args.jobs))
+    backends = result["backends"]
+    if result["numba_available"]:
+        ref_tg = float(backends["reference"]["tracegen_seconds"]) or None
+        jit_tg = float(backends["jit"]["tracegen_seconds"]) or None
+        if ref_tg and jit_tg:
+            print(f"jit trace-gen speedup vs reference: {ref_tg / jit_tg:.2f}x")
+    else:
+        print("numba unavailable: jit rows degraded to the reference backend")
     cold = float(result["cold_seconds"])
     print(
         f"cold {cold:.3f}s — {result['speedup_vs_baseline']}x vs "

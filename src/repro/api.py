@@ -27,10 +27,13 @@ them with one facade:
   ablation/figure path for pre-lowered traces).
 
 Results are :class:`~repro.gpusim.stats.SimStats` and are bit-exact with
-the legacy entry points: the facade builds the same campaign cache keys,
-run ids, and manifests, so existing ``results/cache/`` contents keep
-hitting.  The legacy names remain importable as thin shims that emit
-:class:`DeprecationWarning`.
+the legacy entry points this facade replaced: it builds the same campaign
+cache keys, run ids, and manifests, so existing ``results/cache/``
+contents keep hitting.
+
+``simulate(backend=...)`` selects the kernel backend (:mod:`repro.kernels`)
+for the duration of the call — backends are bit-identical by contract, so
+this only changes how fast the pipeline runs, never what it returns.
 """
 
 from __future__ import annotations
@@ -44,6 +47,7 @@ from repro.experiments import campaign
 from repro.gpusim import GpuConfig
 from repro.gpusim.stats import SimStats
 from repro.gpusim.trace import KernelTrace
+from repro.kernels import get_backend, use_backend
 from repro.workloads.base import TraceBundle, WorkloadRun, to_traces
 
 __all__ = [
@@ -111,7 +115,7 @@ def run_workload(
 ) -> WorkloadRun:
     """Execute one named workload once per process (memoized).
 
-    The supported replacement for the deprecated
+    The supported replacement for the removed
     ``repro.experiments.common.workload_run``.
     """
     from repro.experiments import common  # deferred: registry lives there
@@ -181,7 +185,7 @@ def sharded_trace_bundle(
 @lru_cache(maxsize=256)
 def _job_stats(job: campaign.Job) -> SimStats:
     """Process-level memoization of named-workload simulations (the lru
-    tier the deprecated ``baseline_stats``/``hsu_stats`` provided)."""
+    tier the removed ``baseline_stats``/``hsu_stats`` provided)."""
     return campaign.run_job(job).stats
 
 
@@ -209,6 +213,7 @@ def simulate(
     shards: int = 1,
     shard: int = 0,
     label: object = None,
+    backend: str | None = None,
 ) -> SimStats:
     """Simulate one workload variant and return its :class:`SimStats`.
 
@@ -239,7 +244,31 @@ def simulate(
 
     ``label`` names a recorded trace's (family, abbr) identity for
     manifests and cache keys; ignored for named workloads.
+
+    ``backend`` selects the kernel backend (``"reference"`` / ``"jit"``,
+    :mod:`repro.kernels`) for the duration of this call, overriding the
+    ``REPRO_KERNEL_BACKEND`` environment variable and any
+    ``config.kernel_backend``.  Backends are bit-identical by contract:
+    the stats, cache keys, and manifests are the same either way.
     """
+    if backend is not None:
+        get_backend(backend)  # validate eagerly: unknown names raise here
+        with use_backend(backend):
+            return simulate(
+                workload,
+                variant=variant,
+                config=config,
+                cache=cache,
+                queries=queries,
+                warp_buffer=warp_buffer,
+                euclid_width=euclid_width,
+                scheduler=scheduler,
+                memory=memory,
+                scale=scale,
+                shards=shards,
+                shard=shard,
+                label=label,
+            )
     prior = campaign.cache_mode()
     if cache is not None:
         campaign.set_cache_mode(cache)

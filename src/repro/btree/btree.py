@@ -19,6 +19,7 @@ import numpy as np
 from repro.core.isa import KEY_COMPARE_WIDTH
 from repro.core.ops import key_compare, key_compare_child_index
 from repro.errors import BuildError
+from repro.kernels import get_backend
 
 #: Rodinia's branch factor.
 MAX_BRANCH = 256
@@ -83,10 +84,59 @@ class BTree:
     #: whole-batch membership probe instead of per-leaf scans.
     sorted_keys: np.ndarray | None = None
     sorted_values: np.ndarray | None = None
+    #: Cached flat-array snapshot consumed by the kernel backend.
+    _flat: tuple | None = None
 
     @property
     def num_nodes(self) -> int:
         return len(self.nodes)
+
+    def flat_arrays(self) -> tuple:
+        """Flat CSR arrays of the tree for the ``btree_descend`` kernel:
+        ``(is_leaf, sep_off, sep_cnt, sep_vals, child_off, child_idx,
+        key_cnt)``, cached after the first call."""
+        if self._flat is None:
+            is_leaf = np.array([node.is_leaf for node in self.nodes])
+            sep_cnt = np.array(
+                [
+                    0 if node.is_leaf else node.separators.size
+                    for node in self.nodes
+                ],
+                dtype=np.int64,
+            )
+            sep_off = np.zeros(len(self.nodes), dtype=np.int64)
+            np.cumsum(sep_cnt[:-1], out=sep_off[1:])
+            sep_parts = [
+                node.separators
+                for node in self.nodes
+                if not node.is_leaf and node.separators.size
+            ]
+            sep_vals = (
+                np.concatenate(sep_parts)
+                if sep_parts
+                else np.empty(0, dtype=np.float64)
+            )
+            child_cnt = np.array(
+                [len(node.children) for node in self.nodes], dtype=np.int64
+            )
+            child_off = np.zeros(len(self.nodes), dtype=np.int64)
+            np.cumsum(child_cnt[:-1], out=child_off[1:])
+            child_idx = np.array(
+                [c for node in self.nodes for c in node.children],
+                dtype=np.int64,
+            )
+            key_cnt = np.array(
+                [
+                    node.keys.size if node.keys is not None else 0
+                    for node in self.nodes
+                ],
+                dtype=np.int64,
+            )
+            self._flat = (
+                is_leaf, sep_off, sep_cnt, sep_vals,
+                child_off, child_idx, key_cnt,
+            )
+        return self._flat
 
     def height(self) -> int:
         height = 1
@@ -148,42 +198,23 @@ class BTree:
         if count == 0:
             empty = np.empty(0, dtype=np.float64)
             return empty, np.zeros(0, dtype=bool), trail
-        current = np.full(count, self.root, dtype=np.int64)
-        while not self.nodes[int(current[0])].is_leaf:
-            payloads = np.empty(count, dtype=np.int64)
-            nxt = np.empty(count, dtype=np.int64)
-            # Few distinct nodes per level (the branch factor is 256).
-            for node_id in sorted(set(current.tolist())):
-                node = self.nodes[node_id]
-                seps = node.separators
-                assert seps is not None
-                mask = current == node_id
-                payloads[mask] = seps.size
-                child = np.searchsorted(seps, probes[mask], side="right")
-                nxt[mask] = np.asarray(node.children, dtype=np.int64)[child]
-            trail.append((current, payloads))
-            current = nxt
-        # Leaf level.  Leaves are nodes 0..n_leaves-1 in key order (the
-        # bulk loader appends them first), chunking the global sorted key
-        # array — so one whole-batch searchsorted resolves membership:
-        # a key exists iff it exists in its descent leaf.
+        kernels = get_backend()
+        trail_nodes, trail_payloads = kernels.btree_descend(
+            probes, self.root, *self.flat_arrays()
+        )
+        trail = [
+            (trail_nodes[level], trail_payloads[level])
+            for level in range(trail_nodes.shape[0])
+        ]
+        # Leaves are nodes 0..n_leaves-1 in key order (the bulk loader
+        # appends them first), chunking the global sorted key array — so
+        # one whole-batch membership probe resolves every lookup: a key
+        # exists iff it exists in its descent leaf.
         if self.sorted_keys is None:
             leaves = [n for n in self.nodes if n.is_leaf]
             self.sorted_keys = np.concatenate([n.keys for n in leaves])
             self.sorted_values = np.concatenate([n.values for n in leaves])
-        leaf_sizes = np.array(
-            [
-                n.keys.size if n.keys is not None else 0
-                for n in self.nodes[: int(current.max()) + 1]
-            ],
-            dtype=np.int64,
-        )
-        trail.append((current, leaf_sizes[current]))
-        position = np.searchsorted(self.sorted_keys, probes)
-        clipped = np.minimum(position, self.sorted_keys.size - 1)
-        found = (position < self.sorted_keys.size) & (
-            self.sorted_keys[clipped] == probes
-        )
+        clipped, found = kernels.sorted_membership(self.sorted_keys, probes)
         assert self.sorted_values is not None
         values = self.sorted_values[clipped]
         return values, found, trail

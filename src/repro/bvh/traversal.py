@@ -22,12 +22,8 @@ from repro.geometry.intersect_tri import TriangleHit, intersect_ray_triangle
 from repro.geometry.ray import Ray
 from repro.geometry.triangle import Triangle
 from repro.geometry.vec3 import Vec3
-from repro.search.events import (
-    BatchResult,
-    EventBuffer,
-    EventLog,
-    segmented_arange,
-)
+from repro.kernels import get_backend
+from repro.search.events import BatchResult, EventLog
 
 #: Traversal event kinds consumed by the trace compiler.
 EVENT_BOX_NODE = "box_node"
@@ -45,9 +41,6 @@ BVH_EVENT_KINDS = (
 _BOX = BVH_EVENT_KINDS.index(EVENT_BOX_NODE)
 _DIST = BVH_EVENT_KINDS.index(EVENT_LEAF_DIST)
 _STACK = BVH_EVENT_KINDS.index(EVENT_STACK_OP)
-
-#: Child-slot offsets of a binary node (the fanout-2 traversal fast path).
-_PAIR = np.array([0, 1], dtype=np.int64)
 
 
 @dataclass
@@ -245,15 +238,14 @@ def point_query_batch(
     record_events: bool = False,
     stats: TraversalStats | None = None,
 ) -> tuple[np.ndarray, np.ndarray, EventLog | None]:
-    """Lockstep :func:`point_query` over a ``(Q, 3)`` query block.
+    """Batched :func:`point_query` over a ``(Q, 3)`` query block.
 
-    Every query keeps its own DFS stack; each step pops one node per
-    still-active query and the box tests, candidate gathers, and event
-    appends for the whole front run as single vectorized operations.  Per
+    The traversal itself lives in the active kernel backend
+    (``bvh_point_query`` — see :mod:`repro.kernels`): the reference
+    backend advances every query's DFS stack in vectorized lockstep, the
+    jit backend walks each query's DFS in compiled sequential code.  Per
     query, the visit order — and therefore the candidate order and the
-    event stream — is *identical* to the scalar loop: the per-query stack
-    contents evolve exactly as in :func:`point_query`, only interleaved
-    across queries.
+    event stream — is *identical* to the scalar loop under every backend.
 
     Returns ``(cand_starts, cand_prims, log)``: candidates of query ``q``
     are ``cand_prims[cand_starts[q] : cand_starts[q + 1]]`` in traversal
@@ -268,139 +260,26 @@ def point_query_batch(
     )
     if num_queries == 0:
         return np.zeros(1, dtype=np.int64), np.empty(0, np.int64), empty_log
-    (
-        is_leaf, child_off, child_cnt, child_idx, firsts, counts, lo, hi
-    ) = _flat_arrays(bvh)
+    flat = _flat_arrays(bvh)
     prim_indices = np.asarray(bvh.prim_indices, dtype=np.int64)
-
-    capacity = 64
-    stack = np.empty((num_queries, capacity), dtype=np.int64)
-    stack[:, 0] = bvh.root
-    depth = np.ones(num_queries, dtype=np.int64)
-    # Binary trees (the default LBVH) take a constant-fanout fast path in
-    # the loop below: every internal node pushes from exactly 2 children,
-    # so the CSR expansions collapse into fixed (n, 2) reshapes.
-    uniform2 = bool(np.all(child_cnt[~is_leaf] == 2))
-    buffer = EventBuffer() if record_events else None
-    cand_q_parts: list[np.ndarray] = []
-    cand_p_parts: list[np.ndarray] = []
+    kernels = get_backend()
+    (
+        cand_starts, cand_prims,
+        ev_codes, ev_idents, ev_payloads, ev_starts,
+        counters,
+    ) = kernels.bvh_point_query(
+        queries, *flat, prim_indices, bvh.root, record_events, _BOX, _STACK
+    )
     if stats is not None:
-        stats.note_stack_depth(1)
-
-    active = np.arange(num_queries, dtype=np.int64)
-    while active.size:
-        top = stack[active, depth[active] - 1]
-        depth[active] -= 1
-        leaf_mask = is_leaf[top]
-        leaf_q = active[leaf_mask]
-        internal_q = active[~leaf_mask]
-        if leaf_q.size:
-            leaf_n = top[leaf_mask]
-            leaf_counts = counts[leaf_n]
-            total = int(leaf_counts.sum())
-            offsets = (
-                np.repeat(firsts[leaf_n], leaf_counts)
-                + segmented_arange(leaf_counts, total)
-            )
-            cand_q_parts.append(np.repeat(leaf_q, leaf_counts))
-            cand_p_parts.append(prim_indices[offsets])
-            if stats is not None:
-                stats.nodes_visited += leaf_q.size
-                stats.leaf_visits += leaf_q.size
-        if internal_q.size:
-            internal_n = top[~leaf_mask]
-            fanouts = child_cnt[internal_n]
-            if buffer is not None:
-                buffer.append_block(_BOX, internal_q, internal_n, fanouts)
-            if uniform2:
-                # Constant fanout 2: the CSR expansion degenerates into
-                # (n, 2)-shaped reshapes.  Values are identical to the
-                # general path below — child order is (left, right) per
-                # node either way, and the within-node pass ranks it
-                # computes match ``segmented_arange(pushes)``.
-                n_int = internal_q.size
-                total = 2 * n_int
-                children = child_idx[
-                    (child_off[internal_n][:, None] + _PAIR).ravel()
-                ]
-                boxes_lo = lo[children].reshape(n_int, 2, 3)
-                boxes_hi = hi[children].reshape(n_int, 2, 3)
-                rows = queries[internal_q][:, None, :]
-                inside2 = (
-                    (boxes_lo <= rows) & (rows <= boxes_hi)
-                ).all(axis=2)
-                pushes = inside2.sum(axis=1, dtype=np.int64)
-                inside = inside2.ravel()
-            else:
-                total = int(fanouts.sum())
-                children = child_idx[
-                    np.repeat(child_off[internal_n], fanouts)
-                    + segmented_arange(fanouts, total)
-                ]
-                query_rows = queries[np.repeat(internal_q, fanouts)]
-                inside = np.all(
-                    (lo[children] <= query_rows)
-                    & (query_rows <= hi[children]),
-                    axis=1,
-                )
-                segment = np.repeat(
-                    np.arange(internal_q.size, dtype=np.int64), fanouts
-                )
-                pushes = np.bincount(
-                    segment[inside], minlength=internal_q.size
-                )
-            if buffer is not None:
-                buffer.append_block(_STACK, internal_q, -1, pushes)
-            if stats is not None:
-                stats.nodes_visited += internal_q.size
-                stats.box_nodes_visited += internal_q.size
-                stats.box_tests += total
-            passing = children[inside]
-            if passing.size:
-                base_depth = depth[internal_q]
-                need = int((base_depth + pushes).max())
-                if need > capacity:
-                    while capacity < need:
-                        capacity *= 2
-                    grown = np.empty(
-                        (num_queries, capacity), dtype=np.int64
-                    )
-                    grown[:, : stack.shape[1]] = stack
-                    stack = grown
-                if uniform2:
-                    hits = np.flatnonzero(inside)
-                    seg_pass = hits >> 1
-                    # The right child ranks second only when the left
-                    # child also passed.
-                    rank = (hits & 1) * inside2[seg_pass, 0]
-                else:
-                    seg_pass = segment[inside]
-                    rank = segmented_arange(pushes, passing.size)
-                stack[
-                    internal_q[seg_pass], base_depth[seg_pass] + rank
-                ] = passing
-                depth[internal_q] = base_depth + pushes
-        active = np.flatnonzero(depth > 0)
-        if stats is not None and active.size:
-            stats.note_stack_depth(int(depth[active].max()))
-
-    cand_qids = (
-        np.concatenate(cand_q_parts) if cand_q_parts
-        else np.empty(0, np.int64)
-    )
-    cand_prims = (
-        np.concatenate(cand_p_parts) if cand_p_parts
-        else np.empty(0, np.int64)
-    )
-    # Stable sort by query id: per query, step order == scalar pop order.
-    order = np.argsort(cand_qids, kind="stable")
-    cand_prims = cand_prims[order]
-    cand_counts = np.bincount(cand_qids, minlength=num_queries)
-    cand_starts = np.zeros(num_queries + 1, dtype=np.int64)
-    np.cumsum(cand_counts, out=cand_starts[1:])
+        nodes_visited, box_nodes, box_tests, leaf_visits, max_depth = counters
+        stats.nodes_visited += nodes_visited
+        stats.box_nodes_visited += box_nodes
+        stats.box_tests += box_tests
+        stats.leaf_visits += leaf_visits
+        stats.note_stack_depth(max_depth)
     log = (
-        buffer.to_log(BVH_EVENT_KINDS, num_queries)
-        if buffer is not None
+        EventLog(BVH_EVENT_KINDS, ev_codes, ev_idents, ev_payloads, ev_starts)
+        if record_events
         else None
     )
     return cand_starts, cand_prims, log

@@ -31,6 +31,7 @@ from repro.compiler.ops import (
     WarpOp,
 )
 from repro.errors import TraceError
+from repro.kernels import get_backend
 from repro.search.events import segmented_arange
 
 WARP_SIZE = 32
@@ -110,34 +111,19 @@ def assemble_warps_packed(
         pos = segmented_arange(lengths, count)
         span = slice(lo, hi)
         kind_v = streams.kinds[span]
-        k1_v = streams.k1[span]
-        k2_v = streams.k2[span]
-        order = np.lexsort((lane, k2_v, k1_v, kind_v, pos))
-        kind_s = kind_v[order]
-        k1_s = k1_v[order]
-        k2_s = k2_v[order]
-        pos_s = pos[order]
-        new_group = np.empty(count, dtype=bool)
-        new_group[0] = True
-        new_group[1:] = (
-            (pos_s[1:] != pos_s[:-1])
-            | (kind_s[1:] != kind_s[:-1])
-            | (k1_s[1:] != k1_s[:-1])
-            | (k2_s[1:] != k2_s[:-1])
-        )
-        group_lo = np.flatnonzero(new_group)
-        group_hi = np.append(group_lo[1:], count)
-        first_lane = lane[order][group_lo]
-        # (position, first lane) uniquely orders groups: a lane holds one
-        # op per position, so no two groups at a position share a lane.
-        group_order = np.argsort(
-            pos_s[group_lo] * (WARP_SIZE + 1) + first_lane
+        # The composite sort + group-boundary scan is a kernel-backend
+        # call; WarpOp construction below stays here (Python objects).
+        order, group_lo, group_hi, group_order = (
+            get_backend().warp_group_order(
+                pos, kind_v, streams.k1[span], streams.k2[span], lane,
+                WARP_SIZE,
+            )
         )
         addr_list = streams.addr[span][order].tolist()
         cnt_list = streams.cnt[span][order].tolist()
-        k1_list = k1_s.tolist()
-        k2_list = k2_s.tolist()
-        kind_list = kind_s.tolist()
+        k1_list = streams.k1[span][order].tolist()
+        k2_list = streams.k2[span][order].tolist()
+        kind_list = kind_v[order].tolist()
         lo_list = group_lo.tolist()
         hi_list = group_hi.tolist()
         warp_ops: list[WarpOp] = []

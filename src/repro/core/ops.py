@@ -18,6 +18,7 @@ import numpy as np
 from repro.core.isa import ANGULAR_WIDTH, EUCLID_WIDTH, KEY_COMPARE_WIDTH
 from repro.core.multibeat import iter_beat_slices
 from repro.errors import IsaError
+from repro.kernels import get_backend
 
 
 def _as_f32_vector(values: Sequence[float] | np.ndarray, name: str) -> np.ndarray:
@@ -76,11 +77,7 @@ def batch_euclid_dist(
         raise IsaError(
             f"dimension mismatch: {q.size} vs {block.shape[1]} per row"
         )
-    total = np.zeros(block.shape[0], dtype=np.float32)
-    for lo, hi, _accumulate in iter_beat_slices(q.size, width):
-        diff = q[lo:hi] - block[:, lo:hi]
-        total = total + np.sum(diff * diff, axis=1, dtype=np.float32)
-    return total
+    return get_backend().euclid_beats(q, block, width)
 
 
 def rowwise_euclid_dist(
@@ -108,11 +105,7 @@ def rowwise_euclid_dist(
         raise IsaError(f"row-block mismatch: {q.shape} vs {c.shape}")
     if q.shape[1] == 0:
         raise IsaError("points must have at least one coordinate")
-    total = np.zeros(q.shape[0], dtype=np.float32)
-    for lo, hi, _accumulate in iter_beat_slices(q.shape[1], width):
-        diff = q[:, lo:hi] - c[:, lo:hi]
-        total = total + np.sum(diff * diff, axis=1, dtype=np.float32)
-    return total
+    return get_backend().euclid_beats_rowwise(q, c, width)
 
 
 def angular_dist(

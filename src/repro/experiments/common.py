@@ -10,31 +10,23 @@ GGNN runs with a 16-warp residency cap: its shared-memory priority cache
 bounds occupancy well below the architectural 64 warps (§V-A describes the
 per-query cache; our cap models the resulting occupancy limit).
 
-.. deprecated::
-    The historical entry points — :func:`workload_run`,
-    :func:`baseline_stats`, :func:`hsu_stats`, :func:`simulate_recorded` —
-    are now thin shims over :func:`repro.api.simulate` /
-    :func:`repro.api.run_workload` and emit :class:`DeprecationWarning`.
-    New code should call the :mod:`repro.api` facade directly; the shims
-    produce bit-identical results (same campaign cache keys, run ids, and
-    manifests) and will be removed in a future release.
-
-What remains supported here is the campaign *registry*: the family/dataset
-tables, query budgets, and per-family configurations that
-:mod:`repro.experiments.campaign` and :mod:`repro.api` key their caches on.
+The historical entry points (``workload_run``, ``baseline_stats``,
+``hsu_stats``, ``simulate_recorded``) went through a deprecation cycle as
+shims over :func:`repro.api.simulate` / :func:`repro.api.run_workload` and
+have been removed — call the :mod:`repro.api` facade directly.  What lives
+here is the campaign *registry*: the family/dataset tables, query budgets,
+and per-family configurations that :mod:`repro.experiments.campaign` and
+:mod:`repro.api` key their caches on.
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, replace
 
 from repro import api
 from repro.errors import ConfigError
 from repro.gpusim import GpuConfig, VOLTA_V100
 from repro.gpusim.stats import SimStats
-from repro.gpusim.trace import KernelTrace
-from repro.workloads.base import WorkloadRun
 
 #: Datasets per workload family, matching Fig. 9's grouping.
 GGNN_DATASETS = (
@@ -151,99 +143,6 @@ def workload_params(
 #: tests lower through this exact memoized function (same lru cache as
 #: :func:`repro.api.trace_bundle` — they are the same object).
 trace_bundle = api.trace_bundle
-
-
-def _warn_deprecated(old: str, replacement_call: str) -> None:
-    """Emit the shim's :class:`DeprecationWarning`, naming the **exact**
-    ``repro.api`` call that replaces it (copy-pasteable, not a module
-    pointer)."""
-    warnings.warn(
-        f"repro.experiments.common.{old} is deprecated; "
-        f"call {replacement_call} instead",
-        DeprecationWarning,
-        stacklevel=3,
-    )
-
-
-def workload_run(
-    family: str, abbr: str, queries: int | None = None
-) -> WorkloadRun:
-    """Deprecated shim for :func:`repro.api.run_workload`.
-
-    Replacement call: ``repro.api.run_workload(family, abbr, queries)``.
-    """
-    _warn_deprecated(
-        "workload_run", "repro.api.run_workload(family, abbr, queries)"
-    )
-    return api.run_workload(family, abbr, queries)
-
-
-def simulate_recorded(
-    family: str,
-    abbr: str,
-    variant: str,
-    config: GpuConfig,
-    kernel: KernelTrace,
-    cache: str | None = None,
-) -> SimStats:
-    """Deprecated shim for :func:`repro.api.simulate` on a recorded trace.
-
-    Replacement call: ``repro.api.simulate(kernel, variant=variant,
-    config=config, label=(family, abbr))``.  ``cache=`` ("on" / "off" /
-    "rebuild") is forwarded unchanged, identical to passing it to the
-    facade directly.
-    """
-    _warn_deprecated(
-        "simulate_recorded",
-        "repro.api.simulate(kernel, variant=variant, config=config, "
-        "label=(family, abbr))",
-    )
-    return api.simulate(
-        kernel, variant=variant, config=config, cache=cache,
-        label=(family, abbr),
-    )
-
-
-def baseline_stats(
-    family: str, abbr: str, cache: str | None = None
-) -> SimStats:
-    """Deprecated shim for the paired baseline measurement.
-
-    Replacement call: ``repro.api.simulate((family, abbr),
-    variant="baseline")``.  ``cache=`` is forwarded unchanged.
-    """
-    _warn_deprecated(
-        "baseline_stats",
-        'repro.api.simulate((family, abbr), variant="baseline")',
-    )
-    return api.simulate((family, abbr), variant="baseline", cache=cache)
-
-
-def hsu_stats(
-    family: str,
-    abbr: str,
-    warp_buffer: int = 8,
-    euclid_width: int = 16,
-    cache: str | None = None,
-) -> SimStats:
-    """Deprecated shim for the paired HSU measurement.
-
-    Replacement call: ``repro.api.simulate((family, abbr), variant="hsu",
-    warp_buffer=warp_buffer, euclid_width=euclid_width)``.  ``cache=`` is
-    forwarded unchanged.
-    """
-    _warn_deprecated(
-        "hsu_stats",
-        'repro.api.simulate((family, abbr), variant="hsu", '
-        "warp_buffer=warp_buffer, euclid_width=euclid_width)",
-    )
-    return api.simulate(
-        (family, abbr),
-        variant="hsu",
-        warp_buffer=warp_buffer,
-        euclid_width=euclid_width,
-        cache=cache,
-    )
 
 
 @dataclass(frozen=True)

@@ -1,4 +1,11 @@
-"""Axis-aligned bounding boxes."""
+"""Axis-aligned bounding boxes.
+
+The scalar :class:`Aabb` methods are the pinned reference semantics; the
+batched module functions (:func:`contains_points_batch`,
+:func:`distance_sq_to_points_batch`) run the same tests over whole
+``(N, 3)`` row blocks through the kernel-backend layer
+(:mod:`repro.kernels`) and bit-match the scalar methods row for row.
+"""
 
 from __future__ import annotations
 
@@ -6,7 +13,10 @@ import math
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
+import numpy as np
+
 from repro.geometry.vec3 import Vec3
+from repro.kernels import get_backend
 
 
 @dataclass(frozen=True)
@@ -121,3 +131,27 @@ class Aabb:
             elif p > hi:
                 dist_sq += (p - hi) ** 2
         return dist_sq
+
+
+def contains_points_batch(
+    lo_rows: np.ndarray, hi_rows: np.ndarray, points: np.ndarray
+) -> np.ndarray:
+    """Row ``i``: does box ``[lo_rows[i], hi_rows[i]]`` contain
+    ``points[i]``?  Bit-matches :meth:`Aabb.contains_point` per row."""
+    lo_rows = np.asarray(lo_rows, dtype=np.float64)
+    hi_rows = np.asarray(hi_rows, dtype=np.float64)
+    points = np.asarray(points, dtype=np.float64)
+    return get_backend().aabb_contains_points(lo_rows, hi_rows, points)
+
+
+def distance_sq_to_points_batch(
+    lo_rows: np.ndarray, hi_rows: np.ndarray, points: np.ndarray
+) -> np.ndarray:
+    """Row ``i``: squared distance from ``points[i]`` to its box (0
+    inside).  Bit-matches :meth:`Aabb.distance_squared_to_point` per row
+    (a box axis contributes exactly one of the clamped deltas, so the
+    vectorized clamp-and-sum reproduces the scalar branch arithmetic)."""
+    lo_rows = np.asarray(lo_rows, dtype=np.float64)
+    hi_rows = np.asarray(hi_rows, dtype=np.float64)
+    points = np.asarray(points, dtype=np.float64)
+    return get_backend().aabb_distance_sq(lo_rows, hi_rows, points)

@@ -15,6 +15,7 @@ import json
 from dataclasses import dataclass, replace
 
 from repro.errors import ConfigError
+from repro.kernels.registry import KERNEL_BACKENDS
 
 #: Valid ``GpuConfig.scheduler`` policy names.  The classes live in
 #: :mod:`repro.gpusim.scheduler`; the names are declared here so the config
@@ -64,6 +65,12 @@ class GpuConfig:
     scheduler: str = "gto"
     memory: str = "real"
 
+    #: Kernel-backend selection (:mod:`repro.kernels`): ``reference`` or
+    #: ``jit``.  Backends are bit-identical by contract, so this field is
+    #: excluded from :meth:`stable_hash` (and the observability config
+    #: hash) — flipping it can never bust a cache or move a golden.
+    kernel_backend: str = "reference"
+
     # Chip-wide bandwidths (lines/cycle at the full SM count).  V100:
     # ~2.7 TB/s L2 and ~900 GB/s HBM at 1.4 GHz are ~15 and ~5 cache lines
     # per cycle; a scaled configuration receives its proportional share, so
@@ -108,6 +115,11 @@ class GpuConfig:
             raise ConfigError(
                 f"unknown memory model {self.memory!r} "
                 f"(want one of {MEMORY_MODELS})"
+            )
+        if self.kernel_backend not in KERNEL_BACKENDS:
+            raise ConfigError(
+                f"unknown kernel backend {self.kernel_backend!r} "
+                f"(want one of {KERNEL_BACKENDS})"
             )
 
     @property
@@ -182,6 +194,11 @@ class GpuConfig:
         """Config variant running an idealized memory model."""
         return replace(self, memory=model)
 
+    def with_kernel_backend(self, backend: str) -> "GpuConfig":
+        """Config variant dispatching hot loops to a different kernel
+        backend (results are bit-identical by contract)."""
+        return replace(self, kernel_backend=backend)
+
     def stable_hash(self) -> str:
         """SHA-256 over the sorted JSON form of this configuration.
 
@@ -191,8 +208,14 @@ class GpuConfig:
         cache uses it as the config component of its keys: any field
         change — warp buffer, datapath width, fetch path, latencies —
         produces a different hash and therefore a cache miss.
+
+        ``kernel_backend`` is excluded: backends are interchangeable bit
+        for bit (the equivalence contract in docs/KERNELS.md), so backend
+        choice must hit the same cache entries and match the same goldens.
         """
-        blob = json.dumps(dataclasses.asdict(self), sort_keys=True, default=str)
+        fields = dataclasses.asdict(self)
+        fields.pop("kernel_backend", None)
+        blob = json.dumps(fields, sort_keys=True, default=str)
         return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
     def table_rows(self) -> list[tuple[str, str]]:

@@ -36,6 +36,7 @@ import heapq
 
 from repro.errors import TraceError
 from repro.gpusim.config import GpuConfig
+from repro.kernels import get_backend
 from repro.gpusim.memory import MemorySystem, build_memory
 from repro.gpusim.observability import MetricsRegistry, TimelineTracer
 from repro.gpusim.observability.tracer import MODE_LAST
@@ -83,6 +84,7 @@ class SmCore:
         "config",
         "l1",
         "rt_unit",
+        "_coalesce",
         "subcores",
         "resident",
         "retire_heap",
@@ -109,6 +111,9 @@ class SmCore:
         self.rt_unit = RtUnit(
             config, self.l1, fill_path=memory.l1_fill_path, tracer=tracer
         )
+        # Backend resolved once per core (env var still wins over config);
+        # the coalescing kernel runs once per LDG warp op.
+        self._coalesce = get_backend(config=config).coalesce_lines
         # Sub-core issue ports: one instruction per cycle each.
         self.subcores = [Timeline() for _ in range(config.subcores_per_sm)]
         self.resident = 0
@@ -177,7 +182,7 @@ class SmCore:
         elif instr.kind == KIND_LDG:
             port.hold_until(issue + instr.repeat)
             done = issue
-            for line in _coalesce(
+            for line in self._coalesce(
                 instr.addrs, instr.bytes_per_thread, config.line_bytes
             ):
                 fill, _hit = self.l1.access(line, issue)
@@ -476,31 +481,6 @@ class GpuSimulator:
         stats = SimStats.from_registry(self.registry)
         stats.check_dram_consistency()
         return stats
-
-
-def _coalesce(
-    addrs: tuple[int, ...], bytes_per_thread: int, line_bytes: int
-) -> list[int]:
-    """Unique cache-line addresses touched by a warp load, sorted."""
-    span = max(1, bytes_per_thread)
-    lines = set()
-    add = lines.add
-    if span <= line_bytes:
-        # Common case: each thread's access straddles at most two lines.
-        for base in addrs:
-            first = base - base % line_bytes
-            add(first)
-            last = base + span - 1
-            last_line = last - last % line_bytes
-            if last_line != first:
-                add(last_line)
-    else:
-        for base in addrs:
-            first = (base // line_bytes) * line_bytes
-            last = ((base + span - 1) // line_bytes) * line_bytes
-            for line in range(first, last + 1, line_bytes):
-                add(line)
-    return sorted(lines)
 
 
 def simulate(

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import BuildError
+from repro.kernels import get_backend
 
 #: Supported distance metrics.
 METRIC_EUCLID = "euclid"
@@ -36,8 +37,7 @@ def batch_distances(
     q = query.astype(np.float32, copy=False)
     c = candidates.astype(np.float32, copy=False)
     if metric == METRIC_EUCLID:
-        diff = c - q
-        return np.sum(diff * diff, axis=1, dtype=np.float32)
+        return get_backend().sq_l2_f32(c, q)
     if metric == METRIC_ANGULAR:
         dot = c @ q
         norms = np.sqrt(np.sum(c * c, axis=1, dtype=np.float32))

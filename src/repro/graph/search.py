@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.graph.hnsw import METRIC_EUCLID, HnswGraph, batch_distances
 from repro.graph.priority_cache import PriorityCache
+from repro.kernels import get_backend
 from repro.search.events import BatchResult, EventLog
 
 #: Event kinds consumed by the trace compiler.
@@ -244,8 +245,9 @@ def search_batch(
                             len(requests)),
                 counts,
             )
-            diff = graph.points[cand] - queries32[qids]
-            merged = np.sum(diff * diff, axis=1, dtype=np.float32)
+            merged = get_backend().sq_l2_f32(
+                graph.points[cand], queries32[qids]
+            )
             bounds = np.zeros(len(requests) + 1, dtype=np.int64)
             np.cumsum(counts, out=bounds[1:])
             chunks = [

@@ -21,12 +21,8 @@ import numpy as np
 
 from repro.core.ops import batch_euclid_dist, rowwise_euclid_dist
 from repro.kdtree.build import KdTree
-from repro.search.events import (
-    BatchResult,
-    EventBuffer,
-    EventLog,
-    segmented_arange,
-)
+from repro.kernels import get_backend
+from repro.search.events import BatchResult, EventBuffer, EventLog
 
 #: Event kinds consumed by the trace compiler.
 EVENT_PLANE_TEST = "plane_test"
@@ -150,12 +146,12 @@ def knn_search_batch(
     """Batched :func:`knn_search` over a ``(Q, dim)`` query block.
 
     Level-synchronous lockstep descent: every active query advances one
-    node per step, so plane tests gather/compare as one vectorized block
-    and all leaf visits of a step merge into a single
-    :func:`rowwise_euclid_dist` kernel call.  Per query, the neighbors and
-    the event log are bit-identical to the scalar search — the priority
-    bookkeeping (pending-branch and best-k heaps) intentionally reruns the
-    scalar arithmetic on the vectorized kernels' outputs.
+    node per step, so plane tests gather/compare as one kernel-backend
+    call (``kd_plane_step``) and all leaf visits of a step merge into a
+    single ``segmented_gather`` + :func:`rowwise_euclid_dist` pair.  Per
+    query, the neighbors and the event log are bit-identical to the scalar
+    search — the priority bookkeeping (pending-branch and best-k heaps)
+    intentionally reruns the scalar arithmetic on the kernels' outputs.
     """
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
@@ -172,6 +168,7 @@ def knn_search_batch(
         tree.flat_arrays()
     )
     dim = tree.dim
+    kernels = get_backend()
     buffer = EventBuffer() if record_events else None
 
     best: list[list[tuple[float, int]]] = [[] for _ in range(num_q)]
@@ -206,15 +203,15 @@ def knn_search_batch(
         next_active = []
         if internal.size:
             ni = node[internal]
-            axes = split_dim[ni]
-            diff = queries[internal, axes] - split_value[ni]
             stats.plane_tests += int(internal.size)
             if buffer is not None:
                 buffer.append_block(_PLANE, internal, ni, 0)
-            far_contrib = diff * diff
-            goes_left = diff < 0.0
-            node[internal] = np.where(goes_left, left[ni], right[ni])
-            far = np.where(goes_left, right[ni], left[ni])
+            # The plane-test kernel advances node[internal] to each
+            # query's near child and reports the far sibling + its
+            # squared plane offset for the heap bookkeeping below.
+            axes, far, far_contrib = kernels.kd_plane_step(
+                queries, internal, node, split_dim, split_value, left, right
+            )
             far_list = far.tolist()
             axis_list = axes.tolist()
             for j, i in enumerate(internal.tolist()):
@@ -238,10 +235,9 @@ def knn_search_batch(
             counts = point_count[ln]
             total = int(counts.sum())
             stats.leaf_visits += int(leaves.size)
-            offsets = np.repeat(first_point[ln], counts) + segmented_arange(
-                counts, total
+            pids = kernels.segmented_gather(
+                first_point[ln], counts, tree.point_indices
             )
-            pids = tree.point_indices[offsets]
             qids = np.repeat(leaves, counts)
             d2s = rowwise_euclid_dist(queries[qids], tree.points[pids])
             stats.dist_tests += total

@@ -1,18 +1,20 @@
-"""The ``repro.api.simulate`` facade and the deprecated ``common`` shims.
+"""The ``repro.api.simulate`` facade.
 
 Covers the api_redesign contract: every input shape (named workload,
 ``WorkloadRun``, ``TraceBundle``, ``KernelTrace``) simulates to the same
-``SimStats`` the legacy entry points produced, the legacy names still work
-but emit ``DeprecationWarning``, and the per-call ``cache=`` override is
+``SimStats``, and the per-call ``cache=`` / ``backend=`` overrides are
 scoped to the call.
 """
+
+import os
 
 import pytest
 
 from repro import api
 from repro.errors import ConfigError
 from repro.experiments import campaign, common
-from repro.gpusim import KernelTrace, VOLTA_V100, WarpInstr, WarpTrace
+from repro.gpusim import KernelTrace, WarpInstr, WarpTrace
+from repro.kernels import BACKEND_ENV_VAR
 from repro.workloads import run_btree, to_traces
 
 FAMILY, ABBR, QUERIES = "btree", "B+10K", 32
@@ -115,101 +117,35 @@ class TestCacheOverride:
             api.simulate((FAMILY, ABBR), cache="sometimes")
 
 
-class TestDeprecatedShims:
-    def test_workload_run_warns_and_delegates(self):
-        with pytest.warns(DeprecationWarning, match="workload_run"):
-            run = common.workload_run(FAMILY, ABBR, QUERIES)
-        assert run is api.run_workload(FAMILY, ABBR, QUERIES)
+class TestRemovedShims:
+    """The PR-4 deprecation shims are gone; only the infrastructure alias
+    survives in ``repro.experiments.common``."""
 
-    def test_baseline_stats_warns_and_matches_facade(self):
-        with pytest.warns(DeprecationWarning, match="baseline_stats"):
-            legacy = common.baseline_stats(FAMILY, ABBR)
-        assert legacy == api.simulate((FAMILY, ABBR), variant="baseline")
-
-    def test_hsu_stats_warns_and_matches_facade(self):
-        with pytest.warns(DeprecationWarning, match="hsu_stats"):
-            legacy = common.hsu_stats(FAMILY, ABBR, warp_buffer=4)
-        assert legacy == api.simulate(
-            (FAMILY, ABBR), variant="hsu", warp_buffer=4
-        )
-
-    def test_simulate_recorded_warns_and_matches_facade(self):
-        kernel = _probe_kernel()
-        config = VOLTA_V100.scaled(1)
-        with pytest.warns(DeprecationWarning, match="simulate_recorded"):
-            legacy = common.simulate_recorded("probe", "X", "v", config, kernel)
-        assert legacy == api.simulate(
-            kernel, variant="v", config=config, label=("probe", "X")
-        )
-
-    def test_trace_bundle_alias_is_not_deprecated(self, recwarn):
-        assert common.trace_bundle is api.trace_bundle
-        assert not [
-            w for w in recwarn.list
-            if issubclass(w.category, DeprecationWarning)
-        ]
-
-    @pytest.mark.parametrize("shim,replacement_fragment", [
-        ("workload_run", "repro.api.run_workload(family, abbr, queries)"),
-        ("baseline_stats",
-         'repro.api.simulate((family, abbr), variant="baseline")'),
-        ("hsu_stats", 'repro.api.simulate((family, abbr), variant="hsu"'),
-        ("simulate_recorded", "repro.api.simulate(kernel, variant=variant"),
+    @pytest.mark.parametrize("shim", [
+        "workload_run", "baseline_stats", "hsu_stats", "simulate_recorded",
     ])
-    def test_warning_names_the_exact_replacement_call(
-        self, shim, replacement_fragment
-    ):
-        """The DeprecationWarning must carry a copy-pasteable facade call,
-        not just a module pointer; the docstring must repeat it."""
-        func = getattr(common, shim)
-        flat_doc = " ".join((func.__doc__ or "").split())
-        assert replacement_fragment in flat_doc, (
-            f"{shim}: docstring must name the replacement call"
-        )
-        with pytest.warns(DeprecationWarning) as caught:
-            if shim == "workload_run":
-                func(FAMILY, ABBR, QUERIES)
-            elif shim == "simulate_recorded":
-                func("probe", "X", "v", VOLTA_V100.scaled(1), _probe_kernel())
-            else:
-                func(FAMILY, ABBR)
-        message = str(caught[0].message)
-        assert replacement_fragment in message, message
+    def test_shims_are_removed(self, shim):
+        assert not hasattr(common, shim)
+
+    def test_trace_bundle_alias_survives(self):
+        assert common.trace_bundle is api.trace_bundle
 
 
-class TestShimCacheForwarding:
-    """``cache=`` on a shim must behave identically to passing it to the
-    facade: scoped to the call, mode restored, bit-identical results."""
-
-    def test_baseline_stats_cache_off_writes_nothing(self):
-        with pytest.warns(DeprecationWarning):
-            common.baseline_stats(FAMILY, ABBR, cache="off")
-        assert campaign.cache_mode() == "on"
-        assert not list(campaign.cache_dir().rglob("*.json"))
-
-    def test_hsu_stats_cache_rebuild_recomputes_but_stores(self):
-        facade = api.simulate((FAMILY, ABBR), variant="hsu")
-        api.clear_caches()
+class TestBackendOverride:
+    def test_unknown_backend_is_rejected_before_running(self):
         before = campaign.cache_stats.snapshot()
-        with pytest.warns(DeprecationWarning):
-            legacy = common.hsu_stats(FAMILY, ABBR, cache="rebuild")
-        assert campaign.cache_stats.delta(before).hits == 0
-        assert legacy == facade
-        assert campaign.cache_mode() == "on"
+        with pytest.raises(ConfigError, match="backend"):
+            api.simulate((FAMILY, ABBR), queries=QUERIES, backend="cuda")
+        assert campaign.cache_stats.delta(before).misses == 0
 
-    def test_simulate_recorded_forwards_cache_mode(self):
-        kernel = _probe_kernel()
-        config = VOLTA_V100.scaled(1)
-        with pytest.warns(DeprecationWarning):
-            off = common.simulate_recorded(
-                "probe", "X", "v", config, kernel, cache="off"
-            )
-        assert campaign.cache_mode() == "on"
-        assert off == api.simulate(
-            kernel, variant="v", config=config, label=("probe", "X")
-        )
-
-    def test_invalid_cache_mode_rejected_through_the_shim(self):
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(ConfigError):
-                common.baseline_stats(FAMILY, ABBR, cache="sometimes")
+    def test_backend_reference_matches_default_and_is_scoped(self,
+                                                             monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        default = api.simulate((FAMILY, ABBR), variant="baseline",
+                               queries=QUERIES)
+        api.clear_caches()
+        explicit = api.simulate((FAMILY, ABBR), variant="baseline",
+                                queries=QUERIES, backend="reference",
+                                cache="off")
+        assert explicit == default
+        assert BACKEND_ENV_VAR not in os.environ

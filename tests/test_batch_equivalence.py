@@ -1,9 +1,15 @@
-"""Batched query engine == scalar reference, bit for bit.
+"""Batched query engine == scalar reference, bit for bit, per backend.
 
 The batched kernels (PR: vectorized frontier traversal + array-backed trace
 recording) must reproduce the scalar per-query searches exactly — same
 neighbors, same event streams, same lowered traces — across structures,
 metrics, dtypes, and degenerate inputs.  These tests are the contract.
+
+Every test in this module runs once per kernel backend (the module-level
+autouse fixture): the ``reference`` numpy backend and, when numba is
+installed, the ``jit`` backend — goldens, fingerprints, and per-query
+neighbor/event equality must hold bit-for-bit under both
+(docs/KERNELS.md).
 """
 
 from __future__ import annotations
@@ -12,6 +18,8 @@ import pickle
 
 import numpy as np
 import pytest
+
+from repro.kernels import jit_available, use_backend
 
 from repro.compiler.assembler import (
     PACKED_TALU,
@@ -39,6 +47,21 @@ from repro.compiler.ops import (
     TTri,
 )
 from repro.search import BvhRadiusIndex, HnswIndex, KdTreeIndex
+
+
+@pytest.fixture(
+    autouse=True,
+    params=[
+        "reference",
+        pytest.param("jit", marks=pytest.mark.skipif(
+            not jit_available(), reason="numba not installed"
+        )),
+    ],
+)
+def kernel_backend(request):
+    """Run the whole module once per kernel backend."""
+    with use_backend(request.param):
+        yield request.param
 
 
 def _scalar_reference(index, queries, **params):
@@ -283,8 +306,12 @@ class TestLoweredTraces:
         import json
         from pathlib import Path
 
+        from repro import api
         from repro.experiments.common import trace_bundle
 
+        # The bundle memo may hold traces generated under another
+        # backend; regenerate under the active one so the pin is real.
+        api.clear_caches()
         golden = json.loads(
             (Path(__file__).parent / "goldens" / "gpusim_smoke.json")
             .read_text()
