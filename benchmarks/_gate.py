@@ -1,0 +1,139 @@
+"""Shared committed-JSON regression gating for the benchmark suite.
+
+Every ``bench_*.py`` gates a fresh measurement against the numbers
+*committed* in its ``BENCH_*.json`` at the repo root: a metric may not
+regress beyond a fractional tolerance of what the repository already
+records.  The mechanics were copy-pasted three times (simcore, serving,
+scaling) before being factored here; the contract every bench shares:
+
+* ``REGRESSION: <detail>`` lines go to stderr and flip the gate to
+  failing — the bench's exit code is the CI signal;
+* ``gate ok [<name>]: <detail>`` lines go to stdout, one per passing
+  check, so a green run still shows exactly what was compared;
+* a missing committed reference is a *pass* (``first run``) — the freshly
+  written JSON becomes the reference once committed;
+* upper gates budget ``committed * (1 + tolerance)`` (times, cycles);
+  lower gates floor ``committed / (1 + tolerance)`` (throughput).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import Callable
+
+
+def load_committed_rows(
+    output: Path,
+    section: str,
+    key: Callable[[dict], object],
+) -> dict[object, dict]:
+    """``{key(row): row}`` from a committed bench JSON's row ``section``.
+
+    Returns ``{}`` when the JSON is absent or malformed — the first-run
+    case, which gates treat as an automatic pass.
+    """
+    try:
+        committed = json.loads(Path(output).read_text())
+        return {key(row): row for row in committed.get(section, [])}
+    except (OSError, ValueError, KeyError, TypeError):
+        return {}
+
+
+def load_committed_fields(
+    output: Path, fallback: dict[str, float]
+) -> dict[str, float]:
+    """Top-level committed numbers, falling back *field-by-field*.
+
+    A committed JSON from before a bench grew a field still gates the
+    fields it does carry; everything else anchors to ``fallback``.
+    """
+    try:
+        committed = json.loads(Path(output).read_text())
+    except (OSError, ValueError):
+        return dict(fallback)
+    reference = {}
+    for name, default in fallback.items():
+        try:
+            reference[name] = float(committed[name])
+        except (KeyError, TypeError, ValueError):
+            reference[name] = default
+    return reference
+
+
+class RegressionGate:
+    """One bench run's accumulating pass/fail state.
+
+    Use :meth:`check_upper` / :meth:`check_lower` for
+    committed-vs-measured comparisons and :meth:`fail` for bench-specific
+    absolute invariants; read :attr:`ok` at the end for the exit code.
+    """
+
+    def __init__(self, tolerance: float):
+        self.tolerance = tolerance
+        self.ok = True
+
+    def fail(self, message: str) -> None:
+        self.ok = False
+        print(f"REGRESSION: {message}", file=sys.stderr)
+
+    def passed(self, name: str, message: str) -> None:
+        print(f"gate ok [{name}]: {message}")
+
+    def first_run(self, name: str) -> None:
+        print(f"gate ok [{name}]: no committed reference (first run)")
+
+    def check_upper(
+        self,
+        name: str,
+        metric: str,
+        measured: float,
+        committed: float,
+        unit: str = "",
+        fmt: str = "{:.3f}",
+    ) -> bool:
+        """Gate a smaller-is-better metric; returns whether it passed."""
+        budget = float(committed) * (1.0 + self.tolerance)
+        if float(measured) > budget:
+            self.fail(
+                f"{name}: {metric} {fmt.format(float(measured))}{unit} "
+                f"exceeds {fmt.format(budget)}{unit} "
+                f"({fmt.format(float(committed))}{unit} committed "
+                f"+{self.tolerance:.0%})"
+            )
+            return False
+        self.passed(
+            name,
+            f"{metric} {fmt.format(float(measured))}{unit} within "
+            f"{fmt.format(budget)}{unit} "
+            f"({fmt.format(float(committed))}{unit} committed "
+            f"+{self.tolerance:.0%})",
+        )
+        return True
+
+    def check_lower(
+        self,
+        name: str,
+        metric: str,
+        measured: float,
+        committed: float,
+        unit: str = "",
+        fmt: str = "{:.0f}",
+    ) -> bool:
+        """Gate a bigger-is-better metric; returns whether it passed."""
+        floor = float(committed) / (1.0 + self.tolerance)
+        if float(measured) < floor:
+            self.fail(
+                f"{name}: {metric} {fmt.format(float(measured))}{unit} "
+                f"below floor {fmt.format(floor)}{unit} "
+                f"({fmt.format(float(committed))}{unit} committed "
+                f"/{1 + self.tolerance:.2f})"
+            )
+            return False
+        self.passed(
+            name,
+            f"{metric} {fmt.format(float(measured))}{unit} >= "
+            f"{fmt.format(floor)}{unit}",
+        )
+        return True

@@ -1,0 +1,192 @@
+"""Metric-family benchmark: the Arkade non-Euclidean sweep, cold and warm.
+
+Runs the ``metrics`` campaign family's CI grid — every query metric
+(the Euclidean control plus ``campaign.METRIC_SWEEP``), paired HSU vs
+baseline on R10K at the smoke query budget — through
+:func:`repro.experiments.campaign.execute`, twice against a fresh cache
+directory: the cold pass exercises workload → verify-vs-brute-force →
+lower → simulate end-to-end, the warm pass must come back entirely from
+the persistent campaign cache.
+
+Results land in ``BENCH_metrics.json`` at the repo root::
+
+    python benchmarks/bench_metrics.py              # run grid, write JSON
+    python benchmarks/bench_metrics.py --smoke      # CI: grid + gates
+    python benchmarks/bench_metrics.py --check      # gate only
+
+Gates (``--check`` / ``--smoke``), via the shared ``_gate`` helpers:
+simulated cycles are deterministic, so every (pass, metric, variant)
+row must stay within ``--tolerance`` (default 20%) of the committed
+``BENCH_metrics.json``; the warm pass must score a cache hit per job;
+and on every metric the HSU variant must beat the baseline (the
+speedup direction the paper's extension argues — a reduction that made
+HSU *slower* than baseline is a lowering bug, not noise).  The workload
+itself verifies every answer against the brute-force per-metric
+reference and refuses to lower on a mismatch, so a passing run also
+certifies answer exactness.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_metrics.json"
+
+ABBR = "R10K"
+QUERIES = 64
+
+
+def _grid_jobs():
+    """The CI metric grid: euclid control + the campaign metric sweep."""
+    from repro.experiments import campaign
+
+    metrics = ("euclid",) + campaign.METRIC_SWEEP
+    return [
+        campaign.Job("arkade", ABBR, variant, queries=QUERIES, metric=m)
+        for m in metrics
+        for variant in ("baseline", "hsu")
+    ]
+
+
+def _run_grid(jobs_n: int) -> tuple[list[dict[str, object]], float, float]:
+    """(rows, cold seconds, warm seconds) for the cold+warm passes."""
+    from repro.experiments import campaign
+
+    rows: list[dict[str, object]] = []
+    timings = []
+    for passname in ("cold", "warm"):
+        jobs = _grid_jobs()
+        start = time.perf_counter()
+        summary = campaign.execute(
+            jobs, jobs_n=jobs_n, label=f"bench-metrics-{passname}"
+        )
+        timings.append(time.perf_counter() - start)
+        if not summary.ok:
+            errors = "; ".join(
+                f"{r.job.run_id}: {r.error}" for r in summary.failed
+            )
+            raise RuntimeError(f"metric grid failed: {errors}")
+        per_metric: dict[str, dict[str, int]] = {}
+        for job in jobs:
+            stats = summary.stats_for(job)
+            assert stats is not None
+            per_metric.setdefault(job.metric, {})[job.variant] = int(
+                stats.cycles
+            )
+        for metric, cycles in per_metric.items():
+            row = {
+                "pass": passname,
+                "metric": metric,
+                "baseline_cycles": cycles["baseline"],
+                "hsu_cycles": cycles["hsu"],
+                "speedup": round(cycles["baseline"] / cycles["hsu"], 4),
+            }
+            rows.append(row)
+            print(
+                f"  {passname} {metric}: baseline {cycles['baseline']} vs "
+                f"hsu {cycles['hsu']} cycles "
+                f"({row['speedup']:.2f}x)",
+                flush=True,
+            )
+        rows[-1]["cache_hits"] = summary.hits  # stamped on the pass's last row
+        rows[-1]["jobs"] = len(jobs)
+    return rows, timings[0], timings[1]
+
+
+def _row_key(row: dict[str, object]) -> tuple[str, str]:
+    return (str(row["pass"]), str(row["metric"]))
+
+
+def _gate_rows(result: dict[str, object],
+               reference: dict[tuple[str, str], dict[str, object]],
+               tolerance: float) -> bool:
+    from _gate import RegressionGate
+
+    gate = RegressionGate(tolerance)
+    for row in result["points"]:
+        name = f"{row['pass']} {row['metric']}"
+        if row["hsu_cycles"] >= row["baseline_cycles"]:
+            gate.fail(
+                f"{name}: hsu {row['hsu_cycles']} cycles did not beat "
+                f"baseline {row['baseline_cycles']} — the {row['metric']} "
+                "reduction regressed the unit"
+            )
+        hits = row.get("cache_hits")
+        if row["pass"] == "warm" and hits is not None:
+            if hits < row["jobs"]:
+                gate.fail(
+                    f"{name}: only {hits} cache hits for {row['jobs']} "
+                    "jobs — warm pass re-simulated"
+                )
+        committed = reference.get(_row_key(row))
+        if committed is None:
+            gate.first_run(name)
+            continue
+        for field in ("baseline_cycles", "hsu_cycles"):
+            gate.check_upper(
+                name, field.split("_")[0], row[field], committed[field],
+                unit=" cycles", fmt="{:.0f}",
+            )
+    return gate.ok
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI mode: run the grid plus the full gate set")
+    parser.add_argument("--check", action="store_true",
+                        help="run the gates against the committed "
+                        "BENCH_metrics.json")
+    parser.add_argument("--tolerance", type=float, default=0.2,
+                        help="allowed fractional cycle regression vs the "
+                        "committed JSON (default 0.2 — simulated cycles "
+                        "are deterministic)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="campaign worker processes (default 1)")
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
+                        help="result JSON path (default: repo root)")
+    args = parser.parse_args(argv)
+
+    from _gate import load_committed_rows
+
+    check = args.check or args.smoke
+    reference = load_committed_rows(args.output, "points", _row_key)
+
+    with tempfile.TemporaryDirectory(prefix="bench-metrics-") as tmp:
+        os.environ["REPRO_CACHE_DIR"] = str(Path(tmp) / "cache")
+        os.environ["REPRO_RESULTS_DIR"] = str(Path(tmp) / "results")
+        print(f"metric-family benchmark on {ABBR} at {QUERIES} queries "
+              f"(cold + warm, --jobs {args.jobs}):")
+        rows, cold_s, warm_s = _run_grid(args.jobs)
+
+    result = {
+        "benchmark": "metric-search",
+        "protocol": "fresh cache dir; the euclid-control + METRIC_SWEEP "
+        "grid runs twice (cold then warm) through campaign.execute; every "
+        "answer is verified against the brute-force per-metric reference "
+        "inside run_arkade before lowering",
+        "dataset": ABBR,
+        "queries": QUERIES,
+        "cold_seconds": round(cold_s, 3),
+        "warm_seconds": round(warm_s, 3),
+        "points": rows,
+    }
+    args.output.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.output} (cold {cold_s:.1f}s, warm {warm_s:.1f}s)")
+
+    if check and not _gate_rows(result, reference, args.tolerance):
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

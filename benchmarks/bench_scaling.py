@@ -112,23 +112,17 @@ def _row_key(row: dict[str, object]) -> tuple[str, float, int]:
 def _committed_rows(
     output: Path,
 ) -> dict[tuple[str, float, int], dict[str, object]]:
-    try:
-        committed = json.loads(output.read_text())
-        return {_row_key(row): row for row in committed.get("points", [])}
-    except (OSError, ValueError, KeyError, TypeError):
-        return {}
+    from _gate import load_committed_rows
+
+    return load_committed_rows(output, "points", _row_key)
 
 
 def _gate(result: dict[str, object],
           reference: dict[tuple[str, float, int], dict[str, object]],
           tolerance: float) -> bool:
-    ok = True
+    from _gate import RegressionGate
 
-    def fail(message: str) -> None:
-        nonlocal ok
-        ok = False
-        print(f"REGRESSION: {message}", file=sys.stderr)
-
+    gate = RegressionGate(tolerance)
     rows = result["points"]
     singles = {
         float(r.get("scale", SCALE)): r
@@ -140,25 +134,21 @@ def _gate(result: dict[str, object],
         name = f"{row['pass']} x{scale:g} n{row['shards']}"
         single = singles.get(scale)
         if single and row["makespan_cycles"] > single["total_cycles"]:
-            fail(f"{name}: makespan {row['makespan_cycles']} exceeds the "
-                 f"single-device total {single['total_cycles']} — "
-                 "sharding lost cycles")
+            gate.fail(f"{name}: makespan {row['makespan_cycles']} exceeds "
+                      f"the single-device total {single['total_cycles']} — "
+                      "sharding lost cycles")
         if row["pass"] == "warm" and row["cache_hits"] < row["shards"]:
-            fail(f"{name}: only {row['cache_hits']} cache hits for "
-                 f"{row['shards']} shard jobs — warm pass re-simulated")
+            gate.fail(f"{name}: only {row['cache_hits']} cache hits for "
+                      f"{row['shards']} shard jobs — warm pass re-simulated")
         committed = reference.get(_row_key(row))
         if committed is None:
-            print(f"gate ok [{name}]: no committed reference (first run)")
+            gate.first_run(name)
             continue
-        budget = float(committed["total_cycles"]) * (1.0 + tolerance)
-        if row["total_cycles"] > budget:
-            fail(f"{name}: {row['total_cycles']} cycles exceeds "
-                 f"{budget:.0f} ({committed['total_cycles']} committed "
-                 f"+{tolerance:.0%})")
-        else:
-            print(f"gate ok [{name}]: {row['total_cycles']} cycles <= "
-                  f"{budget:.0f}")
-    return ok
+        gate.check_upper(
+            name, "total", row["total_cycles"], committed["total_cycles"],
+            unit=" cycles", fmt="{:.0f}",
+        )
+    return gate.ok
 
 
 def main(argv: list[str] | None = None) -> int:

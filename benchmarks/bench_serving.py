@@ -137,52 +137,36 @@ async def _run_scenarios(duration_s: float) -> dict[str, object]:
 
 
 def _committed_shapes(output: Path) -> dict[str, dict[str, float]]:
-    try:
-        committed = json.loads(output.read_text())
-        return {row["shape"]: row for row in committed.get("shapes", [])}
-    except (OSError, ValueError, KeyError, TypeError):
-        return {}
+    from _gate import load_committed_rows
+
+    return load_committed_rows(output, "shapes", lambda row: row["shape"])
 
 
 def _gate(result: dict[str, object], reference: dict[str, dict[str, float]],
           tolerance: float, p99_bound_ms: float) -> bool:
-    ok = True
+    from _gate import RegressionGate
 
-    def fail(message: str) -> None:
-        nonlocal ok
-        ok = False
-        print(f"REGRESSION: {message}", file=sys.stderr)
-
+    gate = RegressionGate(tolerance)
     for row in result["shapes"]:
         shape = row["shape"]
         if row["answered"] <= 0 or row["qps"] <= 0.0:
-            fail(f"{shape}: no sustained throughput ({row['qps']} qps)")
+            gate.fail(f"{shape}: no sustained throughput ({row['qps']} qps)")
         if row["errors"]:
-            fail(f"{shape}: {row['errors']} executor errors")
+            gate.fail(f"{shape}: {row['errors']} executor errors")
         if not row["identical_to_query_batch"]:
-            fail(f"{shape}: {row['mismatches']} answers differ from "
-                 "query_batch")
+            gate.fail(f"{shape}: {row['mismatches']} answers differ from "
+                      "query_batch")
         if row["p99_ms"] > p99_bound_ms:
-            fail(f"{shape}: p99 {row['p99_ms']}ms exceeds absolute bound "
-                 f"{p99_bound_ms}ms")
+            gate.fail(f"{shape}: p99 {row['p99_ms']}ms exceeds absolute "
+                      f"bound {p99_bound_ms}ms")
         committed = reference.get(shape)
         if committed is None:
-            print(f"gate ok [{shape}]: no committed reference (first run)")
+            gate.first_run(shape)
             continue
-        p99_budget = float(committed["p99_ms"]) * (1.0 + tolerance)
-        qps_floor = float(committed["qps"]) / (1.0 + tolerance)
-        if row["p99_ms"] > p99_budget:
-            fail(f"{shape}: p99 {row['p99_ms']}ms exceeds {p99_budget:.2f}ms "
-                 f"({committed['p99_ms']}ms committed +{tolerance:.0%})")
-        elif row["qps"] < qps_floor:
-            fail(f"{shape}: {row['qps']} qps below floor {qps_floor:.0f} "
-                 f"({committed['qps']} committed /{1 + tolerance:.2f})")
-        else:
-            print(
-                f"gate ok [{shape}]: p99 {row['p99_ms']}ms <= "
-                f"{p99_budget:.2f}ms, {row['qps']} qps >= {qps_floor:.0f}"
-            )
-    return ok
+        if gate.check_upper(shape, "p99", row["p99_ms"],
+                            committed["p99_ms"], unit="ms", fmt="{:.2f}"):
+            gate.check_lower(shape, "qps", row["qps"], committed["qps"])
+    return gate.ok
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -203,22 +203,16 @@ def _reference_numbers(output: Path) -> dict[str, float]:
     Falls back field-by-field to the baseline constants, so a committed
     JSON from before the phase split still gates the total.
     """
-    fallback = {
-        "cold_seconds": BASELINE_COLD_SECONDS,
-        "tracegen_seconds": BASELINE_TRACEGEN_SECONDS,
-        "simulate_seconds": BASELINE_SIMULATE_SECONDS,
-    }
-    try:
-        committed = json.loads(output.read_text())
-    except (OSError, ValueError):
-        return fallback
-    reference = {}
-    for name, default in fallback.items():
-        try:
-            reference[name] = float(committed[name])
-        except (KeyError, TypeError, ValueError):
-            reference[name] = default
-    return reference
+    from _gate import load_committed_fields
+
+    return load_committed_fields(
+        output,
+        {
+            "cold_seconds": BASELINE_COLD_SECONDS,
+            "tracegen_seconds": BASELINE_TRACEGEN_SECONDS,
+            "simulate_seconds": BASELINE_SIMULATE_SECONDS,
+        },
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -277,36 +271,21 @@ def main(argv: list[str] | None = None) -> int:
     print(f"wrote {args.output}")
 
     if check:
-        gates = (
-            ("cold", cold, reference["cold_seconds"]),
-            (
-                "tracegen",
-                float(result["tracegen_seconds"]),
-                reference["tracegen_seconds"],
-            ),
-            (
-                "simulate",
-                float(result["simulate_seconds"]),
-                reference["simulate_seconds"],
-            ),
+        from _gate import RegressionGate
+
+        gate = RegressionGate(args.tolerance)
+        gate.check_upper(
+            "cold", "wall", cold, reference["cold_seconds"], unit="s"
         )
-        failed = False
-        for name, measured, committed in gates:
-            budget = committed * (1.0 + args.tolerance)
-            if measured > budget:
-                print(
-                    f"REGRESSION: {name} {measured:.3f}s exceeds "
-                    f"{budget:.3f}s ({committed:.3f}s committed "
-                    f"+{args.tolerance:.0%})",
-                    file=sys.stderr,
-                )
-                failed = True
-            else:
-                print(
-                    f"gate ok [{name}]: {measured:.3f}s within {budget:.3f}s "
-                    f"({committed:.3f}s committed +{args.tolerance:.0%})"
-                )
-        if failed:
+        gate.check_upper(
+            "tracegen", "wall", float(result["tracegen_seconds"]),
+            reference["tracegen_seconds"], unit="s",
+        )
+        gate.check_upper(
+            "simulate", "wall", float(result["simulate_seconds"]),
+            reference["simulate_seconds"], unit="s",
+        )
+        if not gate.ok:
             return 1
     return 0
 

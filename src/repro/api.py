@@ -56,6 +56,7 @@ __all__ = [
     "run_workload",
     "trace_bundle",
     "sharded_trace_bundle",
+    "validate_simulate_args",
     "clear_caches",
 ]
 
@@ -109,17 +110,79 @@ def _parse_label(label: object, kernel: KernelTrace) -> tuple[str, str]:
     )
 
 
+#: Cache-mode names ``simulate(cache=...)`` accepts (None inherits).
+_CACHE_MODES = ("on", "off", "rebuild")
+#: Variant names a *named* workload accepts (recorded traces take
+#: free-form design-point slugs instead).
+_NAMED_VARIANTS = ("baseline", "hsu")
+
+
+def validate_simulate_args(
+    *,
+    variant: str = "hsu",
+    config: GpuConfig | None = None,
+    cache: str | None = None,
+    backend: str | None = None,
+    scale: float = 1.0,
+    shards: int = 1,
+    shard: int = 0,
+    metric: str = "euclid",
+    named: bool = True,
+) -> None:
+    """Eagerly validate the ``simulate`` kwarg surface in one place.
+
+    Every axis check raises :class:`~repro.errors.ConfigError` *before*
+    any workload executes or any cache entry is touched — the single
+    error path both :func:`simulate` and
+    :func:`repro.sharding.simulate.simulate_sharded` route through.
+    ``named=False`` relaxes the ``variant`` check (recorded traces name
+    free-form design points such as ``"sched-lrr"``).
+    """
+    if named and variant not in _NAMED_VARIANTS:
+        raise ConfigError(
+            f"unknown variant {variant!r} (want one of {_NAMED_VARIANTS})"
+        )
+    if config is not None and not isinstance(config, GpuConfig):
+        raise ConfigError(
+            f"config must be a GpuConfig, got {type(config).__name__}"
+        )
+    if cache is not None and cache not in _CACHE_MODES:
+        raise ConfigError(
+            f"unknown cache mode {cache!r} (want one of {_CACHE_MODES})"
+        )
+    if backend is not None:
+        get_backend(backend)  # unknown backend names raise ConfigError
+    if scale <= 0:
+        raise ConfigError(f"scale must be > 0, got {scale}")
+    if shards < 1 or not 0 <= shard < shards:
+        raise ConfigError(
+            f"shard {shard} out of range for {shards} shard(s)"
+        )
+    if metric != "euclid":
+        from repro.metrics.transforms import validate_metric
+
+        validate_metric(metric, context="simulate")
+
+
 @lru_cache(maxsize=64)
 def run_workload(
-    family: str, abbr: str, queries: int | None = None
+    family: str, abbr: str, queries: int | None = None,
+    metric: str = "euclid",
 ) -> WorkloadRun:
     """Execute one named workload once per process (memoized).
 
     The supported replacement for the removed
-    ``repro.experiments.common.workload_run``.
+    ``repro.experiments.common.workload_run``.  ``metric`` selects the
+    distance metric for the ``arkade`` family (every other family is
+    Euclidean-only — see docs/WORKLOADS.md).
     """
     from repro.experiments import common  # deferred: registry lives there
 
+    if metric != "euclid" and family != "arkade":
+        raise ConfigError(
+            f"non-Euclidean metrics are only lowered for the arkade "
+            f"family (got {family!r} with metric={metric!r})"
+        )
     count = common.resolved_queries(family, abbr, queries)
     if family == "ggnn":
         from repro.workloads.ggnn import run_ggnn
@@ -137,6 +200,10 @@ def run_workload(
         from repro.workloads.btree_kv import run_btree
 
         return run_btree(abbr, num_queries=count)
+    if family == "arkade":
+        from repro.workloads.arkade import run_arkade
+
+        return run_arkade(abbr, num_queries=count, metric=metric)
     raise ConfigError(f"unknown workload family {family!r}")
 
 
@@ -146,10 +213,11 @@ def trace_bundle(
     abbr: str,
     queries: int | None = None,
     euclid_width: int = 16,
+    metric: str = "euclid",
 ) -> TraceBundle:
     """Lowered paired traces for one named workload (small per-process
     cache — GGNN bundles are large)."""
-    run = run_workload(family, abbr, queries)
+    run = run_workload(family, abbr, queries, metric)
     return to_traces(run, widths=HsuWidths(euclid=euclid_width))
 
 
@@ -212,6 +280,7 @@ def simulate(
     scale: float = 1.0,
     shards: int = 1,
     shard: int = 0,
+    metric: str = "euclid",
     label: object = None,
     backend: str | None = None,
 ) -> SimStats:
@@ -242,6 +311,15 @@ def simulate(
     of how many to simulate (docs/SHARDING.md; defaults reproduce the
     single-device run and its pre-existing cache keys).
 
+    ``metric`` selects the distance metric for named ``arkade`` workloads
+    (``"euclid"`` / ``"l1"`` / ``"linf"`` / ``"cosine"`` — the Arkade
+    reductions, docs/WORKLOADS.md; the default reproduces every
+    pre-existing cache key byte-for-byte).
+
+    The whole kwarg surface is validated eagerly through
+    :func:`validate_simulate_args` — a bad axis raises
+    :class:`~repro.errors.ConfigError` before anything executes.
+
     ``label`` names a recorded trace's (family, abbr) identity for
     manifests and cache keys; ignored for named workloads.
 
@@ -251,8 +329,19 @@ def simulate(
     ``config.kernel_backend``.  Backends are bit-identical by contract:
     the stats, cache keys, and manifests are the same either way.
     """
+    named = not isinstance(workload, (KernelTrace, TraceBundle, WorkloadRun))
+    validate_simulate_args(
+        variant=variant,
+        config=config,
+        cache=cache,
+        backend=backend,
+        scale=scale,
+        shards=shards,
+        shard=shard,
+        metric=metric,
+        named=named,
+    )
     if backend is not None:
-        get_backend(backend)  # validate eagerly: unknown names raise here
         with use_backend(backend):
             return simulate(
                 workload,
@@ -267,6 +356,7 @@ def simulate(
                 scale=scale,
                 shards=shards,
                 shard=shard,
+                metric=metric,
                 label=label,
             )
     prior = campaign.cache_mode()
@@ -300,6 +390,7 @@ def simulate(
             scale=scale,
             shards=shards,
             shard=shard,
+            metric=metric,
         )
     finally:
         if cache is not None:
@@ -333,6 +424,7 @@ def _simulate_named(
     scale: float = 1.0,
     shards: int = 1,
     shard: int = 0,
+    metric: str = "euclid",
 ) -> SimStats:
     job = campaign.Job(
         spec.family,
@@ -346,6 +438,7 @@ def _simulate_named(
         scale=scale,
         shards=shards,
         shard=shard,
+        metric=metric,
     )
     if config is not None:
         # Explicit config: resolve the trace through the bundle cache and
@@ -356,6 +449,7 @@ def _simulate_named(
         params = common.workload_params(
             job.family, job.abbr, job.queries,
             scale=job.scale, shards=job.shards, shard=job.shard,
+            metric=job.metric,
         )
         if job.shards != 1 or job.scale != 1.0:
             bundle = sharded_trace_bundle(
@@ -364,7 +458,8 @@ def _simulate_named(
             )
         else:
             bundle = trace_bundle(
-                job.family, job.abbr, job.queries, job.euclid_width
+                job.family, job.abbr, job.queries, job.euclid_width,
+                metric=job.metric,
             )
         kernel = bundle.baseline if variant == "baseline" else bundle.hsu
         return campaign.cached_simulate(

@@ -23,6 +23,13 @@ from repro.geometry.ray import Ray
 from repro.geometry.triangle import Triangle
 from repro.geometry.vec3 import Vec3
 from repro.kernels import get_backend
+from repro.metrics.transforms import (
+    FILTER_METRICS,
+    METRIC_EUCLID,
+    batch_metric_dist,
+    rowwise_metric_dist,
+    validate_metric,
+)
 from repro.search.events import BatchResult, EventLog
 
 #: Traversal event kinds consumed by the trace compiler.
@@ -175,6 +182,7 @@ def radius_search(
     query: np.ndarray,
     radius: float,
     stats: TraversalStats | None = None,
+    metric: str = METRIC_EUCLID,
 ) -> list[tuple[int, float]]:
     """Points within ``radius`` of ``query`` (BVH-NN's search, §V-A).
 
@@ -182,20 +190,32 @@ def radius_search(
     radius)`` so leaf boxes over-approximate the radius ball; candidates from
     :func:`point_query` are then confirmed with squared Euclidean distance
     tests (the HSU ``POINT_EUCLID`` op).  Results sort by ascending distance.
+
+    ``metric`` may be any :data:`~repro.metrics.transforms.FILTER_METRICS`
+    member: the leaf boxes span ``point +- radius``, so the box containment
+    test is exactly the Chebyshev filter ``Linf <= radius`` — a valid
+    superset for ``euclid`` (``Linf <= L2``) and ``l1`` (``Linf <= L1``)
+    alike.  Only the confirm kernel and threshold change: ``euclid`` keeps
+    the squared test ``d2 <= radius**2`` (byte-identical default path),
+    ``l1``/``linf`` keep ``distance <= radius``.
     """
     stats = stats if stats is not None else TraversalStats()
+    validate_metric(metric, allowed=FILTER_METRICS, context="radius_search")
     candidates = point_query(bvh, query, stats)
-    radius_sq = radius * radius
+    threshold = radius * radius if metric == METRIC_EUCLID else radius
     hits: list[tuple[int, float]] = []
     if candidates:
         # One batched HSU distance kernel over the whole candidate set
         # (bit-identical per row to the scalar euclid_dist); the event
         # stream still records one POINT_EUCLID test per candidate in
         # traversal order.
-        d2s = batch_euclid_dist(query, points[candidates])
+        if metric == METRIC_EUCLID:
+            d2s = batch_euclid_dist(query, points[candidates])
+        else:
+            d2s = batch_metric_dist(query, points[candidates], metric)
         for prim, d2 in zip(candidates, d2s.tolist()):
             stats.test_prim_dist(prim, dim=3)
-            if d2 <= radius_sq:
+            if d2 <= threshold:
                 hits.append((prim, d2))
     hits.sort(key=lambda pair: pair[1])
     return hits
@@ -292,6 +312,7 @@ def radius_search_batch(
     radius: float,
     record_events: bool = False,
     stats: TraversalStats | None = None,
+    metric: str = METRIC_EUCLID,
 ) -> BatchResult:
     """Batched :func:`radius_search`: per query, bit-identical results and
     events to the scalar loop.
@@ -300,8 +321,13 @@ def radius_search_batch(
     kernel (:func:`rowwise_euclid_dist` — row-independent, so merging is
     exact); hits filter and sort per query with a stable key, matching the
     scalar path's stable ``sort(key=d2)`` over traversal-ordered hits.
+    ``metric`` switches the confirm kernel and threshold exactly as in the
+    scalar :func:`radius_search`.
     """
     queries = np.asarray(queries, dtype=np.float64)
+    validate_metric(
+        metric, allowed=FILTER_METRICS, context="radius_search_batch"
+    )
     num_queries = queries.shape[0]
     cand_starts, cand_prims, travel_log = point_query_batch(
         bvh, queries, record_events=record_events, stats=stats
@@ -310,12 +336,17 @@ def radius_search_batch(
     cand_qids = np.repeat(
         np.arange(num_queries, dtype=np.int64), cand_counts
     )
-    radius_sq = radius * radius
+    threshold = radius * radius if metric == METRIC_EUCLID else radius
     log = travel_log
     if cand_prims.size:
-        d2 = rowwise_euclid_dist(
-            queries[cand_qids], np.asarray(points)[cand_prims]
-        )
+        if metric == METRIC_EUCLID:
+            d2 = rowwise_euclid_dist(
+                queries[cand_qids], np.asarray(points)[cand_prims]
+            )
+        else:
+            d2 = rowwise_metric_dist(
+                queries[cand_qids], np.asarray(points)[cand_prims], metric
+            )
         if stats is not None:
             stats.prim_tests += cand_prims.size
         if record_events:
@@ -328,7 +359,7 @@ def radius_search_batch(
                 num_queries,
             )
             log = EventLog.concat([travel_log, dist_log])
-        keep = d2 <= radius_sq
+        keep = d2 <= threshold
         hit_qids = cand_qids[keep]
         hit_prims = cand_prims[keep]
         hit_d2 = d2[keep]

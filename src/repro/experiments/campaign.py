@@ -179,6 +179,10 @@ class Job:
     scale: float = 1.0
     shards: int = 1
     shard: int = 0
+    #: Distance-metric axis (the ``metrics`` pseudo-family, ``arkade``
+    #: workloads).  The default keeps every pre-metric cache key and run
+    #: id byte-identical.
+    metric: str = "euclid"
 
     def __post_init__(self) -> None:
         if self.variant not in _VARIANTS:
@@ -191,13 +195,17 @@ class Job:
             )
         if self.scale <= 0:
             raise ConfigError(f"scale must be > 0, got {self.scale}")
+        if self.metric != "euclid":
+            from repro.metrics.transforms import validate_metric
+
+            validate_metric(self.metric, context="campaign Job")
 
     @property
     def group(self) -> tuple:
         """Jobs sharing a group share one workload execution."""
         return (
             self.family, self.abbr, self.queries,
-            self.scale, self.shards, self.shard,
+            self.scale, self.shards, self.shard, self.metric,
         )
 
     @property
@@ -216,6 +224,8 @@ class Job:
     @property
     def run_id(self) -> str:
         stem = f"{self.family}-{self.abbr.replace('+', '')}-{self.variant_label}"
+        if self.metric != "euclid":
+            stem += f"-{self.metric}"
         if self.scale != 1.0:
             stem += f"-x{self.scale:g}"
         if self.shards != 1:
@@ -520,6 +530,7 @@ def _restamp_manifest(snapshot: dict[str, object]) -> None:
 #: PEP 562); imported up front so the tracegen phase times generation, not
 #: module loading.
 _FAMILY_MODULES = {
+    "arkade": "repro.workloads.arkade",
     "bvhnn": "repro.workloads.bvhnn",
     "flann": "repro.workloads.flann",
     "ggnn": "repro.workloads.ggnn",
@@ -555,6 +566,7 @@ def run_job(job: Job, mode: str | None = None) -> JobOutcome:
     params = common.workload_params(
         job.family, job.abbr, job.queries,
         scale=job.scale, shards=job.shards, shard=job.shard,
+        metric=job.metric,
     )
     wkey = params | {"variant": job.variant_label}
     config = common.config_for(job.family)
@@ -584,7 +596,8 @@ def run_job(job: Job, mode: str | None = None) -> JobOutcome:
         )
     else:
         bundle = api.trace_bundle(
-            job.family, job.abbr, job.queries, job.euclid_width
+            job.family, job.abbr, job.queries, job.euclid_width,
+            metric=job.metric,
         )
     kernel = bundle.baseline if job.variant == "baseline" else bundle.hsu
     trace_sha = kernel.fingerprint()
@@ -668,13 +681,37 @@ def scaling_jobs(smoke: bool = False) -> list[Job]:
     ]
 
 
+#: The metric sweep (the ``metrics`` pseudo-family): every non-Euclidean
+#: query metric, paired HSU vs baseline, on one shared dataset.
+METRIC_SWEEP = ("l1", "linf", "cosine")
+METRICS_DATASET = "R10K"
+
+
+def metrics_jobs(smoke: bool = False) -> list[Job]:
+    """The non-Euclidean metric family: Arkade reductions, HSU vs baseline.
+
+    One paired (baseline, HSU) measurement per query metric on
+    :data:`METRICS_DATASET`.  All three metrics share the exact-search
+    substrate, so the table isolates what the metric itself costs — the
+    cosine epilogue's SFU traffic vs the filter metrics' plain beats.
+    ``smoke=True`` shrinks the query budget to the CI size.
+    """
+    queries = 64 if smoke else None
+    return [
+        Job("arkade", METRICS_DATASET, variant, queries=queries, metric=m)
+        for m in METRIC_SWEEP
+        for variant in ("baseline", "hsu")
+    ]
+
+
 def default_jobs(families: tuple[str, ...] | None = None) -> list[Job]:
     """The §V campaign: every pair plus the Fig. 10/11 design-point sweeps.
 
-    ``"ablations"`` and ``"scaling"`` are accepted as pseudo-families
-    selecting the scheduler/memory ablation jobs (:func:`ablation_jobs`)
-    and the multi-device scaling sweep (:func:`scaling_jobs`) alongside
-    any real workload families.
+    ``"ablations"``, ``"scaling"``, and ``"metrics"`` are accepted as
+    pseudo-families selecting the scheduler/memory ablation jobs
+    (:func:`ablation_jobs`), the multi-device scaling sweep
+    (:func:`scaling_jobs`), and the non-Euclidean metric sweep
+    (:func:`metrics_jobs`) alongside any real workload families.
     """
     from repro.experiments import fig10_width, fig11_warp_buffer
     from repro.experiments.common import FAMILIES, datasets_for
@@ -687,6 +724,9 @@ def default_jobs(families: tuple[str, ...] | None = None) -> list[Job]:
     if "scaling" in families:
         jobs.extend(scaling_jobs())
         families = tuple(f for f in families if f != "scaling")
+    if "metrics" in families:
+        jobs.extend(metrics_jobs())
+        families = tuple(f for f in families if f != "metrics")
     for family in families:
         for abbr in datasets_for(family):
             jobs.append(Job(family, abbr, "baseline"))
@@ -1060,7 +1100,7 @@ def main(argv: list[str] | None = None) -> int:
         "--families", nargs="+", metavar="FAM",
         help="restrict to these workload families ('ablations' selects "
         "the scheduler/memory ablation jobs, 'scaling' the multi-device "
-        "shard sweep)",
+        "shard sweep, 'metrics' the non-Euclidean metric sweep)",
     )
     parser.add_argument(
         "--smoke", action="store_true",
@@ -1082,12 +1122,14 @@ def main(argv: list[str] | None = None) -> int:
     mode = "off" if args.no_cache else ("rebuild" if args.rebuild else "on")
     if args.smoke:
         jobs = smoke_jobs()
-        # --smoke --families ablations/scaling: ride those pseudo-family
-        # points along at the CI query budget.
+        # --smoke --families ablations/scaling/metrics: ride those
+        # pseudo-family points along at the CI query budget.
         if args.families and "ablations" in args.families:
             jobs += ablation_jobs(smoke=True)
         if args.families and "scaling" in args.families:
             jobs += scaling_jobs(smoke=True)
+        if args.families and "metrics" in args.families:
+            jobs += metrics_jobs(smoke=True)
     else:
         jobs = default_jobs(tuple(args.families) if args.families else None)
     label = args.label or ("smoke" if args.smoke else "default")

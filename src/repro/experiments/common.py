@@ -35,12 +35,22 @@ GGNN_DATASETS = (
 FLANN_DATASETS = ("R10K", "BUN", "DRG", "BUD", "COS")
 BVHNN_DATASETS = ("R10K", "BUN", "DRG", "BUD", "COS")
 BTREE_DATASETS = ("B+1M", "B+10K")
+#: The Arkade metric-kNN family shares the FLANN 3-D datasets (it rides
+#: the same k-d substrate with the metric axis swept instead of fixed).
+ARKADE_DATASETS = FLANN_DATASETS
 
+#: The §V figure families (the paper's four workloads).
 FAMILIES = ("ggnn", "flann", "bvhnn", "btree")
+#: Every runnable family: the figure four plus the ``arkade`` metric
+#: family (campaigned through the ``metrics`` pseudo-family, not the
+#: default §V job set — the figures stay byte-stable).
+ALL_FAMILIES = FAMILIES + ("arkade",)
 
 #: Fig. 9 dataset label prefixes: the 3-D datasets are shared between FLANN
 #: and BVH-NN, distinguished by "F"/"B" prefixes in the paper's figures.
-FAMILY_PREFIX = {"ggnn": "", "flann": "F-", "bvhnn": "B-", "btree": ""}
+FAMILY_PREFIX = {
+    "ggnn": "", "flann": "F-", "bvhnn": "B-", "btree": "", "arkade": "A-",
+}
 
 #: Query counts, budgeted so the full suite runs in minutes: GGNN traces
 #: are long per query (hundreds of distance chains); parallel workloads
@@ -49,6 +59,10 @@ _GGNN_QUERIES = {"MNT": 20, "FMNT": 20, "GST": 20, "D1B": 20}
 _GGNN_DEFAULT_QUERIES = 32
 _PARALLEL_QUERIES = 1536
 _BTREE_QUERIES = {"B+1M": 2048, "B+10K": 512}
+#: Arkade searches exactly (max_checks = N), so its per-query traces are
+#: long; a smaller budget keeps the family's campaign in the same
+#: wall-clock class as the others.
+_ARKADE_QUERIES = 256
 
 #: GGNN occupancy cap (see module docstring).
 GGNN_MAX_WARPS = 16
@@ -73,6 +87,7 @@ def datasets_for(family: str) -> tuple[str, ...]:
         "flann": FLANN_DATASETS,
         "bvhnn": BVHNN_DATASETS,
         "btree": BTREE_DATASETS,
+        "arkade": ARKADE_DATASETS,
     }
     try:
         return table[family]
@@ -90,6 +105,8 @@ def resolved_queries(family: str, abbr: str, queries: int | None = None) -> int:
         return _PARALLEL_QUERIES
     if family == "btree":
         return _BTREE_QUERIES[abbr]
+    if family == "arkade":
+        return _ARKADE_QUERIES
     raise ConfigError(f"unknown workload family {family!r}")
 
 
@@ -100,6 +117,7 @@ def workload_params(
     scale: float = 1.0,
     shards: int = 1,
     shard: int = 0,
+    metric: str = "euclid",
 ) -> dict[str, object]:
     """The fully resolved workload key the campaign cache hashes.
 
@@ -107,11 +125,12 @@ def workload_params(
     dataset, and the resolved query count — so changing a query budget in
     this module busts the relevant cache entries.  The multi-device axes
     (``scale``, ``shards``/``shard`` — the scaling-curve campaign,
-    docs/SHARDING.md) are appended **only when non-default**, so every
-    pre-existing cache key is byte-identical to what it was before
-    sharding existed.
+    docs/SHARDING.md) and the distance-metric axis (``metric`` — the
+    ``arkade`` family, docs/WORKLOADS.md) are appended **only when
+    non-default**, so every pre-existing cache key is byte-identical to
+    what it was before those axes existed.
     """
-    if family not in FAMILIES:
+    if family not in ALL_FAMILIES:
         raise ConfigError(f"unknown workload family {family!r}")
     if abbr not in datasets_for(family):
         raise ConfigError(f"unknown {family} dataset {abbr!r}")
@@ -120,6 +139,15 @@ def workload_params(
             f"sharded/scaled workloads are only lowered for the bvhnn "
             f"family (got {family!r})"
         )
+    if metric != "euclid":
+        from repro.metrics.transforms import validate_metric
+
+        validate_metric(metric, context=f"{family} workload")
+        if family != "arkade":
+            raise ConfigError(
+                f"non-Euclidean metrics are only lowered for the arkade "
+                f"family (got {family!r} with metric={metric!r})"
+            )
     if shards < 1 or not 0 <= shard < shards:
         raise ConfigError(
             f"shard {shard} out of range for {shards} shard(s)"
@@ -136,6 +164,8 @@ def workload_params(
     if shards != 1:
         params["shards"] = shards
         params["shard"] = shard
+    if metric != "euclid":
+        params["metric"] = metric
     return params
 
 

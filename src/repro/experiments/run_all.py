@@ -49,6 +49,7 @@ from repro.experiments import (
     fig14_row_locality,
     fig15_area,
     fig16_power,
+    metric_search,
     rtindex_comparison,
     table1_isa,
     table2_datasets,
@@ -67,6 +68,7 @@ HEAVY = (
     fig11_warp_buffer,
     rtindex_comparison,
     ablations,
+    metric_search,
 )
 
 

@@ -19,10 +19,16 @@ import numpy as np
 
 from repro.errors import BuildError
 from repro.kernels import get_backend
+from repro.metrics.transforms import METRIC_L1, METRIC_LINF
 
 #: Supported distance metrics.
 METRIC_EUCLID = "euclid"
 METRIC_ANGULAR = "angular"
+
+#: Every metric the graph builds and searches under: the original two
+#: plus the Arkade filter metrics (cosine arrives as ``angular`` — the
+#: adapter folds the alias, since both mean ``1 - cos(theta)``).
+GRAPH_METRICS = (METRIC_EUCLID, METRIC_ANGULAR, METRIC_L1, METRIC_LINF)
 
 
 def batch_distances(
@@ -32,7 +38,9 @@ def batch_distances(
 
     Euclid returns squared distances (what ``POINT_EUCLID`` computes);
     angular returns ``1 - cos(theta)`` (the software epilogue over
-    ``POINT_ANGULAR``'s dot/norm sums).
+    ``POINT_ANGULAR``'s dot/norm sums); ``l1``/``linf`` return the
+    Manhattan/Chebyshev distances through the Arkade refine kernels
+    (single-beat, so the whole row reduces in one float32 pass).
     """
     q = query.astype(np.float32, copy=False)
     c = candidates.astype(np.float32, copy=False)
@@ -45,6 +53,12 @@ def batch_distances(
         denom = norms * q_norm
         denom[denom == 0.0] = np.float32(1.0)
         return np.float32(1.0) - dot / denom
+    if metric in (METRIC_L1, METRIC_LINF):
+        block = np.ascontiguousarray(c)
+        width = block.shape[1]
+        if metric == METRIC_L1:
+            return get_backend().l1_beats(q, block, width)
+        return get_backend().linf_beats(q, block, width)
     raise BuildError(f"unknown metric {metric!r}")
 
 

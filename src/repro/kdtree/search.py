@@ -19,9 +19,17 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.ops import batch_euclid_dist, rowwise_euclid_dist
+from repro.core.ops import batch_euclid_dist
 from repro.kdtree.build import KdTree
 from repro.kernels import get_backend
+from repro.metrics.transforms import (
+    FILTER_METRICS,
+    METRIC_EUCLID,
+    batch_metric_dist,
+    euclid_prune_bound,
+    rowwise_metric_dist,
+    validate_metric,
+)
 from repro.search.events import BatchResult, EventBuffer, EventLog
 
 #: Event kinds consumed by the trace compiler.
@@ -61,15 +69,22 @@ def knn_search(
     k: int,
     max_checks: int = 128,
     stats: KdSearchStats | None = None,
+    metric: str = METRIC_EUCLID,
 ) -> list[tuple[int, float]]:
     """K nearest neighbors of ``query``, approximately.
 
-    Returns up to ``k`` ``(point_id, squared_distance)`` pairs sorted by
-    ascending distance.  With ``max_checks >= tree.num_points`` the search
-    is exact.
+    Returns up to ``k`` ``(point_id, measure)`` pairs sorted by ascending
+    measure — squared L2 for ``euclid``, the true metric distance for the
+    Arkade filter metrics ``l1``/``linf`` (the traversal stays Euclidean;
+    branch pruning compares the incremental squared-L2 bounds against
+    :func:`repro.metrics.transforms.euclid_prune_bound`, which the norm
+    equivalences make safe, and only the leaf distance tests switch
+    kernel).  With ``max_checks >= tree.num_points`` the search is exact
+    under every metric.
     """
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
+    validate_metric(metric, allowed=FILTER_METRICS, context="k-d search")
     stats = stats if stats is not None else KdSearchStats()
     query = np.asarray(query, dtype=np.float64)
 
@@ -84,7 +99,7 @@ def knn_search(
     tie = 0
     zero_contribs = (0.0,) * tree.dim
 
-    def worst_d2() -> float:
+    def worst_measure() -> float:
         return -best[0][0] if len(best) == k else np.inf
 
     def descend(
@@ -115,19 +130,19 @@ def knn_search(
         point_ids = tree.leaf_points(leaf)
         # One batched HSU distance kernel per leaf (bit-identical per row
         # to the scalar euclid_dist); heap updates keep leaf-point order.
-        d2s = batch_euclid_dist(query, tree.points[point_ids])
+        d2s = batch_metric_dist(query, tree.points[point_ids], metric)
         for point_id, d2 in zip(point_ids, d2s.tolist()):
             stats.dist_test(int(point_id), tree.dim)
             checks += 1
             if len(best) < k:
                 heapq.heappush(best, (-d2, int(point_id)))
-            elif d2 < worst_d2():
+            elif d2 < worst_measure():
                 heapq.heapreplace(best, (-d2, int(point_id)))
 
     descend(tree.root, 0.0, zero_contribs)
     while pending and checks < max_checks:
         min_d2, _tie, node_id, contribs = heapq.heappop(pending)
-        if min_d2 >= worst_d2():
+        if min_d2 >= euclid_prune_bound(metric, worst_measure(), tree.dim):
             continue
         descend(node_id, min_d2, contribs)
 
@@ -142,19 +157,23 @@ def knn_search_batch(
     max_checks: int = 128,
     record_events: bool = False,
     stats: KdSearchStats | None = None,
+    metric: str = METRIC_EUCLID,
 ) -> BatchResult:
     """Batched :func:`knn_search` over a ``(Q, dim)`` query block.
 
     Level-synchronous lockstep descent: every active query advances one
     node per step, so plane tests gather/compare as one kernel-backend
     call (``kd_plane_step``) and all leaf visits of a step merge into a
-    single ``segmented_gather`` + :func:`rowwise_euclid_dist` pair.  Per
+    single ``segmented_gather`` +
+    :func:`~repro.metrics.transforms.rowwise_metric_dist` pair.  Per
     query, the neighbors and the event log are bit-identical to the scalar
     search — the priority bookkeeping (pending-branch and best-k heaps)
-    intentionally reruns the scalar arithmetic on the kernels' outputs.
+    intentionally reruns the scalar arithmetic on the kernels' outputs,
+    including the per-metric Euclidean prune bound.
     """
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
+    validate_metric(metric, allowed=FILTER_METRICS, context="k-d search")
     stats = stats if stats is not None else KdSearchStats()
     queries = np.asarray(queries, dtype=np.float64)
     if queries.ndim != 2 or queries.shape[1] != tree.dim:
@@ -185,9 +204,10 @@ def knn_search_batch(
         b = best[i]
         p = pending[i]
         worst = -b[0][0] if len(b) == k else np.inf
+        bound = euclid_prune_bound(metric, worst, dim)
         while p and checks[i] < max_checks:
             min_d2, _tie, node_id, ctr = heapq.heappop(p)
-            if min_d2 >= worst:
+            if min_d2 >= bound:
                 continue
             node[i] = node_id
             cur_min[i] = min_d2
@@ -239,7 +259,7 @@ def knn_search_batch(
                 first_point[ln], counts, tree.point_indices
             )
             qids = np.repeat(leaves, counts)
-            d2s = rowwise_euclid_dist(queries[qids], tree.points[pids])
+            d2s = rowwise_metric_dist(queries[qids], tree.points[pids], metric)
             stats.dist_tests += total
             if buffer is not None:
                 buffer.append_block(_DIST, qids, pids, dim)

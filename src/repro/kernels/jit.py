@@ -147,6 +147,89 @@ def _euclid_beats_rowwise_body(qrows, crows, width, out):
 
 
 @_njit
+def _l1_beats_body(q, block, width, out):
+    rows = block.shape[0]
+    dim = q.shape[0]
+    scratch = np.empty(width, np.float32)
+    for row in range(rows):
+        total = np.float32(0.0)
+        lo = 0
+        while lo < dim:
+            hi = min(lo + width, dim)
+            n = hi - lo
+            for j in range(n):
+                d = q[lo + j] - block[row, lo + j]
+                scratch[j] = abs(d)
+            total = total + _pairwise_f32(scratch, 0, n)
+            lo = hi
+        out[row] = total
+
+
+@_njit
+def _l1_beats_rowwise_body(qrows, crows, width, out):
+    rows = qrows.shape[0]
+    dim = qrows.shape[1]
+    scratch = np.empty(width, np.float32)
+    for row in range(rows):
+        total = np.float32(0.0)
+        lo = 0
+        while lo < dim:
+            hi = min(lo + width, dim)
+            n = hi - lo
+            for j in range(n):
+                d = qrows[row, lo + j] - crows[row, lo + j]
+                scratch[j] = abs(d)
+            total = total + _pairwise_f32(scratch, 0, n)
+            lo = hi
+        out[row] = total
+
+
+@_njit
+def _linf_beats_body(q, block, out):
+    # max is exact and order-independent: no beat structure needed.
+    rows = block.shape[0]
+    dim = q.shape[0]
+    for row in range(rows):
+        total = np.float32(0.0)
+        for j in range(dim):
+            d = abs(q[j] - block[row, j])
+            if d > total:
+                total = d
+        out[row] = total
+
+
+@_njit
+def _linf_beats_rowwise_body(qrows, crows, out):
+    rows = qrows.shape[0]
+    dim = qrows.shape[1]
+    for row in range(rows):
+        total = np.float32(0.0)
+        for j in range(dim):
+            d = abs(qrows[row, j] - crows[row, j])
+            if d > total:
+                total = d
+        out[row] = total
+
+
+@_njit
+def _normalize_rows_body(rows, out):
+    count = rows.shape[0]
+    dim = rows.shape[1]
+    scratch = np.empty(dim, np.float32)
+    for i in range(count):
+        for j in range(dim):
+            v = rows[i, j]
+            scratch[j] = v * v
+        norm_sq = _pairwise_f32(scratch, 0, dim)
+        if norm_sq > np.float32(0.0):
+            scale = np.float32(1.0) / np.sqrt(norm_sq)
+        else:
+            scale = np.float32(1.0)
+        for j in range(dim):
+            out[i, j] = rows[i, j] * scale
+
+
+@_njit
 def _sq_l2_broadcast_body(candidates, query, out):
     rows = candidates.shape[0]
     dim = candidates.shape[1]
@@ -370,6 +453,31 @@ class JitBackend(ReferenceBackend):
         _euclid_beats_rowwise_body(qrows, crows, width, out)
         return out
 
+    def l1_beats(self, q, block, width):
+        out = np.empty(block.shape[0], dtype=np.float32)
+        _l1_beats_body(q, block, width, out)
+        return out
+
+    def l1_beats_rowwise(self, qrows, crows, width):
+        out = np.empty(qrows.shape[0], dtype=np.float32)
+        _l1_beats_rowwise_body(qrows, crows, width, out)
+        return out
+
+    def linf_beats(self, q, block, width):
+        out = np.empty(block.shape[0], dtype=np.float32)
+        _linf_beats_body(q, block, out)
+        return out
+
+    def linf_beats_rowwise(self, qrows, crows, width):
+        out = np.empty(qrows.shape[0], dtype=np.float32)
+        _linf_beats_rowwise_body(qrows, crows, out)
+        return out
+
+    def normalize_rows(self, rows):
+        out = np.empty(rows.shape, dtype=np.float32)
+        _normalize_rows_body(rows, out)
+        return out
+
     def sq_l2_f32(self, candidates, query):
         out = np.empty(candidates.shape[0], dtype=np.float32)
         if query.ndim == 1:
@@ -500,6 +608,56 @@ def _probe_euclid_beats_rowwise(backend):
     return tuple(outs)
 
 
+def _probe_l1_beats(backend):
+    rng = _probe_rng()
+    outs = []
+    for dim in (1, 3, 7, 8, 13, 16, 48, 200):
+        q = (rng.standard_normal(dim) * 50).astype(np.float32)
+        block = (rng.standard_normal((33, dim)) * 50).astype(np.float32)
+        outs.append(backend.l1_beats(q, block, 16))
+    return tuple(outs)
+
+
+def _probe_l1_beats_rowwise(backend):
+    rng = _probe_rng()
+    outs = []
+    for dim in (1, 3, 8, 16, 48, 200):
+        qrows = (rng.standard_normal((29, dim)) * 50).astype(np.float32)
+        crows = (rng.standard_normal((29, dim)) * 50).astype(np.float32)
+        outs.append(backend.l1_beats_rowwise(qrows, crows, 16))
+    return tuple(outs)
+
+
+def _probe_linf_beats(backend):
+    rng = _probe_rng()
+    outs = []
+    for dim in (1, 3, 7, 8, 13, 16, 48, 200):
+        q = (rng.standard_normal(dim) * 50).astype(np.float32)
+        block = (rng.standard_normal((33, dim)) * 50).astype(np.float32)
+        outs.append(backend.linf_beats(q, block, 16))
+    return tuple(outs)
+
+
+def _probe_linf_beats_rowwise(backend):
+    rng = _probe_rng()
+    outs = []
+    for dim in (1, 3, 8, 16, 48, 200):
+        qrows = (rng.standard_normal((29, dim)) * 50).astype(np.float32)
+        crows = (rng.standard_normal((29, dim)) * 50).astype(np.float32)
+        outs.append(backend.linf_beats_rowwise(qrows, crows, 16))
+    return tuple(outs)
+
+
+def _probe_normalize_rows(backend):
+    rng = _probe_rng()
+    outs = []
+    for dim in (1, 3, 8, 16, 48, 200):
+        rows = (rng.standard_normal((27, dim)) * 50).astype(np.float32)
+        rows[::7] = 0.0  # exercise the zero-row (scale 1.0) branch
+        outs.append(backend.normalize_rows(rows))
+    return tuple(outs)
+
+
 def _probe_sq_l2_f32(backend):
     rng = _probe_rng()
     outs = []
@@ -618,6 +776,11 @@ def _probe_bvh_point_query(backend):
 _PROBES = {
     "euclid_beats": _probe_euclid_beats,
     "euclid_beats_rowwise": _probe_euclid_beats_rowwise,
+    "l1_beats": _probe_l1_beats,
+    "l1_beats_rowwise": _probe_l1_beats_rowwise,
+    "linf_beats": _probe_linf_beats,
+    "linf_beats_rowwise": _probe_linf_beats_rowwise,
+    "normalize_rows": _probe_normalize_rows,
     "sq_l2_f32": _probe_sq_l2_f32,
     "aabb_contains_points": _probe_aabb,
     "aabb_distance_sq": _probe_aabb,

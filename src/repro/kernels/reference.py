@@ -77,6 +77,76 @@ class ReferenceBackend:
             total = total + np.sum(diff * diff, axis=1, dtype=np.float32)
         return total
 
+    def l1_beats(
+        self, q: np.ndarray, block: np.ndarray, width: int
+    ) -> np.ndarray:
+        """L1 (Manhattan) distance from one float32 query row to a block.
+
+        Same beat structure as :meth:`euclid_beats` — each beat's lanes
+        take absolute differences and reduce in float32, beats accumulate
+        in float32 — so the Arkade filter-metric refine shares the
+        datapath's summation semantics with the Euclidean kernel.
+        """
+        total = np.zeros(block.shape[0], dtype=np.float32)
+        for lo, hi, _accumulate in iter_beat_slices(q.size, width):
+            diff = np.abs(q[lo:hi] - block[:, lo:hi])
+            total = total + np.sum(diff, axis=1, dtype=np.float32)
+        return total
+
+    def l1_beats_rowwise(
+        self, qrows: np.ndarray, crows: np.ndarray, width: int
+    ) -> np.ndarray:
+        """Per-row L1 distance between paired float32 row blocks
+        (the merged-pool twin of :meth:`l1_beats`)."""
+        total = np.zeros(qrows.shape[0], dtype=np.float32)
+        for lo, hi, _accumulate in iter_beat_slices(qrows.shape[1], width):
+            diff = np.abs(qrows[:, lo:hi] - crows[:, lo:hi])
+            total = total + np.sum(diff, axis=1, dtype=np.float32)
+        return total
+
+    def linf_beats(
+        self, q: np.ndarray, block: np.ndarray, width: int
+    ) -> np.ndarray:
+        """L-infinity (Chebyshev) distance from one query row to a block.
+
+        Beats reduce with ``max`` instead of ``+``; float32 ``max`` is
+        exact and order-independent, so the beat structure cannot move a
+        bit regardless of ``width``.
+        """
+        total = np.zeros(block.shape[0], dtype=np.float32)
+        for lo, hi, _accumulate in iter_beat_slices(q.size, width):
+            diff = np.abs(q[lo:hi] - block[:, lo:hi])
+            total = np.maximum(total, np.max(diff, axis=1))
+        return total
+
+    def linf_beats_rowwise(
+        self, qrows: np.ndarray, crows: np.ndarray, width: int
+    ) -> np.ndarray:
+        """Per-row L-infinity distance between paired float32 row blocks
+        (the merged-pool twin of :meth:`linf_beats`)."""
+        total = np.zeros(qrows.shape[0], dtype=np.float32)
+        for lo, hi, _accumulate in iter_beat_slices(qrows.shape[1], width):
+            diff = np.abs(qrows[:, lo:hi] - crows[:, lo:hi])
+            total = np.maximum(total, np.max(diff, axis=1))
+        return total
+
+    def normalize_rows(self, rows: np.ndarray) -> np.ndarray:
+        """Project float32 rows onto the unit sphere (zero rows unchanged).
+
+        The Arkade cosine transform: after normalization, squared
+        Euclidean distance is monotone in angular distance
+        (``|u - v|^2 = 2 (1 - cos theta)``), so cosine kNN reduces to
+        Euclidean kNN over the transformed points.  Row norms square and
+        reduce in float32 (the same contiguous-axis reduction the
+        distance kernels use) and rows scale by the float32 reciprocal
+        square root.
+        """
+        norms_sq = np.sum(rows * rows, axis=1, dtype=np.float32)
+        scale = np.ones_like(norms_sq)
+        nonzero = norms_sq > np.float32(0.0)
+        scale[nonzero] = np.float32(1.0) / np.sqrt(norms_sq[nonzero])
+        return rows * scale[:, None]
+
     def sq_l2_f32(self, candidates: np.ndarray, query: np.ndarray) -> np.ndarray:
         """Un-beaten float32 squared L2 (the HNSW build/search kernel).
 

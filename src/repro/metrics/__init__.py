@@ -1,0 +1,77 @@
+"""Metric-aware search: Arkade space transforms plus observability.
+
+The package has two halves, deliberately split so the light half stays
+importable from the lowest layers:
+
+* :mod:`repro.metrics.transforms` — the metric vocabulary
+  (``QUERY_METRICS``), :func:`~repro.metrics.transforms.validate_metric`,
+  the cosine space transform, the L1/Linf filter-refine kernels, the
+  Euclidean prune bounds, and the brute-force per-metric reference.  It
+  imports nothing above :mod:`repro.kernels`, so the search substrates
+  use it freely.
+* :mod:`repro.metrics.observability` —
+  :class:`~repro.metrics.observability.MetricSearchMetrics`, the
+  per-metric counter scopes on a ``MetricsRegistry``; loaded lazily here
+  so importing the vocabulary never drags in the simulator's
+  observability stack.
+"""
+
+from repro.metrics.transforms import (
+    ARKADE_METRICS,
+    FILTER_METRICS,
+    METRIC_COSINE,
+    METRIC_EUCLID,
+    METRIC_L1,
+    METRIC_LINF,
+    QUERY_METRICS,
+    angular_radius_to_euclid,
+    batch_metric_dist,
+    brute_force_metric_knn,
+    cosine_measure_from_sq,
+    euclid_prune_bound,
+    is_transform_metric,
+    rowwise_metric_dist,
+    transform_points,
+    transform_query,
+    validate_metric,
+)
+
+__all__ = [
+    "ARKADE_METRICS",
+    "FILTER_METRICS",
+    "METRIC_COSINE",
+    "METRIC_EUCLID",
+    "METRIC_L1",
+    "METRIC_LINF",
+    "QUERY_METRICS",
+    "angular_radius_to_euclid",
+    "batch_metric_dist",
+    "brute_force_metric_knn",
+    "cosine_measure_from_sq",
+    "euclid_prune_bound",
+    "is_transform_metric",
+    "rowwise_metric_dist",
+    "transform_points",
+    "transform_query",
+    "validate_metric",
+    "MetricSearchMetrics",
+    "MetricFamilyMetrics",
+    "canonical_metric_search_name",
+    "METRIC_SEARCH_PREFIX",
+]
+
+_LAZY = {
+    "MetricSearchMetrics",
+    "MetricFamilyMetrics",
+    "canonical_metric_search_name",
+    "METRIC_SEARCH_PREFIX",
+}
+
+
+def __getattr__(name: str):
+    """Resolve the observability half on first access (PEP 562)."""
+    if name in _LAZY:
+        from repro.metrics import observability
+
+        return getattr(observability, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,117 @@
+"""Observability for metric-aware search: per-metric-family scopes.
+
+The Arkade workload family reports through the same
+:class:`~repro.gpusim.observability.MetricsRegistry` the simulator and
+serving layers use — one registry per :class:`MetricSearchMetrics`, with
+every swept metric registering its counters under
+``metric_search/<metric>/...``.  The workload driver bumps the counters
+while it builds transforms and traverses, so one registry snapshot
+describes a whole per-metric run (queries answered, rows transformed,
+plane vs distance tests, brute-force verification outcomes).
+
+Documentation contract: every metric registered here has a row in the
+"Metric-search metrics" table of ``docs/METRICS.md`` (metric instances
+fold to ``metric_search/*/...``), enforced in both directions by
+``tests/test_metrics_doc.py`` — the same drift test that guards the
+simulator, serving, and sharding glossaries.
+"""
+
+from __future__ import annotations
+
+from repro.gpusim.observability import MetricsRegistry
+from repro.gpusim.observability.registry import SEPARATOR
+
+#: Scope prefix every metric-search metric lives under.
+METRIC_SEARCH_PREFIX = "metric_search"
+
+
+def canonical_metric_search_name(name: str) -> str:
+    """Fold the metric-instance segment: ``metric_search/l1/queries`` ->
+    ``metric_search/*/queries``.
+
+    The metric-search analog of
+    :func:`repro.serving.metrics.canonical_serving_name`: docs/METRICS.md
+    documents the per-metric family once; the live registry holds one
+    scope per swept metric.  Scope-level metrics
+    (``metric_search/metrics``) pass through unchanged.
+    """
+    segments = name.split(SEPARATOR)
+    if len(segments) >= 3 and segments[0] == METRIC_SEARCH_PREFIX:
+        return SEPARATOR.join([segments[0], "*", *segments[2:]])
+    return name
+
+
+class MetricFamilyMetrics:
+    """Counters of one swept metric, under ``metric_search/<metric>/``."""
+
+    def __init__(self, registry: MetricsRegistry, metric: str) -> None:
+        self.metric = metric
+        scope = registry.scope(METRIC_SEARCH_PREFIX).scope(metric)
+        self.queries = scope.counter(
+            "queries", unit="queries",
+            doc="kNN queries answered under this metric.")
+        self.transform_rows = scope.counter(
+            "transform_rows", unit="rows",
+            doc="Point/query rows rewritten by the Arkade space transform "
+                "(0 for filter metrics, which index raw points).")
+        self.plane_tests = scope.counter(
+            "plane_tests", unit="tests",
+            doc="k-d split-plane tests spent by the Euclidean traversal.")
+        self.dist_tests = scope.counter(
+            "dist_tests", unit="tests",
+            doc="Leaf distance refinements under the target metric.")
+        self.verified_queries = scope.counter(
+            "verified_queries", unit="queries",
+            doc="Queries whose answers matched the brute-force per-metric "
+                "reference measure for measure.")
+
+    def on_search(self, queries: int, plane_tests: int,
+                  dist_tests: int) -> None:
+        """Account one batched search under this metric."""
+        self.queries.add(queries)
+        self.plane_tests.add(plane_tests)
+        self.dist_tests.add(dist_tests)
+
+    def on_transform(self, rows: int) -> None:
+        """Account ``rows`` rewritten by the space transform."""
+        self.transform_rows.add(rows)
+
+    def on_verified(self, queries: int) -> None:
+        """Account ``queries`` that matched the brute-force reference."""
+        self.verified_queries.add(queries)
+
+
+class MetricSearchMetrics:
+    """A registry plus lazily created per-metric scopes.
+
+    ``family(metric)`` creates the ``metric_search/<metric>/`` scope on
+    first use; the ``metric_search/metrics`` gauge tracks how many are
+    registered so a registry snapshot is self-describing.
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._families: dict[str, MetricFamilyMetrics] = {}
+        self._count = self.registry.scope(METRIC_SEARCH_PREFIX).gauge(
+            "metrics", unit="metrics",
+            doc="Distance metrics swept through this registry.")
+
+    def family(self, metric: str) -> MetricFamilyMetrics:
+        """The (lazily created) ``metric_search/<metric>/`` scope."""
+        family = self._families.get(metric)
+        if family is None:
+            family = MetricFamilyMetrics(self.registry, metric)
+            self._families[metric] = family
+            self._count.set(len(self._families))
+        return family
+
+    def names(self) -> list[str]:
+        """All registered metric-search metric names (live, per-metric)."""
+        return [
+            name for name in self.registry.names()
+            if name.split(SEPARATOR, 1)[0] == METRIC_SEARCH_PREFIX
+        ]
+
+    def as_dict(self) -> dict[str, object]:
+        """Flat snapshot of the metric-search scope only."""
+        return {name: self.registry.value(name) for name in self.names()}

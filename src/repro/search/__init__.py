@@ -23,6 +23,7 @@ adapter import here would close that loop into a cycle.
 
 from repro.search.base import Event, Neighbor, SearchIndex
 from repro.search.events import BatchResult, EventBuffer, EventLog
+from repro.search.spec import QuerySpec, resolve_spec
 
 _LAZY = {
     "BTreeKvIndex": "repro.search.btree_index",
@@ -37,7 +38,9 @@ __all__ = [
     "EventBuffer",
     "EventLog",
     "Neighbor",
+    "QuerySpec",
     "SearchIndex",
+    "resolve_spec",
     "BTreeKvIndex",
     "BvhRadiusIndex",
     "HnswIndex",

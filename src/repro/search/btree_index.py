@@ -27,8 +27,14 @@ from repro.btree.btree import (
     bulk_load,
 )
 from repro.errors import BuildError
+from repro.metrics.transforms import (
+    FILTER_METRICS,
+    METRIC_EUCLID,
+    validate_metric,
+)
 from repro.search.base import Event, Neighbor
 from repro.search.events import BatchResult, EventLog
+from repro.search.spec import QuerySpec, resolve_spec
 
 _INT = np.int64
 
@@ -45,7 +51,18 @@ class BTreeKvIndex:
 
     _KINDS = (EVENT_KEY_COMPARE, EVENT_LEAF_SCAN)
 
-    def __init__(self, branch: int = 256, leaf_size: int | None = None) -> None:
+    #: Exact-match lookups take no tunables; the spec surface only
+    #: carries the ``metric`` assertion.
+    SPEC_FIELDS: tuple[str, ...] = ()
+    SPEC_DEFAULTS: dict[str, object] = {}
+
+    def __init__(self, branch: int = 256, leaf_size: int | None = None,
+                 metric: str = METRIC_EUCLID) -> None:
+        # On 1-D keys the filter metrics coincide (|a - b| under each);
+        # cosine is ill-defined on scalar keys and rejected here.
+        self.metric = validate_metric(
+            metric, allowed=FILTER_METRICS, context="BTreeKvIndex"
+        )
         self.branch = branch
         self.leaf_size = leaf_size
         self._tree = None
@@ -64,11 +81,21 @@ class BTreeKvIndex:
         )
         return self
 
-    def query(self, q: object, record_events: bool = False) -> list[Neighbor]:
+    def query(
+        self,
+        q: object,
+        spec: QuerySpec | None = None,
+        record_events: bool = False,
+        **legacy: object,
+    ) -> list[Neighbor]:
         """``[(sorted-key rank, stored value)]`` for a present key, ``[]``
         for a miss."""
         if self._tree is None:
             raise BuildError("query before build")
+        resolve_spec(
+            "BTreeKvIndex.query", spec, legacy,
+            self.SPEC_FIELDS, self.SPEC_DEFAULTS, self.metric,
+        )
         key = float(np.asarray(q, dtype=np.float64).reshape(()))
         stats = BTreeStats(record_events=record_events)
         value = self._tree.lookup(key, stats=stats)
@@ -83,7 +110,11 @@ class BTreeKvIndex:
         return [(rank, float(value))]
 
     def query_batch(
-        self, queries: np.ndarray, record_events: bool = False
+        self,
+        queries: np.ndarray,
+        spec: QuerySpec | None = None,
+        record_events: bool = False,
+        **legacy: object,
     ) -> BatchResult:
         """Batched lookups over a ``(Q,)`` (or ``(Q, 1)``) key block.
 
@@ -93,6 +124,10 @@ class BTreeKvIndex:
         """
         if self._tree is None:
             raise BuildError("query_batch before build")
+        resolve_spec(
+            "BTreeKvIndex.query_batch", spec, legacy,
+            self.SPEC_FIELDS, self.SPEC_DEFAULTS, self.metric,
+        )
         probes = np.asarray(queries, dtype=np.float64).reshape(-1)
         count = probes.shape[0]
         values, found, trail = self._tree.lookup_batch(probes)
@@ -139,6 +174,7 @@ class BTreeKvIndex:
         return {
             "structure": "btree",
             "branch": self.branch,
+            "metric": self.metric,
             "num_nodes": self.num_nodes,
             "num_keys": self.num_keys,
             "height": 0 if self._tree is None else self._tree.height(),

@@ -1,4 +1,14 @@
-"""BVH adapter: RTNN-style radius search behind :class:`SearchIndex`."""
+"""BVH adapter: RTNN-style radius search behind :class:`SearchIndex`.
+
+The metric axis rides the leaf-box geometry: boxes span ``point +-
+build_radius``, so the box containment test *is* the Chebyshev filter
+``Linf <= r`` — a valid candidate superset for every filter metric
+(``Linf <= L2`` and ``Linf <= L1``), and exact for ``linf`` itself.
+``cosine`` normalizes the point set at build time and converts the
+angular radius ``a`` into the chordal Euclidean radius ``sqrt(2a)``
+(the Arkade space transform), halving squared chordal measures back to
+``1 - cos(theta)`` on the way out.
+"""
 
 from __future__ import annotations
 
@@ -15,9 +25,19 @@ from repro.bvh.traversal import (
     radius_search,
     radius_search_batch,
 )
-from repro.errors import BuildError
+from repro.errors import BuildError, ConfigError
+from repro.metrics.transforms import (
+    METRIC_COSINE,
+    METRIC_EUCLID,
+    angular_radius_to_euclid,
+    cosine_measure_from_sq,
+    transform_points,
+    transform_query,
+    validate_metric,
+)
 from repro.search.base import Event, Neighbor
 from repro.search.events import BatchResult
+from repro.search.spec import QuerySpec, resolve_spec
 
 
 class BvhRadiusIndex:
@@ -34,8 +54,14 @@ class BvhRadiusIndex:
     EVENT_LEAF_DIST = EVENT_LEAF_DIST
     EVENT_STACK_OP = EVENT_STACK_OP
 
+    #: QuerySpec fields this substrate honors (query-time radius only;
+    #: it must not exceed the build radius, which sized the leaf boxes).
+    SPEC_FIELDS = ("radius",)
+    SPEC_DEFAULTS: dict[str, object] = {}
+
     def __init__(self, builder: str = "lbvh", arity: int = 2,
-                 leaf_size: int = 1) -> None:
+                 leaf_size: int = 1,
+                 metric: str = METRIC_EUCLID) -> None:
         if builder not in ("lbvh", "sah"):
             raise BuildError(f"unknown builder {builder!r}")
         if arity not in (2, 4):
@@ -43,6 +69,12 @@ class BvhRadiusIndex:
         self.builder = builder
         self.arity = arity
         self.leaf_size = leaf_size
+        self.metric = validate_metric(metric, context="BvhRadiusIndex")
+        # Cosine traverses the normalized points as plain Euclidean with
+        # the chordal radius; the filter metrics traverse as themselves.
+        self._search_metric = (
+            METRIC_EUCLID if metric == METRIC_COSINE else metric
+        )
         self._bvh = None
         self._points: np.ndarray | None = None
         self.radius = 0.0
@@ -51,16 +83,30 @@ class BvhRadiusIndex:
         self._box_tests = 0
         self._dist_tests = 0
 
+    def _filter_radius(self, radius: float) -> float:
+        """The Euclidean-space radius the traversal thresholds against."""
+        if self.metric == METRIC_COSINE:
+            return angular_radius_to_euclid(radius)
+        return radius
+
     def build(self, points: np.ndarray, radius: float) -> "BvhRadiusIndex":
-        """Index ``points`` with leaf boxes of half-width ``radius``."""
+        """Index ``points`` with leaf boxes of half-width ``radius``.
+
+        ``radius`` is in metric units (angular measure ``1 - cos(theta)``
+        for ``cosine``); the leaf boxes are sized from its Euclidean-space
+        equivalent so box containment stays a valid candidate filter.
+        """
         points = np.asarray(points, dtype=np.float64)
+        if self.metric == METRIC_COSINE:
+            points = transform_points(points, self.metric).astype(np.float64)
+        box_radius = self._filter_radius(radius)
         if self.builder == "lbvh":
-            bvh = build_lbvh_for_points(points, radius,
+            bvh = build_lbvh_for_points(points, box_radius,
                                         leaf_size=self.leaf_size)
         else:
             from repro.geometry.aabb import Aabb
 
-            boxes = [Aabb.around_point(p, radius) for p in points]
+            boxes = [Aabb.around_point(p, box_radius) for p in points]
             bvh = build_sah(boxes, leaf_size=self.leaf_size)
         if self.arity == 4:
             bvh = collapse_to_bvh4(bvh)
@@ -69,23 +115,61 @@ class BvhRadiusIndex:
         self.radius = radius
         return self
 
-    def query(self, q: np.ndarray, record_events: bool = False
-              ) -> list[Neighbor]:
-        """All (point id, squared distance) within ``radius`` of ``q``,
-        ascending by distance."""
+    def _resolve_radius(self, call: str, spec: QuerySpec) -> float:
+        radius = self.radius if spec.radius is None else float(spec.radius)
+        if radius > self.radius:
+            raise ConfigError(
+                f"{call}(): query radius {radius} exceeds the build radius "
+                f"{self.radius}, which sized the leaf-box candidate filter"
+            )
+        return self._filter_radius(radius)
+
+    def _transformed_query(self, q: np.ndarray) -> np.ndarray:
+        if self.metric != METRIC_COSINE:
+            return q
+        return transform_query(
+            np.asarray(q, dtype=np.float64), self.metric
+        ).astype(np.float64)
+
+    def _as_cosine(self, neighbors: list[Neighbor]) -> list[Neighbor]:
+        """Squared chordal -> angular measures (exact halving)."""
+        return [(pid, cosine_measure_from_sq(d2)) for pid, d2 in neighbors]
+
+    def query(
+        self,
+        q: np.ndarray,
+        spec: QuerySpec | None = None,
+        record_events: bool = False,
+        **legacy: object,
+    ) -> list[Neighbor]:
+        """All (point id, measure) within the radius of ``q``, ascending
+        by measure — squared L2 for ``euclid``, the metric distance for
+        ``l1``/``linf``, ``1 - cos(theta)`` for ``cosine``."""
         if self._bvh is None:
             raise BuildError("query before build")
+        spec = resolve_spec(
+            "BvhRadiusIndex.query", spec, legacy,
+            self.SPEC_FIELDS, self.SPEC_DEFAULTS, self.metric,
+        )
+        radius = self._resolve_radius("BvhRadiusIndex.query", spec)
         stats = TraversalStats(record_events=record_events)
-        hits = radius_search(self._bvh, self._points, q, self.radius,
-                             stats=stats)
+        hits = radius_search(self._bvh, self._points,
+                             self._transformed_query(q), radius,
+                             stats=stats, metric=self._search_metric)
         self.last_events = stats.events
         self._queries += 1
         self._box_tests += stats.box_tests
         self._dist_tests += stats.prim_tests
+        if self.metric == METRIC_COSINE:
+            hits = self._as_cosine(hits)
         return hits
 
     def query_batch(
-        self, queries: np.ndarray, record_events: bool = False
+        self,
+        queries: np.ndarray,
+        spec: QuerySpec | None = None,
+        record_events: bool = False,
+        **legacy: object,
     ) -> BatchResult:
         """Batched radius search over a ``(Q, 3)`` query block.
 
@@ -94,14 +178,30 @@ class BvhRadiusIndex:
         """
         if self._bvh is None:
             raise BuildError("query_batch before build")
+        spec = resolve_spec(
+            "BvhRadiusIndex.query_batch", spec, legacy,
+            self.SPEC_FIELDS, self.SPEC_DEFAULTS, self.metric,
+        )
+        radius = self._resolve_radius("BvhRadiusIndex.query_batch", spec)
+        queries = np.asarray(queries, dtype=np.float64)
+        if self.metric == METRIC_COSINE:
+            queries = transform_points(queries, self.metric).astype(
+                np.float64
+            )
         stats = TraversalStats()
         result = radius_search_batch(
-            self._bvh, self._points, queries, self.radius,
+            self._bvh, self._points, queries, radius,
             record_events=record_events, stats=stats,
+            metric=self._search_metric,
         )
         self._queries += len(result)
         self._box_tests += stats.box_tests
         self._dist_tests += stats.prim_tests
+        if self.metric == METRIC_COSINE:
+            result = BatchResult(
+                [self._as_cosine(row) for row in result.neighbors],
+                result.events,
+            )
         return result
 
     def stats(self) -> dict[str, object]:
@@ -110,6 +210,7 @@ class BvhRadiusIndex:
             "builder": self.builder,
             "arity": self.arity,
             "radius": self.radius,
+            "metric": self.metric,
             "num_nodes": self.num_nodes,
             "num_points": 0 if self._points is None else len(self._points),
             "queries": self._queries,

@@ -1,11 +1,19 @@
-"""HNSW adapter: hierarchical-graph ANN behind :class:`SearchIndex`."""
+"""HNSW adapter: hierarchical-graph ANN behind :class:`SearchIndex`.
+
+The graph substrate computes metric distances directly (no space
+transform needed): ``euclid`` and ``angular`` are the original pair,
+``l1``/``linf`` ride the Arkade refine kernels through
+:func:`repro.graph.hnsw.batch_distances`, and ``cosine`` is accepted as
+an alias of ``angular`` (both mean ``1 - cos(theta)``) so the adapter
+matches the metric vocabulary of the other substrates.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.errors import BuildError
-from repro.graph.hnsw import METRIC_EUCLID, build_hnsw
+from repro.errors import BuildError, ConfigError
+from repro.graph.hnsw import GRAPH_METRICS, METRIC_ANGULAR, METRIC_EUCLID, build_hnsw
 from repro.graph.search import (
     EVENT_DIST,
     EVENT_QUEUE,
@@ -14,8 +22,10 @@ from repro.graph.search import (
     search,
     search_batch,
 )
+from repro.metrics.transforms import METRIC_COSINE
 from repro.search.base import Event, Neighbor
 from repro.search.events import BatchResult
+from repro.search.spec import QuerySpec, resolve_spec
 
 
 class HnswIndex:
@@ -25,6 +35,10 @@ class HnswIndex:
     EVENT_QUEUE = EVENT_QUEUE
     EVENT_VISIT = EVENT_VISIT
 
+    #: QuerySpec fields this substrate honors, and their defaults.
+    SPEC_FIELDS = ("k", "ef")
+    SPEC_DEFAULTS = {"k": 10, "ef": 32}
+
     def __init__(
         self,
         m: int = 12,
@@ -32,9 +46,19 @@ class HnswIndex:
         metric: str = METRIC_EUCLID,
         seed: int = 0,
     ) -> None:
+        if metric != METRIC_COSINE and metric not in GRAPH_METRICS:
+            raise ConfigError(
+                f"HnswIndex: unknown metric {metric!r}; expected one of "
+                f"{', '.join(GRAPH_METRICS + (METRIC_COSINE,))}"
+            )
         self.m = m
         self.ef_construction = ef_construction
         self.metric = metric
+        # The graph names 1 - cos(theta) "angular"; fold the alias here so
+        # callers can use the shared metric vocabulary.
+        self._graph_metric = (
+            METRIC_ANGULAR if metric == METRIC_COSINE else metric
+        )
         self.seed = seed
         self._graph = None
         self.last_events: list[Event] = []
@@ -47,7 +71,7 @@ class HnswIndex:
             points,
             m=self.m,
             ef_construction=self.ef_construction,
-            metric=self.metric,
+            metric=self._graph_metric,
             seed=self.seed,
         )
         return self
@@ -55,15 +79,19 @@ class HnswIndex:
     def query(
         self,
         q: np.ndarray,
-        k: int = 10,
-        ef: int = 32,
+        spec: QuerySpec | None = None,
         record_events: bool = False,
+        **legacy: object,
     ) -> list[Neighbor]:
         """Approximate ``k`` nearest (node id, distance), ascending."""
         if self._graph is None:
             raise BuildError("query before build")
+        spec = resolve_spec(
+            "HnswIndex.query", spec, legacy,
+            self.SPEC_FIELDS, self.SPEC_DEFAULTS, self.metric,
+        )
         stats = GraphSearchStats(record_events=record_events)
-        result = search(self._graph, q, k=k, ef=ef, stats=stats)
+        result = search(self._graph, q, k=spec.k, ef=spec.ef, stats=stats)
         self.last_events = stats.events
         self._queries += 1
         self._dist_tests += stats.dist_tests
@@ -73,17 +101,21 @@ class HnswIndex:
     def query_batch(
         self,
         queries: np.ndarray,
-        k: int = 10,
-        ef: int = 32,
+        spec: QuerySpec | None = None,
         record_events: bool = False,
+        **legacy: object,
     ) -> BatchResult:
         """Batched ANN over a ``(Q, dim)`` query block; per query the
         neighbors and events are bit-identical to ``query``."""
         if self._graph is None:
             raise BuildError("query_batch before build")
+        spec = resolve_spec(
+            "HnswIndex.query_batch", spec, legacy,
+            self.SPEC_FIELDS, self.SPEC_DEFAULTS, self.metric,
+        )
         stats = GraphSearchStats()
         result = search_batch(
-            self._graph, queries, k=k, ef=ef,
+            self._graph, queries, k=spec.k, ef=spec.ef,
             record_events=record_events, stats=stats,
         )
         self._queries += len(result)

@@ -1,4 +1,14 @@
-"""k-d tree adapter: FLANN-style bounded kNN behind :class:`SearchIndex`."""
+"""k-d tree adapter: FLANN-style bounded kNN behind :class:`SearchIndex`.
+
+The metric axis rides the Arkade reductions: ``cosine`` normalizes the
+point set at build time (:func:`~repro.metrics.transforms.transform_points`)
+and traverses as plain Euclidean, halving the squared chordal measures
+back into ``1 - cos(theta)`` on the way out; ``l1``/``linf`` index the raw
+points and keep the Euclidean traversal bounds, switching only the leaf
+distance kernel and the prune threshold (the norm-equivalence filter).
+With ``max_checks >= num_points`` the answers are exact under every
+metric.
+"""
 
 from __future__ import annotations
 
@@ -13,8 +23,17 @@ from repro.kdtree.search import (
     knn_search,
     knn_search_batch,
 )
+from repro.metrics.transforms import (
+    METRIC_COSINE,
+    METRIC_EUCLID,
+    cosine_measure_from_sq,
+    transform_points,
+    transform_query,
+    validate_metric,
+)
 from repro.search.base import Event, Neighbor
 from repro.search.events import BatchResult
+from repro.search.spec import QuerySpec, resolve_spec
 
 
 class KdTreeIndex:
@@ -23,8 +42,19 @@ class KdTreeIndex:
     EVENT_PLANE_TEST = EVENT_PLANE_TEST
     EVENT_LEAF_DIST = EVENT_LEAF_DIST
 
-    def __init__(self, leaf_size: int = 8) -> None:
+    #: QuerySpec fields this substrate honors, and their defaults.
+    SPEC_FIELDS = ("k", "max_checks")
+    SPEC_DEFAULTS = {"k": 5, "max_checks": 64}
+
+    def __init__(self, leaf_size: int = 8,
+                 metric: str = METRIC_EUCLID) -> None:
         self.leaf_size = leaf_size
+        self.metric = validate_metric(metric, context="KdTreeIndex")
+        # Cosine traverses the transformed (unit-sphere) points as plain
+        # Euclidean; the filter metrics traverse as themselves.
+        self._search_metric = (
+            METRIC_EUCLID if metric == METRIC_COSINE else metric
+        )
         self._tree = None
         self.last_events: list[Event] = []
         self._queries = 0
@@ -32,54 +62,96 @@ class KdTreeIndex:
         self._dist_tests = 0
 
     def build(self, points: np.ndarray) -> "KdTreeIndex":
+        points = np.asarray(points, dtype=np.float64)
+        if self.metric == METRIC_COSINE:
+            # float32 normalization (the backend kernel), widened back so
+            # the tree's float64 splits see exactly the refine operands.
+            points = transform_points(points, self.metric).astype(np.float64)
         self._tree = build_kdtree(points, leaf_size=self.leaf_size)
         return self
+
+    def _transformed_query(self, q: np.ndarray) -> np.ndarray:
+        if self.metric != METRIC_COSINE:
+            return q
+        return transform_query(
+            np.asarray(q, dtype=np.float64), self.metric
+        ).astype(np.float64)
+
+    def _as_cosine(self, neighbors: list[Neighbor]) -> list[Neighbor]:
+        """Squared chordal -> angular measures (exact halving)."""
+        return [(pid, cosine_measure_from_sq(d2)) for pid, d2 in neighbors]
 
     def query(
         self,
         q: np.ndarray,
-        k: int = 5,
-        max_checks: int = 64,
+        spec: QuerySpec | None = None,
         record_events: bool = False,
+        **legacy: object,
     ) -> list[Neighbor]:
-        """``k`` nearest (point id, squared distance) under the FLANN
-        ``max_checks`` backtracking budget."""
+        """``k`` nearest ``(point id, measure)`` under the FLANN
+        ``max_checks`` backtracking budget; measures are squared L2 for
+        ``euclid``, the metric distance otherwise."""
         if self._tree is None:
             raise BuildError("query before build")
+        spec = resolve_spec(
+            "KdTreeIndex.query", spec, legacy,
+            self.SPEC_FIELDS, self.SPEC_DEFAULTS, self.metric,
+        )
         stats = KdSearchStats(record_events=record_events)
-        result = knn_search(self._tree, q, k=k, max_checks=max_checks,
-                            stats=stats)
+        result = knn_search(
+            self._tree, self._transformed_query(q),
+            k=spec.k, max_checks=spec.max_checks, stats=stats,
+            metric=self._search_metric,
+        )
         self.last_events = stats.events
         self._queries += 1
         self._plane_tests += stats.plane_tests
         self._dist_tests += stats.dist_tests
+        if self.metric == METRIC_COSINE:
+            result = self._as_cosine(result)
         return result
 
     def query_batch(
         self,
         queries: np.ndarray,
-        k: int = 5,
-        max_checks: int = 64,
+        spec: QuerySpec | None = None,
         record_events: bool = False,
+        **legacy: object,
     ) -> BatchResult:
         """Batched kNN over a ``(Q, dim)`` query block; per query the
         neighbors and events are bit-identical to ``query``."""
         if self._tree is None:
             raise BuildError("query_batch before build")
+        spec = resolve_spec(
+            "KdTreeIndex.query_batch", spec, legacy,
+            self.SPEC_FIELDS, self.SPEC_DEFAULTS, self.metric,
+        )
+        queries = np.asarray(queries, dtype=np.float64)
+        if self.metric == METRIC_COSINE:
+            queries = transform_points(queries, self.metric).astype(
+                np.float64
+            )
         stats = KdSearchStats()
         result = knn_search_batch(
-            self._tree, queries, k=k, max_checks=max_checks,
+            self._tree, queries, k=spec.k, max_checks=spec.max_checks,
             record_events=record_events, stats=stats,
+            metric=self._search_metric,
         )
         self._queries += len(result)
         self._plane_tests += stats.plane_tests
         self._dist_tests += stats.dist_tests
+        if self.metric == METRIC_COSINE:
+            result = BatchResult(
+                [self._as_cosine(row) for row in result.neighbors],
+                result.events,
+            )
         return result
 
     def stats(self) -> dict[str, object]:
         return {
             "structure": "kdtree",
             "leaf_size": self.leaf_size,
+            "metric": self.metric,
             "num_nodes": self.num_nodes,
             "num_points": 0 if self._tree is None else self._tree.num_points,
             "queries": self._queries,

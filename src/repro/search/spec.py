@@ -1,0 +1,137 @@
+"""The consolidated query surface: one frozen spec for every substrate.
+
+Before this module, each :class:`~repro.search.base.SearchIndex` adapter
+grew its own query keywords — ``k``/``max_checks`` on the k-d tree,
+``k``/``ef`` on the graph, a build-time ``radius`` on the BVH, bare keys
+on the B-tree — so structure-agnostic callers (serving endpoints, the
+sharded fan-out, the workload generators) had to carry per-substrate
+``**params`` dicts.  :class:`QuerySpec` replaces that divergence: every
+adapter's ``query``/``query_batch`` accepts ``spec=QuerySpec(...)``, and
+:func:`resolve_spec` normalizes it — filling per-adapter defaults,
+rejecting fields the substrate cannot honor, and checking the ``metric``
+axis against what the index was built with.
+
+The legacy keywords keep working for one release through a compatibility
+shim (the same pattern the PR-4 ``common.py`` shims used): passing
+``k=...``/``ef=...``/``max_checks=...``/``radius=...`` directly still
+resolves, but emits a :class:`DeprecationWarning` naming the exact
+``spec=QuerySpec(...)`` replacement.  Mixing both surfaces in one call is
+a :class:`~repro.errors.ConfigError` — silent precedence would mask bugs.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, fields
+
+from repro.errors import ConfigError
+
+#: Every field a :class:`QuerySpec` can carry, in declaration order.
+SPEC_FIELDS = ("k", "radius", "ef", "max_checks", "metric")
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """One query's parameters, substrate-agnostic and hashable.
+
+    ``None`` means "use the adapter's default" — a spec only pins the
+    fields it names, so the same ``QuerySpec(k=10)`` works against the
+    k-d tree (default ``max_checks``) and the graph (default ``ef``).
+
+    * ``k`` — neighbors to return (kNN substrates).
+    * ``radius`` — query-time radius threshold (BVH radius search; must
+      not exceed the build radius, which bounds the candidate filter).
+    * ``ef`` — graph beam width (HNSW).
+    * ``max_checks`` — leaf-point budget (k-d tree backtracking).
+    * ``metric`` — distance metric assertion; must match the metric the
+      index was built with (the metric axis is structural, so it cannot
+      be switched per query — the spec field routes and validates).
+    """
+
+    k: int | None = None
+    radius: float | None = None
+    ef: int | None = None
+    max_checks: int | None = None
+    metric: str | None = None
+
+    def named_fields(self) -> dict[str, object]:
+        """The non-``None`` fields, for error messages and merging."""
+        return {
+            f.name: getattr(self, f.name)
+            for f in fields(self)
+            if getattr(self, f.name) is not None
+        }
+
+
+def resolve_spec(
+    call: str,
+    spec: QuerySpec | None,
+    legacy: dict[str, object],
+    accepted: tuple[str, ...],
+    defaults: dict[str, object],
+    index_metric: str,
+) -> QuerySpec:
+    """Normalize one adapter call's parameters into a full spec.
+
+    ``call`` names the adapter method for messages (e.g.
+    ``"KdTreeIndex.query"``); ``accepted`` the spec fields the substrate
+    honors (besides ``metric``, which every adapter accepts); ``defaults``
+    the per-adapter fallback values; ``index_metric`` the metric the
+    index was built with.  ``legacy`` is the ``**kwargs`` dict of the
+    deprecated keyword surface: unknown names raise ``TypeError`` exactly
+    like the old signatures did, known names resolve with a
+    ``DeprecationWarning`` naming the ``QuerySpec`` replacement, and
+    combining them with ``spec=`` raises :class:`ConfigError`.
+    """
+    unknown = sorted(set(legacy) - set(accepted))
+    if unknown:
+        raise TypeError(
+            f"{call}() got unexpected keyword argument(s) "
+            f"{', '.join(map(repr, unknown))}; accepted: "
+            f"{', '.join(accepted)}"
+        )
+    if legacy:
+        if spec is not None:
+            raise ConfigError(
+                f"{call}() got both spec= and legacy keyword(s) "
+                f"{sorted(legacy)}: pass one surface, not both"
+            )
+        replacement = ", ".join(
+            f"{name}={legacy[name]!r}" for name in sorted(legacy)
+        )
+        warnings.warn(
+            f"{call}({', '.join(sorted(legacy))}=...) keyword arguments "
+            f"are deprecated; pass spec=QuerySpec({replacement}) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        spec = QuerySpec(**legacy)
+    if spec is None:
+        spec = QuerySpec()
+    foreign = sorted(
+        name for name in SPEC_FIELDS
+        if name != "metric"
+        and name not in accepted
+        and getattr(spec, name) is not None
+    )
+    if foreign:
+        raise ConfigError(
+            f"{call}() does not accept QuerySpec field(s) "
+            f"{', '.join(foreign)}; this substrate honors: "
+            f"{', '.join(accepted) or '(none)'}"
+        )
+    if spec.metric is not None and spec.metric != index_metric:
+        raise ConfigError(
+            f"{call}(): index was built with metric={index_metric!r} "
+            f"but the spec requests metric={spec.metric!r}; the metric "
+            "axis is structural — build an index per metric"
+        )
+    resolved = {
+        name: (
+            getattr(spec, name)
+            if getattr(spec, name) is not None
+            else defaults.get(name)
+        )
+        for name in accepted
+    }
+    return QuerySpec(metric=index_metric, **resolved)

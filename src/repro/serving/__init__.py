@@ -52,6 +52,7 @@ from repro.serving.backends import (
     build_endpoint,
     knn_endpoint,
     kv_endpoint,
+    metric_endpoint,
     point_endpoint,
     sharded_endpoint,
 )
@@ -98,6 +99,7 @@ __all__ = [
     "canonical_serving_name",
     "knn_endpoint",
     "kv_endpoint",
+    "metric_endpoint",
     "point_endpoint",
     "run_open_loop",
     "serve_tcp",

@@ -13,6 +13,9 @@ registry datasets:
 * :func:`knn_endpoint` — bounded-backtracking k-d kNN (``flann``);
 * :func:`ann_endpoint` — HNSW best-first ANN (``ggnn``);
 * :func:`kv_endpoint` — B+ tree key-value lookups (``btree``);
+* :func:`metric_endpoint` — exact non-Euclidean kNN (``arkade``): the
+  same k-d substrate under an L1/L-infinity/cosine
+  :class:`~repro.search.QuerySpec` (docs/WORKLOADS.md);
 * :func:`sharded_endpoint` — the multi-device BVH path: a
   :class:`~repro.sharding.ShardedIndex` over N simulated GPUs, answers
   bit-identical to the unsharded ``point`` endpoint (docs/SHARDING.md).
@@ -36,7 +39,13 @@ import numpy as np
 
 from repro.datasets.registry import load_dataset, perturbed_queries
 from repro.errors import ConfigError
-from repro.search import BTreeKvIndex, BvhRadiusIndex, HnswIndex, KdTreeIndex
+from repro.search import (
+    BTreeKvIndex,
+    BvhRadiusIndex,
+    HnswIndex,
+    KdTreeIndex,
+    QuerySpec,
+)
 
 #: family tag per endpoint kind — the identity the simulated-GPU cost
 #: model calibrates against (`repro.serving.cost.calibrate`).
@@ -46,6 +55,7 @@ FAMILY_BY_KIND = {
     "ann": "ggnn",
     "kv": "btree",
     "sharded": "bvhnn",
+    "metric": "arkade",
 }
 
 
@@ -65,12 +75,19 @@ class Endpoint:
     abbr: str
     index: object
     params: dict[str, object] = field(default_factory=dict)
+    #: The preferred query parameterization.  When set, ``run_batch``
+    #: queries through the spec and ``params`` is only the JSON-friendly
+    #: ``describe()`` view; when ``None``, ``params`` is passed as legacy
+    #: keyword arguments (kept for custom indices that predate specs).
+    spec: QuerySpec | None = None
     _sampler: Callable[[int, int], np.ndarray] | None = None
 
     def run_batch(self, queries: list[object]) -> list[object]:
         """Answer one admitted batch: ``query_batch`` over the stacked
         query block, submission order preserved."""
         block = np.asarray(queries, dtype=np.float64)
+        if self.spec is not None:
+            return self.index.query_batch(block, spec=self.spec).neighbors
         return self.index.query_batch(block, **self.params).neighbors
 
     def sample_queries(self, count: int, seed: int = 0) -> np.ndarray:
@@ -135,6 +152,34 @@ def knn_endpoint(abbr: str = "R10K", k: int = 5, max_checks: int = 64,
         abbr=abbr,
         index=index,
         params={"k": k, "max_checks": max_checks},
+        spec=QuerySpec(k=k, max_checks=max_checks),
+        _sampler=lambda n, s: perturbed_queries(dataset, n, noise=0.1, seed=s),
+    )
+
+
+@lru_cache(maxsize=8)
+def metric_endpoint(abbr: str = "R10K", metric: str = "l1", k: int = 5,
+                    scale: float = 1.0, seed: int = 0) -> Endpoint:
+    """Exact non-Euclidean kNN over a 3-D registry dataset (Arkade shape).
+
+    The same k-d substrate as :func:`knn_endpoint`, built with the
+    ``metric`` axis (docs/WORKLOADS.md) and queried exactly
+    (``max_checks = num_points``) — the serving face of the ``arkade``
+    workload, so served answers match the brute-force per-metric
+    reference the campaign verifies against.
+    """
+    dataset = load_dataset(abbr, num_queries=1, scale=scale, seed=seed)
+    index = KdTreeIndex(leaf_size=8, metric=metric).build(
+        dataset.points.astype(np.float64)
+    )
+    return Endpoint(
+        name=f"metric_{metric}_{abbr.lower().replace('+', '')}",
+        kind="metric",
+        family=FAMILY_BY_KIND["metric"],
+        abbr=abbr,
+        index=index,
+        params={"k": k, "metric": metric, "max_checks": index.num_points},
+        spec=QuerySpec(k=k, max_checks=index.num_points, metric=metric),
         _sampler=lambda n, s: perturbed_queries(dataset, n, noise=0.1, seed=s),
     )
 
@@ -152,6 +197,7 @@ def ann_endpoint(abbr: str = "S10K", k: int = 10, ef: int = 32,
         abbr=abbr,
         index=index,
         params={"k": k, "ef": ef},
+        spec=QuerySpec(k=k, ef=ef),
         _sampler=lambda n, s: perturbed_queries(dataset, n, noise=0.05, seed=s),
     )
 
@@ -231,6 +277,7 @@ BUILDERS = {
     "ann": ann_endpoint,
     "kv": kv_endpoint,
     "sharded": sharded_endpoint,
+    "metric": metric_endpoint,
 }
 
 

@@ -71,7 +71,9 @@ class ShardedIndex:
         self.factory = factory
         self.num_shards = int(num_shards)
         self.name = name
-        self.structure = str(factory().stats()["structure"])
+        probe_stats = factory().stats()
+        self.structure = str(probe_stats["structure"])
+        self.metric = str(probe_stats.get("metric", "euclid"))
         self.partitioner = (
             partitioner if partitioner is not None
             else partitioner_for(self.structure)
@@ -146,23 +148,31 @@ class ShardedIndex:
 
     # -- query path -------------------------------------------------------
 
-    def query(self, q, **params) -> list:
+    def query(self, q, spec=None, **params) -> list:
         """One query through the sharded merge path (a 1-row batch)."""
         queries = np.asarray(q, dtype=np.float64).reshape(
             -1 if self.structure == "btree" else (1, -1)
         )
-        return self.query_batch(queries, **params).neighbors[0]
+        return self.query_batch(queries, spec=spec, **params).neighbors[0]
 
-    def query_batch(self, queries: np.ndarray, record_events: bool = False,
-                    **params) -> BatchResult:
-        """Fan out, merge bit-identically, account interconnect costs."""
+    def query_batch(self, queries: np.ndarray, spec=None,
+                    record_events: bool = False, **params) -> BatchResult:
+        """Fan out, merge bit-identically, account interconnect costs.
+
+        ``spec`` (a :class:`~repro.search.spec.QuerySpec`) and legacy
+        ``**params`` pass through to the shards unchanged, so the shard
+        adapters arbitrate the two surfaces exactly like the unsharded
+        index would.
+        """
         if not self._shards:
             raise BuildError("query_batch before build")
         queries = np.asarray(queries, dtype=np.float64)
         if self.structure == "btree":
-            result = self._query_routed(queries.reshape(-1), record_events)
+            result = self._query_routed(queries.reshape(-1), record_events,
+                                        spec)
         else:
-            result = self._query_broadcast(queries, record_events, params)
+            result = self._query_broadcast(queries, record_events, params,
+                                           spec)
         self._batches += 1
         self._queries += len(result)
         return result
@@ -172,16 +182,20 @@ class ShardedIndex:
                 if self._shards[s] is not None]
 
     def _query_broadcast(self, queries: np.ndarray, record_events: bool,
-                         params: dict) -> BatchResult:
+                         params: dict, spec=None) -> BatchResult:
         count = queries.shape[0]
         live = self._live()
         results = [
-            self._shards[s].query_batch(queries, record_events=record_events,
+            self._shards[s].query_batch(queries, spec=spec,
+                                        record_events=record_events,
                                         **params)
             for s in live
         ]
         merged: list[list] = []
-        topk = params.get("k", _TOPK_DEFAULTS.get(self.structure))
+        if spec is not None and spec.k is not None:
+            topk = spec.k
+        else:
+            topk = params.get("k", _TOPK_DEFAULTS.get(self.structure))
         descending_ties = self.structure == "bvh"
         for qi in range(count):
             candidates = []
@@ -211,8 +225,8 @@ class ShardedIndex:
         )
         return BatchResult(merged, events)
 
-    def _query_routed(self, probes: np.ndarray,
-                      record_events: bool) -> BatchResult:
+    def _query_routed(self, probes: np.ndarray, record_events: bool,
+                      spec=None) -> BatchResult:
         count = probes.shape[0]
         live = self._live()
         assert self._route_uppers is not None
@@ -226,7 +240,7 @@ class ShardedIndex:
             sel = np.flatnonzero(owner == j)
             routed_counts.append(int(sel.shape[0]))
             result = self._shards[s].query_batch(
-                probes[sel], record_events=record_events
+                probes[sel], spec=spec, record_events=record_events
             )
             offset = int(self._key_offsets[s])
             hits = 0
@@ -322,6 +336,7 @@ class ShardedIndex:
         return {
             "structure": "sharded",
             "inner_structure": self.structure,
+            "metric": self.metric,
             "partitioner": getattr(self.partitioner, "name",
                                    type(self.partitioner).__name__),
             "topology": self.interconnect.config.topology,

@@ -105,7 +105,16 @@ def simulate_sharded(
     Pass a :class:`~repro.sharding.metrics.ShardingMetrics` to publish the
     point under ``sharding/<label>/...``.
     """
+    from repro import api
     from repro.experiments import campaign
+
+    # Same eager kwarg validation (and the same single ConfigError path)
+    # as repro.api.simulate — a bad axis never reaches the process pool.
+    api.validate_simulate_args(
+        variant=variant, scale=scale, shards=shards, shard=0
+    )
+    if queries < 1:
+        raise ConfigError(f"queries must be >= 1, got {queries}")
 
     jobs = [
         campaign.Job(

@@ -7,6 +7,8 @@ simulator consumes.
 
 * :mod:`~repro.workloads.ggnn` — hierarchical-graph ANN, block-per-query,
 * :mod:`~repro.workloads.flann` — k-d tree ANN, thread-per-query,
+* :mod:`~repro.workloads.arkade` — non-Euclidean (L1/Linf/cosine) kNN via
+  Arkade space transforms over the k-d substrate, thread-per-query,
 * :mod:`~repro.workloads.bvhnn` — BVH radius search (RTNN-style),
   thread-per-query,
 * :mod:`~repro.workloads.btree_kv` — B-tree key-value lookups,
@@ -21,6 +23,7 @@ from repro.workloads.base import TraceBundle, WorkloadRun, to_traces
 #: Runner attribute -> defining module, resolved on first access (PEP 562).
 #: A campaign only pays the import cost of the workloads it actually runs.
 _LAZY = {
+    "run_arkade": "repro.workloads.arkade",
     "run_btree": "repro.workloads.btree_kv",
     "run_bvhnn": "repro.workloads.bvhnn",
     "run_flann": "repro.workloads.flann",
@@ -30,6 +33,7 @@ _LAZY = {
 __all__ = [
     "TraceBundle",
     "WorkloadRun",
+    "run_arkade",
     "run_btree",
     "run_bvhnn",
     "run_flann",

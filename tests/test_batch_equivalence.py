@@ -174,6 +174,28 @@ class TestKdTreeBatch:
         _assert_matches(index, q32.astype(np.float64), batch,
                         k=5, max_checks=48)
 
+    @pytest.mark.parametrize("metric", ["euclid", "l1", "linf", "cosine"])
+    def test_metric_batch_matches_scalar(self, metric):
+        """The metric axis (docs/WORKLOADS.md) preserves batch == scalar
+        bit-for-bit — neighbors, measures, and event streams."""
+        rng = np.random.default_rng(14)
+        points = rng.random((200, 5)) + 0.1  # bounded away from the origin
+        queries = rng.random((20, 5)) + 0.1
+        index = KdTreeIndex(leaf_size=4, metric=metric).build(points)
+        batch = index.query_batch(queries, k=5, max_checks=96,
+                                  record_events=True)
+        _assert_matches(index, queries, batch, k=5, max_checks=96)
+
+    @pytest.mark.parametrize("metric", ["l1", "linf", "cosine"])
+    def test_metric_duplicate_points(self, metric):
+        rng = np.random.default_rng(15)
+        points = np.repeat(rng.random((15, 4)) + 0.1, 5, axis=0)
+        queries = rng.random((8, 4)) + 0.1
+        index = KdTreeIndex(leaf_size=4, metric=metric).build(points)
+        batch = index.query_batch(queries, k=3, max_checks=75,
+                                  record_events=True)
+        _assert_matches(index, queries, batch, k=3, max_checks=75)
+
 
 # ---------------------------------------------------------------------------
 # HNSW beam search

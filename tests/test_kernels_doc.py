@@ -28,6 +28,11 @@ KERNELS_MODULES = (
 KERNEL_NAMES = (
     "euclid_beats",
     "euclid_beats_rowwise",
+    "l1_beats",
+    "l1_beats_rowwise",
+    "linf_beats",
+    "linf_beats_rowwise",
+    "normalize_rows",
     "sq_l2_f32",
     "aabb_contains_points",
     "aabb_distance_sq",

@@ -158,6 +158,54 @@ def test_sharding_rows_stay_in_their_own_table():
     )
 
 
+def _documented_metric_search_names() -> set[str]:
+    text = DOC.read_text()
+    section = text.split("## Metric-search metrics", 1)[1].split("\n## ", 1)[0]
+    names = {m.group(1) for m in map(_ROW.match, section.splitlines()) if m}
+    assert names, "no metric-search rows found in docs/METRICS.md"
+    return names
+
+
+def _live_metric_search_names() -> set[str]:
+    from repro.metrics import MetricSearchMetrics
+    from repro.metrics.observability import canonical_metric_search_name
+
+    metrics = MetricSearchMetrics()
+    # Two metric families so the instance folding is actually exercised.
+    metrics.family("l1")
+    metrics.family("cosine")
+    return {canonical_metric_search_name(name) for name in metrics.names()}
+
+
+def test_every_metric_search_metric_is_documented():
+    missing = _live_metric_search_names() - _documented_metric_search_names()
+    assert not missing, (
+        f"metric-search metrics registered but absent from docs/METRICS.md: "
+        f"{sorted(missing)}"
+    )
+
+
+def test_every_documented_metric_search_metric_exists():
+    phantom = _documented_metric_search_names() - _live_metric_search_names()
+    assert not phantom, (
+        f"docs/METRICS.md metric-search rows with no registered metric: "
+        f"{sorted(phantom)}"
+    )
+
+
+def test_metric_search_rows_stay_in_their_own_table():
+    metric_search = _documented_metric_search_names()
+    overlap = metric_search & (
+        _documented_names()
+        | _documented_serving_names()
+        | _documented_sharding_names()
+    )
+    assert not overlap, (
+        f"rows listed in the metric-search table and another table: "
+        f"{sorted(overlap)}"
+    )
+
+
 @pytest.mark.parametrize("metric", ["sm0/l1/misses", "gpu/cycles"])
 def test_doc_examples_are_real(metric):
     kernel = KernelTrace(

@@ -210,6 +210,25 @@ class TestKdEquivalence:
             == reference.query_batch(queries, **params).neighbors
         )
 
+    @pytest.mark.parametrize("metric", ["l1", "linf", "cosine"])
+    def test_non_euclid_metrics_match_unsharded(self, metric):
+        """The metric axis composes with sharding: per-shard candidates
+        merge on the transformed-space key, so the sharded answer is the
+        unsharded one for every Arkade metric (positive points keep the
+        cosine normalization well-defined)."""
+        rng = np.random.default_rng(9)
+        points = rng.random((250, 3)) + 0.1
+        queries = rng.random((30, 3)) + 0.1
+        reference = KdTreeIndex(metric=metric).build(points)
+        sharded = ShardedIndex(
+            lambda: KdTreeIndex(metric=metric), 3
+        ).build(points)
+        params = {"k": 5, "max_checks": 100_000}
+        assert (
+            sharded.query_batch(queries, **params).neighbors
+            == reference.query_batch(queries, **params).neighbors
+        )
+
     def test_duplicates_match_when_k_covers_the_tie_set(self):
         """Boundary ties resolve by discovery order, which differs between
         the local and global trees — exact only when k spans the ties
