@@ -14,6 +14,7 @@ Results land in ``BENCH_simcore.json`` at the repo root::
     python benchmarks/bench_simcore.py              # 3 samples, write JSON
     python benchmarks/bench_simcore.py --smoke      # CI: 2 samples + gate
     python benchmarks/bench_simcore.py --check      # gate only (see below)
+    python benchmarks/bench_simcore.py --profile    # + cProfile report
 
 Each sample also records the campaign's *phase split* — trace generation
 (workload execution + lowering + fingerprinting) vs simulation
@@ -21,25 +22,45 @@ Each sample also records the campaign's *phase split* — trace generation
 :data:`repro.experiments.campaign.phase_stats`.  The phases are gated
 independently: a trace-gen regression can't hide inside a simulator win.
 
+**Engine microbenchmark** (``engines`` JSON section): the smoke campaign
+is memory-bound, so the warp-batched event engine's fast tiers barely
+engage there.  The ``engines`` section therefore measures the simulate
+phase of a synthetic compute-bound kernel (pure ALU/SFU/LDS warps — the
+workload shape the engine accelerates) for every engine x kernel-backend
+combination, interleaved best-of-N inside one process per backend.  Both
+engines must produce identical ``SimStats`` (asserted per sample) and
+each cell is gated against the committed JSON.
+``speedup_batched_vs_scalar`` under the ``reference`` backend is the
+recorded batched-engine win (acceptance bar >= 1.5x); under ``jit`` the
+compiled ``engine_drain`` loop raises the bar further (CI-only — see
+below).
+
+**Honest jit rows**: ``numba_available`` records whether the ``jit``
+backend actually exercised compiled kernels.  Without numba the jit
+backend silently degrades to the reference implementation, so this bench
+*skips* the jit rows entirely (JSON ``null``) instead of committing
+reference timings under a jit label, and ``--check`` refuses to certify
+a run whose jit rows fell back unless ``--allow-jit-fallback`` is given
+(CI installs numba, so the gate job always measures real compiled rows).
+
 ``--check`` compares the fresh measurement against the *committed*
 ``BENCH_simcore.json`` (falling back to :data:`BASELINE_COLD_SECONDS` and
-the per-phase baseline constants) and exits non-zero when cold wall-clock
-— or either phase — regressed more than ``--tolerance`` (default 20%).
-``BASELINE_COLD_SECONDS`` is the same benchmark measured at the commit
-before the skip-to-next-event engine and the vectorized workload kernels
-landed; ``speedup_vs_baseline`` in the JSON tracks the cumulative win
-(the acceptance bar is >= 2x).  ``BASELINE_TRACEGEN_SECONDS`` /
-``BASELINE_SIMULATE_SECONDS`` anchor the phase split at the commit before
-the batched query engine; ``tracegen_speedup_vs_baseline`` tracks that
-win (acceptance bar >= 3x on trace generation).
+the per-phase baseline constants) and exits non-zero when cold wall-clock,
+either phase, or any per-engine/per-backend simulate cell regressed more
+than ``--tolerance`` (default 20%).  ``BASELINE_COLD_SECONDS`` is the same
+benchmark measured at the commit before the skip-to-next-event engine and
+the vectorized workload kernels landed; ``speedup_vs_baseline`` in the
+JSON tracks the cumulative win (the acceptance bar is >= 2x).
+``BASELINE_TRACEGEN_SECONDS`` / ``BASELINE_SIMULATE_SECONDS`` anchor the
+phase split at the commit before the batched query engine;
+``PRE_ENGINE_SIMULATE_SECONDS`` anchors the smoke simulate phase at the
+commit before the warp-batched event engine, and
+``simulate_speedup_vs_pre_engine`` tracks that win.
 
-The JSON also carries a ``backends`` section: the same cold phase split
-measured once per kernel backend (``REPRO_KERNEL_BACKEND`` exported into
-the sample subprocess — see docs/KERNELS.md).  ``numba_available``
-records whether the ``jit`` rows exercised compiled kernels; without
-numba the jit backend degrades to the reference implementation, so its
-rows then mirror the reference timings.  The regression gates compare
-only the reference-backend numbers.
+``--profile`` additionally runs one profiled cold sample under
+``cProfile`` and writes the top-25 cumulative-time functions to
+``results/profile-<label>.txt`` (label via ``--profile-label``, default
+``simcore``) — see docs/CAMPAIGN.md for reading the report.
 """
 
 from __future__ import annotations
@@ -69,30 +90,130 @@ BASELINE_COLD_SECONDS = 0.553
 BASELINE_TRACEGEN_SECONDS = 0.157
 BASELINE_SIMULATE_SECONDS = 0.066
 
+#: Smoke simulate phase committed immediately before the warp-batched
+#: event engine landed (scalar per-instruction dispatch, same protocol);
+#: denominator of ``simulate_speedup_vs_pre_engine``.
+PRE_ENGINE_SIMULATE_SECONDS = 0.0588
+
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_simcore.json"
 
-#: Kernel backends the per-backend section measures (docs/KERNELS.md).
+#: Kernel backends the per-backend sections measure (docs/KERNELS.md).
 BACKENDS = ("reference", "jit")
+
+#: Engines the ``engines`` microbenchmark compares (gpusim/engine.py).
+ENGINES = ("scalar", "batched")
+
+#: Shape of the engine microbenchmark's synthetic kernel: enough warps
+#: that admission waves exercise the vectorized ``engine_advance`` tier
+#: and the steady state exercises the singleton ``heapreplace`` chain.
+ENGINE_MICRO_WARPS = 1024
+ENGINE_MICRO_INSTRS = 32
+ENGINE_MICRO_SMS = 4
+
+
+def _engine_micro_kernel():
+    """The synthetic compute-bound kernel the ``engines`` section times.
+
+    Pure ALU/SFU/LDS instructions only — no memory traffic — so the
+    measurement isolates event-engine dispatch cost from the (shared)
+    memory-system model.  Repeat/chain vary deterministically per warp so
+    completion times fragment into realistic small horizons after the
+    admission wave.
+    """
+    from repro.gpusim.trace import KernelTrace, WarpInstr, WarpTrace
+
+    warps = []
+    for w in range(ENGINE_MICRO_WARPS):
+        instrs = []
+        for i in range(ENGINE_MICRO_INSTRS):
+            instrs.append(
+                WarpInstr(
+                    ("alu", "sfu", "lds")[i % 3],
+                    repeat=1 + (i + w) % 4,
+                    chain=1 + i % 2,
+                    hsu_able=(i % 5 == 0),
+                )
+            )
+        warps.append(WarpTrace(instructions=instrs))
+    return KernelTrace(name="engine-micro", warps=warps)
+
+
+def _engine_child(runs: int) -> None:
+    """Per-engine simulate times for the micro kernel, inside this
+    process (backend comes from ``REPRO_KERNEL_BACKEND``).
+
+    Interleaved best-of-N: engines alternate within each rep so slow
+    drift hits both equally (floor of 4 reps — the first rep pays numpy
+    warmup and a 1-vCPU container needs a few shots at a quiet slice).
+    Also asserts batched == scalar ``SimStats`` — the bench doubles as an
+    end-to-end equivalence check.
+    """
+    from repro.gpusim.config import GpuConfig
+    from repro.gpusim.gpu import GpuSimulator
+
+    kernel = _engine_micro_kernel()
+    best: dict[str, float] = {engine: float("inf") for engine in ENGINES}
+    stats: dict[str, object] = {}
+    for _rep in range(max(runs, 4)):
+        for engine in ENGINES:
+            sim = GpuSimulator(
+                GpuConfig(engine=engine, num_sms=ENGINE_MICRO_SMS), kernel
+            )
+            start = time.perf_counter()
+            stats[engine] = sim.run()
+            wall = time.perf_counter() - start
+            if wall < best[engine]:
+                best[engine] = wall
+    if stats["scalar"] != stats["batched"]:
+        print(json.dumps({"error": "batched != scalar SimStats"}))
+        raise SystemExit(1)
+    print(json.dumps({engine: best[engine] for engine in ENGINES}))
 
 
 def _child(jobs_n: int) -> None:
     """One cold sample: time the smoke campaign inside this process.
 
     Imports happen before the clock starts — the benchmark targets the
-    simulation core, not interpreter startup.
+    simulation core, not interpreter startup.  With
+    ``REPRO_BENCH_PROFILE_OUT`` set, the campaign additionally runs under
+    ``cProfile`` and the top-25 cumulative functions land at that path
+    (the sample's timings are then profiler-inflated — profiled samples
+    are never recorded in the JSON).
     """
     from repro.experiments import campaign
 
+    profile_out = os.environ.get("REPRO_BENCH_PROFILE_OUT")
+    profiler = None
+    if profile_out:
+        import cProfile
+
+        profiler = cProfile.Profile()
+
     jobs = campaign.smoke_jobs()
     start = time.perf_counter()
+    if profiler is not None:
+        profiler.enable()
     summary = campaign.execute(jobs, jobs_n=jobs_n, mode="on")
+    if profiler is not None:
+        profiler.disable()
     wall = time.perf_counter() - start
     if not summary.ok:
         failures = "; ".join(r.error or "?" for r in summary.failed)
         print(json.dumps({"error": failures}))
         raise SystemExit(1)
+    if profiler is not None and profile_out:
+        import io
+        import pstats
+
+        buffer = io.StringIO()
+        pstats.Stats(profiler, stream=buffer).sort_stats(
+            "cumulative"
+        ).print_stats(25)
+        out = Path(profile_out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(buffer.getvalue())
     print(json.dumps({
         "seconds": wall,
         "tracegen_seconds": summary.tracegen_seconds,
@@ -101,36 +222,49 @@ def _child(jobs_n: int) -> None:
     }))
 
 
-def _run_cold_sample(
-    jobs_n: int, backend: str | None = None
+def _spawn_child(
+    extra_args: list[str], extra_env: dict[str, str]
 ) -> dict[str, float]:
-    """Spawn one fresh-process, fresh-cache sample; returns phase timings."""
+    """Run this file as a fresh subprocess with isolated cache dirs."""
     with tempfile.TemporaryDirectory(prefix="bench-simcore-") as tmp:
         env = os.environ.copy()
         env["REPRO_CACHE_DIR"] = str(Path(tmp) / "cache")
         env["REPRO_RESULTS_DIR"] = str(Path(tmp) / "results")
         env["REPRO_MANIFESTS"] = "0"
-        if backend is not None:
-            env["REPRO_KERNEL_BACKEND"] = backend
+        env.update(extra_env)
         src = str(REPO_ROOT / "src")
         extra = env.get("PYTHONPATH")
         env["PYTHONPATH"] = src + (os.pathsep + extra if extra else "")
         proc = subprocess.run(
-            [sys.executable, __file__, "--child", "--jobs", str(jobs_n)],
+            [sys.executable, __file__, *extra_args],
             env=env,
             capture_output=True,
             text=True,
         )
         if proc.returncode != 0:
             raise RuntimeError(
-                f"cold sample failed:\n{proc.stdout}\n{proc.stderr}"
+                f"bench child failed:\n{proc.stdout}\n{proc.stderr}"
             )
-        payload = json.loads(proc.stdout.strip().splitlines()[-1])
-        return {
-            "seconds": float(payload["seconds"]),
-            "tracegen_seconds": float(payload.get("tracegen_seconds", 0.0)),
-            "simulate_seconds": float(payload.get("simulate_seconds", 0.0)),
-        }
+        return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
+def _run_cold_sample(
+    jobs_n: int,
+    backend: str | None = None,
+    profile_out: Path | None = None,
+) -> dict[str, float]:
+    """Spawn one fresh-process, fresh-cache sample; returns phase timings."""
+    env: dict[str, str] = {}
+    if backend is not None:
+        env["REPRO_KERNEL_BACKEND"] = backend
+    if profile_out is not None:
+        env["REPRO_BENCH_PROFILE_OUT"] = str(profile_out)
+    payload = _spawn_child(["--child", "--jobs", str(jobs_n)], env)
+    return {
+        "seconds": float(payload["seconds"]),
+        "tracegen_seconds": float(payload.get("tracegen_seconds", 0.0)),
+        "simulate_seconds": float(payload.get("simulate_seconds", 0.0)),
+    }
 
 
 def measure(runs: int, jobs_n: int) -> dict[str, object]:
@@ -159,9 +293,15 @@ def measure(runs: int, jobs_n: int) -> dict[str, object]:
         "baseline_cold_seconds": BASELINE_COLD_SECONDS,
         "baseline_tracegen_seconds": BASELINE_TRACEGEN_SECONDS,
         "baseline_simulate_seconds": BASELINE_SIMULATE_SECONDS,
+        "pre_engine_simulate_seconds": PRE_ENGINE_SIMULATE_SECONDS,
         "speedup_vs_baseline": round(BASELINE_COLD_SECONDS / cold, 3),
         "tracegen_speedup_vs_baseline": (
             round(BASELINE_TRACEGEN_SECONDS / tracegen, 3) if tracegen else None
+        ),
+        "simulate_speedup_vs_pre_engine": (
+            round(PRE_ENGINE_SIMULATE_SECONDS / simulate, 3)
+            if simulate
+            else None
         ),
     }
 
@@ -171,12 +311,18 @@ def measure_backends(runs: int, jobs_n: int) -> dict[str, object]:
 
     Best-of-N per backend, same fresh-subprocess protocol; with numba
     installed the first jit sample pays the one-time ``@njit(cache=True)``
-    compile, which best-of-N then discounts.
+    compile, which best-of-N then discounts.  Without numba the jit rows
+    are ``null`` — the degraded backend would just re-measure the
+    reference implementation under a misleading label.
     """
     from repro.kernels import jit_available
 
+    numba = jit_available()
     per_backend: dict[str, object] = {}
     for backend in BACKENDS:
+        if backend == "jit" and not numba:
+            per_backend[backend] = None
+            continue
         samples = []
         for index in range(runs):
             sample = _run_cold_sample(jobs_n, backend=backend)
@@ -194,7 +340,50 @@ def measure_backends(runs: int, jobs_n: int) -> dict[str, object]:
             "tracegen_seconds": round(best["tracegen_seconds"], 4),
             "simulate_seconds": round(best["simulate_seconds"], 4),
         }
-    return {"numba_available": jit_available(), "backends": per_backend}
+    return {"numba_available": numba, "backends": per_backend}
+
+
+def measure_engines(runs: int) -> dict[str, object]:
+    """Engine-microbenchmark simulate times (``engines`` JSON section).
+
+    One fresh subprocess per kernel backend (the backend must be pinned
+    before ``repro.kernels`` imports); engines interleave inside it.
+    Rows for a degraded jit backend are ``null``, like
+    :func:`measure_backends`.
+    """
+    from repro.kernels import jit_available
+
+    numba = jit_available()
+    engines: dict[str, object] = {}
+    for backend in BACKENDS:
+        if backend == "jit" and not numba:
+            engines[backend] = None
+            continue
+        payload = _spawn_child(
+            ["--engine-child", "--runs", str(runs)],
+            {"REPRO_KERNEL_BACKEND": backend},
+        )
+        scalar = float(payload["scalar"])
+        batched = float(payload["batched"])
+        engines[backend] = {
+            "scalar_simulate_seconds": round(scalar, 4),
+            "batched_simulate_seconds": round(batched, 4),
+            "speedup_batched_vs_scalar": round(scalar / batched, 3),
+        }
+        print(
+            f"  [{backend}] engine micro: scalar {scalar:.4f}s, "
+            f"batched {batched:.4f}s "
+            f"({scalar / batched:.2f}x)",
+            flush=True,
+        )
+    return {
+        "engines": engines,
+        "engine_micro": {
+            "warps": ENGINE_MICRO_WARPS,
+            "instructions_per_warp": ENGINE_MICRO_INSTRS,
+            "num_sms": ENGINE_MICRO_SMS,
+        },
+    }
 
 
 def _reference_numbers(output: Path) -> dict[str, float]:
@@ -215,6 +404,55 @@ def _reference_numbers(output: Path) -> dict[str, float]:
     )
 
 
+def _committed_section(output: Path, section: str) -> dict:
+    """A committed JSON's nested mapping ``section`` (``{}`` on a first
+    run or pre-section committed file — gates then auto-pass)."""
+    try:
+        committed = json.loads(Path(output).read_text())
+        value = committed.get(section)
+        return value if isinstance(value, dict) else {}
+    except (OSError, ValueError):
+        return {}
+
+
+def _gate_engines(gate, result: dict, committed_engines: dict) -> None:
+    """Per engine x backend simulate-phase gates on the micro kernel."""
+    for backend, row in result["engines"].items():
+        committed_row = committed_engines.get(backend)
+        for engine in ENGINES:
+            name = f"engine[{backend}/{engine}]"
+            field = f"{engine}_simulate_seconds"
+            if row is None:
+                # Degraded backend: nothing measured, nothing to gate
+                # (the jit-fallback refusal handles certification).
+                continue
+            if not isinstance(committed_row, dict) or field not in committed_row:
+                gate.first_run(name)
+                continue
+            gate.check_upper(
+                name, "simulate", float(row[field]),
+                float(committed_row[field]), unit="s", fmt="{:.4f}",
+            )
+
+
+def _gate_backends(gate, result: dict, committed_backends: dict) -> None:
+    """Per-backend smoke simulate-phase gates."""
+    for backend, row in result["backends"].items():
+        name = f"simulate[{backend}]"
+        if row is None:
+            continue
+        committed_row = committed_backends.get(backend)
+        if not isinstance(committed_row, dict) or (
+            "simulate_seconds" not in committed_row
+        ):
+            gate.first_run(name)
+            continue
+        gate.check_upper(
+            name, "simulate", float(row["simulate_seconds"]),
+            float(committed_row["simulate_seconds"]), unit="s", fmt="{:.4f}",
+        )
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--runs", type=int, default=3, metavar="N",
@@ -224,37 +462,54 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--smoke", action="store_true",
                         help="CI mode: 2 samples and the regression gate")
     parser.add_argument("--check", action="store_true",
-                        help="fail when cold wall-clock or either phase "
-                        "(trace-gen / simulate) regresses beyond --tolerance "
-                        "vs the committed BENCH_simcore.json")
+                        help="fail when cold wall-clock, either phase, or "
+                        "any per-engine/per-backend simulate cell regresses "
+                        "beyond --tolerance vs the committed "
+                        "BENCH_simcore.json")
+    parser.add_argument("--allow-jit-fallback", action="store_true",
+                        help="let --check pass when numba is unavailable "
+                        "(jit rows null); without this flag a degraded jit "
+                        "backend fails certification")
     parser.add_argument("--tolerance", type=float, default=0.20,
                         help="allowed fractional regression (default 0.20)")
+    parser.add_argument("--profile", action="store_true",
+                        help="also run one profiled cold sample and write "
+                        "the cProfile top-25 (cumulative) to "
+                        "results/profile-<label>.txt")
+    parser.add_argument("--profile-label", default="simcore", metavar="LABEL",
+                        help="label for the --profile report file "
+                        "(default: simcore)")
     parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
                         help="result JSON path (default: repo root)")
     parser.add_argument("--child", action="store_true",
+                        help=argparse.SUPPRESS)
+    parser.add_argument("--engine-child", action="store_true",
                         help=argparse.SUPPRESS)
     args = parser.parse_args(argv)
 
     if args.child:
         _child(args.jobs)
         return 0
+    if args.engine_child:
+        _engine_child(args.runs)
+        return 0
 
     runs = 2 if args.smoke and args.runs == 3 else args.runs
     check = args.check or args.smoke
     reference = _reference_numbers(args.output)
+    committed_backends = _committed_section(args.output, "backends")
+    committed_engines = _committed_section(args.output, "engines")
 
     print(f"cold smoke campaign, {runs} fresh-process samples:")
     result = measure(runs, args.jobs)
     print("per-backend phase split:")
     result.update(measure_backends(runs, args.jobs))
-    backends = result["backends"]
-    if result["numba_available"]:
-        ref_tg = float(backends["reference"]["tracegen_seconds"]) or None
-        jit_tg = float(backends["jit"]["tracegen_seconds"]) or None
-        if ref_tg and jit_tg:
-            print(f"jit trace-gen speedup vs reference: {ref_tg / jit_tg:.2f}x")
-    else:
-        print("numba unavailable: jit rows degraded to the reference backend")
+    print("engine microbenchmark (simulate phase, per engine x backend):")
+    result.update(measure_engines(runs))
+
+    if not result["numba_available"]:
+        print("numba unavailable: jit rows recorded as null "
+              "(reference fallback would mislabel reference timings)")
     cold = float(result["cold_seconds"])
     print(
         f"cold {cold:.3f}s — {result['speedup_vs_baseline']}x vs "
@@ -264,16 +519,37 @@ def main(argv: list[str] | None = None) -> int:
         f"phases: tracegen {result['tracegen_seconds']}s "
         f"({result['tracegen_speedup_vs_baseline']}x vs pre-batch "
         f"{BASELINE_TRACEGEN_SECONDS}s), "
-        f"simulate {result['simulate_seconds']}s"
+        f"simulate {result['simulate_seconds']}s "
+        f"({result['simulate_speedup_vs_pre_engine']}x vs pre-engine "
+        f"{PRE_ENGINE_SIMULATE_SECONDS}s)"
     )
+    engines_ref = result["engines"].get("reference")
+    if engines_ref:
+        print(
+            "engine micro [reference]: batched "
+            f"{engines_ref['speedup_batched_vs_scalar']}x vs scalar"
+        )
 
     args.output.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
     print(f"wrote {args.output}")
+
+    if args.profile:
+        profile_out = (
+            REPO_ROOT / "results" / f"profile-{args.profile_label}.txt"
+        )
+        print(f"profiled cold sample (not recorded) -> {profile_out}")
+        _run_cold_sample(args.jobs, profile_out=profile_out)
 
     if check:
         from _gate import RegressionGate
 
         gate = RegressionGate(args.tolerance)
+        if not result["numba_available"] and not args.allow_jit_fallback:
+            gate.fail(
+                "jit backend degraded to reference (numba unavailable); "
+                "refusing to certify — rerun with --allow-jit-fallback "
+                "to accept null jit rows"
+            )
         gate.check_upper(
             "cold", "wall", cold, reference["cold_seconds"], unit="s"
         )
@@ -285,6 +561,8 @@ def main(argv: list[str] | None = None) -> int:
             "simulate", "wall", float(result["simulate_seconds"]),
             reference["simulate_seconds"], unit="s",
         )
+        _gate_backends(gate, result, committed_backends)
+        _gate_engines(gate, result, committed_engines)
         if not gate.ok:
             return 1
     return 0

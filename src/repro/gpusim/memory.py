@@ -20,6 +20,8 @@ Two idealized drop-ins support ablations (selected via
 
 from __future__ import annotations
 
+import math
+
 from repro.errors import ConfigError
 from repro.gpusim.cache import Cache
 from repro.gpusim.config import MEMORY_MODELS as MEMORY_MODEL_NAMES
@@ -43,8 +45,39 @@ class PerfectCache(Cache):
     def access(self, line_addr: int, time: int) -> tuple[int, bool]:
         self.stats.accesses += 1
         self.stats.hits += 1
-        start = self._port.acquire(time)
-        return start + self.hit_latency, True
+        base = self._port_free
+        if base < time:
+            base = time
+        self._port_free = base + self.port_interval
+        return math.ceil(base) + self.hit_latency, True
+
+    def access_lines(self, lines, time: int) -> int:
+        count = len(lines)
+        if not count:
+            return 0
+        stats = self.stats
+        stats.accesses += count
+        stats.hits += count
+        hit_latency = self.hit_latency
+        interval = self.port_interval
+        if interval == 1.0:
+            # Integral accumulator (see Cache.access_lines): every grant
+            # is one cycle after the previous, so the last line's grant —
+            # the worst — is in closed form.
+            free = int(self._port_free)
+            start = free if free > time else time
+            self._port_free = float(start + count)
+            return start + count - 1 + hit_latency
+        free = self._port_free
+        worst = 0
+        for _line_addr in lines:
+            base = free if free > time else time
+            free = base + interval
+            ready = math.ceil(base) + hit_latency
+            if ready > worst:
+                worst = ready
+        self._port_free = free
+        return worst
 
 
 class IdealDram:

@@ -161,7 +161,10 @@ class PipelinedLane:
         """Earliest start giving ``busy`` back-to-back single-lane slots at
         or after ``ready``."""
         gaps = self._gaps
-        if gaps and busy <= self._max_gap_len:
+        # Every gap lies strictly before the tail (gaps are carved out of
+        # the region behind it and splits only shrink them), so an entry
+        # ready at or past the tail can never backfill — skip the scan.
+        if gaps and busy <= self._max_gap_len and ready < self._tail:
             longest = 0
             fitted = False
             for index, (gap_start, gap_end) in enumerate(gaps):

@@ -28,6 +28,23 @@ from repro.gpusim.resource import PipelinedLane, SlotPool
 from repro.gpusim.trace import WarpInstr
 
 
+def hsu_coalesced_lines(instr: WarpInstr, line_bytes: int) -> list[int]:
+    """The sorted operand-line set one HSU instruction fetches.
+
+    Duplicate lines across threads merge into one request in the memory
+    access FIFO — the CISC coalescing behind Fig. 12.  Module-level so the
+    batched engine's trace packer can precompute the set once at ingest.
+    """
+    total_bytes = max(1, instr.beats * instr.bytes_per_thread)
+    lines = set()
+    for base in instr.addrs[: instr.active]:
+        first_line = (base // line_bytes) * line_bytes
+        last_line = ((base + total_bytes - 1) // line_bytes) * line_bytes
+        for line in range(first_line, last_line + 1, line_bytes):
+            lines.add(line)
+    return sorted(lines)
+
+
 class RtUnitStats:
     """Counters for one RT/HSU unit."""
 
@@ -114,29 +131,40 @@ class RtUnit:
 
     def execute(self, instr: WarpInstr, issue_time: int) -> int:
         """Run one HSU warp instruction; returns result-ready cycle."""
+        return self.execute_packed(
+            hsu_coalesced_lines(instr, self.config.line_bytes),
+            instr.active * instr.beats,
+            issue_time,
+        )
+
+    def execute_packed(self, lines, busy: int, issue_time: int) -> int:
+        """:meth:`execute` with the line set and beat count precomputed.
+
+        ``lines`` is the sorted coalesced line list
+        (:meth:`coalesced_lines`), ``busy`` the datapath occupancy
+        (``active * beats``).  The batched engine's HSU path: identical
+        semantics to :meth:`execute`, minus the per-call set rebuild.
+        """
         # Warp buffer admission: wait for a free entry when full.
         dispatch = self._buffer.acquire(issue_time)
         if dispatch > issue_time:
             self.stats.entry_stall_cycles += dispatch - issue_time
-        # Per-thread node-data fetch through the shared L1 port.  Duplicate
-        # lines across threads merge into one request in the memory access
-        # FIFO — the CISC coalescing behind Fig. 12.
+        # Per-thread node-data fetch through the shared L1 port.
         fetch_done = dispatch
-        line_bytes = self.config.line_bytes
-        total_bytes = max(1, instr.beats * instr.bytes_per_thread)
-        lines = set()
-        for base in instr.addrs[: instr.active]:
-            first_line = (base // line_bytes) * line_bytes
-            last_line = ((base + total_bytes - 1) // line_bytes) * line_bytes
-            for line in range(first_line, last_line + 1, line_bytes):
-                lines.add(line)
-        for line in sorted(lines):
-            ready = self._fetch_line(line, dispatch)
-            self.stats.fetch_line_accesses += 1
-            if ready > fetch_done:
-                fetch_done = ready
+        if self._private is not None:
+            fetch_done = self._private.access_lines(lines, dispatch)
+        elif self.config.rt_fetch_bypass_l1 and self._fill_path is not None:
+            fill_path = self._fill_path
+            for line in lines:
+                ready = fill_path(line, dispatch)
+                if ready > fetch_done:
+                    fetch_done = ready
+        else:
+            fetch_done = self.l1.access_lines(lines, dispatch)
+        if fetch_done < dispatch:
+            fetch_done = dispatch
+        self.stats.fetch_line_accesses += len(lines)
         # Single-lane datapath: one thread-beat per cycle.
-        busy = instr.active * instr.beats
         pipe_start = self._pipe.allocate(fetch_done, busy)
         pipe_end = pipe_start + busy + self.config.pipeline_depth
         # "After all of the active threads within the warp buffer entry have

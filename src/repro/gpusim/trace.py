@@ -40,6 +40,12 @@ KIND_HSU = "hsu"
 
 _KINDS = (KIND_ALU, KIND_SFU, KIND_LDS, KIND_LDG, KIND_HSU)
 
+#: Kind name -> dense integer code, in :data:`_KINDS` order.  The batched
+#: event engine's SoA lowering (:mod:`repro.gpusim.soa`) stores these
+#: codes instead of the kind strings; the first three (alu/sfu/lds) are
+#: the *pure* kinds that never touch the memory system.
+KIND_CODES = {kind: code for code, kind in enumerate(_KINDS)}
+
 
 class WarpInstr:
     """One warp-level instruction (compact: __slots__, shared by millions)."""

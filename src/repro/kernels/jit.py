@@ -418,6 +418,185 @@ def _bvh_point_query_body(
     )
 
 
+@_njit
+def _bvh_radius_query_body(
+    queries, points, width, is_leaf, child_off, child_cnt, child_idx,
+    firsts, counts, lo, hi, prim_indices, root,
+):
+    num_queries = queries.shape[0]
+    dim = queries.shape[1]
+    cand_starts = np.zeros(num_queries + 1, _INT)
+    cand_prims = np.empty(256, _INT)
+    cand_d2 = np.empty(256, np.float32)
+    cand_n = 0
+    stack = np.empty(64, _INT)
+    scratch = np.empty(width, np.float32)
+    nodes_visited = 0
+    box_nodes = 0
+    box_tests = 0
+    leaf_visits = 0
+    max_depth = 1
+    for q in range(num_queries):
+        depth = 1
+        stack[0] = root
+        while depth > 0:
+            depth -= 1
+            node = stack[depth]
+            nodes_visited += 1
+            if is_leaf[node]:
+                leaf_visits += 1
+                base = firsts[node]
+                leaf_count = counts[node]
+                while cand_n + leaf_count > cand_prims.shape[0]:
+                    cap = cand_prims.shape[0] * 2
+                    grown = np.empty(cap, _INT)
+                    grown[:cand_n] = cand_prims[:cand_n]
+                    cand_prims = grown
+                    grown_d2 = np.empty(cap, np.float32)
+                    grown_d2[:cand_n] = cand_d2[:cand_n]
+                    cand_d2 = grown_d2
+                for j in range(leaf_count):
+                    prim = prim_indices[base + j]
+                    # Fused confirm step: the candidate's beat-structured
+                    # squared distance, computed with the same per-element
+                    # float32 casts and pairwise reductions as the unfused
+                    # euclid_beats_rowwise pipeline.
+                    total = np.float32(0.0)
+                    b0 = 0
+                    while b0 < dim:
+                        b1 = min(b0 + width, dim)
+                        n = b1 - b0
+                        for d in range(n):
+                            qv = np.float32(queries[q, b0 + d])
+                            cv = np.float32(points[prim, b0 + d])
+                            diff = qv - cv
+                            scratch[d] = diff * diff
+                        total = total + _pairwise_f32(scratch, 0, n)
+                        b0 = b1
+                    cand_prims[cand_n] = prim
+                    cand_d2[cand_n] = total
+                    cand_n += 1
+            else:
+                box_nodes += 1
+                fanout = child_cnt[node]
+                box_tests += fanout
+                base = child_off[node]
+                pushes = 0
+                if depth + fanout > stack.shape[0]:
+                    grown = np.empty(stack.shape[0] * 2, _INT)
+                    grown[:depth] = stack[:depth]
+                    stack = grown
+                for ci in range(fanout):
+                    child = child_idx[base + ci]
+                    inside = True
+                    for d in range(dim):
+                        v = queries[q, d]
+                        if v < lo[child, d] or hi[child, d] < v:
+                            inside = False
+                            break
+                    if inside:
+                        stack[depth + pushes] = child
+                        pushes += 1
+                depth += pushes
+                if depth > max_depth:
+                    max_depth = depth
+        cand_starts[q + 1] = cand_n
+    return (
+        cand_starts,
+        cand_prims[:cand_n].copy(),
+        cand_d2[:cand_n].copy(),
+        nodes_visited,
+        box_nodes,
+        box_tests,
+        leaf_visits,
+        max_depth,
+    )
+
+
+@_njit
+def _engine_advance_body(ready, port, hold, off, port_busy, issue, done):
+    # Sequential per-port grant chain — the recurrence the reference
+    # kernel closes with a cumulative-sum/maximum-accumulate identity.
+    n = ready.shape[0]
+    for i in range(n):
+        p = port[i]
+        r = ready[i]
+        b = port_busy[p]
+        s = b if b > r else r
+        port_busy[p] = s + hold[i]
+        issue[i] = s
+        done[i] = s + off[i]
+
+
+@_njit
+def _engine_drain_body(
+    ev_ready, ev_windex, ev_pos, ev_seq, starts, pure_ok, hold, off,
+    kindcode, repeat, able, warp_port, warp_sm, port_busy,
+    kinds_acc, wi_acc, able_acc, other_acc, policy_code, clock, idle, seq,
+):
+    n = ev_ready.shape[0]
+    events = 0
+    while True:
+        best = 0
+        br = ev_ready[0]
+        if policy_code == 0:
+            bk1 = ev_windex[0]
+            bk2 = 0
+        elif policy_code == 1:
+            bk1 = ev_seq[0]
+            bk2 = 0
+        else:
+            bk1 = ev_pos[0]
+            bk2 = ev_windex[0]
+        for i in range(1, n):
+            r = ev_ready[i]
+            if policy_code == 0:
+                k1 = ev_windex[i]
+                k2 = 0
+            elif policy_code == 1:
+                k1 = ev_seq[i]
+                k2 = 0
+            else:
+                k1 = ev_pos[i]
+                k2 = ev_windex[i]
+            if r < br or (
+                r == br and (k1 < bk1 or (k1 == bk1 and k2 < bk2))
+            ):
+                best = i
+                br = r
+                bk1 = k1
+                bk2 = k2
+        w = ev_windex[best]
+        gi = starts[w] + ev_pos[best]
+        if pure_ok[gi] == 0:
+            break
+        r = ev_ready[best]
+        if r > clock:
+            idle += r - clock - 1
+            clock = r
+        events += 1
+        p = warp_port[w]
+        b = port_busy[p]
+        s = b if b > r else r
+        port_busy[p] = s + hold[gi]
+        done = s + off[gi]
+        smi = warp_sm[w]
+        rep = repeat[gi]
+        kinds_acc[smi, kindcode[gi]] += rep
+        wi_acc[smi] += rep
+        busy = done - s + 1
+        if able[gi] != 0:
+            able_acc[smi] += busy
+        else:
+            other_acc[smi] += busy
+        ev_ready[best] = done
+        ev_pos[best] += 1
+        if policy_code == 1:
+            seq += 1
+            ev_seq[best] = seq
+    return clock, idle, events, seq
+
+
 # ---------------------------------------------------------------------------
 # backend class
 # ---------------------------------------------------------------------------
@@ -427,6 +606,12 @@ class JitBackend(ReferenceBackend):
     """Compiled kernels, self-verified against the reference at init."""
 
     name = "jit"
+
+    #: The batched event engine routes quiescent stretches through the
+    #: compiled :meth:`engine_drain` loop.  (Safe even when a probe
+    #: rebinds the kernel to the reference implementation — the drain is
+    #: bit-identical either way, just slower.)
+    engine_drain_enabled = True
 
     def __init__(self) -> None:
         self.verified: dict[str, bool] = {}
@@ -560,6 +745,56 @@ class JitBackend(ReferenceBackend):
             ev_codes, ev_idents, ev_payloads, ev_starts,
             counters,
         )
+
+    def bvh_radius_query(
+        self,
+        queries, points, width,
+        is_leaf, child_off, child_cnt, child_idx,
+        firsts, counts, lo, hi, prim_indices, root,
+    ):
+        packed = _bvh_radius_query_body(
+            np.ascontiguousarray(queries),
+            np.ascontiguousarray(points),
+            width,
+            is_leaf,
+            child_off.astype(_INT, copy=False),
+            child_cnt.astype(_INT, copy=False),
+            child_idx.astype(_INT, copy=False),
+            firsts.astype(_INT, copy=False),
+            counts.astype(_INT, copy=False),
+            np.ascontiguousarray(lo),
+            np.ascontiguousarray(hi),
+            prim_indices.astype(_INT, copy=False),
+            root,
+        )
+        (cand_starts, cand_prims, d2, nodes_visited, box_nodes,
+         box_tests, leaf_visits, max_depth) = packed
+        counters = (
+            int(nodes_visited), int(box_nodes), int(box_tests),
+            int(leaf_visits), int(max_depth),
+        )
+        return cand_starts, cand_prims, d2, counters
+
+    def engine_advance(self, ready, port, hold, off, port_busy):
+        issue = np.empty_like(ready)
+        done = np.empty_like(ready)
+        _engine_advance_body(ready, port, hold, off, port_busy, issue, done)
+        return issue, done
+
+    def engine_drain(
+        self,
+        ev_ready, ev_windex, ev_pos, ev_seq, starts, pure_ok, hold, off,
+        kindcode, repeat, able, warp_port, warp_sm, port_busy,
+        kinds_acc, wi_acc, able_acc, other_acc,
+        policy_code, clock, idle, seq,
+    ):
+        out = _engine_drain_body(
+            ev_ready, ev_windex, ev_pos, ev_seq, starts, pure_ok, hold,
+            off, kindcode, repeat, able, warp_port, warp_sm, port_busy,
+            kinds_acc, wi_acc, able_acc, other_acc,
+            policy_code, clock, idle, seq,
+        )
+        return int(out[0]), int(out[1]), int(out[2]), int(out[3])
 
 
 # ---------------------------------------------------------------------------
@@ -771,6 +1006,80 @@ def _probe_bvh_point_query(backend):
     return tuple(outs)
 
 
+def _probe_bvh_radius_query(backend):
+    rng = _probe_rng()
+    queries = rng.uniform(-0.1, 1.1, size=(23, 3))
+    points = rng.uniform(0.0, 1.0, size=(7, 3))
+    outs = []
+    for tree in _probe_trees():
+        for width in (2, 16):
+            outs.append(
+                backend.bvh_radius_query(
+                    queries, points, width,
+                    tree["is_leaf"], tree["child_off"], tree["child_cnt"],
+                    tree["child_idx"], tree["firsts"], tree["counts"],
+                    tree["lo"], tree["hi"], tree["prim_indices"],
+                    tree["root"],
+                )
+            )
+    return tuple(outs)
+
+
+def _probe_engine_advance(backend):
+    rng = _probe_rng()
+    outs = []
+    for n, ports in ((1, 1), (7, 3), (40, 8)):
+        ready = rng.integers(0, 50, size=n).astype(_INT)
+        port = rng.integers(0, ports, size=n).astype(_INT)
+        hold = rng.integers(1, 5, size=n).astype(_INT)
+        off = rng.integers(3, 30, size=n).astype(_INT)
+        port_busy = rng.integers(0, 40, size=ports).astype(_INT)
+        issue, done = backend.engine_advance(ready, port, hold, off, port_busy)
+        outs.append((issue, done, port_busy.copy()))
+    return tuple(outs)
+
+
+def _probe_engine_drain(backend):
+    rng = _probe_rng()
+    outs = []
+    for policy_code in (0, 1, 2):
+        warps = 6
+        length = 8
+        starts = (np.arange(warps + 1) * length).astype(_INT)
+        total = warps * length
+        pure_ok = (rng.random(total) < 0.8).astype(_INT)
+        pure_ok[length - 1 :: length] = 0  # final instructions are special
+        hold = rng.integers(1, 4, size=total).astype(_INT)
+        off = rng.integers(3, 25, size=total).astype(_INT)
+        kindcode = rng.integers(0, 3, size=total).astype(_INT)
+        repeat = rng.integers(1, 3, size=total).astype(_INT)
+        able = rng.integers(0, 2, size=total).astype(_INT)
+        warp_port = rng.integers(0, 4, size=warps).astype(_INT)
+        warp_sm = rng.integers(0, 2, size=warps).astype(_INT)
+        ev_ready = rng.integers(0, 30, size=warps).astype(_INT)
+        ev_windex = np.arange(warps, dtype=_INT)
+        ev_pos = rng.integers(0, 3, size=warps).astype(_INT)
+        ev_seq = rng.permutation(warps).astype(_INT)
+        port_busy = rng.integers(0, 20, size=4).astype(_INT)
+        kinds_acc = np.zeros((2, 5), dtype=_INT)
+        wi_acc = np.zeros(2, dtype=_INT)
+        able_acc = np.zeros(2, dtype=_INT)
+        other_acc = np.zeros(2, dtype=_INT)
+        result = backend.engine_drain(
+            ev_ready, ev_windex, ev_pos, ev_seq, starts, pure_ok, hold,
+            off, kindcode, repeat, able, warp_port, warp_sm, port_busy,
+            kinds_acc, wi_acc, able_acc, other_acc,
+            policy_code, 0, 0, warps,
+        )
+        outs.append(
+            result
+            + (ev_ready.copy(), ev_pos.copy(), ev_seq.copy(),
+               port_busy.copy(), kinds_acc.copy(), wi_acc.copy(),
+               able_acc.copy(), other_acc.copy())
+        )
+    return tuple(outs)
+
+
 #: kernel name -> single-kernel probe; each probe exercises exactly the
 #: one kernel being verified and returns a comparable result tuple.
 _PROBES = {
@@ -787,6 +1096,9 @@ _PROBES = {
     "segmented_gather": _probe_segmented_gather,
     "kd_plane_step": _probe_kd_plane_step,
     "bvh_point_query": _probe_bvh_point_query,
+    "bvh_radius_query": _probe_bvh_radius_query,
+    "engine_advance": _probe_engine_advance,
+    "engine_drain": _probe_engine_drain,
 }
 
 

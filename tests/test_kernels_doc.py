@@ -37,12 +37,15 @@ KERNEL_NAMES = (
     "aabb_contains_points",
     "aabb_distance_sq",
     "bvh_point_query",
+    "bvh_radius_query",
     "kd_plane_step",
     "segmented_gather",
     "btree_descend",
     "sorted_membership",
     "warp_group_order",
     "coalesce_lines",
+    "engine_advance",
+    "engine_drain",
 )
 
 
